@@ -1,0 +1,128 @@
+//! Dataset catalog (§IV-C).
+
+use crate::model::{AppKind, JobModel};
+use serde::{Deserialize, Serialize};
+
+/// A dataset an application can process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Display label, e.g. `"40GB"`.
+    pub label: &'static str,
+    /// Size in gigabytes.
+    pub size_gb: f64,
+}
+
+/// The three datasets per application, per §IV-C of the paper. WikiTrends
+/// log sizes are not stated in the paper; we use plausible compressed-log
+/// volumes for three months of hourly Wikipedia traffic dumps (documented
+/// substitution, see DESIGN.md).
+pub const DATASETS: [(AppKind, [Dataset; 3]); 6] = [
+    (
+        AppKind::WordCount,
+        [
+            Dataset { label: "32GB", size_gb: 32.0 },
+            Dataset { label: "40GB", size_gb: 40.0 },
+            Dataset { label: "43GB", size_gb: 43.0 },
+        ],
+    ),
+    (
+        AppKind::Sort,
+        [
+            Dataset { label: "16GB", size_gb: 16.0 },
+            Dataset { label: "32GB", size_gb: 32.0 },
+            Dataset { label: "64GB", size_gb: 64.0 },
+        ],
+    ),
+    (
+        AppKind::Bayes,
+        [
+            Dataset { label: "32GB", size_gb: 32.0 },
+            Dataset { label: "40GB", size_gb: 40.0 },
+            Dataset { label: "43GB", size_gb: 43.0 },
+        ],
+    ),
+    (
+        AppKind::TfIdf,
+        [
+            Dataset { label: "32GB", size_gb: 32.0 },
+            Dataset { label: "40GB", size_gb: 40.0 },
+            Dataset { label: "43GB", size_gb: 43.0 },
+        ],
+    ),
+    (
+        AppKind::WikiTrends,
+        [
+            Dataset { label: "55GB", size_gb: 55.0 },
+            Dataset { label: "60GB", size_gb: 60.0 },
+            Dataset { label: "65GB", size_gb: 65.0 },
+        ],
+    ),
+    (
+        AppKind::Twitter,
+        [
+            Dataset { label: "12GB", size_gb: 12.0 },
+            Dataset { label: "18GB", size_gb: 18.0 },
+            Dataset { label: "25GB", size_gb: 25.0 },
+        ],
+    ),
+];
+
+/// Returns the datasets configured for one application.
+pub fn datasets_for(kind: AppKind) -> &'static [Dataset; 3] {
+    &DATASETS
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .expect("every AppKind has catalog datasets")
+        .1
+}
+
+/// The full 18-job suite: every application on each of its three datasets
+/// (the paper's "six applications executed on three different datasets").
+/// `which` selects dataset indices to include (e.g. `&[1]` = mid size only).
+pub fn standard_suite(which: &[usize]) -> Vec<JobModel> {
+    let mut jobs = Vec::new();
+    for (kind, datasets) in &DATASETS {
+        for &i in which {
+            let ds = &datasets[i.min(2)];
+            jobs.push(kind.model().instantiate(ds));
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_suite_is_18_jobs() {
+        let suite = standard_suite(&[0, 1, 2]);
+        assert_eq!(suite.len(), 18);
+        let mut names: Vec<&str> = suite.iter().map(|j| j.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18, "job names must be unique");
+    }
+
+    #[test]
+    fn single_dataset_suite() {
+        let suite = standard_suite(&[1]);
+        assert_eq!(suite.len(), 6);
+        assert!(suite.iter().any(|j| j.name == "WordCount-40GB"));
+        assert!(suite.iter().any(|j| j.name == "Sort-32GB"));
+    }
+
+    #[test]
+    fn datasets_lookup() {
+        let ds = datasets_for(AppKind::Twitter);
+        assert_eq!(ds[0].size_gb, 12.0);
+        assert_eq!(ds[2].size_gb, 25.0);
+    }
+
+    #[test]
+    fn out_of_range_index_clamps() {
+        let suite = standard_suite(&[9]);
+        assert_eq!(suite.len(), 6);
+        assert!(suite.iter().any(|j| j.name == "WordCount-43GB"));
+    }
+}

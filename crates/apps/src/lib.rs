@@ -1,0 +1,30 @@
+//! # simmr-apps
+//!
+//! Models of the six benchmark applications the paper runs on its 66-node
+//! testbed (§IV-C), plus the datasets they process:
+//!
+//! 1. **WordCount** — word frequencies over the 32/40/43 GB Wikipedia
+//!    article-history dumps;
+//! 2. **Sort** — 16/32/64 GB of GridMix2 random text;
+//! 3. **Bayes** — the Mahout Bayesian-classification trainer step over the
+//!    Wikipedia dataset split at page boundaries;
+//! 4. **TF-IDF** — the Mahout TF-IDF example over the Wikipedia dataset;
+//! 5. **WikiTrends** — article-visit counting over the Trending-Topics
+//!    Wikipedia traffic logs (April–June 2010);
+//! 6. **Twitter** — asymmetric-link counting over the 12/18/25 GB Kwak et
+//!    al. twitter follower graph.
+//!
+//! We obviously cannot ship those datasets; each application is instead a
+//! **cost model** ([`AppModel`]): per-map-task compute-time distribution,
+//! map selectivity (intermediate bytes out per input byte), reduce count
+//! and reduce-phase compute distribution. The `simmr-cluster` testbed
+//! simulator executes these models block-by-block with locality, node
+//! speed, and shuffle-bandwidth effects layered on top, which is what makes
+//! "real" executions of the same application differ run to run — exactly
+//! the variability Table I measures.
+
+pub mod catalog;
+pub mod model;
+
+pub use catalog::{standard_suite, Dataset, DATASETS};
+pub use model::{AppKind, AppModel, JobModel};

@@ -1,0 +1,266 @@
+//! Application cost models.
+
+use crate::catalog::Dataset;
+use serde::{Deserialize, Serialize};
+use simmr_stats::Dist;
+
+/// HDFS block size used throughout (the testbed's 64 MB default, §IV-B).
+pub const BLOCK_MB: f64 = 64.0;
+
+/// The six paper applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Word-frequency counting (map-heavy, moderate shuffle).
+    WordCount,
+    /// GridMix-style sort (trivial map, shuffle- and reduce-heavy).
+    Sort,
+    /// Mahout Bayes trainer step (compute-heavy map, light shuffle).
+    Bayes,
+    /// Mahout TF-IDF (fast map, substantial shuffle).
+    TfIdf,
+    /// Trending-Topics log aggregation (longest jobs, heavy shuffle).
+    WikiTrends,
+    /// Twitter asymmetric-link counting (moderate everything).
+    Twitter,
+}
+
+impl AppKind {
+    /// All six applications, in the paper's §IV-C order.
+    pub const ALL: [AppKind; 6] = [
+        AppKind::WordCount,
+        AppKind::Sort,
+        AppKind::Bayes,
+        AppKind::TfIdf,
+        AppKind::WikiTrends,
+        AppKind::Twitter,
+    ];
+
+    /// Short display name (matches the Figure 5 x-axis labels).
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            AppKind::WordCount => "WC",
+            AppKind::Sort => "Sort",
+            AppKind::Bayes => "Bayes",
+            AppKind::TfIdf => "TFIDF",
+            AppKind::WikiTrends => "WT",
+            AppKind::Twitter => "Twitter",
+        }
+    }
+
+    /// Full application name.
+    pub const fn full_name(self) -> &'static str {
+        match self {
+            AppKind::WordCount => "WordCount",
+            AppKind::Sort => "Sort",
+            AppKind::Bayes => "Bayes",
+            AppKind::TfIdf => "TFIDF",
+            AppKind::WikiTrends => "WikiTrends",
+            AppKind::Twitter => "Twitter",
+        }
+    }
+
+    /// The cost model for this application.
+    ///
+    /// Rates are loosely calibrated so the mid-size dataset run on the
+    /// paper's 64×64-slot cluster lands in the completion-time ballpark of
+    /// Figure 5(a) (WC 251 s, WT 1271 s, Twitter 276 s, Sort 88 s,
+    /// TFIDF 66 s, Bayes 476 s).
+    pub fn model(self) -> AppModel {
+        match self {
+            AppKind::WordCount => AppModel {
+                kind: self,
+                // tokenizing 64 MB of article text
+                map_time_s: Dist::LogNormal { mu: 2.71, sigma: 0.30 }, // ~15 s median
+                selectivity: 0.80,
+                num_reduces: 256,
+                reduce_time_s: Dist::LogNormal { mu: 1.39, sigma: 0.35 }, // ~4 s
+            },
+            AppKind::Sort => AppModel {
+                kind: self,
+                // identity map over random text
+                map_time_s: Dist::LogNormal { mu: 1.31, sigma: 0.25 }, // ~3.7 s
+                selectivity: 1.0,
+                num_reduces: 128,
+                reduce_time_s: Dist::LogNormal { mu: 2.48, sigma: 0.30 }, // ~12 s
+            },
+            AppKind::Bayes => AppModel {
+                kind: self,
+                // feature extraction is compute-heavy
+                map_time_s: Dist::LogNormal { mu: 3.81, sigma: 0.40 }, // ~45 s
+                selectivity: 0.10,
+                num_reduces: 64,
+                reduce_time_s: Dist::LogNormal { mu: 2.08, sigma: 0.35 }, // ~8 s
+            },
+            AppKind::TfIdf => AppModel {
+                kind: self,
+                map_time_s: Dist::LogNormal { mu: 1.10, sigma: 0.30 }, // ~3 s
+                selectivity: 0.25,
+                num_reduces: 128,
+                reduce_time_s: Dist::LogNormal { mu: 0.92, sigma: 0.30 }, // ~2.5 s
+            },
+            AppKind::WikiTrends => AppModel {
+                kind: self,
+                // decompressing + parsing hourly traffic logs; intermediate
+                // data *expands* relative to the compressed input
+                map_time_s: Dist::LogNormal { mu: 4.17, sigma: 0.45 }, // ~65 s
+                selectivity: 1.30,
+                num_reduces: 256,
+                reduce_time_s: Dist::LogNormal { mu: 2.48, sigma: 0.40 }, // ~12 s
+            },
+            AppKind::Twitter => AppModel {
+                kind: self,
+                map_time_s: Dist::LogNormal { mu: 3.87, sigma: 0.30 }, // ~48 s
+                selectivity: 0.50,
+                num_reduces: 128,
+                reduce_time_s: Dist::LogNormal { mu: 1.79, sigma: 0.35 }, // ~6 s
+            },
+        }
+    }
+}
+
+/// The per-application cost model: everything the testbed simulator needs
+/// to "execute" the application on a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppModel {
+    /// Which application this models.
+    pub kind: AppKind,
+    /// Per-map-task compute-time distribution, in seconds, for one 64 MB
+    /// block on a reference-speed node with node-local data.
+    pub map_time_s: Dist,
+    /// Intermediate bytes emitted per input byte.
+    pub selectivity: f64,
+    /// Number of reduce tasks the application configures.
+    pub num_reduces: usize,
+    /// Per-reduce-task compute-time (reduce function only) distribution in
+    /// seconds.
+    pub reduce_time_s: Dist,
+}
+
+impl AppModel {
+    /// Instantiates the model on a dataset, producing the concrete job the
+    /// cluster simulator executes.
+    pub fn instantiate(&self, dataset: &Dataset) -> JobModel {
+        let input_mb = dataset.size_gb * 1024.0;
+        let num_maps = (input_mb / BLOCK_MB).ceil().max(1.0) as usize;
+        let intermediate_mb = input_mb * self.selectivity;
+        JobModel {
+            name: format!("{}-{}GB", self.kind.full_name(), dataset.size_gb),
+            kind: self.kind,
+            num_maps,
+            num_reduces: self.num_reduces,
+            map_time_s: self.map_time_s,
+            reduce_time_s: self.reduce_time_s,
+            input_mb_per_map: BLOCK_MB,
+            shuffle_mb_per_reduce: intermediate_mb / self.num_reduces as f64,
+        }
+    }
+}
+
+/// A concrete job: an application instantiated on a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobModel {
+    /// `"WordCount-40GB"`-style label.
+    pub name: String,
+    /// The application.
+    pub kind: AppKind,
+    /// Map tasks (one per 64 MB input block).
+    pub num_maps: usize,
+    /// Reduce tasks.
+    pub num_reduces: usize,
+    /// Map compute-time distribution (seconds/block, reference node,
+    /// node-local read).
+    pub map_time_s: Dist,
+    /// Reduce-function compute-time distribution (seconds).
+    pub reduce_time_s: Dist,
+    /// Input read per map task (MB).
+    pub input_mb_per_map: f64,
+    /// Intermediate data each reduce task must fetch during shuffle (MB).
+    pub shuffle_mb_per_reduce: f64,
+}
+
+impl JobModel {
+    /// A synthetic job with explicit task counts — used for the paper's
+    /// §II motivating example (WordCount with 200 maps and 256 reduces).
+    pub fn with_task_counts(kind: AppKind, num_maps: usize, num_reduces: usize) -> JobModel {
+        let model = kind.model();
+        let input_mb = num_maps as f64 * BLOCK_MB;
+        JobModel {
+            name: format!("{}-{}x{}", kind.full_name(), num_maps, num_reduces),
+            kind,
+            num_maps,
+            num_reduces,
+            map_time_s: model.map_time_s,
+            reduce_time_s: model.reduce_time_s,
+            input_mb_per_map: BLOCK_MB,
+            shuffle_mb_per_reduce: input_mb * model.selectivity / num_reduces.max(1) as f64,
+        }
+    }
+
+    /// Total intermediate data shuffled, in MB.
+    pub fn total_shuffle_mb(&self) -> f64 {
+        self.shuffle_mb_per_reduce * self.num_reduces as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Dataset;
+
+    #[test]
+    fn six_apps_with_distinct_names() {
+        let mut names: Vec<&str> = AppKind::ALL.iter().map(|a| a.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn instantiation_block_math() {
+        let ds = Dataset { label: "32GB", size_gb: 32.0 };
+        let job = AppKind::WordCount.model().instantiate(&ds);
+        // 32 GB / 64 MB = 512 blocks
+        assert_eq!(job.num_maps, 512);
+        assert_eq!(job.num_reduces, 256);
+        assert_eq!(job.input_mb_per_map, 64.0);
+        assert_eq!(job.name, "WordCount-32GB");
+        // selectivity 0.80: intermediate = 32*1024*0.80 MB over 256 reduces
+        let expected = 32.0 * 1024.0 * 0.80 / 256.0;
+        assert!((job.shuffle_mb_per_reduce - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_dataset_still_one_map() {
+        let ds = Dataset { label: "tiny", size_gb: 0.001 };
+        let job = AppKind::Sort.model().instantiate(&ds);
+        assert_eq!(job.num_maps, 1);
+    }
+
+    #[test]
+    fn sort_has_unit_selectivity() {
+        let model = AppKind::Sort.model();
+        assert_eq!(model.selectivity, 1.0);
+        let ds = Dataset { label: "16GB", size_gb: 16.0 };
+        let job = model.instantiate(&ds);
+        assert!((job.total_shuffle_mb() - 16.0 * 1024.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_example_counts() {
+        let job = JobModel::with_task_counts(AppKind::WordCount, 200, 256);
+        assert_eq!(job.num_maps, 200);
+        assert_eq!(job.num_reduces, 256);
+        assert_eq!(job.name, "WordCount-200x256");
+    }
+
+    #[test]
+    fn app_relative_map_costs() {
+        // WikiTrends maps are the slowest, Sort maps the fastest — the
+        // ordering driving the paper's job-length spread.
+        use simmr_stats::Distribution;
+        let mean = |k: AppKind| k.model().map_time_s.mean().unwrap();
+        assert!(mean(AppKind::WikiTrends) > mean(AppKind::Bayes));
+        assert!(mean(AppKind::Bayes) > mean(AppKind::WordCount));
+        assert!(mean(AppKind::WordCount) > mean(AppKind::Sort));
+    }
+}

@@ -1,0 +1,89 @@
+//! Performance ablations for the design choices DESIGN.md calls out:
+//! engine scheduling-batch cost under backlog, cluster heartbeat-interval
+//! sensitivity, and the shuffle fluid model's event overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_sched::FifoPolicy;
+use simmr_trace::FacebookWorkload;
+use simmr_types::SimTime;
+
+/// Engine cost as the arrival rate (and therefore active-job backlog)
+/// grows: the per-decision snapshot is O(active jobs), so backlog is the
+/// engine's main scaling hazard.
+fn bench_backlog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backlog");
+    group.sample_size(20);
+    for mean_ia in [60_000.0f64, 6_000.0, 600.0] {
+        let trace = FacebookWorkload { mean_interarrival_ms: mean_ia }.generate(120, 0xAB);
+        group.bench_with_input(
+            BenchmarkId::new("mean_ia_ms", mean_ia as u64),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    SimulatorEngine::new(
+                        EngineConfig::new(32, 32),
+                        trace,
+                        Box::new(FifoPolicy::new()),
+                    )
+                    .run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Testbed cost versus heartbeat interval: halving the interval roughly
+/// doubles the event count (the Mumak lesson in miniature).
+fn bench_heartbeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_heartbeat");
+    group.sample_size(10);
+    for hb in [300u64, 600, 1200] {
+        group.bench_with_input(BenchmarkId::new("hb_ms", hb), &hb, |b, &hb| {
+            b.iter(|| {
+                let config = ClusterConfig { heartbeat_ms: hb, ..ClusterConfig::tiny(8) };
+                let mut sim = ClusterSim::new(config, ClusterPolicy::Fifo, hb);
+                let mut job = simmr_apps::JobModel::with_task_counts(
+                    simmr_apps::AppKind::WordCount,
+                    64,
+                    16,
+                );
+                job.map_time_s = simmr_stats::Dist::Constant { value: 5.0 };
+                job.reduce_time_s = simmr_stats::Dist::Constant { value: 2.0 };
+                sim.submit(job, SimTime::ZERO, None);
+                sim.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Shuffle fluid-model overhead: shuffle-heavy vs shuffle-free testbed runs.
+fn bench_shuffle_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_shuffle_model");
+    group.sample_size(10);
+    for (label, mb) in [("no_shuffle", 0.0f64), ("heavy_shuffle", 400.0)] {
+        group.bench_with_input(BenchmarkId::new("mb_per_reduce", label), &mb, |b, &mb| {
+            b.iter(|| {
+                let mut sim =
+                    ClusterSim::new(ClusterConfig::tiny(8), ClusterPolicy::Fifo, 0x5F);
+                let mut job = simmr_apps::JobModel::with_task_counts(
+                    simmr_apps::AppKind::Sort,
+                    48,
+                    16,
+                );
+                job.map_time_s = simmr_stats::Dist::Constant { value: 3.0 };
+                job.reduce_time_s = simmr_stats::Dist::Constant { value: 2.0 };
+                job.shuffle_mb_per_reduce = mb;
+                sim.submit(job, SimTime::ZERO, None);
+                sim.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backlog, bench_heartbeat, bench_shuffle_model);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! The §I performance claim: "SimMR can process over one million events
+//! per second." Measures the engine event loop on realistic traces and
+//! reports throughput in events/second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_sched::{policy_by_name, FifoPolicy};
+use simmr_trace::FacebookWorkload;
+
+fn trace_of(jobs: usize) -> simmr_types::WorkloadTrace {
+    FacebookWorkload { mean_interarrival_ms: 10_000.0 }.generate(jobs, 0xBE)
+}
+
+fn events_in(trace: &simmr_types::WorkloadTrace) -> u64 {
+    SimulatorEngine::new(EngineConfig::new(64, 64), trace, Box::new(FifoPolicy::new()))
+        .run()
+        .events_processed
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    for jobs in [50usize, 200, 500] {
+        let trace = trace_of(jobs);
+        let events = events_in(&trace);
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::new("fifo", jobs), &trace, |b, trace| {
+            b.iter(|| {
+                SimulatorEngine::new(
+                    EngineConfig::new(64, 64),
+                    trace,
+                    Box::new(FifoPolicy::new()),
+                )
+                .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = trace_of(200);
+    let events = events_in(&trace);
+    let mut group = c.benchmark_group("engine_by_policy");
+    group.throughput(Throughput::Elements(events));
+    for policy in ["fifo", "maxedf", "minedf", "fair"] {
+        group.bench_function(policy, |b| {
+            b.iter(|| {
+                SimulatorEngine::new(
+                    EngineConfig::new(64, 64),
+                    &trace,
+                    policy_by_name(policy).expect("policy"),
+                )
+                .run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_policies);
+criterion_main!(benches);

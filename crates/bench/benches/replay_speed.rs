@@ -1,0 +1,35 @@
+//! SimMR vs Mumak replay speed on identical traces (the Figure 6 claim as
+//! a Criterion benchmark; the `fig6_perf` binary prints the full sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_mumak::{MumakConfig, MumakSim};
+use simmr_sched::FifoPolicy;
+use simmr_trace::{FacebookWorkload, RumenTrace};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_speed");
+    group.sample_size(20);
+    for jobs in [50usize, 150] {
+        let trace = FacebookWorkload { mean_interarrival_ms: 15_000.0 }.generate(jobs, 0x6F);
+        let rumen = RumenTrace::from_workload(&trace);
+        group.bench_with_input(BenchmarkId::new("simmr", jobs), &trace, |b, trace| {
+            b.iter(|| {
+                SimulatorEngine::new(
+                    EngineConfig::new(64, 64),
+                    trace,
+                    Box::new(FifoPolicy::new()),
+                )
+                .run()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mumak", jobs), &rumen, |b, rumen| {
+            let sim = MumakSim::new(MumakConfig::default());
+            b.iter(|| sim.run(rumen))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Trace-tooling performance: MRProfiler parsing, synthetic generation,
+//! and the Table-I KL computation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
+use simmr_stats::{kl::symmetric_kl_ms, KlOptions};
+use simmr_trace::{profile_history, FacebookWorkload};
+use simmr_types::SimTime;
+
+fn testbed_history() -> String {
+    let mut sim = ClusterSim::new(ClusterConfig::tiny(16), ClusterPolicy::Fifo, 0x77);
+    for (i, model) in simmr_apps::standard_suite(&[0]).into_iter().enumerate() {
+        let mut m = model;
+        // shrink for the benchmark: a few hundred tasks per job
+        m.num_maps = 200;
+        sim.submit(m, SimTime::from_secs(i as u64 * 30), None);
+    }
+    sim.run().history
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let history = testbed_history();
+    let mut group = c.benchmark_group("trace_tools");
+    group.throughput(Throughput::Bytes(history.len() as u64));
+    group.bench_function("mrprofiler_parse", |b| {
+        b.iter(|| profile_history(&history).expect("history parses"))
+    });
+    group.finish();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_tools");
+    group.bench_function("facebook_generate_500_jobs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            FacebookWorkload { mean_interarrival_ms: 1_000.0 }.generate(500, seed)
+        })
+    });
+    group.finish();
+}
+
+fn bench_kl(c: &mut Criterion) {
+    let trace = FacebookWorkload { mean_interarrival_ms: 0.0 }.generate(100, 3);
+    let a: Vec<u64> = trace.jobs.iter().flat_map(|j| j.template.map_durations.clone()).collect();
+    let trace = FacebookWorkload { mean_interarrival_ms: 0.0 }.generate(100, 4);
+    let b: Vec<u64> = trace.jobs.iter().flat_map(|j| j.template.map_durations.clone()).collect();
+    let mut group = c.benchmark_group("trace_tools");
+    group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
+    group.bench_function("symmetric_kl", |bch| {
+        bch.iter(|| symmetric_kl_ms(&a, &b, KlOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiler, bench_synthetic, bench_kl);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Calibration helper: runs each §IV-C application (mid dataset) alone on
+//! the paper testbed and prints actual runtime plus SimMR/Mumak replay
+//! errors. Paper reference points (Fig. 5a): WC 251 s, Sort 88 s,
+//! Bayes 476 s, TFIDF 66 s, WT 1271 s, Twitter 276 s.
+
+use simmr_bench::pipeline::{accuracy_rows, replay_in_mumak, replay_in_simmr, run_testbed};
+use simmr_cluster::{ClusterConfig, ClusterPolicy};
+use simmr_mumak::MumakConfig;
+use simmr_types::SimTime;
+
+fn main() {
+    let config = ClusterConfig::paper_testbed();
+    println!("{:<18} {:>10} {:>12} {:>12}", "job", "actual_s", "simmr_err%", "mumak_err%");
+    for (i, model) in simmr_bench::suite_models(&[1]).into_iter().enumerate() {
+        let run = run_testbed(
+            vec![(model, SimTime::ZERO, None)],
+            ClusterPolicy::Fifo,
+            config,
+            1000 + i as u64,
+        );
+        let simmr = replay_in_simmr(&run.history, "fifo", 64, 64, &[None]);
+        let mumak = replay_in_mumak(&run.history, MumakConfig::default());
+        let s_rows = accuracy_rows(&run, &simmr);
+        let m_rows = accuracy_rows(&run, &mumak);
+        println!(
+            "{:<18} {:>10.1} {:>+12.2} {:>+12.2}",
+            s_rows[0].name,
+            s_rows[0].actual_ms as f64 / 1000.0,
+            s_rows[0].error_pct(),
+            m_rows[0].error_pct()
+        );
+    }
+}

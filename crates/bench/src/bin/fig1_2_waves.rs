@@ -1,0 +1,88 @@
+//! Figures 1 & 2 (§II): WordCount with 200 map / 256 reduce tasks run with
+//! 128×128 and 64×64 slots — the task-progress timelines showing 2 vs 4
+//! map/reduce waves and the first-shuffle overlap with the map stage.
+//!
+//! The job runs on the testbed simulator (the paper's modified FIFO that
+//! grants a requested slot count); the printed series is `time -> number of
+//! tasks in each phase`, i.e. exactly the curves of the figures. A CSV per
+//! configuration lands in `experiments/results/`.
+
+use simmr_apps::{AppKind, JobModel};
+use simmr_bench::csvout::write_csv;
+use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
+use simmr_types::{parse_history, HistoryLine, SimTime, TaskKind};
+
+/// Phase intervals extracted from the testbed history.
+struct Bars {
+    maps: Vec<(u64, u64)>,
+    shuffles: Vec<(u64, u64)>,
+    reduces: Vec<(u64, u64)>,
+}
+
+fn extract(history: &str) -> Bars {
+    let mut bars = Bars { maps: Vec::new(), shuffles: Vec::new(), reduces: Vec::new() };
+    for line in parse_history(history).expect("history parses") {
+        if let HistoryLine::Task(t) = line {
+            match t.kind {
+                TaskKind::Map => bars.maps.push((t.start.as_millis(), t.end.as_millis())),
+                TaskKind::Reduce => {
+                    let se = t.sort_end.unwrap_or(t.end).as_millis();
+                    bars.shuffles.push((t.start.as_millis(), se));
+                    bars.reduces.push((se, t.end.as_millis()));
+                }
+            }
+        }
+    }
+    bars
+}
+
+fn count_running(bars: &[(u64, u64)], t: u64) -> usize {
+    bars.iter().filter(|&&(s, e)| s <= t && t < e).count()
+}
+
+/// Rough wave count: maximum concurrency observed divided into total tasks.
+fn waves(bars: &[(u64, u64)], slots: usize) -> usize {
+    bars.len().div_ceil(slots.max(1))
+}
+
+fn run_config(slots_per_node: usize, label: &str) {
+    let config = ClusterConfig {
+        map_slots_per_node: slots_per_node,
+        reduce_slots_per_node: slots_per_node,
+        ..ClusterConfig::paper_testbed()
+    };
+    let total = config.total_map_slots();
+    let job = JobModel::with_task_counts(AppKind::WordCount, 200, 256);
+    let mut sim = ClusterSim::new(config, ClusterPolicy::Fifo, 0xF1);
+    sim.submit_capped(job, SimTime::ZERO, (total, total));
+    let run = sim.run();
+    let bars = extract(&run.history);
+    let end = run.makespan.as_millis();
+
+    println!("\n== Figure {} : WordCount 200 maps x 256 reduces, {total}x{total} slots ==", label);
+    println!(
+        "map waves: {} (expected {}), reduce waves: {} (expected {})",
+        waves(&bars.maps, total),
+        200usize.div_ceil(total),
+        waves(&bars.shuffles, total),
+        256usize.div_ceil(total)
+    );
+    println!("{:>8} {:>6} {:>8} {:>7}", "t_s", "map", "shuffle", "reduce");
+    let mut rows = Vec::new();
+    let step = (end / 40).max(1);
+    let mut t = 0;
+    while t <= end {
+        let m = count_running(&bars.maps, t);
+        let s = count_running(&bars.shuffles, t);
+        let r = count_running(&bars.reduces, t);
+        println!("{:>8.1} {:>6} {:>8} {:>7}", t as f64 / 1000.0, m, s, r);
+        rows.push(format!("{},{},{},{}", t, m, s, r));
+        t += step;
+    }
+    write_csv(&format!("fig{}_wordcount_{total}x{total}", label), "t_ms,map,shuffle,reduce", &rows);
+}
+
+fn main() {
+    run_config(2, "1"); // 128x128 (Figure 1): 2 map + 2 reduce waves
+    run_config(1, "2"); // 64x64 (Figure 2): 4 map + 4 reduce waves
+}

@@ -1,0 +1,119 @@
+//! Figure 6 (§IV-E): simulator performance. The paper collects 1148 jobs
+//! from six months of cluster operation, compacts them into a single trace,
+//! and measures replay time: SimMR finishes in 1.5 s, Mumak needs 680 s —
+//! more than two orders of magnitude slower, because Mumak simulates
+//! TaskTrackers and heartbeats.
+//!
+//! We rebuild the setup: the 18 suite jobs are profiled once on the testbed,
+//! then a 1148-job trace is sampled from those templates with compact
+//! exponential arrivals, and both simulators replay growing prefixes while
+//! we measure wall-clock time.
+
+use simmr_bench::csvout::write_csv;
+use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_mumak::{MumakConfig, MumakSim};
+use simmr_sched::FifoPolicy;
+use simmr_stats::SeededRng;
+use simmr_trace::{profile_history, RumenTrace};
+use simmr_types::{JobSpec, JobTemplate, SimTime, WorkloadTrace};
+use std::time::Instant;
+
+const TOTAL_JOBS: usize = 1148;
+
+/// Profiles the 18 suite jobs once each on the testbed.
+fn suite_templates() -> Vec<JobTemplate> {
+    let mut out = Vec::new();
+    for (i, model) in simmr_bench::suite_models(&[0, 1, 2]).into_iter().enumerate() {
+        let mut sim =
+            ClusterSim::new(ClusterConfig::paper_testbed(), ClusterPolicy::Fifo, 0xF6 + i as u64);
+        sim.submit(model, SimTime::ZERO, None);
+        let run = sim.run();
+        out.push(profile_history(&run.history).expect("history profiles")[0].template.clone());
+    }
+    out
+}
+
+/// Samples `n` jobs from the profiled templates with compact arrivals
+/// (the paper removed inactivity periods from its 6-month trace).
+///
+/// The paper's 1148 production jobs total ~152 hours of *serial* work
+/// (§IV-E), i.e. ~8 minutes per job on average — production mixes are
+/// dominated by small jobs. We downscale each sampled suite template with
+/// the trace-scaling transform so the generated mix matches that scale.
+fn sample_trace(templates: &[JobTemplate], n: usize, seed: u64) -> WorkloadTrace {
+    const TARGET_MEAN_SERIAL_MS: f64 = 152.0 * 3600.0 * 1000.0 / 1148.0;
+    let mut rng = SeededRng::new(seed);
+    let mut trace = WorkloadTrace::new(format!("{n} sampled jobs"), "fig6");
+    let mut clock = SimTime::ZERO;
+    for _ in 0..n {
+        let t = &templates[rng.index(templates.len())];
+        // exponential job-size mix around the production mean
+        let target = TARGET_MEAN_SERIAL_MS * (-rng.unit().max(1e-9).ln());
+        let factor = (target / t.total_work_ms().max(1) as f64).clamp(0.002, 1.0);
+        trace.push(JobSpec::new(simmr_trace::scale_template(t, factor), clock));
+        // compact arrivals: keep the 64x64 cluster busy without an
+        // unbounded backlog (mean serial work / slots ≈ 7.5 s)
+        clock += rng.uniform_u64(2_000, 13_000);
+    }
+    trace
+}
+
+fn main() {
+    eprintln!("[fig6] profiling the 18 suite jobs on the testbed ...");
+    let templates = suite_templates();
+    let full = sample_trace(&templates, TOTAL_JOBS, 0x6F16);
+    eprintln!(
+        "[fig6] full trace: {} jobs, {} tasks, {:.1} hours of serial work",
+        full.len(),
+        full.total_tasks(),
+        full.total_serial_work_ms() as f64 / 3_600_000.0
+    );
+
+    println!(
+        "{:>6} {:>12} {:>14} {:>12} {:>14} {:>9}",
+        "jobs", "simmr_s", "simmr_events", "mumak_s", "mumak_events", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &n in &[57usize, 115, 287, 574, 861, TOTAL_JOBS] {
+        let trace = full.prefix_by_arrival(n);
+
+        let t0 = Instant::now();
+        let simmr_report = SimulatorEngine::new(
+            EngineConfig::new(64, 64),
+            &trace,
+            Box::new(FifoPolicy::new()),
+        )
+        .run();
+        let simmr_s = t0.elapsed().as_secs_f64();
+
+        let rumen = RumenTrace::from_workload(&trace);
+        let t0 = Instant::now();
+        let mumak_report = MumakSim::new(MumakConfig::default()).run(&rumen);
+        let mumak_s = t0.elapsed().as_secs_f64();
+
+        let speedup = mumak_s / simmr_s.max(1e-9);
+        println!(
+            "{:>6} {:>12.4} {:>14} {:>12.3} {:>14} {:>8.0}x",
+            n,
+            simmr_s,
+            simmr_report.events_processed,
+            mumak_s,
+            mumak_report.events_processed,
+            speedup
+        );
+        rows.push(format!(
+            "{n},{simmr_s},{},{mumak_s},{},{speedup}",
+            simmr_report.events_processed, mumak_report.events_processed
+        ));
+    }
+    write_csv(
+        "fig6_perf",
+        "jobs,simmr_s,simmr_events,mumak_s,mumak_events,speedup",
+        &rows,
+    );
+    println!(
+        "\nPaper: SimMR 1.5 s vs Mumak 680 s on 1148 jobs (>450x). The shape to\n\
+         check is the orders-of-magnitude gap, driven by Mumak's heartbeat events."
+    );
+}

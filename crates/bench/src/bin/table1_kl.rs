@@ -1,0 +1,124 @@
+//! Table I (§II): symmetric Kullback–Leibler divergence between the
+//! task-duration distributions of different executions of the same
+//! application (10 pairwise comparisons over 5 executions), per phase —
+//! plus the cross-application comparison from the accompanying text.
+//!
+//! Paper's finding: same-application KL values are small (map ≤ 0.2,
+//! shuffle ≤ ~4.4, reduce ≤ 0.73) while cross-application values are an
+//! order of magnitude larger (≥ 7), so any single execution is a valid
+//! replay representative.
+
+use simmr_apps::AppKind;
+use simmr_bench::csvout::write_csv;
+use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
+use simmr_stats::{kl::symmetric_kl_ms, KlOptions};
+use simmr_trace::profile_history;
+use simmr_types::{JobTemplate, SimTime};
+
+const EXECUTIONS: usize = 5;
+
+fn execute(kind: AppKind, seed: u64) -> JobTemplate {
+    let model = kind.model().instantiate(&simmr_apps::catalog::datasets_for(kind)[1]);
+    let mut sim = ClusterSim::new(ClusterConfig::paper_testbed(), ClusterPolicy::Fifo, seed);
+    sim.submit(model, SimTime::ZERO, None);
+    let run = sim.run();
+    profile_history(&run.history).expect("history profiles")[0]
+        .template
+        .clone()
+}
+
+fn min_avg_max(values: &[f64]) -> (f64, f64, f64) {
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(0.0f64, f64::max);
+    let avg = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    (min, avg, max)
+}
+
+fn pairwise_kl(samples: &[Vec<u64>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for i in 0..samples.len() {
+        for j in (i + 1)..samples.len() {
+            out.push(symmetric_kl_ms(&samples[i], &samples[j], KlOptions::default()));
+        }
+    }
+    out
+}
+
+fn main() {
+    println!("== Table I: symmetric KL divergence across executions of the same application ==");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6}   {:>7} {:>7} {:>7}   {:>6} {:>6} {:>6}",
+        "Application", "MapMin", "MapAvg", "MapMax", "ShMin", "ShAvg", "ShMax", "RedMin",
+        "RedAvg", "RedMax"
+    );
+    let mut rows = Vec::new();
+    let mut representatives: Vec<(AppKind, JobTemplate)> = Vec::new();
+    for (a, kind) in AppKind::ALL.into_iter().enumerate() {
+        let templates: Vec<JobTemplate> =
+            (0..EXECUTIONS).map(|e| execute(kind, 0x7AB1 + (a * 10 + e) as u64)).collect();
+        let maps: Vec<Vec<u64>> = templates.iter().map(|t| t.map_durations.clone()).collect();
+        let shuffles: Vec<Vec<u64>> =
+            templates.iter().map(|t| t.typical_shuffle_durations.clone()).collect();
+        let reduces: Vec<Vec<u64>> =
+            templates.iter().map(|t| t.reduce_durations.clone()).collect();
+        let (m0, m1, m2) = min_avg_max(&pairwise_kl(&maps));
+        let (s0, s1, s2) = min_avg_max(&pairwise_kl(&shuffles));
+        let (r0, r1, r2) = min_avg_max(&pairwise_kl(&reduces));
+        println!(
+            "{:<12} {:>6.2} {:>6.2} {:>6.2}   {:>7.2} {:>7.2} {:>7.2}   {:>6.2} {:>6.2} {:>6.2}",
+            kind.full_name(),
+            m0, m1, m2, s0, s1, s2, r0, r1, r2
+        );
+        rows.push(format!(
+            "{},{m0},{m1},{m2},{s0},{s1},{s2},{r0},{r1},{r2}",
+            kind.full_name()
+        ));
+        representatives.push((kind, templates.into_iter().next().unwrap()));
+    }
+    write_csv(
+        "table1_kl_same_app",
+        "app,map_min,map_avg,map_max,sh_min,sh_avg,sh_max,red_min,red_avg,red_max",
+        &rows,
+    );
+
+    // cross-application comparison (the paragraph below Table I)
+    let mut cross_map = Vec::new();
+    let mut cross_sh = Vec::new();
+    let mut cross_red = Vec::new();
+    for i in 0..representatives.len() {
+        for j in (i + 1)..representatives.len() {
+            let (a, b) = (&representatives[i].1, &representatives[j].1);
+            cross_map.push(symmetric_kl_ms(
+                &a.map_durations,
+                &b.map_durations,
+                KlOptions::default(),
+            ));
+            cross_sh.push(symmetric_kl_ms(
+                &a.typical_shuffle_durations,
+                &b.typical_shuffle_durations,
+                KlOptions::default(),
+            ));
+            cross_red.push(symmetric_kl_ms(
+                &a.reduce_durations,
+                &b.reduce_durations,
+                KlOptions::default(),
+            ));
+        }
+    }
+    let (m0, m1, m2) = min_avg_max(&cross_map);
+    let (s0, s1, s2) = min_avg_max(&cross_sh);
+    let (r0, r1, r2) = min_avg_max(&cross_red);
+    println!("\n== Cross-application KL (min/avg/max), paper: map (7.34, 11.56, 13.25), shuffle (11.31, 13.05, 13.49), reduce (9.11, 12.66, 13.30) ==");
+    println!("map     ({m0:.2}, {m1:.2}, {m2:.2})");
+    println!("shuffle ({s0:.2}, {s1:.2}, {s2:.2})");
+    println!("reduce  ({r0:.2}, {r1:.2}, {r2:.2})");
+    write_csv(
+        "table1_kl_cross_app",
+        "phase,min,avg,max",
+        &[
+            format!("map,{m0},{m1},{m2}"),
+            format!("shuffle,{s0},{s1},{s2}"),
+            format!("reduce,{r0},{r1},{r2}"),
+        ],
+    );
+}

@@ -1,0 +1,81 @@
+//! CSV output helpers for the experiment binaries.
+//!
+//! Every figure binary prints its series to stdout *and* writes a CSV under
+//! `experiments/results/` so EXPERIMENTS.md can reference stable artifacts.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Resolves the results directory (created on demand): the
+/// `SIMMR_RESULTS_DIR` environment variable, or `experiments/results`
+/// relative to the workspace root / current directory.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("SIMMR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // walk up from CWD until a Cargo.toml with [workspace] is found
+            let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            loop {
+                let manifest = cur.join("Cargo.toml");
+                if manifest.exists() {
+                    if let Ok(text) = std::fs::read_to_string(&manifest) {
+                        if text.contains("[workspace]") {
+                            return cur.join("experiments").join("results");
+                        }
+                    }
+                }
+                if !cur.pop() {
+                    return PathBuf::from("experiments/results");
+                }
+            }
+        });
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes `rows` (with a header) to `experiments/results/<name>.csv` and
+/// echoes the path. Errors are printed, not fatal — the figures also go to
+/// stdout.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Option<PathBuf> {
+    let path = results_dir().join(format!("{name}.csv"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let ok = writeln!(f, "{header}").is_ok()
+                && rows.iter().all(|r| writeln!(f, "{r}").is_ok());
+            if ok {
+                eprintln!("[csv] wrote {}", path.display());
+                Some(path)
+            } else {
+                eprintln!("[csv] failed writing {}", path.display());
+                None
+            }
+        }
+        Err(e) => {
+            eprintln!("[csv] cannot create {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Reads back a CSV written by [`write_csv`] (test helper).
+pub fn read_csv(path: &Path) -> std::io::Result<Vec<String>> {
+    Ok(std::fs::read_to_string(path)?
+        .lines()
+        .map(str::to_string)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        std::env::set_var("SIMMR_RESULTS_DIR", std::env::temp_dir().join("simmr-csv-test"));
+        let rows = vec!["1,2".to_string(), "3,4".to_string()];
+        let path = write_csv("unit_test", "a,b", &rows).unwrap();
+        let lines = read_csv(&path).unwrap();
+        assert_eq!(lines, vec!["a,b", "1,2", "3,4"]);
+        std::env::remove_var("SIMMR_RESULTS_DIR");
+    }
+}

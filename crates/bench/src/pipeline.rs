@@ -1,0 +1,193 @@
+//! The testbed → profile → replay validation pipeline (§IV).
+
+use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim, TestbedRun};
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_mumak::{MumakConfig, MumakSim};
+use simmr_sched::policy_by_name;
+use simmr_trace::{trace_from_history, RumenTrace};
+use simmr_types::{SimTime, SimulationReport, WorkloadTrace};
+
+/// Runs a set of `(job model, arrival, deadline)` submissions on the
+/// testbed simulator.
+pub fn run_testbed(
+    jobs: Vec<(simmr_apps::JobModel, SimTime, Option<SimTime>)>,
+    policy: ClusterPolicy,
+    config: ClusterConfig,
+    seed: u64,
+) -> TestbedRun {
+    let mut sim = ClusterSim::new(config, policy, seed);
+    for (model, arrival, deadline) in jobs {
+        sim.submit(model, arrival, deadline);
+    }
+    sim.run()
+}
+
+/// Profiles a testbed history log and replays it in SimMR under the named
+/// policy (`fifo`, `maxedf`, `minedf`, `fair`). `deadlines[i]` attaches an
+/// absolute deadline to job `i` of the log (deadlines are not recorded in
+/// job-history logs, so they are re-supplied here).
+pub fn replay_in_simmr(
+    history: &str,
+    policy_name: &str,
+    map_slots: usize,
+    reduce_slots: usize,
+    deadlines: &[Option<SimTime>],
+) -> SimulationReport {
+    let mut trace: WorkloadTrace =
+        trace_from_history(history, "replay").expect("testbed history must profile cleanly");
+    for (i, job) in trace.jobs.iter_mut().enumerate() {
+        job.deadline = deadlines.get(i).copied().flatten();
+    }
+    let policy = policy_by_name(policy_name)
+        .unwrap_or_else(|| panic!("unknown policy `{policy_name}`"));
+    SimulatorEngine::new(EngineConfig::new(map_slots, reduce_slots), &trace, policy).run()
+}
+
+/// Like [`replay_in_simmr`] but with a caller-constructed policy (used by
+/// the Figure 5 harness to hand SimMR's MinEDF the same preset allocations
+/// the testbed's MinEDF derived from the shared profile database).
+pub fn replay_in_simmr_with(
+    history: &str,
+    policy: Box<dyn simmr_core::SchedulerPolicy>,
+    map_slots: usize,
+    reduce_slots: usize,
+    deadlines: &[Option<SimTime>],
+) -> SimulationReport {
+    let mut trace: WorkloadTrace =
+        trace_from_history(history, "replay").expect("testbed history must profile cleanly");
+    for (i, job) in trace.jobs.iter_mut().enumerate() {
+        job.deadline = deadlines.get(i).copied().flatten();
+    }
+    SimulatorEngine::new(EngineConfig::new(map_slots, reduce_slots), &trace, policy).run()
+}
+
+/// Replays a testbed history log in the Mumak baseline (FIFO only, like
+/// the paper's comparison).
+pub fn replay_in_mumak(history: &str, config: MumakConfig) -> SimulationReport {
+    let rumen = RumenTrace::from_history(history).expect("history must parse");
+    MumakSim::new(config).run(&rumen)
+}
+
+/// One row of a Figure-5-style accuracy comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRow {
+    /// Job name.
+    pub name: String,
+    /// Ground-truth duration from the testbed, ms.
+    pub actual_ms: u64,
+    /// Simulated duration, ms.
+    pub simulated_ms: u64,
+}
+
+impl AccuracyRow {
+    /// Relative error of the simulation, in percent (signed: negative =
+    /// underestimate).
+    pub fn error_pct(&self) -> f64 {
+        if self.actual_ms == 0 {
+            return 0.0;
+        }
+        (self.simulated_ms as f64 - self.actual_ms as f64) / self.actual_ms as f64 * 100.0
+    }
+}
+
+/// Mean of absolute per-row errors, in percent.
+pub fn mean_abs_error(rows: &[AccuracyRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.error_pct().abs()).sum::<f64>() / rows.len() as f64
+}
+
+/// Maximum absolute per-row error, in percent.
+pub fn max_abs_error(rows: &[AccuracyRow]) -> f64 {
+    rows.iter().map(|r| r.error_pct().abs()).fold(0.0, f64::max)
+}
+
+/// Builds accuracy rows by matching testbed results to a simulated report
+/// (jobs are matched by log order, which both sides preserve).
+pub fn accuracy_rows(testbed: &TestbedRun, simulated: &SimulationReport) -> Vec<AccuracyRow> {
+    testbed
+        .results
+        .iter()
+        .zip(&simulated.jobs)
+        .map(|(actual, sim)| AccuracyRow {
+            name: actual.name.clone(),
+            actual_ms: actual.duration_ms(),
+            simulated_ms: sim.duration(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmr_apps::{AppKind, JobModel};
+
+    fn quick_job(maps: usize, reduces: usize) -> JobModel {
+        let mut j = JobModel::with_task_counts(AppKind::WordCount, maps, reduces);
+        j.map_time_s = simmr_stats::Dist::LogNormal { mu: 1.0, sigma: 0.2 };
+        j.reduce_time_s = simmr_stats::Dist::LogNormal { mu: 0.3, sigma: 0.2 };
+        j.shuffle_mb_per_reduce = 60.0;
+        j
+    }
+
+    #[test]
+    fn accuracy_row_math() {
+        let r = AccuracyRow { name: "x".into(), actual_ms: 1000, simulated_ms: 950 };
+        assert!((r.error_pct() + 5.0).abs() < 1e-12);
+        let rows = vec![
+            r,
+            AccuracyRow { name: "y".into(), actual_ms: 1000, simulated_ms: 1100 },
+        ];
+        assert!((mean_abs_error(&rows) - 7.5).abs() < 1e-12);
+        assert!((max_abs_error(&rows) - 10.0).abs() < 1e-12);
+        assert_eq!(mean_abs_error(&[]), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_simmr_replay_is_accurate() {
+        // the §IV-D experiment in miniature: testbed run -> profile ->
+        // SimMR replay should land within a few percent
+        let config = ClusterConfig::tiny(8);
+        let run = run_testbed(
+            vec![(quick_job(24, 6), SimTime::ZERO, None)],
+            ClusterPolicy::Fifo,
+            config,
+            42,
+        );
+        let report = replay_in_simmr(
+            &run.history,
+            "fifo",
+            config.total_map_slots(),
+            config.total_reduce_slots(),
+            &[None],
+        );
+        let rows = accuracy_rows(&run, &report);
+        assert_eq!(rows.len(), 1);
+        let err = mean_abs_error(&rows);
+        assert!(err < 10.0, "SimMR replay error too large: {err:.2}%");
+    }
+
+    #[test]
+    fn mumak_underestimates_shuffle_heavy_jobs() {
+        let config = ClusterConfig::tiny(8);
+        let mut job = quick_job(16, 8);
+        job.shuffle_mb_per_reduce = 400.0; // shuffle-heavy
+        let run = run_testbed(
+            vec![(job, SimTime::ZERO, None)],
+            ClusterPolicy::Fifo,
+            config,
+            7,
+        );
+        let mumak = replay_in_mumak(
+            &run.history,
+            MumakConfig { num_trackers: 8, ..MumakConfig::default() },
+        );
+        let rows = accuracy_rows(&run, &mumak);
+        assert!(
+            rows[0].error_pct() < -15.0,
+            "Mumak should underestimate, got {:+.1}%",
+            rows[0].error_pct()
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Terminal line plots for the figure binaries.
+//!
+//! Good enough to eyeball the paper's curve shapes (crossovers, decay,
+//! bumps) straight from the experiment output without leaving the
+//! terminal; the CSVs remain the canonical artifacts.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot glyph.
+    pub name: String,
+    /// Data points (x must be positive when `log_x` is set).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders series into a `width`×`height` character grid with axis labels.
+/// `log_x` plots x on a log10 scale (the Figure 7/8 x-axes).
+pub fn render(series: &[Series], width: usize, height: usize, log_x: bool) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let tx = |x: f64| if log_x { x.max(f64::MIN_POSITIVE).log10() } else { x };
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(tx(x));
+        x_max = x_max.max(tx(x));
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.name.chars().next().unwrap_or('*');
+        // draw line segments between consecutive points
+        let mut cells: Vec<(usize, usize)> = Vec::new();
+        for &(x, y) in &s.points {
+            let cx = ((tx(x) - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            cells.push((cx.min(width - 1), height - 1 - cy.min(height - 1)));
+        }
+        for pair in cells.windows(2) {
+            let ((x0, y0), (x1, y1)) = (pair[0], pair[1]);
+            let steps = x1.abs_diff(x0).max(y1.abs_diff(y0)).max(1);
+            for i in 0..=steps {
+                let f = i as f64 / steps as f64;
+                let x = (x0 as f64 + f * (x1 as f64 - x0 as f64)).round() as usize;
+                let y = (y0 as f64 + f * (y1 as f64 - y0 as f64)).round() as usize;
+                grid[y.min(height - 1)][x.min(width - 1)] = glyph;
+            }
+        }
+        // points overwrite the interpolation so markers stay visible
+        for &(x, y) in &cells {
+            grid[y][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    for (row, line) in grid.iter().enumerate() {
+        let label = if row == 0 {
+            format!("{y_max:>9.1} |")
+        } else if row == height - 1 {
+            format!("{y_min:>9.1} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>9}  {}\n", "", "-".repeat(width)));
+    let x_lo = if log_x { 10f64.powf(x_min) } else { x_min };
+    let x_hi = if log_x { 10f64.powf(x_max) } else { x_max };
+    out.push_str(&format!(
+        "{:>9}  {:<width$}\n",
+        "",
+        format!("{x_lo:.0} .. {x_hi:.0}{}", if log_x { " (log x)" } else { "" }),
+        width = width
+    ));
+    for s in series {
+        out.push_str(&format!(
+            "{:>9}  {} = {}\n",
+            "",
+            s.name.chars().next().unwrap_or('*'),
+            s.name
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pts: &[(f64, f64)]) -> Series {
+        Series { name: name.into(), points: pts.to_vec() }
+    }
+
+    #[test]
+    fn renders_points_and_legend() {
+        let s = series("Max", &[(1.0, 0.0), (10.0, 5.0), (100.0, 10.0)]);
+        let plot = render(&[s], 40, 10, true);
+        assert!(plot.contains('M'));
+        assert!(plot.contains("M = Max"));
+        assert!(plot.contains("(log x)"));
+        // y axis labels
+        assert!(plot.contains("10.0 |"));
+        assert!(plot.contains("0.0 |"));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a = series("Alpha", &[(1.0, 1.0), (2.0, 2.0)]);
+        let b = series("Beta", &[(1.0, 2.0), (2.0, 1.0)]);
+        let plot = render(&[a, b], 30, 8, false);
+        assert!(plot.contains('A'));
+        assert!(plot.contains('B'));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(render(&[], 30, 8, false), "(no data)\n");
+        // a single point must not panic or divide by zero
+        let s = series("P", &[(5.0, 3.0)]);
+        let plot = render(&[s], 20, 5, false);
+        assert!(plot.contains('P'));
+        // constant series
+        let s = series("C", &[(1.0, 2.0), (5.0, 2.0)]);
+        let plot = render(&[s], 20, 5, true);
+        assert!(plot.contains('C'));
+    }
+
+    #[test]
+    fn minimum_dimensions_enforced() {
+        let s = series("X", &[(0.0, 0.0), (1.0, 1.0)]);
+        let plot = render(&[s], 1, 1, false);
+        assert!(plot.lines().count() >= 4);
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone() {
+        // the highest-y point lands on the top row, lowest on the bottom
+        let s = series("M", &[(1.0, 0.0), (2.0, 10.0)]);
+        let plot = render(&[s], 20, 6, false);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert!(lines[0].contains('M'), "top row should hold the max point");
+        assert!(lines[5].contains('M'), "bottom row should hold the min point");
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+/// Parsed command-line arguments: positionals plus `--key value` /
+/// `--switch` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses the raw argument list (everything after the subcommand).
+    pub fn new(raw: &[String]) -> Self {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < raw.len() {
+            let tok = &raw[i];
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                args.flags.push((name.to_string(), value));
+            } else {
+                args.positional.push(tok.clone());
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// First positional argument.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positional.get(index).map(String::as_str)
+    }
+
+    /// Value of `--name`, if present with a value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// True when `--name` appears (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Parses `--name` as `T`, falling back to `default`.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Requires `--name VALUE`.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = Args::new(&argv("trace.json --jobs 100 --timeline --seed 7"));
+        assert_eq!(a.positional(0), Some("trace.json"));
+        assert_eq!(a.get("jobs"), Some("100"));
+        assert!(a.has("timeline"));
+        assert!(a.has("seed"));
+        assert_eq!(a.get("timeline"), None);
+    }
+
+    #[test]
+    fn parse_or_defaults() {
+        let a = Args::new(&argv("--jobs 100"));
+        assert_eq!(a.parse_or("jobs", 5usize).unwrap(), 100);
+        assert_eq!(a.parse_or("seed", 42u64).unwrap(), 42);
+        assert!(a.parse_or::<usize>("jobs", 0).is_ok());
+        let bad = Args::new(&argv("--jobs banana"));
+        assert!(bad.parse_or::<usize>("jobs", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = Args::new(&argv(""));
+        assert!(a.require("out").is_err());
+        let a = Args::new(&argv("--out x.json"));
+        assert_eq!(a.require("out").unwrap(), "x.json");
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let a = Args::new(&argv("--seed 1 --seed 2"));
+        assert_eq!(a.get("seed"), Some("2"));
+    }
+}

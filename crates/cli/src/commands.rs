@@ -1,0 +1,193 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::{attach_deadlines, load_trace, run_replay, save_trace};
+use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
+use simmr_stats::fit_best;
+use simmr_trace::{trace_from_history, FacebookWorkload};
+use simmr_types::SimTime;
+
+/// `simmr generate`: synthetic Facebook-like trace to JSON.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let jobs: usize = args.parse_or("jobs", 100)?;
+    let mean_ia: f64 = args.parse_or("mean-ia-ms", 60_000.0)?;
+    let seed: u64 = args.parse_or("seed", 1)?;
+    let out = args.require("out")?;
+    let trace = FacebookWorkload { mean_interarrival_ms: mean_ia }.generate(jobs, seed);
+    save_trace(out, &trace)?;
+    println!(
+        "generated {} jobs ({} tasks, {:.1}h serial work) -> {out}",
+        trace.len(),
+        trace.total_tasks(),
+        trace.total_serial_work_ms() as f64 / 3.6e6
+    );
+    Ok(())
+}
+
+/// `simmr testbed`: run the application suite on the testbed simulator.
+pub fn testbed(args: &Args) -> Result<(), String> {
+    let out = args.require("out")?;
+    let seed: u64 = args.parse_or("seed", 1)?;
+    let policy = match args.get("policy").unwrap_or("fifo") {
+        "fifo" => ClusterPolicy::Fifo,
+        "maxedf" => ClusterPolicy::MaxEdf,
+        "minedf" => ClusterPolicy::MinEdf,
+        other => return Err(format!("unknown testbed policy `{other}`")),
+    };
+    let datasets: Vec<usize> = args
+        .get("datasets")
+        .unwrap_or("1")
+        .split(',')
+        .map(|d| d.parse::<usize>().map_err(|e| format!("--datasets: {e}")))
+        .collect::<Result<_, _>>()?;
+    let mut sim = ClusterSim::new(ClusterConfig::paper_testbed(), policy, seed);
+    let mut clock = SimTime::ZERO;
+    for model in simmr_apps::standard_suite(&datasets) {
+        sim.submit(model, clock, None);
+        clock += 300_000;
+    }
+    let run = sim.run();
+    std::fs::write(out, &run.history).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!("testbed run complete: {} jobs, makespan {}", run.results.len(), run.makespan);
+    for r in &run.results {
+        println!("  {:<22} {:>9.1}s", r.name, r.duration_ms() as f64 / 1000.0);
+    }
+    println!("history log -> {out}");
+    Ok(())
+}
+
+/// `simmr profile`: history log -> replayable trace.
+pub fn profile(args: &Args) -> Result<(), String> {
+    let log_path = args.positional(0).ok_or("usage: simmr profile HISTORY.log --out T.json")?;
+    let out = args.require("out")?;
+    let log = std::fs::read_to_string(log_path)
+        .map_err(|e| format!("cannot read `{log_path}`: {e}"))?;
+    let trace = trace_from_history(&log, &format!("profiled from {log_path}"))
+        .map_err(|e| e.to_string())?;
+    save_trace(out, &trace)?;
+    println!("profiled {} jobs ({} tasks) -> {out}", trace.len(), trace.total_tasks());
+    Ok(())
+}
+
+/// `simmr replay`: trace -> SimMR engine -> per-job report.
+pub fn replay(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("usage: simmr replay TRACE.json [flags]")?;
+    let mut trace = load_trace(path)?;
+    let policy = args.get("policy").unwrap_or("fifo").to_string();
+    let map_slots: usize = args.parse_or("map-slots", 64)?;
+    let reduce_slots: usize = args.parse_or("reduce-slots", 64)?;
+    if let Some(df) = args.get("deadline-factor") {
+        let df: f64 = df.parse().map_err(|e| format!("--deadline-factor: {e}"))?;
+        let seed: u64 = args.parse_or("seed", 1)?;
+        attach_deadlines(&mut trace, df, map_slots, reduce_slots, seed);
+    }
+    let report = run_replay(&trace, &policy, map_slots, reduce_slots, args.has("timeline"))?;
+    println!("{:<24} {:>10} {:>10} {:>10} {:>8}", "job", "arrival_s", "finish_s", "dur_s", "met?");
+    for job in &report.jobs {
+        println!(
+            "{:<24} {:>10.1} {:>10.1} {:>10.1} {:>8}",
+            job.name,
+            job.arrival.as_secs_f64(),
+            job.completion.as_secs_f64(),
+            job.duration() as f64 / 1000.0,
+            if job.deadline.is_none() {
+                "-"
+            } else if job.met_deadline() {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+    println!(
+        "makespan {}  missed deadlines {}/{}  relative-deadline-exceeded {:.2}",
+        report.makespan,
+        report.missed_deadlines(),
+        report.jobs.len(),
+        report.total_relative_deadline_exceeded()
+    );
+    if args.has("timeline") {
+        println!("timeline entries: {}", report.timeline.len());
+    }
+    Ok(())
+}
+
+/// `simmr compare`: one trace, several policies, the §V utility metric.
+pub fn compare(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("usage: simmr compare TRACE.json [flags]")?;
+    let mut trace = load_trace(path)?;
+    let map_slots: usize = args.parse_or("map-slots", 64)?;
+    let reduce_slots: usize = args.parse_or("reduce-slots", 64)?;
+    let df: f64 = args.parse_or("deadline-factor", 1.5)?;
+    let seed: u64 = args.parse_or("seed", 1)?;
+    attach_deadlines(&mut trace, df, map_slots, reduce_slots, seed);
+    let policies = args.get("policies").unwrap_or("fifo,maxedf,minedf");
+    println!(
+        "{:<10} {:>12} {:>10} {:>14} {:>12}",
+        "policy", "makespan_s", "missed", "rel_exceeded", "mean_dur_s"
+    );
+    for policy in policies.split(',') {
+        let report = run_replay(&trace, policy.trim(), map_slots, reduce_slots, false)?;
+        println!(
+            "{:<10} {:>12.1} {:>7}/{:<2} {:>14.2} {:>12.1}",
+            policy.trim(),
+            report.makespan.as_secs_f64(),
+            report.missed_deadlines(),
+            report.jobs.len(),
+            report.total_relative_deadline_exceeded(),
+            report.mean_duration_ms() / 1000.0
+        );
+    }
+    Ok(())
+}
+
+/// `simmr scale`: trace scaling (§VII).
+pub fn scale(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("usage: simmr scale TRACE.json --factor F --out O")?;
+    let factor: f64 = args.require("factor")?.parse().map_err(|e| format!("--factor: {e}"))?;
+    if !(factor.is_finite() && factor > 0.0) {
+        return Err("--factor must be positive".into());
+    }
+    let out = args.require("out")?;
+    let mut trace = load_trace(path)?;
+    for job in trace.jobs.iter_mut() {
+        job.template = simmr_trace::scale_template(&job.template, factor);
+    }
+    trace.meta.description = format!("{} (scaled x{factor})", trace.meta.description);
+    save_trace(out, &trace)?;
+    println!("scaled {} jobs by {factor} -> {out} ({} tasks)", trace.len(), trace.total_tasks());
+    Ok(())
+}
+
+/// `simmr stats`: characterize a workload trace (§V-C methodology).
+pub fn stats(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("usage: simmr stats TRACE.json")?;
+    let trace = crate::load_trace(path)?;
+    print!("{}", simmr_trace::characterize(&trace).render());
+    Ok(())
+}
+
+/// `simmr fit`: §V-C distribution-fitting methodology on a sample file.
+pub fn fit(args: &Args) -> Result<(), String> {
+    let path = args.positional(0).ok_or("usage: simmr fit SAMPLES.txt")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let samples: Vec<f64> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse::<f64>().map_err(|e| format!("bad sample `{l}`: {e}")))
+        .collect::<Result<_, _>>()?;
+    if samples.len() < 2 {
+        return Err("need at least 2 samples".into());
+    }
+    let reports = fit_best(&samples);
+    if reports.is_empty() {
+        return Err("no candidate distribution could be fitted".into());
+    }
+    println!("{:>10}  distribution", "K-S");
+    for r in &reports {
+        println!("{:>10.4}  {:?}", r.ks, r.dist);
+    }
+    println!("\nbest fit: {:?} (K-S = {:.4})", reports[0].dist, reports[0].ks);
+    Ok(())
+}

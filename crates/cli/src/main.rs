@@ -1,0 +1,141 @@
+//! `simmr` — the SimMR-RS command-line tool.
+//!
+//! Subcommands mirror the workflows of the paper:
+//!
+//! * `generate` — Synthetic TraceGen: emit a replayable trace (Facebook
+//!   LogNormal model) to a JSON file / trace database;
+//! * `testbed`  — run the §IV-C application suite on the fine-grained
+//!   testbed simulator and save the JobTracker-style history log;
+//! * `profile`  — MRProfiler: history log → replayable trace JSON;
+//! * `replay`   — replay a trace in the SimMR engine under a policy;
+//! * `compare`  — replay a trace under several policies and print the
+//!   deadline-utility comparison (the §V case study);
+//! * `scale`    — trace scaling (§VII future work): grow/shrink a trace;
+//! * `fit`      — fit candidate distributions to a sample file and rank by
+//!   the Kolmogorov–Smirnov statistic (§V-C methodology).
+
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_sched::policy_by_name;
+use simmr_stats::SeededRng;
+use simmr_types::{SimTime, WorkloadTrace};
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = Args::new(rest);
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(&args),
+        "testbed" => commands::testbed(&args),
+        "profile" => commands::profile(&args),
+        "replay" => commands::replay(&args),
+        "compare" => commands::compare(&args),
+        "scale" => commands::scale(&args),
+        "stats" => commands::stats(&args),
+        "fit" => commands::fit(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("simmr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+simmr — trace-driven MapReduce simulation (SimMR-RS)
+
+USAGE:
+  simmr generate --jobs N [--mean-ia-ms MS] [--seed S] --out TRACE.json
+  simmr testbed  [--policy fifo|maxedf|minedf] [--datasets 0,1,2] [--seed S] --out HISTORY.log
+  simmr profile  HISTORY.log --out TRACE.json
+  simmr replay   TRACE.json [--policy NAME] [--map-slots N] [--reduce-slots N]
+                 [--deadline-factor F --seed S] [--timeline]
+  simmr compare  TRACE.json [--policies fifo,maxedf,minedf] [--map-slots N]
+                 [--reduce-slots N] [--deadline-factor F] [--seed S]
+  simmr scale    TRACE.json --factor F --out SCALED.json
+  simmr stats    TRACE.json         (workload characterization)
+  simmr fit      SAMPLES.txt        (one duration per line)
+
+Policies: fifo, maxedf, minedf, fair, maxedf-p, minedf-p (preemptive).";
+
+/// Loads a trace from JSON, with a helpful error.
+pub(crate) fn load_trace(path: &str) -> Result<WorkloadTrace, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let trace: WorkloadTrace =
+        serde_json::from_str(&text).map_err(|e| format!("`{path}` is not a trace: {e}"))?;
+    trace.validate().map_err(|e| format!("`{path}` contains an invalid job: {e}"))?;
+    Ok(trace)
+}
+
+/// Saves a trace as JSON.
+pub(crate) fn save_trace(path: &str, trace: &WorkloadTrace) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(trace).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+/// Runs one replay and prints the per-job table plus summary.
+pub(crate) fn run_replay(
+    trace: &WorkloadTrace,
+    policy_name: &str,
+    map_slots: usize,
+    reduce_slots: usize,
+    timeline: bool,
+) -> Result<simmr_types::SimulationReport, String> {
+    let policy =
+        policy_by_name(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
+    let mut config = EngineConfig::new(map_slots, reduce_slots);
+    if timeline {
+        config = config.with_timeline();
+    }
+    let start = std::time::Instant::now();
+    let report = SimulatorEngine::new(config, trace, policy).run();
+    let wall = start.elapsed();
+    eprintln!(
+        "[simmr] {} jobs, {} events in {:.3}s ({:.2}M events/s)",
+        report.jobs.len(),
+        report.events_processed,
+        wall.as_secs_f64(),
+        report.events_processed as f64 / wall.as_secs_f64().max(1e-9) / 1e6
+    );
+    Ok(report)
+}
+
+/// Attaches §V-B-style deadlines to every job of a trace.
+pub(crate) fn attach_deadlines(
+    trace: &mut WorkloadTrace,
+    factor: f64,
+    map_slots: usize,
+    reduce_slots: usize,
+    seed: u64,
+) {
+    let mut rng = SeededRng::new(seed);
+    for job in trace.jobs.iter_mut() {
+        let mut single = WorkloadTrace::new("standalone", "cli");
+        single.push(simmr_types::JobSpec::new(job.template.clone(), SimTime::ZERO));
+        let report = SimulatorEngine::new(
+            EngineConfig::new(map_slots, reduce_slots),
+            &single,
+            policy_by_name("fifo").expect("fifo exists"),
+        )
+        .run();
+        let t_j = report.jobs[0].duration() as f64;
+        let rel = rng.uniform(t_j, factor.max(1.0) * t_j);
+        job.deadline = Some(job.arrival + rel as u64);
+    }
+}

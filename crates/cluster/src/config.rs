@@ -1,0 +1,204 @@
+//! Testbed configuration.
+
+use simmr_types::DurationMs;
+
+/// Configuration of the simulated testbed.
+///
+/// Defaults mirror the paper's §IV-B cluster: 64 worker nodes in two racks,
+/// one map and one reduce slot per node, 64 MB blocks, gigabit Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Worker (TaskTracker) nodes.
+    pub num_workers: usize,
+    /// Racks; nodes are distributed round-robin.
+    pub num_racks: usize,
+    /// Map slots per worker.
+    pub map_slots_per_node: usize,
+    /// Reduce slots per worker.
+    pub reduce_slots_per_node: usize,
+    /// TaskTracker heartbeat interval. Assignments only happen on
+    /// heartbeats, which is one source of SimMR's (small) replay error.
+    pub heartbeat_ms: DurationMs,
+    /// Standard deviation of the per-node log-speed factor (0 = homogeneous
+    /// cluster).
+    pub node_speed_sigma: f64,
+    /// Probability that a task is a straggler.
+    pub straggler_prob: f64,
+    /// Multiplier applied to a straggler's duration.
+    pub straggler_factor: f64,
+    /// Map-time multiplier for a rack-local (non-node-local) input read.
+    pub rack_local_penalty: f64,
+    /// Map-time multiplier for a remote (cross-rack) input read.
+    pub remote_penalty: f64,
+    /// Aggregate shuffle bandwidth of the fabric, MB/s (shared
+    /// processor-sharing pool).
+    pub shuffle_pool_mb_s: f64,
+    /// Per-reduce-flow bandwidth cap, MB/s (a single NIC).
+    pub per_flow_mb_s: f64,
+    /// Fixed per-shuffle overhead (connection setup, merge passes), seconds.
+    pub shuffle_base_s: f64,
+    /// Sort cost folded into the tail of the shuffle phase, seconds per MB
+    /// fetched.
+    pub sort_s_per_mb: f64,
+    /// HDFS replication factor (the testbed's default of 3).
+    pub replication: usize,
+    /// Fraction of a job's maps that must complete before its reduces can
+    /// be scheduled (Hadoop slowstart; matches the SimMR engine's
+    /// `min_map_percent_completed`).
+    pub slowstart: f64,
+    /// Enable speculative execution of map tasks: a backup attempt is
+    /// launched on a free slot for any map running longer than
+    /// `speculation_threshold` times the average completed map duration.
+    /// Off by default, like the paper's testbed (§IV-B: "We disabled
+    /// speculation as it did not lead to any significant improvements";
+    /// the `ablation_speculation` binary checks that claim).
+    pub speculative_execution: bool,
+    /// Slowness multiplier before a running map becomes a speculation
+    /// candidate.
+    pub speculation_threshold: f64,
+    /// Mean time between failures per node, seconds (0 disables failure
+    /// injection). A failed node kills its running tasks (they are
+    /// requeued and re-executed elsewhere) and rejoins after
+    /// `node_recovery_s`. Completed map output is assumed replicated
+    /// (a documented simplification: real Hadoop may re-run completed maps
+    /// whose output lived only on the failed node).
+    pub node_mtbf_s: f64,
+    /// Node recovery time after a failure, seconds.
+    pub node_recovery_s: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_workers: 64,
+            num_racks: 2,
+            map_slots_per_node: 1,
+            reduce_slots_per_node: 1,
+            heartbeat_ms: 600,
+            node_speed_sigma: 0.06,
+            straggler_prob: 0.01,
+            straggler_factor: 2.5,
+            rack_local_penalty: 1.10,
+            remote_penalty: 1.25,
+            // The practical shuffle bottleneck on the 2011 testbed is the
+            // per-reducer fetch/merge path (~10 MB/s), not the fabric: the
+            // aggregate pool only binds when more reducers than nodes are
+            // shuffling at once. This keeps shuffle durations invariant to
+            // the slot allocation (the Figure 3 property).
+            shuffle_pool_mb_s: 640.0,
+            per_flow_mb_s: 10.0,
+            shuffle_base_s: 3.0,
+            sort_s_per_mb: 0.02,
+            replication: 3,
+            slowstart: 0.05,
+            speculative_execution: false,
+            speculation_threshold: 1.5,
+            node_mtbf_s: 0.0,
+            node_recovery_s: 60.0,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's testbed (64 workers, 1×1 slots — the default).
+    pub fn paper_testbed() -> Self {
+        ClusterConfig::default()
+    }
+
+    /// A small configuration for fast unit tests.
+    pub fn tiny(workers: usize) -> Self {
+        ClusterConfig {
+            num_workers: workers,
+            num_racks: 2.min(workers),
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// Total map slots.
+    pub fn total_map_slots(&self) -> usize {
+        self.num_workers * self.map_slots_per_node
+    }
+
+    /// Total reduce slots.
+    pub fn total_reduce_slots(&self) -> usize {
+        self.num_workers * self.reduce_slots_per_node
+    }
+
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_workers == 0 {
+            return Err("num_workers must be positive".into());
+        }
+        if self.num_racks == 0 || self.num_racks > self.num_workers {
+            return Err("num_racks must be in 1..=num_workers".into());
+        }
+        if self.map_slots_per_node == 0 && self.reduce_slots_per_node == 0 {
+            return Err("workers need at least one slot".into());
+        }
+        if self.shuffle_pool_mb_s <= 0.0 || self.per_flow_mb_s <= 0.0 {
+            return Err("bandwidths must be positive".into());
+        }
+        if self.replication == 0 {
+            return Err("replication must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.straggler_prob) {
+            return Err("straggler_prob must be a probability".into());
+        }
+        if !(0.0..=1.0).contains(&self.slowstart) {
+            return Err("slowstart must be a fraction".into());
+        }
+        if self.speculation_threshold <= 1.0 {
+            return Err("speculation_threshold must exceed 1".into());
+        }
+        if self.node_mtbf_s < 0.0 || self.node_recovery_s < 0.0 {
+            return Err("failure parameters must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_testbed() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.num_workers, 64);
+        assert_eq!(c.num_racks, 2);
+        assert_eq!(c.total_map_slots(), 64);
+        assert_eq!(c.total_reduce_slots(), 64);
+        assert_eq!(c.replication, 3);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_clamps_racks() {
+        let c = ClusterConfig::tiny(1);
+        assert_eq!(c.num_racks, 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let cases = [
+            ClusterConfig { num_workers: 0, ..ClusterConfig::default() },
+            ClusterConfig { num_racks: 100, ..ClusterConfig::default() },
+            ClusterConfig {
+                map_slots_per_node: 0,
+                reduce_slots_per_node: 0,
+                ..ClusterConfig::default()
+            },
+            ClusterConfig { shuffle_pool_mb_s: -1.0, ..ClusterConfig::default() },
+            ClusterConfig { straggler_prob: 1.5, ..ClusterConfig::default() },
+            ClusterConfig { replication: 0, ..ClusterConfig::default() },
+            ClusterConfig { slowstart: 2.0, ..ClusterConfig::default() },
+            ClusterConfig { speculation_threshold: 0.9, ..ClusterConfig::default() },
+            ClusterConfig { node_mtbf_s: -1.0, ..ClusterConfig::default() },
+        ];
+        for (i, c) in cases.iter().enumerate() {
+            assert!(c.validate().is_err(), "case {i} should be invalid");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Job-history log accumulation during a testbed run.
+//!
+//! The testbed simulator plays the JobTracker's role: it records one
+//! [`TaskAttemptRecord`] per executed task attempt and one [`JobRecord`]
+//! per job, then serializes them in the shared history format
+//! (`simmr_types::history`) that MRProfiler consumes.
+
+use simmr_types::{write_history, HistoryLine, JobHistoryRecord, SimTime, TaskKind};
+
+pub use simmr_types::TaskHistoryRecord as TaskAttemptRecord;
+
+/// Final record of one job in a testbed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job sequence number.
+    pub id: u32,
+    /// Job name.
+    pub name: String,
+    /// Submission time.
+    pub submit: SimTime,
+    /// First task launch.
+    pub launch: Option<SimTime>,
+    /// Completion time.
+    pub finish: SimTime,
+    /// Map task count.
+    pub maps: usize,
+    /// Reduce task count.
+    pub reduces: usize,
+}
+
+/// Accumulates history records during a run and renders the log.
+#[derive(Debug, Default)]
+pub struct HistoryLog {
+    jobs: Vec<JobRecord>,
+    tasks: Vec<TaskAttemptRecord>,
+}
+
+impl HistoryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        HistoryLog::default()
+    }
+
+    /// Records a completed map attempt.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_map(&mut self, job: u32, idx: u32, start: SimTime, end: SimTime, node: u32) {
+        self.tasks.push(TaskAttemptRecord {
+            job,
+            kind: TaskKind::Map,
+            idx,
+            start,
+            shuffle_end: None,
+            sort_end: None,
+            end,
+            node,
+        });
+    }
+
+    /// Records a completed reduce attempt with its phase boundaries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_reduce(
+        &mut self,
+        job: u32,
+        idx: u32,
+        start: SimTime,
+        shuffle_end: SimTime,
+        sort_end: SimTime,
+        end: SimTime,
+        node: u32,
+    ) {
+        self.tasks.push(TaskAttemptRecord {
+            job,
+            kind: TaskKind::Reduce,
+            idx,
+            start,
+            shuffle_end: Some(shuffle_end),
+            sort_end: Some(sort_end),
+            end,
+            node,
+        });
+    }
+
+    /// Records a completed job.
+    pub fn record_job(&mut self, record: JobRecord) {
+        self.jobs.push(record);
+    }
+
+    /// All task attempts recorded so far.
+    pub fn tasks(&self) -> &[TaskAttemptRecord] {
+        &self.tasks
+    }
+
+    /// All completed jobs recorded so far.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Renders the log in the shared text format, jobs first (sorted by
+    /// id), then task records grouped by job.
+    pub fn render(&self) -> String {
+        let mut lines: Vec<HistoryLine> = Vec::with_capacity(self.jobs.len() + self.tasks.len());
+        let mut jobs = self.jobs.clone();
+        jobs.sort_by_key(|j| j.id);
+        for j in &jobs {
+            lines.push(HistoryLine::Job(JobHistoryRecord {
+                id: j.id,
+                name: j.name.clone(),
+                submit: j.submit,
+                launch: j.launch.unwrap_or(j.submit),
+                finish: j.finish,
+                maps: j.maps,
+                reduces: j.reduces,
+            }));
+        }
+        let mut tasks = self.tasks.clone();
+        tasks.sort_by_key(|t| (t.job, t.kind, t.idx));
+        lines.extend(tasks.into_iter().map(HistoryLine::Task));
+        write_history(&lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmr_types::parse_history;
+
+    #[test]
+    fn render_and_parse_back() {
+        let mut log = HistoryLog::new();
+        log.record_job(JobRecord {
+            id: 0,
+            name: "Sort-16GB".into(),
+            submit: SimTime::ZERO,
+            launch: Some(SimTime::from_millis(500)),
+            finish: SimTime::from_millis(90_000),
+            maps: 2,
+            reduces: 1,
+        });
+        log.record_map(0, 1, SimTime::from_millis(600), SimTime::from_millis(5_000), 3);
+        log.record_map(0, 0, SimTime::from_millis(500), SimTime::from_millis(4_200), 1);
+        log.record_reduce(
+            0,
+            0,
+            SimTime::from_millis(5_000),
+            SimTime::from_millis(60_000),
+            SimTime::from_millis(61_000),
+            SimTime::from_millis(90_000),
+            2,
+        );
+        let text = log.render();
+        let lines = parse_history(&text).unwrap();
+        assert_eq!(lines.len(), 4);
+        // jobs first, then tasks in (job, kind, idx) order
+        assert!(matches!(lines[0], HistoryLine::Job(_)));
+        match (&lines[1], &lines[2]) {
+            (HistoryLine::Task(a), HistoryLine::Task(b)) => {
+                assert_eq!((a.idx, b.idx), (0, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_launch_falls_back_to_submit() {
+        let mut log = HistoryLog::new();
+        log.record_job(JobRecord {
+            id: 1,
+            name: "x".into(),
+            submit: SimTime::from_millis(7),
+            launch: None,
+            finish: SimTime::from_millis(8),
+            maps: 0,
+            reduces: 0,
+        });
+        let text = log.render();
+        assert!(text.contains("launch=7"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # simmr-cluster
+//!
+//! A fine-grained Hadoop **testbed simulator** — the stand-in for the
+//! paper's real 66-node cluster (§IV-B: 66× HP DL145 G3, two racks, GbE,
+//! Hadoop 0.20.2, 64 worker nodes with one map and one reduce slot each).
+//!
+//! SimMR deliberately abstracts TaskTrackers away; to *validate* SimMR the
+//! paper compares against real executions. Since we cannot run the original
+//! hardware, this crate simulates the cluster at a much finer granularity
+//! than SimMR, reproducing exactly the phenomena SimMR abstracts:
+//!
+//! * **TaskTrackers and heartbeats** — task assignment happens only when a
+//!   worker heartbeats the JobTracker (staggered, periodic), so waves start
+//!   late by up to one heartbeat interval;
+//! * **HDFS block placement and data locality** — each input block has
+//!   three replicas placed rack-aware; map tasks prefer node-local, then
+//!   rack-local blocks, and pay a read penalty otherwise;
+//! * **heterogeneity and stragglers** — per-node speed factors and rare
+//!   slow tasks;
+//! * **a shared shuffle network** — reduce tasks fetch map output through a
+//!   processor-sharing fluid model of the cluster fabric; first-wave
+//!   shuffles additionally stall on map output availability, which is what
+//!   creates the paper's distinction between *first shuffle* and *typical
+//!   shuffle*.
+//!
+//! Executions emit Hadoop-style **job-history logs** ([`history`]) that the
+//! MRProfiler in `simmr-trace` parses into replayable job templates — the
+//! exact pipeline of the paper, with the testbed swapped for this
+//! simulator.
+
+pub mod config;
+pub mod history;
+pub mod network;
+pub mod profile;
+pub mod scheduler;
+pub mod sim;
+pub mod topology;
+
+pub use config::ClusterConfig;
+pub use history::{HistoryLog, JobRecord, TaskAttemptRecord};
+pub use profile::estimate_profile;
+pub use scheduler::ClusterPolicy;
+pub use sim::{ClusterJobResult, ClusterSim, SubmittedJob, TestbedRun};
+pub use topology::{BlockMap, Locality, Topology};

@@ -1,0 +1,353 @@
+//! Processor-sharing fluid model of the shuffle fabric.
+//!
+//! Every reduce task in its shuffle phase is a *flow* that drains its
+//! remaining bytes at rate `min(per_flow_cap, pool / active_flows)` — the
+//! classic processor-sharing approximation of TCP fair sharing across a
+//! cluster fabric. A flow can only fetch what the job's completed map tasks
+//! have produced (`available_mb`), so first-wave shuffles *stall* while the
+//! map stage is still running — naturally producing the paper's first-wave
+//! vs typical-wave shuffle asymmetry.
+//!
+//! The model is exact between events: the simulation advances flows lazily
+//! and asks for the next *boundary* (earliest instant any flow hits its
+//! available/total limit); the active set only changes at events or
+//! boundaries, so linear interpolation in between is exact.
+
+use simmr_types::{DurationMs, SimTime};
+
+/// Handle of one shuffle flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(usize);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    total_mb: f64,
+    fetched_mb: f64,
+    available_mb: f64,
+}
+
+impl Flow {
+    fn limit(&self) -> f64 {
+        self.available_mb.min(self.total_mb)
+    }
+    fn active(&self) -> bool {
+        self.fetched_mb + 1e-9 < self.limit()
+    }
+    fn complete(&self) -> bool {
+        self.fetched_mb + 1e-9 >= self.total_mb
+    }
+}
+
+/// The shared shuffle fabric.
+#[derive(Debug)]
+pub struct ShuffleNetwork {
+    pool_mb_s: f64,
+    per_flow_mb_s: f64,
+    flows: Vec<Option<Flow>>,
+    free_ids: Vec<usize>,
+    last_update: SimTime,
+}
+
+impl ShuffleNetwork {
+    /// Creates a fabric with the given aggregate pool and per-flow cap
+    /// (both MB/s, must be positive).
+    pub fn new(pool_mb_s: f64, per_flow_mb_s: f64) -> Self {
+        assert!(pool_mb_s > 0.0 && per_flow_mb_s > 0.0);
+        ShuffleNetwork {
+            pool_mb_s,
+            per_flow_mb_s,
+            flows: Vec::new(),
+            free_ids: Vec::new(),
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Current per-active-flow rate in MB/s.
+    fn rate(&self, active: usize) -> f64 {
+        if active == 0 {
+            0.0
+        } else {
+            self.per_flow_mb_s.min(self.pool_mb_s / active as f64)
+        }
+    }
+
+    fn active_count(&self) -> usize {
+        self.flows.iter().flatten().filter(|f| f.active()).count()
+    }
+
+    /// Advances all flows to `now` (no-op when time hasn't moved).
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "time went backwards");
+        let elapsed_s = now.since(self.last_update) as f64 / 1000.0;
+        self.last_update = now;
+        if elapsed_s <= 0.0 {
+            return;
+        }
+        let rate = self.rate(self.active_count());
+        if rate <= 0.0 {
+            return;
+        }
+        let gained = rate * elapsed_s;
+        for flow in self.flows.iter_mut().flatten() {
+            if flow.active() {
+                flow.fetched_mb = (flow.fetched_mb + gained).min(flow.limit());
+            }
+        }
+    }
+
+    /// Registers a new flow at `now`. `available_mb` is what the job's
+    /// finished maps have already produced for this reduce.
+    pub fn add_flow(&mut self, now: SimTime, total_mb: f64, available_mb: f64) -> FlowId {
+        self.advance(now);
+        let flow = Flow {
+            total_mb: total_mb.max(0.0),
+            fetched_mb: 0.0,
+            available_mb: available_mb.clamp(0.0, total_mb.max(0.0)),
+        };
+        let id = match self.free_ids.pop() {
+            Some(i) => {
+                self.flows[i] = Some(flow);
+                i
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.flows.len() - 1
+            }
+        };
+        FlowId(id)
+    }
+
+    /// Updates a flow's available bytes (map progress), advancing first.
+    pub fn set_available(&mut self, now: SimTime, id: FlowId, available_mb: f64) {
+        self.advance(now);
+        if let Some(flow) = self.flows[id.0].as_mut() {
+            let total = flow.total_mb;
+            flow.available_mb = available_mb.clamp(flow.available_mb, total);
+        }
+    }
+
+    /// True once the flow has fetched all its bytes.
+    pub fn is_complete(&self, id: FlowId) -> bool {
+        self.flows[id.0].as_ref().is_some_and(|f| f.complete())
+    }
+
+    /// Fetched MB so far (diagnostics).
+    pub fn fetched_mb(&self, id: FlowId) -> f64 {
+        self.flows[id.0].as_ref().map_or(0.0, |f| f.fetched_mb)
+    }
+
+    /// Removes a flow (after its shuffle completes or is abandoned).
+    pub fn remove(&mut self, now: SimTime, id: FlowId) {
+        self.advance(now);
+        if self.flows[id.0].take().is_some() {
+            self.free_ids.push(id.0);
+        }
+    }
+
+    /// Earliest future instant at which some flow reaches its current
+    /// limit (completes or stalls), or `None` when no flow is active.
+    /// Returns a time strictly after `now`.
+    pub fn next_boundary(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance(now);
+        let active = self.active_count();
+        let rate = self.rate(active);
+        if rate <= 0.0 {
+            return None;
+        }
+        let mut min_delta: Option<f64> = None;
+        for flow in self.flows.iter().flatten() {
+            if flow.active() {
+                let remaining = flow.limit() - flow.fetched_mb;
+                let secs = remaining / rate;
+                min_delta = Some(min_delta.map_or(secs, |d: f64| d.min(secs)));
+            }
+        }
+        min_delta.map(|secs| {
+            let ms = (secs * 1000.0).ceil() as DurationMs;
+            now + ms.max(1)
+        })
+    }
+
+    /// Number of live flows (diagnostics).
+    pub fn live_flows(&self) -> usize {
+        self.flows.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_runs_at_cap() {
+        let mut net = ShuffleNetwork::new(1000.0, 100.0);
+        let f = net.add_flow(SimTime::ZERO, 200.0, 200.0);
+        // 200 MB at 100 MB/s => 2 s
+        let b = net.next_boundary(SimTime::ZERO).unwrap();
+        assert_eq!(b, SimTime::from_millis(2000));
+        net.advance(b);
+        assert!(net.is_complete(f));
+    }
+
+    #[test]
+    fn pool_shared_among_many_flows() {
+        let mut net = ShuffleNetwork::new(200.0, 100.0);
+        // 4 flows share 200 MB/s => 50 MB/s each
+        let flows: Vec<FlowId> =
+            (0..4).map(|_| net.add_flow(SimTime::ZERO, 100.0, 100.0)).collect();
+        let b = net.next_boundary(SimTime::ZERO).unwrap();
+        assert_eq!(b, SimTime::from_millis(2000)); // 100/50
+        net.advance(b);
+        for f in flows {
+            assert!(net.is_complete(f));
+        }
+    }
+
+    #[test]
+    fn departure_speeds_up_survivors() {
+        let mut net = ShuffleNetwork::new(100.0, 100.0);
+        let a = net.add_flow(SimTime::ZERO, 50.0, 50.0);
+        let big = net.add_flow(SimTime::ZERO, 150.0, 150.0);
+        // both at 50 MB/s; a done at t=1s
+        let b1 = net.next_boundary(SimTime::ZERO).unwrap();
+        assert_eq!(b1, SimTime::from_millis(1000));
+        net.advance(b1);
+        assert!(net.is_complete(a));
+        assert!(!net.is_complete(big));
+        net.remove(b1, a);
+        // big has 100 MB left, now at full 100 MB/s => +1s
+        let b2 = net.next_boundary(b1).unwrap();
+        assert_eq!(b2, SimTime::from_millis(2000));
+        net.advance(b2);
+        assert!(net.is_complete(big));
+    }
+
+    #[test]
+    fn availability_stalls_flow() {
+        let mut net = ShuffleNetwork::new(1000.0, 100.0);
+        let f = net.add_flow(SimTime::ZERO, 100.0, 30.0);
+        // fetches 30 MB at 100 MB/s = 0.3 s, then stalls
+        let b = net.next_boundary(SimTime::ZERO).unwrap();
+        assert_eq!(b, SimTime::from_millis(300));
+        net.advance(b);
+        assert!(!net.is_complete(f));
+        assert!((net.fetched_mb(f) - 30.0).abs() < 1e-6);
+        // stalled: no active flows, no boundary
+        assert_eq!(net.next_boundary(b), None);
+        // maps produce more output at t=1s
+        net.set_available(SimTime::from_millis(1000), f, 100.0);
+        let b2 = net.next_boundary(SimTime::from_millis(1000)).unwrap();
+        assert_eq!(b2, SimTime::from_millis(1700)); // 70 MB at 100 MB/s
+        net.advance(b2);
+        assert!(net.is_complete(f));
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = ShuffleNetwork::new(100.0, 100.0);
+        let f = net.add_flow(SimTime::ZERO, 0.0, 0.0);
+        assert!(net.is_complete(f));
+    }
+
+    #[test]
+    fn stalled_flow_consumes_no_bandwidth() {
+        let mut net = ShuffleNetwork::new(100.0, 100.0);
+        let stalled = net.add_flow(SimTime::ZERO, 100.0, 0.0);
+        let active = net.add_flow(SimTime::ZERO, 100.0, 100.0);
+        // the active flow should run at the full 100 MB/s
+        let b = net.next_boundary(SimTime::ZERO).unwrap();
+        assert_eq!(b, SimTime::from_millis(1000));
+        net.advance(b);
+        assert!(net.is_complete(active));
+        assert_eq!(net.fetched_mb(stalled), 0.0);
+    }
+
+    #[test]
+    fn flow_ids_recycled() {
+        let mut net = ShuffleNetwork::new(100.0, 100.0);
+        let a = net.add_flow(SimTime::ZERO, 1.0, 1.0);
+        net.remove(SimTime::ZERO, a);
+        let b = net.add_flow(SimTime::ZERO, 1.0, 1.0);
+        assert_eq!(a.0, b.0);
+        assert_eq!(net.live_flows(), 1);
+    }
+
+    #[test]
+    fn available_never_decreases() {
+        let mut net = ShuffleNetwork::new(100.0, 100.0);
+        let f = net.add_flow(SimTime::ZERO, 100.0, 50.0);
+        net.set_available(SimTime::ZERO, f, 20.0); // ignored (monotone)
+        let b = net.next_boundary(SimTime::ZERO).unwrap();
+        assert_eq!(b, SimTime::from_millis(500));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every fully-available flow completes, and aggregate progress
+        /// never exceeds pool capacity over the elapsed interval.
+        #[test]
+        fn all_flows_complete_within_capacity(
+            sizes in proptest::collection::vec(1.0f64..500.0, 1..20),
+            pool in 50.0f64..2_000.0,
+            cap in 10.0f64..200.0,
+        ) {
+            let mut net = ShuffleNetwork::new(pool, cap);
+            let flows: Vec<FlowId> = sizes
+                .iter()
+                .map(|&mb| net.add_flow(SimTime::ZERO, mb, mb))
+                .collect();
+            let total_mb: f64 = sizes.iter().sum();
+            let mut now = SimTime::ZERO;
+            let mut steps = 0;
+            while let Some(b) = net.next_boundary(now) {
+                prop_assert!(b > now, "boundary must advance time");
+                now = b;
+                steps += 1;
+                prop_assert!(steps < 10_000, "fluid model failed to converge");
+            }
+            for f in &flows {
+                prop_assert!(net.is_complete(*f));
+            }
+            // capacity check: total bytes / elapsed <= pool (with rounding slack)
+            let elapsed_s = now.as_millis() as f64 / 1000.0;
+            prop_assert!(
+                total_mb <= pool * elapsed_s * 1.02 + 1.0,
+                "moved {total_mb} MB in {elapsed_s}s over a {pool} MB/s pool"
+            );
+            // and no flow beat its own per-flow cap
+            let min_time_s = sizes.iter().cloned().fold(0.0f64, f64::max) / cap;
+            prop_assert!(elapsed_s + 1e-3 >= min_time_s);
+        }
+
+        /// Monotonicity: adding flows never finishes the first flow sooner.
+        #[test]
+        fn contention_never_speeds_up(
+            first in 10.0f64..200.0,
+            extra in proptest::collection::vec(10.0f64..200.0, 0..8),
+        ) {
+            let finish_time = |others: &[f64]| {
+                let mut net = ShuffleNetwork::new(100.0, 50.0);
+                let f = net.add_flow(SimTime::ZERO, first, first);
+                for &mb in others {
+                    net.add_flow(SimTime::ZERO, mb, mb);
+                }
+                let mut now = SimTime::ZERO;
+                while !net.is_complete(f) {
+                    match net.next_boundary(now) {
+                        Some(b) => now = b,
+                        None => break,
+                    }
+                }
+                now
+            };
+            let alone = finish_time(&[]);
+            let crowded = finish_time(&extra);
+            prop_assert!(crowded >= alone);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Model-based job profile estimation.
+//!
+//! The MinEDF scheduler needs a performance profile of a job *before* it
+//! runs, to size its minimal slot allocation. In the paper this comes from
+//! earlier executions profiled by MRProfiler/ARIA; in the testbed simulator
+//! we estimate the same `(avg, max)` phase summaries analytically from the
+//! application cost model and the cluster configuration.
+
+use crate::config::ClusterConfig;
+use simmr_apps::JobModel;
+use simmr_model::JobProfileSummary;
+use simmr_stats::{Dist, Distribution};
+use simmr_types::{secs_to_ms, PhaseStats};
+
+/// Mean of a distribution, falling back to 0 for heavy tails without one.
+fn mean_of(d: &Dist) -> f64 {
+    d.mean().unwrap_or(0.0)
+}
+
+/// Approximate high quantile used as the "max" task duration: for the
+/// LogNormal family this is `exp(mu + 3 sigma)`; for everything else we
+/// use three times the mean, a serviceable overestimate.
+fn high_quantile(d: &Dist) -> f64 {
+    match *d {
+        Dist::LogNormal { mu, sigma } => (mu + 3.0 * sigma).exp(),
+        Dist::Constant { value } => value,
+        _ => 3.0 * mean_of(d),
+    }
+}
+
+/// Estimates a [`JobProfileSummary`] for a job model on a cluster, suitable
+/// for feeding `simmr_model::min_slots_for_deadline`.
+pub fn estimate_profile(job: &JobModel, config: &ClusterConfig) -> JobProfileSummary {
+    // Map durations: compute time inflated by the expected locality mix.
+    // With replication-r placement and locality-aware assignment the vast
+    // majority of reads are node- or rack-local; we fold this into a small
+    // constant factor between the two penalties.
+    let locality_factor = 1.0 + 0.3 * (config.rack_local_penalty - 1.0);
+    let map_avg = mean_of(&job.map_time_s) * locality_factor;
+    let map_max = high_quantile(&job.map_time_s) * config.remote_penalty;
+
+    // Typical shuffle: fetch at the expected fair share plus fixed
+    // overheads and the sort tail. The expected concurrent-flow count is
+    // bounded by the reduce slots.
+    let flows = config.total_reduce_slots().max(1) as f64;
+    let rate = (config.shuffle_pool_mb_s / flows).min(config.per_flow_mb_s);
+    let fetch_s = job.shuffle_mb_per_reduce / rate.max(1e-9);
+    let shuffle_avg =
+        config.shuffle_base_s + fetch_s + config.sort_s_per_mb * job.shuffle_mb_per_reduce;
+    let shuffle_max = 1.5 * shuffle_avg;
+
+    // First shuffle (non-overlapping part): dominated by the final fetch +
+    // sort once maps complete; approximate with the typical value (an
+    // intentionally conservative choice — it only shifts the constant term
+    // of the deadline hyperbola slightly).
+    let first_shuffle_avg = shuffle_avg;
+    let first_shuffle_max = shuffle_max;
+
+    let reduce_avg = mean_of(&job.reduce_time_s);
+    let reduce_max = high_quantile(&job.reduce_time_s);
+
+    JobProfileSummary {
+        num_maps: job.num_maps,
+        num_reduces: job.num_reduces,
+        map: PhaseStats {
+            avg: secs_to_ms(map_avg) as f64,
+            max: secs_to_ms(map_max),
+            count: job.num_maps,
+        },
+        first_shuffle: PhaseStats {
+            avg: secs_to_ms(first_shuffle_avg) as f64,
+            max: secs_to_ms(first_shuffle_max),
+            count: job.num_reduces.min(config.total_reduce_slots()),
+        },
+        shuffle: PhaseStats {
+            avg: secs_to_ms(shuffle_avg) as f64,
+            max: secs_to_ms(shuffle_max),
+            count: job.num_reduces,
+        },
+        reduce: PhaseStats {
+            avg: secs_to_ms(reduce_avg) as f64,
+            max: secs_to_ms(reduce_max),
+            count: job.num_reduces,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmr_apps::AppKind;
+
+    #[test]
+    fn estimates_are_positive_and_ordered() {
+        let config = ClusterConfig::default();
+        for kind in AppKind::ALL {
+            let job = simmr_apps::JobModel::with_task_counts(kind, 128, 32);
+            let p = estimate_profile(&job, &config);
+            assert_eq!(p.num_maps, 128);
+            assert_eq!(p.num_reduces, 32);
+            assert!(p.map.avg > 0.0, "{kind:?}");
+            assert!(p.map.max as f64 >= p.map.avg, "{kind:?}");
+            assert!(p.shuffle.avg > 0.0);
+            assert!(p.shuffle.max as f64 >= p.shuffle.avg);
+            assert!(p.reduce.max as f64 >= p.reduce.avg);
+        }
+    }
+
+    #[test]
+    fn heavier_shuffle_apps_estimate_longer_shuffles() {
+        let config = ClusterConfig::default();
+        let sort = estimate_profile(
+            &simmr_apps::JobModel::with_task_counts(AppKind::Sort, 256, 64),
+            &config,
+        );
+        let bayes = estimate_profile(
+            &simmr_apps::JobModel::with_task_counts(AppKind::Bayes, 256, 64),
+            &config,
+        );
+        assert!(
+            sort.shuffle.avg > bayes.shuffle.avg,
+            "sort {} vs bayes {}",
+            sort.shuffle.avg,
+            bayes.shuffle.avg
+        );
+    }
+
+    #[test]
+    fn usable_by_allocation_model() {
+        let config = ClusterConfig::default();
+        let job = simmr_apps::JobModel::with_task_counts(AppKind::WordCount, 200, 64);
+        let p = estimate_profile(&job, &config);
+        let alloc = simmr_model::min_slots_for_deadline(&p, 3_600_000, 64, 64);
+        assert!(alloc.maps >= 1);
+        assert!(alloc.reduces >= 1);
+        // a one-hour deadline for a ~1.5-hour-of-serial-work job needs only
+        // a few slots
+        assert!(alloc.maps < 30, "{alloc:?}");
+    }
+}

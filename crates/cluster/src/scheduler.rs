@@ -1,0 +1,78 @@
+//! Cluster-level (JobTracker) scheduling policies.
+//!
+//! The testbed runs the same three policies the paper evaluates on its real
+//! cluster: FIFO, MaxEDF, and MinEDF. The JobTracker in [`crate::sim`]
+//! filters candidate jobs (pending work, MinEDF slot caps) and delegates
+//! the ordering decision here.
+
+use simmr_types::{JobId, SimTime};
+
+/// The JobTracker's scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterPolicy {
+    /// Earliest-arrived job first (Hadoop default).
+    Fifo,
+    /// Earliest deadline first, maximum slots per job.
+    MaxEdf,
+    /// Earliest deadline first, minimal (model-derived) slots per job.
+    MinEdf,
+}
+
+impl ClusterPolicy {
+    /// Policy name for logs and reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ClusterPolicy::Fifo => "fifo",
+            ClusterPolicy::MaxEdf => "maxedf",
+            ClusterPolicy::MinEdf => "minedf",
+        }
+    }
+
+    /// True when per-job wanted-slot caps apply (MinEDF only).
+    pub const fn caps_allocations(self) -> bool {
+        matches!(self, ClusterPolicy::MinEdf)
+    }
+
+    /// Ordering key: smaller sorts first. FIFO ignores deadlines; the EDF
+    /// policies order by `(deadline, arrival, id)` with absent deadlines
+    /// last.
+    pub fn key(self, arrival: SimTime, deadline: Option<SimTime>, id: JobId) -> (SimTime, SimTime, JobId) {
+        match self {
+            ClusterPolicy::Fifo => (arrival, SimTime::ZERO, id),
+            ClusterPolicy::MaxEdf | ClusterPolicy::MinEdf => {
+                (deadline.unwrap_or(SimTime::INFINITY), arrival, id)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_caps() {
+        assert_eq!(ClusterPolicy::Fifo.name(), "fifo");
+        assert!(!ClusterPolicy::Fifo.caps_allocations());
+        assert!(!ClusterPolicy::MaxEdf.caps_allocations());
+        assert!(ClusterPolicy::MinEdf.caps_allocations());
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let early = ClusterPolicy::Fifo.key(SimTime::from_millis(1), Some(SimTime::ZERO), JobId(9));
+        let late = ClusterPolicy::Fifo.key(SimTime::from_millis(2), None, JobId(0));
+        assert!(early < late);
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_then_arrival() {
+        let urgent =
+            ClusterPolicy::MaxEdf.key(SimTime::from_millis(5), Some(SimTime::from_millis(10)), JobId(1));
+        let relaxed =
+            ClusterPolicy::MaxEdf.key(SimTime::from_millis(1), Some(SimTime::from_millis(99)), JobId(0));
+        let none = ClusterPolicy::MaxEdf.key(SimTime::ZERO, None, JobId(2));
+        assert!(urgent < relaxed);
+        assert!(relaxed < none);
+    }
+}

@@ -1,0 +1,259 @@
+//! Cluster topology and HDFS-style block placement.
+
+use crate::config::ClusterConfig;
+use simmr_stats::SeededRng;
+
+/// Data locality of a map task's input read, in Hadoop's three tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Locality {
+    /// A replica lives on the executing node.
+    NodeLocal,
+    /// A replica lives in the executing node's rack.
+    RackLocal,
+    /// All replicas are in other racks.
+    Remote,
+}
+
+/// Physical layout: nodes, racks, per-node speed factors.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Rack id of each node.
+    pub rack_of: Vec<usize>,
+    /// Multiplicative speed factor of each node (1.0 = reference speed;
+    /// higher = slower).
+    pub speed_of: Vec<f64>,
+    racks: usize,
+}
+
+impl Topology {
+    /// Builds the topology: round-robin rack assignment and LogNormal node
+    /// speed factors with `node_speed_sigma`.
+    pub fn new(config: &ClusterConfig, rng: &mut SeededRng) -> Self {
+        use simmr_stats::{Dist, Distribution};
+        let speed_dist = Dist::LogNormal { mu: 0.0, sigma: config.node_speed_sigma.max(0.0) };
+        let rack_of = (0..config.num_workers).map(|n| n % config.num_racks).collect();
+        let speed_of = (0..config.num_workers)
+            .map(|_| {
+                if config.node_speed_sigma > 0.0 {
+                    speed_dist.sample(rng)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Topology { rack_of, speed_of, racks: config.num_racks }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    /// True for a clusterless topology (never produced by [`Topology::new`]
+    /// with a valid config).
+    pub fn is_empty(&self) -> bool {
+        self.rack_of.is_empty()
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> usize {
+        self.racks
+    }
+
+    /// Nodes in the same rack as `node`.
+    pub fn rack_peers(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        let rack = self.rack_of[node];
+        (0..self.len()).filter(move |&n| self.rack_of[n] == rack)
+    }
+}
+
+/// Replica locations of every block of one job's input file.
+#[derive(Debug, Clone)]
+pub struct BlockMap {
+    /// `replicas[b]` = nodes holding block `b`.
+    pub replicas: Vec<Vec<usize>>,
+}
+
+impl BlockMap {
+    /// Places `num_blocks` blocks with HDFS's default strategy: first
+    /// replica on a random node, second on a random node in a *different*
+    /// rack, third in the same rack as the second; further replicas random.
+    /// Replicas are always on distinct nodes when the cluster is large
+    /// enough.
+    pub fn place(
+        num_blocks: usize,
+        topology: &Topology,
+        replication: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
+        let n = topology.len();
+        let replication = replication.min(n).max(1);
+        let mut replicas = Vec::with_capacity(num_blocks);
+        for _ in 0..num_blocks {
+            let mut nodes: Vec<usize> = Vec::with_capacity(replication);
+            // first replica: anywhere
+            let first = rng.index(n);
+            nodes.push(first);
+            if replication > 1 {
+                // second: different rack when one exists
+                let first_rack = topology.rack_of[first];
+                let candidates: Vec<usize> = (0..n)
+                    .filter(|&m| topology.rack_of[m] != first_rack && !nodes.contains(&m))
+                    .collect();
+                let second = if candidates.is_empty() {
+                    pick_distinct(n, &nodes, rng)
+                } else {
+                    candidates[rng.index(candidates.len())]
+                };
+                nodes.push(second);
+                if replication > 2 {
+                    // third: same rack as second
+                    let second_rack = topology.rack_of[second];
+                    let candidates: Vec<usize> = (0..n)
+                        .filter(|&m| topology.rack_of[m] == second_rack && !nodes.contains(&m))
+                        .collect();
+                    let third = if candidates.is_empty() {
+                        pick_distinct(n, &nodes, rng)
+                    } else {
+                        candidates[rng.index(candidates.len())]
+                    };
+                    nodes.push(third);
+                    for _ in 3..replication {
+                        nodes.push(pick_distinct(n, &nodes, rng));
+                    }
+                }
+            }
+            replicas.push(nodes);
+        }
+        BlockMap { replicas }
+    }
+
+    /// Locality of reading block `b` from `node`.
+    pub fn locality(&self, block: usize, node: usize, topology: &Topology) -> Locality {
+        let reps = &self.replicas[block];
+        if reps.contains(&node) {
+            return Locality::NodeLocal;
+        }
+        let rack = topology.rack_of[node];
+        if reps.iter().any(|&r| topology.rack_of[r] == rack) {
+            Locality::RackLocal
+        } else {
+            Locality::Remote
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True when the map holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+}
+
+/// Random node not already in `taken` (assumes `taken.len() < n`).
+fn pick_distinct(n: usize, taken: &[usize], rng: &mut SeededRng) -> usize {
+    loop {
+        let c = rng.index(n);
+        if !taken.contains(&c) {
+            return c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(workers: usize, racks: usize) -> (Topology, SeededRng) {
+        let config = ClusterConfig {
+            num_workers: workers,
+            num_racks: racks,
+            ..ClusterConfig::default()
+        };
+        let mut rng = SeededRng::new(42);
+        (Topology::new(&config, &mut rng), rng)
+    }
+
+    #[test]
+    fn rack_round_robin() {
+        let (t, _) = topo(6, 2);
+        assert_eq!(t.rack_of, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(t.num_racks(), 2);
+        assert_eq!(t.rack_peers(0).collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn speed_factors_near_one() {
+        let (t, _) = topo(64, 2);
+        for &s in &t.speed_of {
+            assert!(s > 0.7 && s < 1.4, "speed {s} out of plausible range");
+        }
+    }
+
+    #[test]
+    fn homogeneous_when_sigma_zero() {
+        let config = ClusterConfig { node_speed_sigma: 0.0, ..ClusterConfig::default() };
+        let mut rng = SeededRng::new(1);
+        let t = Topology::new(&config, &mut rng);
+        assert!(t.speed_of.iter().all(|&s| s == 1.0));
+    }
+
+    #[test]
+    fn placement_replicas_distinct_and_rack_aware() {
+        let (t, mut rng) = topo(16, 2);
+        let bm = BlockMap::place(100, &t, 3, &mut rng);
+        assert_eq!(bm.len(), 100);
+        for reps in &bm.replicas {
+            assert_eq!(reps.len(), 3);
+            let mut sorted = reps.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct: {reps:?}");
+            // rack-aware: replicas span both racks
+            let racks: std::collections::HashSet<usize> =
+                reps.iter().map(|&r| t.rack_of[r]).collect();
+            assert_eq!(racks.len(), 2, "3 replicas should span 2 racks");
+            // second and third replica share a rack
+            assert_eq!(t.rack_of[reps[1]], t.rack_of[reps[2]]);
+        }
+    }
+
+    #[test]
+    fn placement_single_node_cluster() {
+        let (t, mut rng) = topo(1, 1);
+        let bm = BlockMap::place(5, &t, 3, &mut rng);
+        for reps in &bm.replicas {
+            assert_eq!(reps, &vec![0]);
+        }
+    }
+
+    #[test]
+    fn locality_classification() {
+        let (t, _) = topo(6, 2); // racks: 0,1,0,1,0,1
+        let bm = BlockMap { replicas: vec![vec![0, 1, 3]] };
+        assert_eq!(bm.locality(0, 0, &t), Locality::NodeLocal);
+        assert_eq!(bm.locality(0, 2, &t), Locality::RackLocal); // rack 0 via node 0
+        assert_eq!(bm.locality(0, 5, &t), Locality::RackLocal); // rack 1 via 1/3
+        let bm = BlockMap { replicas: vec![vec![0, 2, 4]] }; // all rack 0
+        assert_eq!(bm.locality(0, 1, &t), Locality::Remote);
+    }
+
+    #[test]
+    fn most_blocks_find_local_nodes() {
+        // with 3 replicas on 64 nodes, a given node is local for ~4.7% of
+        // blocks; across all nodes every block has exactly 3 local homes
+        let (t, mut rng) = topo(64, 2);
+        let bm = BlockMap::place(640, &t, 3, &mut rng);
+        let local_count: usize = (0..64)
+            .map(|n| {
+                (0..bm.len())
+                    .filter(|&b| bm.locality(b, n, &t) == Locality::NodeLocal)
+                    .count()
+            })
+            .sum();
+        assert_eq!(local_count, 640 * 3);
+    }
+}

@@ -1,0 +1,88 @@
+//! Engine configuration.
+
+/// Configuration of a [`crate::SimulatorEngine`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Total map slots in the simulated cluster.
+    pub map_slots: usize,
+    /// Total reduce slots in the simulated cluster.
+    pub reduce_slots: usize,
+    /// Fraction of a job's map tasks that must complete before its reduce
+    /// tasks become schedulable (the paper's `minMapPercentCompleted`;
+    /// Hadoop calls this "slowstart" and defaults it to 5%).
+    pub min_map_percent_completed: f64,
+    /// Record a per-task timeline (Figures 1–2). Off by default: recording
+    /// costs memory proportional to the task count.
+    pub record_timeline: bool,
+}
+
+impl EngineConfig {
+    /// A configuration with the given slot counts and default slowstart
+    /// (5%), no timeline recording.
+    pub fn new(map_slots: usize, reduce_slots: usize) -> Self {
+        EngineConfig {
+            map_slots,
+            reduce_slots,
+            min_map_percent_completed: 0.05,
+            record_timeline: false,
+        }
+    }
+
+    /// Sets the slowstart threshold (clamped to `[0, 1]`).
+    pub fn with_slowstart(mut self, fraction: f64) -> Self {
+        self.min_map_percent_completed = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Enables per-task timeline recording.
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Number of map tasks of an `n`-map job that must complete before its
+    /// reduces may start. At least 1 when the threshold is positive, and
+    /// never more than `n`.
+    pub fn reduce_start_threshold(&self, num_maps: usize) -> usize {
+        if self.min_map_percent_completed <= 0.0 || num_maps == 0 {
+            return 0;
+        }
+        ((self.min_map_percent_completed * num_maps as f64).ceil() as usize).clamp(1, num_maps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = EngineConfig::new(64, 64);
+        assert_eq!(c.map_slots, 64);
+        assert_eq!(c.min_map_percent_completed, 0.05);
+        assert!(!c.record_timeline);
+    }
+
+    #[test]
+    fn builder() {
+        let c = EngineConfig::new(2, 2).with_slowstart(0.5).with_timeline();
+        assert_eq!(c.min_map_percent_completed, 0.5);
+        assert!(c.record_timeline);
+        assert_eq!(EngineConfig::new(1, 1).with_slowstart(7.0).min_map_percent_completed, 1.0);
+        assert_eq!(EngineConfig::new(1, 1).with_slowstart(-1.0).min_map_percent_completed, 0.0);
+    }
+
+    #[test]
+    fn threshold() {
+        let c = EngineConfig::new(4, 4).with_slowstart(0.05);
+        assert_eq!(c.reduce_start_threshold(200), 10);
+        assert_eq!(c.reduce_start_threshold(1), 1);
+        // zero slowstart: reduces can start immediately
+        let c = c.with_slowstart(0.0);
+        assert_eq!(c.reduce_start_threshold(200), 0);
+        // full slowstart: all maps must finish
+        let c = c.with_slowstart(1.0);
+        assert_eq!(c.reduce_start_threshold(200), 200);
+        assert_eq!(c.reduce_start_threshold(0), 0);
+    }
+}

@@ -1,0 +1,782 @@
+//! The discrete-event Simulator Engine (§III-B).
+
+use crate::config::EngineConfig;
+use crate::event::EventKind;
+use crate::jobq::{JobEntry, JobQueue, SchedulerPolicy};
+use crate::queue::EventQueue;
+use simmr_types::{
+    JobId, JobResult, SimTime, SimulationReport, TimelineEntry, TimelinePhase, WorkloadTrace,
+};
+
+/// Runtime state of one job inside the engine.
+#[derive(Debug)]
+struct JobState {
+    arrival: SimTime,
+    deadline: Option<SimTime>,
+    maps_total: usize,
+    reduces_total: usize,
+    /// Next never-launched map task index.
+    fresh_maps: usize,
+    /// Map tasks returned to the queue by preemption (LIFO relaunch).
+    requeued_maps: Vec<u32>,
+    /// Currently running map tasks in launch order (`(idx, start)`);
+    /// the last entry is the preemption victim of choice.
+    running_map_list: Vec<(u32, SimTime)>,
+    /// Attempt generation per map task; stale departures are ignored.
+    map_gen: Vec<u32>,
+    /// Completion flags per map task.
+    map_done: Vec<bool>,
+    maps_completed: usize,
+    reduces_launched: usize,
+    reduces_completed: usize,
+    /// Map tasks completed before reduces become schedulable.
+    reduce_threshold: usize,
+    active: bool,
+    departed: bool,
+    first_map_start: Option<SimTime>,
+    maps_finished: Option<SimTime>,
+    /// Slot occupied by each map task, indexed by task index.
+    map_task_slots: Vec<u32>,
+    /// Slot occupied by each launched reduce task, indexed by task index.
+    reduce_task_slots: Vec<u32>,
+    /// First-wave "filler" reduce tasks awaiting `AllMapsFinished`:
+    /// `(reduce index, launch time)`.
+    fillers: Vec<(u32, SimTime)>,
+}
+
+impl JobState {
+    /// Map tasks not yet launched (fresh or requeued by preemption).
+    fn pending_maps(&self) -> usize {
+        (self.maps_total - self.fresh_maps) + self.requeued_maps.len()
+    }
+}
+
+/// The SimMR Simulator Engine.
+///
+/// Replays a [`WorkloadTrace`] against a slot-based job-master model under a
+/// pluggable [`SchedulerPolicy`]. See the crate docs for the model and an
+/// end-to-end example.
+pub struct SimulatorEngine<'a> {
+    config: EngineConfig,
+    trace: &'a WorkloadTrace,
+    policy: Box<dyn SchedulerPolicy + 'a>,
+    queue: EventQueue,
+    free_map_slots: Vec<u32>,
+    free_reduce_slots: Vec<u32>,
+    jobs: Vec<JobState>,
+    events_processed: u64,
+    timeline: Vec<TimelineEntry>,
+    results: Vec<Option<JobResult>>,
+    makespan: SimTime,
+}
+
+impl<'a> SimulatorEngine<'a> {
+    /// Builds an engine for one simulation run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace contains a structurally invalid job template
+    /// (impossible for traces built through [`simmr_types::JobTemplate::new`],
+    /// possible for hand-edited serialized traces).
+    pub fn new(
+        config: EngineConfig,
+        trace: &'a WorkloadTrace,
+        policy: Box<dyn SchedulerPolicy + 'a>,
+    ) -> Self {
+        trace
+            .validate()
+            .expect("workload trace contains an invalid job template");
+        let jobs = trace
+            .jobs
+            .iter()
+            .map(|spec| JobState {
+                arrival: spec.arrival,
+                deadline: spec.deadline,
+                maps_total: spec.template.num_maps,
+                reduces_total: spec.template.num_reduces,
+                fresh_maps: 0,
+                requeued_maps: Vec::new(),
+                running_map_list: Vec::new(),
+                map_gen: vec![0; spec.template.num_maps],
+                map_done: vec![false; spec.template.num_maps],
+                maps_completed: 0,
+                reduces_launched: 0,
+                reduces_completed: 0,
+                reduce_threshold: config.reduce_start_threshold(spec.template.num_maps),
+                active: false,
+                departed: false,
+                first_map_start: None,
+                maps_finished: None,
+                map_task_slots: vec![0; spec.template.num_maps],
+                reduce_task_slots: Vec::new(),
+                fillers: Vec::new(),
+            })
+            .collect();
+        SimulatorEngine {
+            config,
+            trace,
+            policy,
+            queue: EventQueue::new(),
+            free_map_slots: (0..config.map_slots as u32).rev().collect(),
+            free_reduce_slots: (0..config.reduce_slots as u32).rev().collect(),
+            jobs,
+            events_processed: 0,
+            timeline: Vec::new(),
+            results: vec![None; trace.jobs.len()],
+            makespan: SimTime::ZERO,
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimulationReport {
+        for (i, spec) in self.trace.jobs.iter().enumerate() {
+            self.queue
+                .push(spec.arrival, EventKind::JobArrival, JobId(i as u32), 0);
+        }
+        while let Some(event) = self.queue.pop() {
+            self.events_processed += 1;
+            self.makespan = event.time;
+            let job = event.job;
+            match event.kind {
+                EventKind::JobArrival => self.on_job_arrival(job, event.time),
+                EventKind::MapTaskArrival | EventKind::ReduceTaskArrival => {
+                    // marker events: the placement itself happened when the
+                    // scheduling decision was made (same instant)
+                }
+                EventKind::MapTaskDeparture => {
+                    self.on_map_departure(job, event.task_index, event.attempt, event.time)
+                }
+                EventKind::AllMapsFinished => self.on_all_maps_finished(job, event.time),
+                EventKind::ReduceTaskDeparture => {
+                    self.on_reduce_departure(job, event.task_index, event.time)
+                }
+                EventKind::JobDeparture => self.on_job_departure(job, event.time),
+            }
+            // Make scheduling decisions only once every same-instant event
+            // (simultaneous arrivals, departures, AllMapsFinished) has been
+            // applied — the job master sees a consistent queue state, and
+            // EDF-style policies observe all jobs submitted at that instant.
+            if self.queue.next_time() != Some(event.time) {
+                self.schedule(event.time);
+            }
+        }
+        let jobs = self
+            .results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never departed")))
+            .collect();
+        SimulationReport {
+            jobs,
+            makespan: self.makespan,
+            events_processed: self.events_processed,
+            timeline: self.timeline,
+        }
+    }
+
+    fn template(&self, job: JobId) -> &simmr_types::JobTemplate {
+        &self.trace.jobs[job.index()].template
+    }
+
+    fn on_job_arrival(&mut self, job: JobId, _now: SimTime) {
+        let spec = &self.trace.jobs[job.index()];
+        self.jobs[job.index()].active = true;
+        self.policy.on_job_arrival(
+            job,
+            &spec.template,
+            spec.relative_deadline(),
+            (self.config.map_slots, self.config.reduce_slots),
+        );
+    }
+
+    fn on_map_departure(&mut self, job: JobId, task_index: u32, attempt: u32, now: SimTime) {
+        let state = &mut self.jobs[job.index()];
+        let idx = task_index as usize;
+        if state.map_gen[idx] != attempt || state.map_done[idx] {
+            // stale departure from a preempted attempt: its slot was freed
+            // when the task was killed
+            return;
+        }
+        state.map_done[idx] = true;
+        state.running_map_list.retain(|&(i, _)| i != task_index);
+        let slot = state.map_task_slots[idx];
+        self.free_map_slots.push(slot);
+        state.maps_completed += 1;
+        if state.maps_completed == state.maps_total {
+            self.queue.push(now, EventKind::AllMapsFinished, job, 0);
+        }
+    }
+
+    /// Kills the victim job's most recently launched running map task: the
+    /// slot frees immediately, all progress is lost, and the task returns
+    /// to the pending queue for a later relaunch (Hadoop task-kill
+    /// semantics). Returns false when the job had no running map.
+    fn preempt_map(&mut self, job: JobId) -> bool {
+        let state = &mut self.jobs[job.index()];
+        let Some((idx, _)) = state.running_map_list.pop() else {
+            return false;
+        };
+        // invalidate the in-flight departure event
+        state.map_gen[idx as usize] += 1;
+        state.requeued_maps.push(idx);
+        let slot = state.map_task_slots[idx as usize];
+        self.free_map_slots.push(slot);
+        true
+    }
+
+    fn on_all_maps_finished(&mut self, job: JobId, now: SimTime) {
+        let fillers = {
+            let state = &mut self.jobs[job.index()];
+            state.maps_finished = Some(now);
+            std::mem::take(&mut state.fillers)
+        };
+        // Rewrite every in-flight first-wave filler's "infinite" duration to
+        // (non-overlapping first shuffle) + (reduce phase), per §III-B.
+        for (ridx, launch_time) in fillers {
+            let template = self.template(job);
+            let shuffle = template.first_shuffle_duration(ridx as usize);
+            let reduce = template.reduce_duration(ridx as usize);
+            let shuffle_end = now + shuffle;
+            let finish = shuffle_end + reduce;
+            self.queue
+                .push(finish, EventKind::ReduceTaskDeparture, job, ridx);
+            if self.config.record_timeline {
+                let slot = self.jobs[job.index()].reduce_task_slots[ridx as usize];
+                self.timeline.push(TimelineEntry {
+                    job,
+                    phase: TimelinePhase::Shuffle,
+                    slot,
+                    start: launch_time,
+                    end: shuffle_end,
+                });
+                self.timeline.push(TimelineEntry {
+                    job,
+                    phase: TimelinePhase::Reduce,
+                    slot,
+                    start: shuffle_end,
+                    end: finish,
+                });
+            }
+        }
+        let state = &self.jobs[job.index()];
+        if state.reduces_total == 0 {
+            self.queue.push(now, EventKind::JobDeparture, job, 0);
+        }
+    }
+
+    fn on_reduce_departure(&mut self, job: JobId, task_index: u32, now: SimTime) {
+        let state = &mut self.jobs[job.index()];
+        let slot = state.reduce_task_slots[task_index as usize];
+        self.free_reduce_slots.push(slot);
+        state.reduces_completed += 1;
+        if state.reduces_completed == state.reduces_total
+            && state.maps_completed == state.maps_total
+        {
+            self.queue.push(now, EventKind::JobDeparture, job, 0);
+        }
+    }
+
+    fn on_job_departure(&mut self, job: JobId, now: SimTime) {
+        let state = &mut self.jobs[job.index()];
+        if state.departed {
+            return;
+        }
+        state.departed = true;
+        state.active = false;
+        let spec = &self.trace.jobs[job.index()];
+        self.results[job.index()] = Some(JobResult {
+            job,
+            name: spec.template.name.clone(),
+            arrival: state.arrival,
+            first_map_start: state.first_map_start,
+            maps_finished: state.maps_finished,
+            completion: now,
+            deadline: state.deadline,
+            num_maps: state.maps_total,
+            num_reduces: state.reduces_total,
+        });
+        self.policy.on_job_departure(job);
+    }
+
+    /// Builds the queue snapshot and drains free slots through the policy.
+    fn schedule(&mut self, now: SimTime) {
+        if self.free_map_slots.is_empty() && self.free_reduce_slots.is_empty() {
+            return;
+        }
+        let entries: Vec<JobEntry> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active)
+            .map(|(i, s)| JobEntry {
+                id: JobId(i as u32),
+                arrival: s.arrival,
+                deadline: s.deadline,
+                pending_maps: s.pending_maps(),
+                running_maps: s.running_map_list.len(),
+                completed_maps: s.maps_completed,
+                total_maps: s.maps_total,
+                pending_reduces: s.reduces_total - s.reduces_launched,
+                running_reduces: s.reduces_launched - s.reduces_completed,
+                completed_reduces: s.reduces_completed,
+                total_reduces: s.reduces_total,
+                reduce_eligible: s.maps_completed >= s.reduce_threshold,
+            })
+            .collect();
+        if entries.is_empty() {
+            return;
+        }
+        let mut view = JobQueue::new(entries, now);
+
+        while !self.free_map_slots.is_empty() {
+            let Some(id) = self.policy.choose_next_map_task(&view) else {
+                break;
+            };
+            let Some(entry) = view.get_mut(id) else {
+                debug_assert!(false, "policy chose unknown job {id}");
+                break;
+            };
+            if !entry.has_schedulable_map() {
+                debug_assert!(false, "policy chose job {id} without pending maps");
+                break;
+            }
+            entry.pending_maps -= 1;
+            entry.running_maps += 1;
+            self.launch_map(id, now);
+        }
+
+        // Preemption rounds: when the map slots are exhausted, the policy
+        // may name victim jobs whose most recent map task is killed and
+        // requeued, freeing slots for more urgent work. Bounded by the
+        // cluster size so a misbehaving policy cannot loop forever.
+        let mut rounds = self.config.map_slots;
+        while self.free_map_slots.is_empty() && rounds > 0 {
+            rounds -= 1;
+            let victims = self.policy.map_preemptions(&view);
+            if victims.is_empty() {
+                break;
+            }
+            let mut any = false;
+            for victim in victims {
+                if self.preempt_map(victim) {
+                    any = true;
+                    if let Some(entry) = view.get_mut(victim) {
+                        entry.running_maps -= 1;
+                        entry.pending_maps += 1;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+            while !self.free_map_slots.is_empty() {
+                let Some(id) = self.policy.choose_next_map_task(&view) else {
+                    break;
+                };
+                let Some(entry) = view.get_mut(id) else {
+                    break;
+                };
+                if !entry.has_schedulable_map() {
+                    break;
+                }
+                entry.pending_maps -= 1;
+                entry.running_maps += 1;
+                self.launch_map(id, now);
+            }
+        }
+
+        while !self.free_reduce_slots.is_empty() {
+            let Some(id) = self.policy.choose_next_reduce_task(&view) else {
+                break;
+            };
+            let Some(entry) = view.get_mut(id) else {
+                debug_assert!(false, "policy chose unknown job {id}");
+                break;
+            };
+            if !entry.has_schedulable_reduce() {
+                debug_assert!(false, "policy chose job {id} without schedulable reduces");
+                break;
+            }
+            entry.pending_reduces -= 1;
+            entry.running_reduces += 1;
+            self.launch_reduce(id, now);
+        }
+    }
+
+    fn launch_map(&mut self, job: JobId, now: SimTime) {
+        let slot = self
+            .free_map_slots
+            .pop()
+            .expect("launch_map called with no free map slot");
+        let state = &mut self.jobs[job.index()];
+        let idx = state.requeued_maps.pop().unwrap_or_else(|| {
+            let fresh = state.fresh_maps as u32;
+            state.fresh_maps += 1;
+            fresh
+        });
+        state.map_gen[idx as usize] += 1;
+        let attempt = state.map_gen[idx as usize];
+        state.running_map_list.push((idx, now));
+        state.map_task_slots[idx as usize] = slot;
+        state.first_map_start.get_or_insert(now);
+        let duration = self.trace.jobs[job.index()].template.map_duration(idx as usize);
+        self.queue
+            .push_attempt(now, EventKind::MapTaskArrival, job, idx, attempt);
+        self.queue
+            .push_attempt(now + duration, EventKind::MapTaskDeparture, job, idx, attempt);
+        if self.config.record_timeline {
+            self.timeline.push(TimelineEntry {
+                job,
+                phase: TimelinePhase::Map,
+                slot,
+                start: now,
+                end: now + duration,
+            });
+        }
+    }
+
+    fn launch_reduce(&mut self, job: JobId, now: SimTime) {
+        let slot = self
+            .free_reduce_slots
+            .pop()
+            .expect("launch_reduce called with no free reduce slot");
+        let maps_done = self.jobs[job.index()].maps_finished.is_some();
+        let state = &mut self.jobs[job.index()];
+        let idx = state.reduces_launched as u32;
+        state.reduces_launched += 1;
+        state.reduce_task_slots.push(slot);
+        self.queue.push(now, EventKind::ReduceTaskArrival, job, idx);
+        if maps_done {
+            // later-wave reduce: typical shuffle + reduce phase
+            let template = &self.trace.jobs[job.index()].template;
+            let shuffle = template.typical_shuffle_duration(idx as usize);
+            let reduce = template.reduce_duration(idx as usize);
+            let shuffle_end = now + shuffle;
+            let finish = shuffle_end + reduce;
+            self.queue
+                .push(finish, EventKind::ReduceTaskDeparture, job, idx);
+            if self.config.record_timeline {
+                self.timeline.push(TimelineEntry {
+                    job,
+                    phase: TimelinePhase::Shuffle,
+                    slot,
+                    start: now,
+                    end: shuffle_end,
+                });
+                self.timeline.push(TimelineEntry {
+                    job,
+                    phase: TimelinePhase::Reduce,
+                    slot,
+                    start: shuffle_end,
+                    end: finish,
+                });
+            }
+        } else {
+            // first-wave filler of "infinite" duration; resolved by
+            // AllMapsFinished
+            self.jobs[job.index()].fillers.push((idx, now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmr_types::{JobSpec, JobTemplate};
+
+    /// Minimal FIFO used to exercise the engine in isolation.
+    struct TestFifo;
+    impl SchedulerPolicy for TestFifo {
+        fn name(&self) -> &str {
+            "test-fifo"
+        }
+        fn choose_next_map_task(&mut self, q: &JobQueue) -> Option<JobId> {
+            q.entries()
+                .iter()
+                .filter(|e| e.has_schedulable_map())
+                .min_by_key(|e| (e.arrival, e.id))
+                .map(|e| e.id)
+        }
+        fn choose_next_reduce_task(&mut self, q: &JobQueue) -> Option<JobId> {
+            q.entries()
+                .iter()
+                .filter(|e| e.has_schedulable_reduce())
+                .min_by_key(|e| (e.arrival, e.id))
+                .map(|e| e.id)
+        }
+    }
+
+    fn run(config: EngineConfig, trace: &WorkloadTrace) -> SimulationReport {
+        SimulatorEngine::new(config, trace, Box::new(TestFifo)).run()
+    }
+
+    fn uniform_job(
+        maps: usize,
+        reduces: usize,
+        map_ms: u64,
+        first_sh: u64,
+        typ_sh: u64,
+        red_ms: u64,
+        arrival: SimTime,
+    ) -> JobSpec {
+        JobSpec::new(
+            JobTemplate::new(
+                "t",
+                vec![map_ms; maps],
+                if reduces > 0 { vec![first_sh] } else { vec![] },
+                if reduces > 0 { vec![typ_sh; reduces] } else { vec![] },
+                vec![red_ms; reduces],
+            )
+            .unwrap(),
+            arrival,
+        )
+    }
+
+    #[test]
+    fn map_only_job_completion() {
+        // 4 maps of 100ms on 2 slots -> 2 waves -> 200ms
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(4, 0, 100, 0, 0, 0, SimTime::ZERO));
+        let report = run(EngineConfig::new(2, 2), &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(200));
+        assert_eq!(report.jobs[0].maps_finished, Some(SimTime::from_millis(200)));
+        assert_eq!(report.jobs[0].duration(), 200);
+    }
+
+    #[test]
+    fn first_wave_fillers_use_first_shuffle() {
+        // Maps of 50ms and 100ms on 2 map slots; 2 reduces on 2 slots.
+        // Slowstart 5% (threshold 1 map): map 0 departs at t=50, reduces
+        // become eligible and launch at t=50 as first-wave *fillers* (the
+        // map stage is still running). Maps finish at t=100, so the fillers
+        // resolve to 100 + first_shuffle(50) + reduce(30) = 180. The
+        // typical-shuffle value (999) must NOT be used.
+        let template = JobTemplate::new(
+            "t",
+            vec![50, 100],
+            vec![50],
+            vec![999, 999],
+            vec![30, 30],
+        )
+        .unwrap();
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(JobSpec::new(template, SimTime::ZERO));
+        let report = run(EngineConfig::new(2, 2), &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(180));
+    }
+
+    #[test]
+    fn typical_shuffle_used_for_later_waves() {
+        // 2 maps (100ms each) on 1 map slot => map stage ends at t=200.
+        // 2 reduces on 1 reduce slot, slowstart 0.5 (threshold 1 map):
+        // Wave 1: reduce 0 launches at t=100 as a filler; maps finish at
+        //   t=200, so it departs at 200 + first_shuffle(20) + reduce(30)
+        //   = 250.
+        // Wave 2: reduce 1 launches at t=250 after the map stage — it uses
+        //   the *typical* shuffle: 250 + 40 + 30 = 320.
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(2, 2, 100, 20, 40, 30, SimTime::ZERO));
+        let report = run(EngineConfig::new(1, 1).with_slowstart(0.5), &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(320));
+    }
+
+    #[test]
+    fn slowstart_delays_reduce_launch() {
+        // 4 maps of 100ms on 1 map slot; maps finish at t=400.
+        // slowstart 1.0: the reduce only launches once AllMapsFinished has
+        // been applied, so it runs as a later-wave task with the *typical*
+        // shuffle: 400 + 40 + 30 = 470.
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(4, 1, 100, 20, 40, 30, SimTime::ZERO));
+        let report = run(EngineConfig::new(1, 1).with_slowstart(1.0), &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(470));
+
+        // slowstart 0.05: the reduce launches right after the first map
+        // (t=100) as a first-wave filler; it resolves with the
+        // non-overlapping *first* shuffle: 400 + 20 + 30 = 450 — earlier,
+        // because the overlapped part of its shuffle was already done.
+        let report = run(EngineConfig::new(1, 1).with_slowstart(0.05), &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(450));
+    }
+
+    #[test]
+    fn multi_wave_maps() {
+        // 5 maps of 100ms on 2 slots: waves at 100,200,300 => 300ms total
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(5, 0, 100, 0, 0, 0, SimTime::ZERO));
+        let report = run(EngineConfig::new(2, 2), &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn fifo_two_jobs_share_cluster() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(2, 0, 100, 0, 0, 0, SimTime::ZERO));
+        trace.push(uniform_job(2, 0, 100, 0, 0, 0, SimTime::ZERO));
+        // 2 map slots: job 0 takes both (FIFO), finishes at 100; job 1 runs
+        // 100..200.
+        let report = run(EngineConfig::new(2, 2), &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(100));
+        assert_eq!(report.jobs[1].completion, SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn late_arrival_waits() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(1, 0, 100, 0, 0, 0, SimTime::from_millis(500)));
+        let report = run(EngineConfig::new(4, 4), &trace);
+        assert_eq!(report.jobs[0].arrival, SimTime::from_millis(500));
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(600));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        for i in 0..20 {
+            trace.push(uniform_job(
+                3 + i % 5,
+                1 + i % 3,
+                50 + (i as u64 * 13) % 200,
+                10,
+                25,
+                15,
+                SimTime::from_millis((i as u64 * 37) % 400),
+            ));
+        }
+        let r1 = run(EngineConfig::new(4, 3), &trace);
+        let r2 = run(EngineConfig::new(4, 3), &trace);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn timeline_recording() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(2, 1, 100, 20, 40, 30, SimTime::ZERO));
+        let report = run(EngineConfig::new(2, 1).with_timeline(), &trace);
+        // 2 map bars + 1 shuffle bar + 1 reduce bar
+        let maps = report.timeline.iter().filter(|t| t.phase == TimelinePhase::Map).count();
+        let shuffles =
+            report.timeline.iter().filter(|t| t.phase == TimelinePhase::Shuffle).count();
+        let reduces =
+            report.timeline.iter().filter(|t| t.phase == TimelinePhase::Reduce).count();
+        assert_eq!((maps, shuffles, reduces), (2, 1, 1));
+        for bar in &report.timeline {
+            assert!(bar.start <= bar.end);
+        }
+        // without the flag the timeline stays empty
+        let report = run(EngineConfig::new(2, 1), &trace);
+        assert!(report.timeline.is_empty());
+    }
+
+    #[test]
+    fn timeline_slots_never_oversubscribed() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        for i in 0..10 {
+            trace.push(uniform_job(6, 3, 90, 15, 35, 25, SimTime::from_millis(i * 40)));
+        }
+        let report = run(EngineConfig::new(3, 2).with_timeline(), &trace);
+        // group bars by (kind-of-slot, slot id) and check pairwise disjoint
+        let mut map_bars: std::collections::HashMap<u32, Vec<(u64, u64)>> = Default::default();
+        let mut red_bars: std::collections::HashMap<u32, Vec<(u64, u64)>> = Default::default();
+        for bar in &report.timeline {
+            let target = match bar.phase {
+                TimelinePhase::Map => &mut map_bars,
+                _ => &mut red_bars,
+            };
+            target
+                .entry(bar.slot)
+                .or_default()
+                .push((bar.start.as_millis(), bar.end.as_millis()));
+        }
+        assert!(map_bars.len() <= 3);
+        assert!(red_bars.len() <= 2);
+        for bars in map_bars.values_mut() {
+            bars.sort_unstable();
+            for w in bars.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap on map slot: {w:?}");
+            }
+        }
+        // shuffle+reduce of the same task share a slot contiguously; check
+        // distinct tasks don't overlap by merging adjacent bars first
+        for bars in red_bars.values_mut() {
+            bars.sort_unstable();
+            let mut merged: Vec<(u64, u64)> = Vec::new();
+            for &(s, e) in bars.iter() {
+                match merged.last_mut() {
+                    Some(last) if s == last.1 => last.1 = e,
+                    _ => merged.push((s, e)),
+                }
+            }
+            for w in merged.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap on reduce slot: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_count_and_makespan() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(3, 2, 100, 10, 20, 15, SimTime::ZERO));
+        let report = run(EngineConfig::new(2, 2), &trace);
+        // At least: 1 job arrival + 3*2 map events + 2*2 reduce events +
+        // all-maps + departure = 13
+        assert!(report.events_processed >= 13, "{}", report.events_processed);
+        assert_eq!(report.makespan, report.jobs[0].completion);
+    }
+
+    #[test]
+    fn zero_duration_tasks() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(2, 1, 0, 0, 0, 0, SimTime::ZERO));
+        let report = run(EngineConfig::new(1, 1), &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::ZERO);
+    }
+
+    #[test]
+    fn deadline_carried_through() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        let job = uniform_job(1, 0, 100, 0, 0, 0, SimTime::ZERO)
+            .with_deadline(SimTime::from_millis(50));
+        trace.push(job);
+        let report = run(EngineConfig::new(1, 1), &trace);
+        assert_eq!(report.jobs[0].deadline, Some(SimTime::from_millis(50)));
+        assert!(!report.jobs[0].met_deadline());
+        assert_eq!(report.missed_deadlines(), 1);
+        assert!((report.total_relative_deadline_exceeded() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = WorkloadTrace::new("t", "test");
+        let report = run(EngineConfig::new(4, 4), &trace);
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.events_processed, 0);
+    }
+
+    #[test]
+    fn heavy_trace_all_jobs_complete() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        for i in 0..200u64 {
+            trace.push(uniform_job(
+                1 + (i % 7) as usize,
+                (i % 4) as usize,
+                10 + i % 90,
+                5,
+                10,
+                8,
+                SimTime::from_millis(i * 7),
+            ));
+        }
+        let report = run(EngineConfig::new(5, 3), &trace);
+        assert_eq!(report.jobs.len(), 200);
+        for r in &report.jobs {
+            assert!(r.completion >= r.arrival);
+        }
+        // completions of FIFO'd jobs with same arrival pattern are monotone
+        // in arrival for map-only jobs; at minimum makespan covers all
+        assert_eq!(
+            report.makespan,
+            report.jobs.iter().map(|j| j.completion).max().unwrap()
+        );
+    }
+}

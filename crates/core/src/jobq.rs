@@ -1,0 +1,182 @@
+//! The job-queue view and the pluggable scheduler interface.
+//!
+//! The engine communicates with scheduling policies *"using a very narrow
+//! interface"* (§III-B): `CHOOSENEXTMAPTASK(jobQ)` and
+//! `CHOOSENEXTREDUCETASK(jobQ)`, each returning the id of the job whose
+//! task should be launched next. Policies see a read-only snapshot of every
+//! active job ([`JobEntry`]) and keep any additional state (EDF deadlines,
+//! MinEDF wanted-slot caps, fair-share deficits, ...) internally.
+
+use simmr_types::{DurationMs, JobId, SimTime};
+
+/// Read-only snapshot of one active job, as visible to a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobEntry {
+    /// Job id.
+    pub id: JobId,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// Absolute deadline, if any.
+    pub deadline: Option<SimTime>,
+    /// Map tasks not yet launched.
+    pub pending_maps: usize,
+    /// Map tasks currently occupying a slot.
+    pub running_maps: usize,
+    /// Map tasks completed.
+    pub completed_maps: usize,
+    /// Total map tasks.
+    pub total_maps: usize,
+    /// Reduce tasks not yet launched.
+    pub pending_reduces: usize,
+    /// Reduce tasks currently occupying a slot.
+    pub running_reduces: usize,
+    /// Reduce tasks completed.
+    pub completed_reduces: usize,
+    /// Total reduce tasks.
+    pub total_reduces: usize,
+    /// True once the job has passed its slowstart threshold, making its
+    /// reduce tasks schedulable.
+    pub reduce_eligible: bool,
+}
+
+impl JobEntry {
+    /// True if the policy may launch a map task of this job.
+    pub fn has_schedulable_map(&self) -> bool {
+        self.pending_maps > 0
+    }
+
+    /// True if the policy may launch a reduce task of this job.
+    pub fn has_schedulable_reduce(&self) -> bool {
+        self.reduce_eligible && self.pending_reduces > 0
+    }
+
+    /// Deadline key for EDF ordering: jobs without a deadline sort last.
+    pub fn edf_key(&self) -> (SimTime, SimTime, JobId) {
+        (self.deadline.unwrap_or(SimTime::INFINITY), self.arrival, self.id)
+    }
+}
+
+/// Snapshot of the active-job queue passed to policies.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    entries: Vec<JobEntry>,
+    /// Current simulated time at the moment of the scheduling decision.
+    pub now: SimTime,
+}
+
+impl JobQueue {
+    /// Builds a queue view.
+    pub fn new(entries: Vec<JobEntry>, now: SimTime) -> Self {
+        JobQueue { entries, now }
+    }
+
+    /// The active jobs.
+    pub fn entries(&self) -> &[JobEntry] {
+        &self.entries
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: JobId) -> Option<&JobEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Mutable lookup — used by the engine to update the snapshot after
+    /// launching a task, so a scheduling loop sees its own placements.
+    pub(crate) fn get_mut(&mut self, id: JobId) -> Option<&mut JobEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+}
+
+/// A pluggable scheduling policy (§III-C).
+///
+/// The two `choose_next_*` functions are the whole contract with the
+/// engine; the remaining methods are optional lifecycle hooks that
+/// stateful policies (e.g. MinEDF's per-job wanted-slot caps) can use.
+pub trait SchedulerPolicy {
+    /// Human-readable policy name, used in reports.
+    fn name(&self) -> &str;
+
+    /// Called once when a job arrives. `profile_deadline` carries the job's
+    /// *relative* deadline (deadline − arrival) when present, and
+    /// `template` gives policies access to the job profile for model-based
+    /// decisions.
+    fn on_job_arrival(
+        &mut self,
+        _id: JobId,
+        _template: &simmr_types::JobTemplate,
+        _relative_deadline: Option<DurationMs>,
+        _cluster: (usize, usize),
+    ) {
+    }
+
+    /// Called when a job departs, letting policies drop per-job state.
+    fn on_job_departure(&mut self, _id: JobId) {}
+
+    /// Returns the job whose next **map** task should be launched, or
+    /// `None` to leave remaining map slots idle this round.
+    fn choose_next_map_task(&mut self, jobq: &JobQueue) -> Option<JobId>;
+
+    /// Returns the job whose next **reduce** task should be launched, or
+    /// `None` to leave remaining reduce slots idle this round.
+    fn choose_next_reduce_task(&mut self, jobq: &JobQueue) -> Option<JobId>;
+
+    /// Called when every map slot is busy: the policy may name victim jobs
+    /// whose most recently launched running map task will be **killed and
+    /// requeued** (all progress lost — Hadoop kill semantics), freeing one
+    /// slot per victim for more urgent work. The default (like stock
+    /// Hadoop, and like every policy in the paper) never preempts — §V-B
+    /// attributes the "bump" in Figure 7(a) precisely to this.
+    fn map_preemptions(&mut self, _jobq: &JobQueue) -> Vec<JobId> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u32, deadline: Option<u64>) -> JobEntry {
+        JobEntry {
+            id: JobId(id),
+            arrival: SimTime::from_millis(id as u64),
+            deadline: deadline.map(SimTime::from_millis),
+            pending_maps: 1,
+            running_maps: 0,
+            completed_maps: 0,
+            total_maps: 1,
+            pending_reduces: 1,
+            running_reduces: 0,
+            completed_reduces: 0,
+            total_reduces: 1,
+            reduce_eligible: false,
+        }
+    }
+
+    #[test]
+    fn schedulable_predicates() {
+        let mut e = entry(0, None);
+        assert!(e.has_schedulable_map());
+        assert!(!e.has_schedulable_reduce()); // not yet eligible
+        e.reduce_eligible = true;
+        assert!(e.has_schedulable_reduce());
+        e.pending_reduces = 0;
+        assert!(!e.has_schedulable_reduce());
+        e.pending_maps = 0;
+        assert!(!e.has_schedulable_map());
+    }
+
+    #[test]
+    fn edf_key_orders_no_deadline_last() {
+        let with = entry(1, Some(100));
+        let without = entry(0, None);
+        assert!(with.edf_key() < without.edf_key());
+    }
+
+    #[test]
+    fn queue_lookup() {
+        let q = JobQueue::new(vec![entry(3, None), entry(7, None)], SimTime::ZERO);
+        assert_eq!(q.entries().len(), 2);
+        assert!(q.get(JobId(7)).is_some());
+        assert!(q.get(JobId(9)).is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! # simmr-core
+//!
+//! The SimMR **Simulator Engine** (§III-B of "Play It Again, SimMR!",
+//! IEEE CLUSTER 2011): a discrete-event simulator that replays job traces
+//! through a faithful model of the Hadoop job master's map/reduce slot
+//! allocation, under a pluggable scheduling policy.
+//!
+//! ## Model
+//!
+//! * The cluster is a pool of `map_slots` map slots and `reduce_slots`
+//!   reduce slots (TaskTracker internals are deliberately *not* simulated —
+//!   that is SimMR's speed advantage over Mumak and MRPerf; per-task
+//!   latencies come from the replayed job profiles instead).
+//! * Seven event types drive the simulation: job arrivals/departures, map
+//!   and reduce task arrivals/departures, and `AllMapsFinished`.
+//! * Reduce tasks launched before a job's map stage completes are **filler
+//!   tasks of infinite duration**; when `AllMapsFinished` fires their
+//!   duration is rewritten to the profile's *non-overlapping first-shuffle*
+//!   duration plus the reduce-phase duration. Later-wave reduce tasks use
+//!   *typical shuffle* + reduce durations directly. This is the shuffle
+//!   modeling that Mumak lacks (§IV-A).
+//! * Reduce scheduling for a job begins once `min_map_percent_completed`
+//!   of its maps have finished (Hadoop's "slowstart", §III-B).
+//!
+//! ## Scheduling interface
+//!
+//! The engine talks to policies through the paper's narrow two-function
+//! interface ([`SchedulerPolicy::choose_next_map_task`] /
+//! [`SchedulerPolicy::choose_next_reduce_task`]), receiving a snapshot of
+//! the job queue and returning the job whose task should run next.
+//!
+//! ```
+//! use simmr_core::{EngineConfig, SimulatorEngine, SchedulerPolicy, JobQueue};
+//! use simmr_types::{JobId, JobSpec, JobTemplate, SimTime, WorkloadTrace};
+//!
+//! /// Minimal FIFO: earliest-arrived job with a pending task.
+//! struct Fifo;
+//! impl SchedulerPolicy for Fifo {
+//!     fn name(&self) -> &'static str { "fifo" }
+//!     fn choose_next_map_task(&mut self, q: &JobQueue) -> Option<JobId> {
+//!         q.entries().iter().filter(|e| e.pending_maps > 0)
+//!             .min_by_key(|e| (e.arrival, e.id)).map(|e| e.id)
+//!     }
+//!     fn choose_next_reduce_task(&mut self, q: &JobQueue) -> Option<JobId> {
+//!         q.entries().iter().filter(|e| e.reduce_eligible && e.pending_reduces > 0)
+//!             .min_by_key(|e| (e.arrival, e.id)).map(|e| e.id)
+//!     }
+//! }
+//!
+//! let template = JobTemplate::new("wc", vec![1000; 8], vec![500], vec![600; 4], vec![300; 4]).unwrap();
+//! let mut trace = WorkloadTrace::new("demo", "doc-test");
+//! trace.push(JobSpec::new(template, SimTime::ZERO));
+//!
+//! let report = SimulatorEngine::new(EngineConfig::new(4, 2), &trace, Box::new(Fifo)).run();
+//! assert_eq!(report.jobs.len(), 1);
+//! assert!(report.jobs[0].completion > SimTime::ZERO);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod jobq;
+pub mod queue;
+
+pub use config::EngineConfig;
+pub use engine::SimulatorEngine;
+pub use event::{Event, EventKind};
+pub use jobq::{JobEntry, JobQueue, SchedulerPolicy};
+pub use queue::EventQueue;

@@ -1,0 +1,386 @@
+//! Minimal slot allocation for a deadline (the MinEDF model, §V-A).
+//!
+//! Inverting Equation 1 at a deadline `D` gives the hyperbola
+//! `a/S_M + b/S_R = D − c` (with `a = A·N_M`, `b = B·N_R`); every integral
+//! point on it meets the deadline. Lagrange multipliers minimizing
+//! `S_M + S_R` subject to the constraint give
+//!
+//! ```text
+//! S_M = (a + sqrt(a·b)) / (D − c)
+//! S_R = (b + sqrt(a·b)) / (D − c)
+//! ```
+//!
+//! The completion-time *basis* of the inversion is selectable
+//! ([`BoundBasis`]): the ARIA model offers the lower bound (aggressive —
+//! fewest slots, frequent overruns), the mean of bounds (the paper's
+//! "typically a good approximation", our default), or the upper bound
+//! (conservative — deadlines guaranteed by the makespan theorem, at the
+//! cost of over-allocation; with tight deadline factors it degenerates to
+//! the maximal allocation, i.e. MaxEDF). The `allocation_basis` ablation
+//! bench quantifies the trade-off.
+//!
+//! We take ceilings of the analytic point, then run a feasibility repair
+//! loop against [`estimate_completion`] — the analytic point is
+//! real-valued and the paper conserves slots, so we verify and nudge
+//! rather than trust the floor/ceil blindly.
+
+use crate::completion::{estimate_completion, CompletionEstimate, JobProfileSummary};
+use simmr_types::DurationMs;
+
+/// A map/reduce slot allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SlotAllocation {
+    /// Map slots `S_M`.
+    pub maps: usize,
+    /// Reduce slots `S_R`.
+    pub reduces: usize,
+}
+
+impl SlotAllocation {
+    /// Total slots, the quantity MinEDF conserves.
+    pub fn total(&self) -> usize {
+        self.maps + self.reduces
+    }
+}
+
+/// Which completion-time bound the deadline inversion targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BoundBasis {
+    /// Optimistic: size against `T_low`.
+    Lower,
+    /// The paper's default: size against `(T_low + T_up) / 2`.
+    #[default]
+    Estimate,
+    /// Conservative: size against `T_up` (deadline guaranteed when met).
+    Upper,
+}
+
+impl BoundBasis {
+    /// Evaluates the chosen bound of an estimate.
+    pub fn eval(self, est: &CompletionEstimate) -> f64 {
+        match self {
+            BoundBasis::Lower => est.low,
+            BoundBasis::Estimate => est.predicted(),
+            BoundBasis::Upper => est.up,
+        }
+    }
+}
+
+/// [`min_slots_for_deadline_with`] using the default
+/// [`BoundBasis::Estimate`] basis.
+pub fn min_slots_for_deadline(
+    profile: &JobProfileSummary,
+    deadline: DurationMs,
+    max_maps: usize,
+    max_reduces: usize,
+) -> SlotAllocation {
+    min_slots_for_deadline_with(profile, deadline, max_maps, max_reduces, BoundBasis::default())
+}
+
+/// Computes the minimal `(S_M, S_R)` whose `basis` completion time meets
+/// `deadline` (a relative duration from job start), clamped to the cluster
+/// capacity `(max_maps, max_reduces)`.
+///
+/// If even the maximum allocation misses the deadline, the maximum useful
+/// allocation (slots capped at task counts) is returned — the scheduler can
+/// do no better. Returns at least one map slot (and one reduce slot when the
+/// job has reduces): a zero allocation would never finish.
+pub fn min_slots_for_deadline_with(
+    profile: &JobProfileSummary,
+    deadline: DurationMs,
+    max_maps: usize,
+    max_reduces: usize,
+    basis: BoundBasis,
+) -> SlotAllocation {
+    let cap_m = max_maps.min(profile.num_maps).max(1);
+    let cap_r = if profile.num_reduces == 0 {
+        0
+    } else {
+        max_reduces.min(profile.num_reduces).max(1)
+    };
+    let max_alloc = SlotAllocation { maps: cap_m, reduces: cap_r };
+    let t_of = |m: usize, r: usize| basis.eval(&estimate_completion(profile, m, r));
+
+    // Fast path: even all the slots in the world cannot meet the deadline.
+    if t_of(cap_m, cap_r) > deadline as f64 {
+        return max_alloc;
+    }
+
+    // Coefficients of the T(S_M, S_R) = a/S_M + b/S_R + c hyperbola
+    // (Equation 1 form of the bounds in `completion`, dropping the
+    // clamped-at-zero wave terms — the repair loop below reconciles the
+    // analytic seed with the exact piecewise estimate):
+    //   low ≈ Mavg·N_M/S_M + (Shtyp_avg+Ravg)·N_R/S_R + Sh1avg − Shtyp_avg
+    //   up  ≈ Mavg·(N_M−1)/S_M + (Shtyp_avg+Ravg)·(N_R−1)/S_R
+    //         + Mmax + Sh1max + Shtyp_max + Rmax − Shtyp_avg
+    let n_m = profile.num_maps as f64;
+    let n_r = profile.num_reduces as f64;
+    let sr_avg = profile.sr_avg();
+    let has_r = profile.num_reduces > 0;
+    let (a, b, c) = match basis {
+        BoundBasis::Lower => (
+            profile.map.avg * n_m,
+            if has_r { sr_avg * n_r } else { 0.0 },
+            if has_r { profile.first_shuffle.avg - profile.shuffle.avg } else { 0.0 },
+        ),
+        BoundBasis::Estimate => (
+            profile.map.avg * (n_m - 0.5),
+            if has_r { sr_avg * (n_r - 0.5) } else { 0.0 },
+            0.5 * profile.map.max as f64
+                + if has_r {
+                    0.5 * (profile.first_shuffle.avg
+                        + profile.first_shuffle.max as f64
+                        + profile.sr_max())
+                        - profile.shuffle.avg
+                } else {
+                    0.0
+                },
+        ),
+        BoundBasis::Upper => (
+            profile.map.avg * (n_m - 1.0),
+            if has_r { sr_avg * (n_r - 1.0) } else { 0.0 },
+            profile.map.max as f64
+                + if has_r {
+                    profile.first_shuffle.max as f64 + profile.sr_max()
+                        - profile.shuffle.avg
+                } else {
+                    0.0
+                },
+        ),
+    };
+
+    let budget = deadline as f64 - c;
+    let analytic = if budget <= 0.0 {
+        max_alloc
+    } else if profile.num_reduces == 0 {
+        SlotAllocation { maps: ((a / budget).ceil() as usize).clamp(1, cap_m), reduces: 0 }
+    } else {
+        let root = (a * b).sqrt();
+        let s_m = ((a + root) / budget).ceil() as usize;
+        let s_r = ((b + root) / budget).ceil() as usize;
+        SlotAllocation { maps: s_m.clamp(1, cap_m), reduces: s_r.clamp(1, cap_r) }
+    };
+
+    // Feasibility repair: grow the cheaper dimension until the basis bound
+    // meets the deadline (terminates at max_alloc, known feasible).
+    let mut alloc = analytic;
+    loop {
+        if t_of(alloc.maps, alloc.reduces) <= deadline as f64 {
+            break;
+        }
+        if alloc.maps >= cap_m && alloc.reduces >= cap_r {
+            break;
+        }
+        let grow_m =
+            if alloc.maps < cap_m { t_of(alloc.maps + 1, alloc.reduces) } else { f64::INFINITY };
+        let grow_r = if alloc.reduces < cap_r {
+            t_of(alloc.maps, alloc.reduces + 1)
+        } else {
+            f64::INFINITY
+        };
+        if grow_m <= grow_r {
+            alloc.maps += 1;
+        } else {
+            alloc.reduces += 1;
+        }
+    }
+
+    // Trim pass: shrink while still meeting the deadline (cheap descent —
+    // the hyperbola analytic point is already near-minimal).
+    loop {
+        if alloc.maps > 1 && t_of(alloc.maps - 1, alloc.reduces) <= deadline as f64 {
+            alloc.maps -= 1;
+            continue;
+        }
+        if alloc.reduces > 1 && t_of(alloc.maps, alloc.reduces - 1) <= deadline as f64 {
+            alloc.reduces -= 1;
+            continue;
+        }
+        break;
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use simmr_types::JobTemplate;
+
+    fn profile(maps: usize, reduces: usize, md: u64, shd: u64, rd: u64) -> JobProfileSummary {
+        let t = JobTemplate::new(
+            "t",
+            vec![md; maps],
+            if reduces > 0 { vec![shd] } else { vec![] },
+            if reduces > 0 { vec![shd; reduces] } else { vec![] },
+            vec![rd; reduces],
+        )
+        .unwrap();
+        JobProfileSummary::from_template(&t)
+    }
+
+    #[test]
+    fn loose_deadline_needs_few_slots() {
+        let p = profile(100, 50, 1000, 500, 300);
+        // serial work ≈ 100s maps + 40s reduces; a very generous deadline
+        let alloc = min_slots_for_deadline(&p, 1_000_000, 64, 64);
+        assert!(alloc.maps <= 2, "{alloc:?}");
+        assert!(alloc.reduces <= 2, "{alloc:?}");
+    }
+
+    #[test]
+    fn tight_deadline_needs_many_slots() {
+        let p = profile(100, 50, 1000, 500, 300);
+        let loose = min_slots_for_deadline(&p, 200_000, 64, 64);
+        let tight = min_slots_for_deadline(&p, 10_000, 64, 64);
+        assert!(tight.total() > loose.total(), "tight {tight:?} loose {loose:?}");
+    }
+
+    #[test]
+    fn impossible_deadline_returns_max() {
+        let p = profile(10, 5, 10_000, 1000, 1000);
+        let alloc = min_slots_for_deadline(&p, 1, 64, 64);
+        assert_eq!(alloc, SlotAllocation { maps: 10, reduces: 5 });
+    }
+
+    #[test]
+    fn allocation_meets_deadline_when_feasible() {
+        let p = profile(40, 20, 2000, 800, 400);
+        for &deadline in &[30_000u64, 60_000, 120_000, 500_000] {
+            let max = estimate_completion(&p, 64, 64).predicted();
+            let alloc = min_slots_for_deadline(&p, deadline, 64, 64);
+            let t = estimate_completion(&p, alloc.maps, alloc.reduces).predicted();
+            if max <= deadline as f64 {
+                assert!(
+                    t <= deadline as f64 + 1e-6,
+                    "deadline {deadline}: alloc {alloc:?} predicted {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_only_job() {
+        let p = profile(20, 0, 1000, 0, 0);
+        let alloc = min_slots_for_deadline(&p, 5_000, 32, 32);
+        assert_eq!(alloc.reduces, 0);
+        assert!(alloc.maps >= 4, "{alloc:?}");
+        let t = estimate_completion(&p, alloc.maps, 0).predicted();
+        assert!(t <= 5_000.0);
+    }
+
+    #[test]
+    fn clamped_by_cluster_capacity() {
+        let p = profile(100, 100, 5000, 1000, 1000);
+        let alloc = min_slots_for_deadline(&p, 1000, 8, 8);
+        assert!(alloc.maps <= 8 && alloc.reduces <= 8);
+    }
+
+    #[test]
+    fn minimality_no_single_slot_removable() {
+        let p = profile(60, 30, 1500, 700, 350);
+        let deadline = 50_000;
+        let alloc = min_slots_for_deadline(&p, deadline, 64, 64);
+        let t = estimate_completion(&p, alloc.maps, alloc.reduces).predicted();
+        assert!(t <= deadline as f64);
+        if alloc.maps > 1 {
+            let t = estimate_completion(&p, alloc.maps - 1, alloc.reduces).predicted();
+            assert!(t > deadline as f64, "map slot removable");
+        }
+        if alloc.reduces > 1 {
+            let t = estimate_completion(&p, alloc.maps, alloc.reduces - 1).predicted();
+            assert!(t > deadline as f64, "reduce slot removable");
+        }
+    }
+
+    #[test]
+    fn basis_ordering_lower_needs_fewest_slots() {
+        let p = profile(80, 40, 1500, 600, 300);
+        let deadline = 60_000;
+        let lo = min_slots_for_deadline_with(&p, deadline, 64, 64, BoundBasis::Lower);
+        let mid = min_slots_for_deadline_with(&p, deadline, 64, 64, BoundBasis::Estimate);
+        let up = min_slots_for_deadline_with(&p, deadline, 64, 64, BoundBasis::Upper);
+        assert!(lo.total() <= mid.total(), "{lo:?} vs {mid:?}");
+        assert!(mid.total() <= up.total(), "{mid:?} vs {up:?}");
+    }
+
+    #[test]
+    fn upper_basis_guarantees_bound() {
+        let p = profile(50, 10, 2000, 500, 500);
+        let deadline = 120_000;
+        let alloc = min_slots_for_deadline_with(&p, deadline, 64, 64, BoundBasis::Upper);
+        let worst = estimate_completion(&p, alloc.maps, alloc.reduces).up;
+        // feasible case: the upper bound itself meets the deadline
+        if estimate_completion(&p, 64, 64).up <= deadline as f64 {
+            assert!(worst <= deadline as f64);
+        }
+    }
+
+    #[test]
+    fn basis_eval() {
+        let est = CompletionEstimate { low: 10.0, up: 30.0 };
+        assert_eq!(BoundBasis::Lower.eval(&est), 10.0);
+        assert_eq!(BoundBasis::Estimate.eval(&est), 20.0);
+        assert_eq!(BoundBasis::Upper.eval(&est), 30.0);
+    }
+
+    proptest! {
+        /// For any profile and deadline: the returned allocation is within
+        /// capacity, nonzero where needed, and meets the deadline whenever
+        /// the full-capacity allocation does.
+        #[test]
+        fn allocation_sound(
+            maps in 1usize..200,
+            reduces in 0usize..100,
+            md in 100u64..5_000,
+            shd in 10u64..2_000,
+            rd in 10u64..2_000,
+            deadline in 1_000u64..2_000_000,
+        ) {
+            let p = profile(maps, reduces, md, shd, rd);
+            let alloc = min_slots_for_deadline(&p, deadline, 64, 64);
+            prop_assert!(alloc.maps >= 1 && alloc.maps <= 64);
+            prop_assert!(alloc.reduces <= 64);
+            if reduces > 0 { prop_assert!(alloc.reduces >= 1); }
+            let full = estimate_completion(&p, 64, 64).predicted();
+            if full <= deadline as f64 {
+                let t = estimate_completion(&p, alloc.maps, alloc.reduces).predicted();
+                prop_assert!(t <= deadline as f64 + 1e-6);
+            }
+        }
+
+        /// Monotonicity: relaxing the deadline never increases the minimal
+        /// total slot count.
+        #[test]
+        fn monotone_in_deadline(
+            maps in 1usize..100,
+            reduces in 1usize..50,
+            deadline in 10_000u64..500_000,
+        ) {
+            let p = profile(maps, reduces, 1000, 400, 200);
+            let tight = min_slots_for_deadline(&p, deadline, 64, 64);
+            let loose = min_slots_for_deadline(&p, deadline * 2, 64, 64);
+            prop_assert!(loose.total() <= tight.total(),
+                "loose {loose:?} > tight {tight:?}");
+        }
+
+        /// Every basis yields an allocation meeting its own bound whenever
+        /// feasible.
+        #[test]
+        fn all_bases_self_consistent(
+            maps in 1usize..100,
+            reduces in 0usize..50,
+            deadline in 5_000u64..1_000_000,
+        ) {
+            let p = profile(maps, reduces, 800, 300, 200);
+            for basis in [BoundBasis::Lower, BoundBasis::Estimate, BoundBasis::Upper] {
+                let alloc = min_slots_for_deadline_with(&p, deadline, 64, 64, basis);
+                let full = basis.eval(&estimate_completion(&p, 64, 64));
+                if full <= deadline as f64 {
+                    let t = basis.eval(&estimate_completion(&p, alloc.maps, alloc.reduces));
+                    prop_assert!(t <= deadline as f64 + 1e-6, "{basis:?} {alloc:?}");
+                }
+            }
+        }
+    }
+}

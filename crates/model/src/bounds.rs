@@ -1,0 +1,141 @@
+//! Makespan bounds for greedy task assignment.
+//!
+//! §V-A of the paper: *"Let T1..Tn be the duration of n tasks ... Let k be
+//! the number of slots ... Then the makespan of a greedy task assignment is
+//! at least `n·avg/k` and at most `(n−1)·avg/k + max`."*
+
+use simmr_types::DurationMs;
+
+/// Lower/upper makespan bounds, in (fractional) milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakespanBounds {
+    /// Lower bound `n·avg/k`.
+    pub low: f64,
+    /// Upper bound `(n−1)·avg/k + max`.
+    pub up: f64,
+}
+
+impl MakespanBounds {
+    /// The midpoint `(low + up)/2` — "typically a good approximation of the
+    /// job completion time" (§V-A).
+    pub fn estimate(&self) -> f64 {
+        0.5 * (self.low + self.up)
+    }
+}
+
+/// Computes the greedy-assignment makespan bounds for a task set summarized
+/// by `(n, avg, max)` running on `k` slots.
+///
+/// `k == 0` or `n == 0` yields zero bounds (no work can be placed /
+/// no work exists); callers treat zero-slot allocations as infeasible
+/// separately.
+pub fn makespan_bounds(n: usize, avg: f64, max: DurationMs, k: usize) -> MakespanBounds {
+    if n == 0 || k == 0 {
+        return MakespanBounds { low: 0.0, up: 0.0 };
+    }
+    let n_f = n as f64;
+    let k_f = k as f64;
+    MakespanBounds {
+        low: n_f * avg / k_f,
+        up: (n_f - 1.0) * avg / k_f + max as f64,
+    }
+}
+
+/// Reference implementation of the online greedy assignment: each task (in
+/// the given order) goes to the slot with the earliest finishing time.
+/// Returns the resulting makespan. Used by property tests to certify
+/// [`makespan_bounds`] and by the engine tests as an oracle.
+pub fn greedy_makespan(durations: &[DurationMs], k: usize) -> DurationMs {
+    if durations.is_empty() || k == 0 {
+        return 0;
+    }
+    // a simple O(n·k) loop; n and k are small in tests and this is the
+    // *reference* implementation, clarity over speed
+    let mut finish = vec![0u64; k.min(durations.len())];
+    for &d in durations {
+        let (idx, _) = finish
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("non-empty slot vector");
+        finish[idx] += d;
+    }
+    finish.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounds_formulae() {
+        // 4 tasks of avg 10, max 16, on 2 slots
+        let b = makespan_bounds(4, 10.0, 16, 2);
+        assert_eq!(b.low, 20.0);
+        assert_eq!(b.up, 31.0);
+        assert_eq!(b.estimate(), 25.5);
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert_eq!(makespan_bounds(0, 10.0, 10, 4).up, 0.0);
+        assert_eq!(makespan_bounds(5, 10.0, 10, 0).low, 0.0);
+        assert_eq!(greedy_makespan(&[], 3), 0);
+        assert_eq!(greedy_makespan(&[5, 5], 0), 0);
+    }
+
+    #[test]
+    fn greedy_single_slot_is_sum() {
+        assert_eq!(greedy_makespan(&[3, 4, 5], 1), 12);
+    }
+
+    #[test]
+    fn greedy_many_slots_is_max() {
+        assert_eq!(greedy_makespan(&[3, 4, 5], 10), 5);
+    }
+
+    #[test]
+    fn greedy_balances() {
+        // tasks 5,5,5,5 on 2 slots => 10
+        assert_eq!(greedy_makespan(&[5, 5, 5, 5], 2), 10);
+        // 8,2,2,2,2 on 2 slots: greedy = 8 | 2+2+2+2 = 8
+        assert_eq!(greedy_makespan(&[8, 2, 2, 2, 2], 2), 8);
+    }
+
+    fn avg_max(d: &[DurationMs]) -> (f64, DurationMs) {
+        let avg = d.iter().map(|&x| x as f64).sum::<f64>() / d.len() as f64;
+        let max = d.iter().copied().max().unwrap();
+        (avg, max)
+    }
+
+    proptest! {
+        /// The paper's core claim: greedy makespan always lies in
+        /// [n·avg/k, (n−1)·avg/k + max].
+        #[test]
+        fn greedy_within_bounds(
+            durations in proptest::collection::vec(1u64..10_000, 1..200),
+            k in 1usize..32,
+        ) {
+            let makespan = greedy_makespan(&durations, k) as f64;
+            let (avg, max) = avg_max(&durations);
+            let b = makespan_bounds(durations.len(), avg, max, k);
+            // float slack for the avg computation
+            prop_assert!(makespan >= b.low - 1e-6,
+                "makespan {makespan} < low {}", b.low);
+            prop_assert!(makespan <= b.up + 1e-6,
+                "makespan {makespan} > up {}", b.up);
+        }
+
+        /// More slots never hurt the greedy makespan.
+        #[test]
+        fn greedy_monotone_in_slots(
+            durations in proptest::collection::vec(1u64..1_000, 1..100),
+            k in 1usize..16,
+        ) {
+            let m1 = greedy_makespan(&durations, k);
+            let m2 = greedy_makespan(&durations, k + 1);
+            prop_assert!(m2 <= m1);
+        }
+    }
+}

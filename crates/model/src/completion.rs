@@ -1,0 +1,195 @@
+//! Job completion-time estimation (Equation 1 of the paper).
+//!
+//! A job's profile is summarized by per-phase `(count, avg, max)` triples;
+//! the completion time under an allocation of `S_M` map slots and `S_R`
+//! reduce slots is bounded by applying the [`crate::bounds`] model to the
+//! map stage and to the (shuffle + reduce) stage, plus the non-overlapping
+//! first-shuffle term:
+//!
+//! ```text
+//! T_low = Mavg·N_M/S_M            + Sh1avg + SRavg·N_R/S_R
+//! T_up  = Mavg·(N_M−1)/S_M + Mmax + Sh1max + SRavg·(N_R−1)/S_R + SRmax
+//! ```
+//!
+//! where `SR = typical-shuffle + reduce` per task. Both collapse to the
+//! paper's `T = A·N_M/S_M + B·N_R/S_R + C` form with
+//! `A = Mavg`, `B = SRavg` and phase-constant `C`.
+
+use simmr_types::{JobTemplate, PhaseStats};
+
+/// Per-phase summary of a job profile, the model's input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobProfileSummary {
+    /// Number of map tasks.
+    pub num_maps: usize,
+    /// Number of reduce tasks.
+    pub num_reduces: usize,
+    /// Map-task durations.
+    pub map: PhaseStats,
+    /// Non-overlapping first-shuffle durations.
+    pub first_shuffle: PhaseStats,
+    /// Typical shuffle durations.
+    pub shuffle: PhaseStats,
+    /// Reduce-phase durations.
+    pub reduce: PhaseStats,
+}
+
+impl JobProfileSummary {
+    /// Extracts the summary from a job template.
+    pub fn from_template(t: &JobTemplate) -> Self {
+        JobProfileSummary {
+            num_maps: t.num_maps,
+            num_reduces: t.num_reduces,
+            map: t.map_stats(),
+            first_shuffle: t.first_shuffle_stats(),
+            shuffle: t.shuffle_stats(),
+            reduce: t.reduce_stats(),
+        }
+    }
+
+    /// Combined average duration of one reduce task (typical shuffle +
+    /// reduce phase) — the `B` coefficient.
+    pub fn sr_avg(&self) -> f64 {
+        self.shuffle.avg + self.reduce.avg
+    }
+
+    /// Combined maximum duration of one reduce task.
+    pub fn sr_max(&self) -> f64 {
+        (self.shuffle.max + self.reduce.max) as f64
+    }
+}
+
+/// Lower/upper/estimate completion times for one allocation, in fractional
+/// milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionEstimate {
+    /// Lower bound `T_J^low`.
+    pub low: f64,
+    /// Upper bound `T_J^up`.
+    pub up: f64,
+}
+
+impl CompletionEstimate {
+    /// The model's point prediction: the average of the two bounds.
+    pub fn predicted(&self) -> f64 {
+        0.5 * (self.low + self.up)
+    }
+}
+
+/// Estimates job completion time for an allocation of `map_slots` /
+/// `reduce_slots` (Equation 1). Slots are capped at the respective task
+/// counts (extra slots beyond one per task are idle). An allocation of zero
+/// map slots (or zero reduce slots while reduces exist) returns
+/// `f64::INFINITY` bounds — the job can never finish.
+pub fn estimate_completion(
+    profile: &JobProfileSummary,
+    map_slots: usize,
+    reduce_slots: usize,
+) -> CompletionEstimate {
+    if map_slots == 0 || (profile.num_reduces > 0 && reduce_slots == 0) {
+        return CompletionEstimate { low: f64::INFINITY, up: f64::INFINITY };
+    }
+    let s_m = map_slots.min(profile.num_maps).max(1) as f64;
+    let n_m = profile.num_maps as f64;
+
+    let mut low = profile.map.avg * n_m / s_m;
+    let mut up = profile.map.avg * (n_m - 1.0) / s_m + profile.map.max as f64;
+
+    if profile.num_reduces > 0 {
+        let s_r = reduce_slots.min(profile.num_reduces).max(1) as f64;
+        let n_r = profile.num_reduces as f64;
+        low += profile.first_shuffle.avg
+            + profile.shuffle.avg * (n_r / s_r - 1.0).max(0.0)
+            + profile.reduce.avg * n_r / s_r;
+        up += profile.first_shuffle.max as f64
+            + profile.shuffle.avg * ((n_r - 1.0) / s_r - 1.0).max(0.0)
+            + profile.shuffle.max as f64
+            + profile.reduce.avg * (n_r - 1.0) / s_r
+            + profile.reduce.max as f64;
+    }
+    CompletionEstimate { low, up }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmr_types::JobTemplate;
+
+    fn uniform_template(maps: usize, reduces: usize, md: u64, shd: u64, rd: u64) -> JobTemplate {
+        JobTemplate::new(
+            "t",
+            vec![md; maps],
+            vec![shd; reduces.clamp(1, 4)],
+            vec![shd; reduces.max(1)],
+            vec![rd; reduces],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn map_only_job() {
+        let t = JobTemplate::new("m", vec![100; 10], vec![], vec![], vec![]).unwrap();
+        let p = JobProfileSummary::from_template(&t);
+        let est = estimate_completion(&p, 5, 0);
+        // uniform durations: low = 10*100/5 = 200, up = 9*100/5 + 100 = 280
+        assert_eq!(est.low, 200.0);
+        assert_eq!(est.up, 280.0);
+        assert_eq!(est.predicted(), 240.0);
+    }
+
+    #[test]
+    fn full_job_bounds_order() {
+        let t = uniform_template(20, 10, 100, 50, 30);
+        let p = JobProfileSummary::from_template(&t);
+        let est = estimate_completion(&p, 4, 2);
+        assert!(est.low <= est.up);
+        assert!(est.low > 0.0);
+        // low = 20*100/4 + Sh1(50) + Shtyp(50)*(10/2 - 1) + R(30)*10/2
+        //     = 500 + 50 + 200 + 150 = 900
+        assert!((est.low - 900.0).abs() < 1e-9, "low={}", est.low);
+    }
+
+    #[test]
+    fn more_slots_never_slower() {
+        let t = uniform_template(50, 20, 200, 80, 40);
+        let p = JobProfileSummary::from_template(&t);
+        let mut prev = f64::INFINITY;
+        for slots in 1..=50 {
+            let est = estimate_completion(&p, slots, slots);
+            assert!(est.predicted() <= prev + 1e-9);
+            prev = est.predicted();
+        }
+    }
+
+    #[test]
+    fn slots_capped_at_task_count() {
+        let t = uniform_template(4, 2, 100, 10, 10);
+        let p = JobProfileSummary::from_template(&t);
+        let a = estimate_completion(&p, 4, 2);
+        let b = estimate_completion(&p, 400, 200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_slots_infeasible() {
+        let t = uniform_template(4, 2, 100, 10, 10);
+        let p = JobProfileSummary::from_template(&t);
+        assert!(estimate_completion(&p, 0, 2).low.is_infinite());
+        assert!(estimate_completion(&p, 2, 0).up.is_infinite());
+        // ...but a map-only job needs no reduce slots
+        let t = JobTemplate::new("m", vec![10; 4], vec![], vec![], vec![]).unwrap();
+        let p = JobProfileSummary::from_template(&t);
+        assert!(estimate_completion(&p, 2, 0).up.is_finite());
+    }
+
+    #[test]
+    fn profile_summary_extraction() {
+        let t = JobTemplate::new("x", vec![10, 30], vec![5], vec![8, 12], vec![4, 6]).unwrap();
+        let p = JobProfileSummary::from_template(&t);
+        assert_eq!(p.num_maps, 2);
+        assert_eq!(p.map.avg, 20.0);
+        assert_eq!(p.map.max, 30);
+        assert_eq!(p.sr_avg(), 10.0 + 5.0);
+        assert_eq!(p.sr_max(), 12.0 + 6.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # simmr-model
+//!
+//! The bounds-based MapReduce performance model that powers the MinEDF
+//! scheduler (§V-A of the SimMR paper, introduced in the companion ARIA
+//! paper, ICAC'11).
+//!
+//! Three layers:
+//!
+//! * [`bounds`] — the general makespan bounds for `n` tasks greedily
+//!   assigned to `k` slots: `low = n·avg/k`, `up = (n−1)·avg/k + max`,
+//!   plus a reference greedy-assignment simulator used by the property
+//!   tests to certify the bounds;
+//! * [`completion`] — per-job completion-time estimation `T_J^low/T_J^up`
+//!   as a function of allocated map/reduce slots (Equation 1 of the paper);
+//! * [`allocation`] — the inverse problem: the minimal `(S_M, S_R)` meeting
+//!   a deadline, found on the allocation hyperbola via Lagrange multipliers.
+
+pub mod allocation;
+pub mod bounds;
+pub mod completion;
+
+pub use allocation::{min_slots_for_deadline, min_slots_for_deadline_with, BoundBasis, SlotAllocation};
+pub use bounds::{greedy_makespan, makespan_bounds, MakespanBounds};
+pub use completion::{estimate_completion, CompletionEstimate, JobProfileSummary};

@@ -1,0 +1,458 @@
+//! # simmr-mumak
+//!
+//! A reimplementation of Apache's **Mumak** MapReduce simulator
+//! (MAPREDUCE-728), the baseline SimMR is compared against in §IV of the
+//! paper. Mumak replays Rumen traces and differs from SimMR in two ways
+//! that the paper measures:
+//!
+//! 1. **It simulates TaskTrackers and the heartbeats between them** —
+//!    every simulated worker heartbeats the JobTracker on a fixed interval
+//!    and task assignment happens only then. This inflates the event count
+//!    enormously, which is why Mumak is two-plus orders of magnitude slower
+//!    than SimMR on the same trace (§IV-E, Figure 6).
+//! 2. **It does not model the shuffle phase.** A reduce task's runtime is
+//!    modeled as *"the summation of the time taken for completion of all
+//!    maps and the time taken for an individual task to complete the
+//!    reduce phase (without the shuffle)"* (§IV-A) — so Mumak
+//!    systematically underestimates completion times of shuffle-heavy
+//!    jobs, producing the 37%-average error of Figure 5(a).
+//!
+//! Scheduling is FIFO (the scheduler available in both simulators in the
+//! paper's comparison).
+
+use simmr_trace::RumenTrace;
+use simmr_types::{JobId, JobResult, SimTime, SimulationReport, TaskKind};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Mumak configuration: the simulated cluster the trace is replayed on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MumakConfig {
+    /// Simulated TaskTracker count.
+    pub num_trackers: usize,
+    /// Map slots per tracker.
+    pub map_slots_per_tracker: usize,
+    /// Reduce slots per tracker.
+    pub reduce_slots_per_tracker: usize,
+    /// Heartbeat interval in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Fraction of a job's maps that must finish before reduces launch.
+    pub slowstart: f64,
+}
+
+impl Default for MumakConfig {
+    fn default() -> Self {
+        MumakConfig {
+            num_trackers: 64,
+            map_slots_per_tracker: 1,
+            reduce_slots_per_tracker: 1,
+            heartbeat_ms: 600,
+            slowstart: 0.05,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    JobArrival { job: u32 },
+    Heartbeat { tracker: u32 },
+    MapDone { job: u32, tracker: u32 },
+    AllMapsFinished { job: u32 },
+    ReduceDone { job: u32, tracker: u32 },
+}
+
+struct JobRt {
+    name: String,
+    arrival: SimTime,
+    active: bool,
+    finished: bool,
+    map_durations: Vec<u64>,
+    reduce_phases: Vec<u64>,
+    maps_launched: usize,
+    maps_done: usize,
+    reduces_launched: usize,
+    reduces_done: usize,
+    maps_finish: Option<SimTime>,
+    threshold: usize,
+    /// Reduce tasks waiting for `AllMapsFinished`: `(tracker)`.
+    waiting_reduces: Vec<u32>,
+    finish: SimTime,
+}
+
+impl JobRt {
+    fn complete(&self) -> bool {
+        self.maps_done == self.map_durations.len()
+            && self.reduces_done == self.reduce_phases.len()
+    }
+}
+
+/// The Mumak simulator: replays a [`RumenTrace`] under FIFO.
+pub struct MumakSim {
+    config: MumakConfig,
+}
+
+impl MumakSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a configuration without trackers or slots.
+    pub fn new(config: MumakConfig) -> Self {
+        assert!(config.num_trackers > 0, "Mumak needs trackers");
+        assert!(
+            config.map_slots_per_tracker + config.reduce_slots_per_tracker > 0,
+            "trackers need slots"
+        );
+        MumakSim { config }
+    }
+
+    /// Replays the trace to completion.
+    pub fn run(&self, trace: &RumenTrace) -> SimulationReport {
+        let cfg = self.config;
+        let mut queue: BinaryHeap<Reverse<(SimTime, u64, Ev)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |q: &mut BinaryHeap<Reverse<(SimTime, u64, Ev)>>, t: SimTime, e: Ev| {
+            q.push(Reverse((t, seq, e)));
+            seq += 1;
+        };
+
+        let mut jobs: Vec<JobRt> = trace
+            .jobs
+            .iter()
+            .map(|j| {
+                let map_durations: Vec<u64> =
+                    j.maps().iter().map(|t| t.runtime_ms()).collect();
+                // Mumak ignores the shuffle boundary: only the reduce
+                // phase survives into the model
+                let reduce_phases: Vec<u64> =
+                    j.reduces().iter().map(|t| t.reduce_phase_ms()).collect();
+                let n = map_durations.len();
+                let threshold = if cfg.slowstart <= 0.0 || n == 0 {
+                    0
+                } else {
+                    ((cfg.slowstart * n as f64).ceil() as usize).clamp(1, n)
+                };
+                JobRt {
+                    name: j.name.clone(),
+                    arrival: j.submit,
+                    active: false,
+                    finished: false,
+                    map_durations,
+                    reduce_phases,
+                    maps_launched: 0,
+                    maps_done: 0,
+                    reduces_launched: 0,
+                    reduces_done: 0,
+                    maps_finish: None,
+                    threshold,
+                    waiting_reduces: Vec::new(),
+                    finish: SimTime::ZERO,
+                }
+            })
+            .collect();
+
+        for (i, j) in jobs.iter().enumerate() {
+            push(&mut queue, j.arrival, Ev::JobArrival { job: i as u32 });
+        }
+        // staggered heartbeats
+        for tracker in 0..cfg.num_trackers {
+            let offset = (tracker as u64 * cfg.heartbeat_ms.max(1)) / cfg.num_trackers as u64;
+            push(
+                &mut queue,
+                SimTime::from_millis(offset),
+                Ev::Heartbeat { tracker: tracker as u32 },
+            );
+        }
+
+        let mut free_map = vec![cfg.map_slots_per_tracker; cfg.num_trackers];
+        let mut free_reduce = vec![cfg.reduce_slots_per_tracker; cfg.num_trackers];
+        let mut remaining = jobs.len();
+        let mut events = 0u64;
+        let mut makespan = SimTime::ZERO;
+
+        let fifo_pick = |jobs: &[JobRt], want_map: bool| -> Option<u32> {
+            jobs.iter()
+                .enumerate()
+                .filter(|(_, j)| {
+                    j.active
+                        && !j.finished
+                        && if want_map {
+                            j.maps_launched < j.map_durations.len()
+                        } else {
+                            j.reduces_launched < j.reduce_phases.len()
+                                && j.maps_done >= j.threshold
+                        }
+                })
+                .min_by_key(|(i, j)| (j.arrival, *i))
+                .map(|(i, _)| i as u32)
+        };
+
+        while let Some(Reverse((now, _, ev))) = queue.pop() {
+            events += 1;
+            makespan = now;
+            match ev {
+                Ev::JobArrival { job } => {
+                    jobs[job as usize].active = true;
+                    if jobs[job as usize].map_durations.is_empty() {
+                        // degenerate map-less job completes immediately
+                        let j = &mut jobs[job as usize];
+                        j.maps_finish = Some(now);
+                        if j.reduce_phases.is_empty() {
+                            j.finished = true;
+                            j.finish = now;
+                            remaining -= 1;
+                        }
+                    }
+                }
+                Ev::Heartbeat { tracker } => {
+                    let t = tracker as usize;
+                    while free_map[t] > 0 {
+                        let Some(job) = fifo_pick(&jobs, true) else { break };
+                        let j = &mut jobs[job as usize];
+                        let dur = j.map_durations[j.maps_launched];
+                        j.maps_launched += 1;
+                        free_map[t] -= 1;
+                        push(&mut queue, now + dur, Ev::MapDone { job, tracker });
+                    }
+                    while free_reduce[t] > 0 {
+                        let Some(job) = fifo_pick(&jobs, false) else { break };
+                        let j = &mut jobs[job as usize];
+                        let idx = j.reduces_launched;
+                        j.reduces_launched += 1;
+                        free_reduce[t] -= 1;
+                        match j.maps_finish {
+                            Some(_) => {
+                                // maps already done: reduce phase only
+                                let dur = j.reduce_phases[idx];
+                                push(&mut queue, now + dur, Ev::ReduceDone { job, tracker });
+                            }
+                            None => {
+                                // Mumak models the reduce as (all maps) +
+                                // (reduce phase): park it until the
+                                // AllMapsFinished event
+                                j.waiting_reduces.push(tracker);
+                            }
+                        }
+                    }
+                    if remaining > 0 {
+                        push(
+                            &mut queue,
+                            now + cfg.heartbeat_ms.max(1),
+                            Ev::Heartbeat { tracker },
+                        );
+                    }
+                }
+                Ev::MapDone { job, tracker } => {
+                    free_map[tracker as usize] += 1;
+                    let j = &mut jobs[job as usize];
+                    j.maps_done += 1;
+                    if j.maps_done == j.map_durations.len() {
+                        push(&mut queue, now, Ev::AllMapsFinished { job });
+                    }
+                }
+                Ev::AllMapsFinished { job } => {
+                    let waiting = {
+                        let j = &mut jobs[job as usize];
+                        j.maps_finish = Some(now);
+                        std::mem::take(&mut j.waiting_reduces)
+                    };
+                    // release parked reduces: they complete a reduce-phase
+                    // duration after the map stage, with NO shuffle term
+                    let base = jobs[job as usize].reduces_done;
+                    for (k, tracker) in waiting.into_iter().enumerate() {
+                        let dur = jobs[job as usize].reduce_phases[base + k];
+                        push(&mut queue, now + dur, Ev::ReduceDone { job, tracker });
+                    }
+                    if jobs[job as usize].reduce_phases.is_empty() {
+                        let j = &mut jobs[job as usize];
+                        if !j.finished {
+                            j.finished = true;
+                            j.finish = now;
+                            remaining -= 1;
+                        }
+                    }
+                }
+                Ev::ReduceDone { job, tracker } => {
+                    free_reduce[tracker as usize] += 1;
+                    let j = &mut jobs[job as usize];
+                    j.reduces_done += 1;
+                    if j.complete() && !j.finished {
+                        j.finished = true;
+                        j.finish = now;
+                        j.active = false;
+                        remaining -= 1;
+                    }
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+
+        SimulationReport {
+            jobs: jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| JobResult {
+                    job: JobId(i as u32),
+                    name: j.name.clone(),
+                    arrival: j.arrival,
+                    first_map_start: None,
+                    maps_finished: j.maps_finish,
+                    completion: j.finish,
+                    deadline: None,
+                    num_maps: j.map_durations.len(),
+                    num_reduces: j.reduce_phases.len(),
+                })
+                .collect(),
+            makespan,
+            events_processed: events,
+            timeline: Vec::new(),
+        }
+    }
+}
+
+/// Convenience: count tasks of a kind in a Rumen trace (diagnostics).
+pub fn count_tasks(trace: &RumenTrace, kind: TaskKind) -> usize {
+    trace
+        .jobs
+        .iter()
+        .flat_map(|j| j.tasks.iter())
+        .filter(|t| t.kind == kind)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmr_trace::{RumenJob, RumenTask};
+
+    fn rumen_job(
+        id: u32,
+        submit_ms: u64,
+        maps: &[(u64, u64)],
+        reduces: &[(u64, u64, u64, u64)],
+    ) -> RumenJob {
+        let mut tasks = Vec::new();
+        for (i, &(s, e)) in maps.iter().enumerate() {
+            tasks.push(RumenTask {
+                kind: TaskKind::Map,
+                idx: i as u32,
+                start: SimTime::from_millis(s),
+                shuffle_end: None,
+                sort_end: None,
+                end: SimTime::from_millis(e),
+                node: 0,
+            });
+        }
+        for (i, &(s, sh, so, e)) in reduces.iter().enumerate() {
+            tasks.push(RumenTask {
+                kind: TaskKind::Reduce,
+                idx: i as u32,
+                start: SimTime::from_millis(s),
+                shuffle_end: Some(SimTime::from_millis(sh)),
+                sort_end: Some(SimTime::from_millis(so)),
+                end: SimTime::from_millis(e),
+                node: 0,
+            });
+        }
+        RumenJob {
+            id,
+            name: format!("job{id}"),
+            submit: SimTime::from_millis(submit_ms),
+            finish: SimTime::from_millis(
+                maps.iter()
+                    .map(|&(_, e)| e)
+                    .chain(reduces.iter().map(|&(_, _, _, e)| e))
+                    .max()
+                    .unwrap_or(submit_ms),
+            ),
+            tasks,
+        }
+    }
+
+    fn config(trackers: usize) -> MumakConfig {
+        MumakConfig { num_trackers: trackers, heartbeat_ms: 100, ..MumakConfig::default() }
+    }
+
+    #[test]
+    fn map_only_replay() {
+        // 2 maps of 1000ms each, 2 trackers: both run in the first
+        // heartbeat round => completion ≈ 1000 + heartbeat offset
+        let trace =
+            RumenTrace { jobs: vec![rumen_job(0, 0, &[(0, 1000), (0, 1000)], &[])] };
+        let report = MumakSim::new(config(2)).run(&trace);
+        let done = report.jobs[0].completion.as_millis();
+        assert!((1000..1300).contains(&done), "completion {done}");
+    }
+
+    #[test]
+    fn shuffle_time_is_dropped() {
+        // real execution: map ends at 1000; reduce start 500, shuffle+sort
+        // until 5000, reduce phase 5000->6000 (total job 6000ms).
+        // Mumak: reduce completes at all_maps(~1000) + reduce_phase(1000)
+        // ≈ 2000 — a gross underestimate, which is the point.
+        let trace = RumenTrace {
+            jobs: vec![rumen_job(0, 0, &[(0, 1000)], &[(500, 4800, 5000, 6000)])],
+        };
+        let report = MumakSim::new(config(2)).run(&trace);
+        let done = report.jobs[0].completion.as_millis();
+        assert!(done < 2600, "Mumak must underestimate: {done}");
+        assert!(done >= 2000, "reduce phase still counted: {done}");
+    }
+
+    #[test]
+    fn fifo_ordering_between_jobs() {
+        let trace = RumenTrace {
+            jobs: vec![
+                rumen_job(0, 0, &[(0, 1000), (0, 1000)], &[]),
+                rumen_job(1, 10, &[(0, 1000), (0, 1000)], &[]),
+            ],
+        };
+        // 1 tracker, 1 map slot: job0's maps run before job1's
+        let report = MumakSim::new(config(1)).run(&trace);
+        assert!(report.jobs[0].completion < report.jobs[1].completion);
+    }
+
+    #[test]
+    fn heartbeat_granularity_dominates_event_count() {
+        let trace = RumenTrace {
+            jobs: vec![rumen_job(0, 0, &[(0, 60_000)], &[])],
+        };
+        let report = MumakSim::new(MumakConfig::default()).run(&trace);
+        // 64 trackers * (60s / 0.6s) = ~6400 heartbeats for a 1-task job
+        assert!(
+            report.events_processed > 3_000,
+            "expected heartbeat flood, got {}",
+            report.events_processed
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let report = MumakSim::new(config(2)).run(&RumenTrace::default());
+        assert!(report.jobs.is_empty());
+    }
+
+    #[test]
+    fn slowstart_gates_reduce_launch() {
+        // 10 maps, threshold 5%=1: reduce may launch after the first map
+        let maps: Vec<(u64, u64)> = (0..10).map(|i| (0, 1000 + i * 10)).collect();
+        let trace = RumenTrace {
+            jobs: vec![rumen_job(0, 0, &maps, &[(0, 0, 0, 500)])],
+        };
+        let report = MumakSim::new(config(4)).run(&trace);
+        // reduce phase = 500; all maps done ≈ 3 waves on 4 trackers
+        let j = &report.jobs[0];
+        assert!(j.completion >= j.maps_finished.unwrap());
+    }
+
+    #[test]
+    fn count_tasks_helper() {
+        let trace = RumenTrace {
+            jobs: vec![rumen_job(0, 0, &[(0, 1), (0, 2)], &[(0, 1, 1, 2)])],
+        };
+        assert_eq!(count_tasks(&trace, TaskKind::Map), 2);
+        assert_eq!(count_tasks(&trace, TaskKind::Reduce), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! # simmr-sched
+//!
+//! Pluggable scheduling policies for the SimMR engine (§III-C and §V of the
+//! paper):
+//!
+//! * [`FifoPolicy`] — Hadoop's default FIFO: earliest-arrived job first;
+//! * [`MaxEdfPolicy`] — Earliest-Deadline-First ordering with FIFO-style
+//!   greedy resource allocation (grab every free slot);
+//! * [`MinEdfPolicy`] — EDF ordering with *minimal* resource allocation:
+//!   on arrival, the ARIA bounds model computes the smallest `(S_M, S_R)`
+//!   that meets the job's deadline, and the policy never runs more tasks
+//!   than that, leaving spare slots to later arrivals;
+//! * [`FairSharePolicy`] — an HFS-flavoured extension: the job with the
+//!   smallest running-task share goes first;
+//! * [`CapacityPolicy`] — a Capacity-Scheduler-flavoured extension:
+//!   weighted queues with FIFO inside each queue.
+//!
+//! All policies implement [`simmr_core::SchedulerPolicy`] and are
+//! deterministic: ties break on `(arrival, job id)`.
+
+pub mod capacity;
+pub mod edf;
+pub mod fair;
+pub mod fifo;
+
+pub use capacity::CapacityPolicy;
+pub use edf::{MaxEdfPolicy, MinEdfPolicy};
+pub use fair::FairSharePolicy;
+pub use fifo::FifoPolicy;
+
+use simmr_core::SchedulerPolicy;
+
+/// The built-in policies by name, for CLIs and experiment harnesses.
+///
+/// Returns `None` for an unknown name. Valid names: `fifo`, `maxedf`,
+/// `minedf`, `fair`, and the preemptive variants `maxedf-p` / `minedf-p`.
+pub fn policy_by_name(name: &str) -> Option<Box<dyn SchedulerPolicy>> {
+    match name {
+        "fifo" => Some(Box::new(FifoPolicy::new())),
+        "maxedf" => Some(Box::new(MaxEdfPolicy::new())),
+        "minedf" => Some(Box::new(MinEdfPolicy::new())),
+        "maxedf-p" => Some(Box::new(MaxEdfPolicy::preemptive())),
+        "minedf-p" => Some(Box::new(MinEdfPolicy::preemptive())),
+        "fair" => Some(Box::new(FairSharePolicy::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        for name in ["fifo", "maxedf", "minedf", "fair"] {
+            let p = policy_by_name(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert!(policy_by_name("maxedf-p").is_some());
+        assert!(policy_by_name("minedf-p").is_some());
+        assert!(policy_by_name("nope").is_none());
+    }
+}

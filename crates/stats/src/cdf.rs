@@ -1,0 +1,184 @@
+//! Empirical cumulative distribution functions (Figure 3 of the paper plots
+//! CDFs of map/shuffle/reduce task durations under different allocations).
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from (not necessarily sorted) samples; NaNs are dropped.
+    pub fn new(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        EmpiricalCdf { sorted }
+    }
+
+    /// Builds a CDF from integer millisecond durations.
+    pub fn from_ms(samples: &[u64]) -> Self {
+        let f: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        EmpiricalCdf::new(&f)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` = fraction of samples `<= x`; 0 for an empty CDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of samples <= x
+        let cnt = self.sorted.partition_point(|&v| v <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: smallest sample `x` with `F(x) >= q` (`0 < q <= 1`).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[idx - 1])
+    }
+
+    /// The sorted sample values (support points of the step function).
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `(x, F(x))` pairs at every support point — the series plotted in
+    /// Figure 3.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Maximum vertical distance to another empirical CDF (the two-sample
+    /// K-S statistic, exposed here for convenience).
+    pub fn max_distance(&self, other: &EmpiricalCdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_function() {
+        let cdf = EmpiricalCdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.5), 0.5);
+        assert_eq!(cdf.eval(4.0), 1.0);
+        assert_eq!(cdf.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let cdf = EmpiricalCdf::new(&[2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(1.9), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = EmpiricalCdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.25), Some(10.0));
+        assert_eq!(cdf.quantile(0.5), Some(20.0));
+        assert_eq!(cdf.quantile(1.0), Some(40.0));
+        assert_eq!(cdf.quantile(0.0001), Some(10.0));
+        assert_eq!(EmpiricalCdf::new(&[]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let cdf = EmpiricalCdf::from_ms(&[5, 1, 3]);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (1.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (5.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn identical_cdfs_have_zero_distance() {
+        let a = EmpiricalCdf::new(&[1.0, 2.0, 3.0]);
+        let b = EmpiricalCdf::new(&[3.0, 1.0, 2.0]);
+        assert_eq!(a.max_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn disjoint_cdfs_have_distance_one() {
+        let a = EmpiricalCdf::new(&[1.0, 2.0]);
+        let b = EmpiricalCdf::new(&[10.0, 20.0]);
+        assert_eq!(a.max_distance(&b), 1.0);
+    }
+
+    #[test]
+    fn nan_filtered() {
+        let cdf = EmpiricalCdf::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    fn empty_eval_is_zero() {
+        assert_eq!(EmpiricalCdf::new(&[]).eval(1.0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The empirical CDF is monotone, bounded in [0,1], and hits 1 at
+        /// its maximum support point.
+        #[test]
+        fn cdf_is_a_cdf(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let cdf = EmpiricalCdf::new(&samples);
+            let mut last = 0.0;
+            for &x in cdf.support() {
+                let y = cdf.eval(x);
+                prop_assert!((0.0..=1.0).contains(&y));
+                prop_assert!(y >= last);
+                last = y;
+            }
+            let max = cdf.support().last().copied().unwrap();
+            prop_assert_eq!(cdf.eval(max), 1.0);
+            prop_assert_eq!(cdf.eval(max + 1.0), 1.0);
+        }
+
+        /// quantile() inverts eval(): F(Q(q)) >= q for all q in (0,1].
+        #[test]
+        fn quantile_inverts_eval(
+            samples in proptest::collection::vec(0.0f64..1e4, 1..100),
+            q in 0.01f64..1.0,
+        ) {
+            let cdf = EmpiricalCdf::new(&samples);
+            let x = cdf.quantile(q).unwrap();
+            prop_assert!(cdf.eval(x) >= q - 1e-9);
+        }
+    }
+}

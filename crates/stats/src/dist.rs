@@ -1,0 +1,382 @@
+//! Parametric probability distributions.
+//!
+//! Self-contained samplers built on [`SeededRng`]: inverse-transform for
+//! exponential/Weibull/Pareto, Box–Muller for the normal family, and
+//! Marsaglia–Tsang for gamma. The [`Dist`] enum is the closed, serializable
+//! set of distributions the Synthetic TraceGen accepts; [`Distribution`] is
+//! the open trait.
+
+use crate::rng::SeededRng;
+use serde::{Deserialize, Serialize};
+
+/// A sampleable, real-valued distribution.
+pub trait Distribution {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SeededRng) -> f64;
+    /// Theoretical mean, when defined.
+    fn mean(&self) -> Option<f64>;
+    /// Cumulative distribution function, when available in closed form.
+    fn cdf(&self, x: f64) -> Option<f64>;
+
+    /// Draws `n` samples.
+    fn sample_n(&self, rng: &mut SeededRng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Closed set of parametric distributions used by the trace generators.
+///
+/// All parameters are in the sampled unit (the trace generators sample
+/// milliseconds directly, matching §V-C where `LN(9.9511, 1.6764)` is fitted
+/// to map durations in milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Point mass at `value`.
+    Constant {
+        /// The constant value.
+        value: f64,
+    },
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean (= 1/rate).
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Normal with mean `mu` and standard deviation `sigma`.
+    Normal {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation.
+        sigma: f64,
+    },
+    /// LogNormal: `ln X ~ N(mu, sigma^2)`.
+    LogNormal {
+        /// Mean of `ln X`.
+        mu: f64,
+        /// Standard deviation of `ln X`.
+        sigma: f64,
+    },
+    /// Weibull with scale `lambda` and shape `k`.
+    Weibull {
+        /// Scale parameter.
+        scale: f64,
+        /// Shape parameter.
+        shape: f64,
+    },
+    /// Gamma with shape `k` and scale `theta`.
+    Gamma {
+        /// Shape parameter.
+        shape: f64,
+        /// Scale parameter.
+        scale: f64,
+    },
+    /// Pareto (type I) with scale `x_m` and tail index `alpha`.
+    Pareto {
+        /// Minimum value / scale.
+        scale: f64,
+        /// Tail index.
+        alpha: f64,
+    },
+}
+
+impl Dist {
+    /// The LogNormal fitted to Facebook **map** task durations in §V-C of
+    /// the paper (milliseconds): `LN(9.9511, 1.6764)`.
+    pub const FACEBOOK_MAP_MS: Dist = Dist::LogNormal { mu: 9.9511, sigma: 1.6764 };
+    /// The LogNormal fitted to Facebook **reduce** task durations in §V-C of
+    /// the paper (milliseconds): `LN(12.375, 1.6262)`.
+    pub const FACEBOOK_REDUCE_MS: Dist = Dist::LogNormal { mu: 12.375, sigma: 1.6262 };
+}
+
+impl Distribution for Dist {
+    fn sample(&self, rng: &mut SeededRng) -> f64 {
+        match *self {
+            Dist::Constant { value } => value,
+            Dist::Uniform { lo, hi } => rng.uniform(lo, hi),
+            Dist::Exponential { mean } => sample_exponential(rng, mean),
+            Dist::Normal { mu, sigma } => mu + sigma * sample_standard_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * sample_standard_normal(rng)).exp(),
+            Dist::Weibull { scale, shape } => {
+                // inverse transform: x = scale * (-ln U)^(1/shape)
+                let u = positive_unit(rng);
+                scale * (-u.ln()).powf(1.0 / shape)
+            }
+            Dist::Gamma { shape, scale } => sample_gamma(rng, shape) * scale,
+            Dist::Pareto { scale, alpha } => {
+                let u = positive_unit(rng);
+                scale / u.powf(1.0 / alpha)
+            }
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(match *self {
+            Dist::Constant { value } => value,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Exponential { mean } => mean,
+            Dist::Normal { mu, .. } => mu,
+            Dist::LogNormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
+            Dist::Weibull { scale, shape } => scale * gamma_fn(1.0 + 1.0 / shape),
+            Dist::Gamma { shape, scale } => shape * scale,
+            Dist::Pareto { scale, alpha } => {
+                if alpha <= 1.0 {
+                    return None; // infinite mean
+                }
+                alpha * scale / (alpha - 1.0)
+            }
+        })
+    }
+
+    fn cdf(&self, x: f64) -> Option<f64> {
+        Some(match *self {
+            Dist::Constant { value } => {
+                if x >= value {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Dist::Uniform { lo, hi } => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+            Dist::Exponential { mean } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-x / mean).exp()
+                }
+            }
+            Dist::Normal { mu, sigma } => normal_cdf((x - mu) / sigma),
+            Dist::LogNormal { mu, sigma } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    normal_cdf((x.ln() - mu) / sigma)
+                }
+            }
+            Dist::Weibull { scale, shape } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-(x / scale).powf(shape)).exp()
+                }
+            }
+            Dist::Pareto { scale, alpha } => {
+                if x <= scale {
+                    0.0
+                } else {
+                    1.0 - (scale / x).powf(alpha)
+                }
+            }
+            Dist::Gamma { .. } => return None, // no closed form implemented
+        })
+    }
+}
+
+/// Uniform draw in `(0, 1]`, avoiding `ln(0)`.
+fn positive_unit(rng: &mut SeededRng) -> f64 {
+    1.0 - rng.unit()
+}
+
+fn sample_exponential(rng: &mut SeededRng, mean: f64) -> f64 {
+    -mean * positive_unit(rng).ln()
+}
+
+/// Box–Muller transform.
+fn sample_standard_normal(rng: &mut SeededRng) -> f64 {
+    let u1 = positive_unit(rng);
+    let u2 = rng.unit();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Marsaglia–Tsang squeeze method for Gamma(shape, 1).
+fn sample_gamma(rng: &mut SeededRng, shape: f64) -> f64 {
+    if shape < 1.0 {
+        // boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+        let u = positive_unit(rng);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = positive_unit(rng);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max absolute error ≈ 1.5e-7, plenty for K-S fitting).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Lanczos approximation of the gamma function (used for Weibull means).
+fn gamma_fn(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+
+    fn sample_mean(d: Dist, n: usize, seed: u64) -> f64 {
+        let mut rng = SeededRng::new(seed);
+        let s = d.sample_n(&mut rng, n);
+        Summary::of(&s).mean
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SeededRng::new(0);
+        let d = Dist::Constant { value: 3.5 };
+        assert_eq!(d.sample(&mut rng), 3.5);
+        assert_eq!(d.mean(), Some(3.5));
+        assert_eq!(d.cdf(3.4), Some(0.0));
+        assert_eq!(d.cdf(3.5), Some(1.0));
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let m = sample_mean(Dist::Exponential { mean: 40.0 }, 40_000, 1);
+        assert!((m - 40.0).abs() < 1.5, "mean={m}");
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = SeededRng::new(2);
+        let d = Dist::Normal { mu: 10.0, sigma: 2.0 };
+        let s = d.sample_n(&mut rng, 40_000);
+        let sm = Summary::of(&s);
+        assert!((sm.mean - 10.0).abs() < 0.1);
+        assert!((sm.std - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lognormal_theoretical_mean() {
+        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let expected = (1.0f64 + 0.125).exp();
+        let m = sample_mean(d, 60_000, 3);
+        assert!((m - expected).abs() / expected < 0.03, "m={m} vs {expected}");
+        assert!((d.mean().unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weibull_positive_and_mean() {
+        let d = Dist::Weibull { scale: 10.0, shape: 2.0 };
+        let mut rng = SeededRng::new(4);
+        let s = d.sample_n(&mut rng, 30_000);
+        assert!(s.iter().all(|&x| x > 0.0));
+        let expected = d.mean().unwrap(); // 10 * Γ(1.5) ≈ 8.8623
+        assert!((expected - 8.8623).abs() < 1e-3);
+        let m = Summary::of(&s).mean;
+        assert!((m - expected).abs() / expected < 0.03);
+    }
+
+    #[test]
+    fn gamma_mean_converges() {
+        let d = Dist::Gamma { shape: 3.0, scale: 2.0 };
+        let m = sample_mean(d, 50_000, 5);
+        assert!((m - 6.0).abs() < 0.15, "m={m}");
+        // shape < 1 branch
+        let d = Dist::Gamma { shape: 0.5, scale: 1.0 };
+        let m = sample_mean(d, 50_000, 6);
+        assert!((m - 0.5).abs() < 0.05, "m={m}");
+    }
+
+    #[test]
+    fn pareto_support_and_mean() {
+        let d = Dist::Pareto { scale: 2.0, alpha: 3.0 };
+        let mut rng = SeededRng::new(7);
+        let s = d.sample_n(&mut rng, 30_000);
+        assert!(s.iter().all(|&x| x >= 2.0));
+        assert!((d.mean().unwrap() - 3.0).abs() < 1e-12);
+        // heavy tail: no mean
+        assert_eq!(Dist::Pareto { scale: 1.0, alpha: 0.9 }.mean(), None);
+    }
+
+    #[test]
+    fn cdf_sanity() {
+        let d = Dist::Exponential { mean: 1.0 };
+        assert!((d.cdf(1.0).unwrap() - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.cdf(-1.0), Some(0.0));
+
+        let n = Dist::Normal { mu: 0.0, sigma: 1.0 };
+        assert!((n.cdf(0.0).unwrap() - 0.5).abs() < 1e-7);
+        assert!((n.cdf(1.96).unwrap() - 0.975).abs() < 1e-3);
+
+        let ln = Dist::LogNormal { mu: 0.0, sigma: 1.0 };
+        assert!((ln.cdf(1.0).unwrap() - 0.5).abs() < 1e-7);
+        assert_eq!(ln.cdf(0.0), Some(0.0));
+
+        assert_eq!(Dist::Gamma { shape: 1.0, scale: 1.0 }.cdf(1.0), None);
+    }
+
+    #[test]
+    fn facebook_constants_sample_plausibly() {
+        // LN(9.9511, 1.6764) in ms: median = e^9.9511 ≈ 21 s
+        let mut rng = SeededRng::new(8);
+        let s = Dist::FACEBOOK_MAP_MS.sample_n(&mut rng, 20_001);
+        let mut sorted = s.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let expected_median = 9.9511f64.exp();
+        assert!(
+            (median / expected_median - 1.0).abs() < 0.1,
+            "median={median} expected≈{expected_median}"
+        );
+    }
+
+    #[test]
+    fn gamma_fn_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-6);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+}

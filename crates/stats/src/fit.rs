@@ -1,0 +1,273 @@
+//! Distribution fitting.
+//!
+//! §V-C of the paper extracts the CDF of Facebook task durations and fits
+//! "more than 60 distributions" with StatAssist, picking the best by the
+//! Kolmogorov–Smirnov statistic (LogNormal wins). This module reproduces the
+//! pipeline with a pragmatic candidate family — LogNormal, Exponential,
+//! Normal, Uniform, Weibull, Pareto — each fitted by maximum likelihood or
+//! method of moments, then ranked by K-S.
+
+use crate::dist::Dist;
+use crate::ks::ks_vs_dist;
+use crate::summary::Summary;
+
+/// Result of fitting one candidate distribution family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// The fitted distribution with estimated parameters.
+    pub dist: Dist,
+    /// K-S statistic of the fit (lower is better).
+    pub ks: f64,
+}
+
+/// MLE fit of a LogNormal: `mu, sigma` = mean/std of `ln x` over positive
+/// samples. Returns `None` when fewer than 2 positive samples exist.
+pub fn fit_lognormal(samples: &[f64]) -> Option<Dist> {
+    let logs: Vec<f64> = samples.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let s = Summary::of(&logs);
+    if s.std <= 0.0 {
+        return None;
+    }
+    Some(Dist::LogNormal { mu: s.mean, sigma: s.std })
+}
+
+/// MLE fit of an Exponential: mean = sample mean. `None` for an empty or
+/// non-positive-mean sample.
+pub fn fit_exponential(samples: &[f64]) -> Option<Dist> {
+    if samples.is_empty() {
+        return None;
+    }
+    let s = Summary::of(samples);
+    if s.mean <= 0.0 {
+        return None;
+    }
+    Some(Dist::Exponential { mean: s.mean })
+}
+
+/// MLE fit of a Normal.
+pub fn fit_normal(samples: &[f64]) -> Option<Dist> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let s = Summary::of(samples);
+    if s.std <= 0.0 {
+        return None;
+    }
+    Some(Dist::Normal { mu: s.mean, sigma: s.std })
+}
+
+/// Method-of-moments fit of a Uniform over `[min, max]`.
+pub fn fit_uniform(samples: &[f64]) -> Option<Dist> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let s = Summary::of(samples);
+    if s.min >= s.max {
+        return None;
+    }
+    Some(Dist::Uniform { lo: s.min, hi: s.max })
+}
+
+/// Approximate method-of-moments fit of a Weibull.
+///
+/// The shape `k` solves `CV² = Γ(1+2/k)/Γ(1+1/k)² − 1`; we invert with a
+/// bisection over `k ∈ [0.1, 20]`, then set the scale from the mean.
+pub fn fit_weibull(samples: &[f64]) -> Option<Dist> {
+    let positive: Vec<f64> = samples.iter().copied().filter(|&x| x > 0.0).collect();
+    if positive.len() < 2 {
+        return None;
+    }
+    let s = Summary::of(&positive);
+    if s.mean <= 0.0 || s.std <= 0.0 {
+        return None;
+    }
+    let target_cv2 = (s.std / s.mean).powi(2);
+    let cv2_of = |k: f64| -> f64 {
+        let g1 = ln_gamma(1.0 + 1.0 / k);
+        let g2 = ln_gamma(1.0 + 2.0 / k);
+        (g2 - 2.0 * g1).exp() - 1.0
+    };
+    // cv2_of is decreasing in k
+    let (mut lo, mut hi) = (0.1f64, 20.0f64);
+    if target_cv2 > cv2_of(lo) || target_cv2 < cv2_of(hi) {
+        return None;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if cv2_of(mid) > target_cv2 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let shape = 0.5 * (lo + hi);
+    let scale = s.mean / ln_gamma(1.0 + 1.0 / shape).exp();
+    Some(Dist::Weibull { scale, shape })
+}
+
+/// MLE fit of a Pareto: `scale = min(x)`, `alpha = n / Σ ln(x/scale)`.
+pub fn fit_pareto(samples: &[f64]) -> Option<Dist> {
+    let positive: Vec<f64> = samples.iter().copied().filter(|&x| x > 0.0).collect();
+    if positive.len() < 2 {
+        return None;
+    }
+    let scale = positive.iter().copied().fold(f64::INFINITY, f64::min);
+    let log_sum: f64 = positive.iter().map(|&x| (x / scale).ln()).sum();
+    if log_sum <= 0.0 {
+        return None;
+    }
+    Some(Dist::Pareto { scale, alpha: positive.len() as f64 / log_sum })
+}
+
+/// Fits the whole candidate family and returns the reports sorted by
+/// ascending K-S statistic (best first). Candidates that fail to fit or
+/// lack a closed-form CDF are skipped.
+pub fn fit_best(samples: &[f64]) -> Vec<FitReport> {
+    let candidates = [
+        fit_lognormal(samples),
+        fit_exponential(samples),
+        fit_normal(samples),
+        fit_uniform(samples),
+        fit_weibull(samples),
+        fit_pareto(samples),
+    ];
+    let mut reports: Vec<FitReport> = candidates
+        .into_iter()
+        .flatten()
+        .filter_map(|dist| ks_vs_dist(samples, &dist).map(|ks| FitReport { dist, ks }))
+        .collect();
+    reports.sort_by(|a, b| a.ks.partial_cmp(&b.ks).unwrap());
+    reports
+}
+
+/// Lanczos ln Γ(x) for x > 0.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Distribution;
+    use crate::rng::SeededRng;
+
+    #[test]
+    fn lognormal_recovers_parameters() {
+        let mut rng = SeededRng::new(1);
+        let truth = Dist::LogNormal { mu: 9.9511, sigma: 1.6764 };
+        let s = truth.sample_n(&mut rng, 20_000);
+        match fit_lognormal(&s).unwrap() {
+            Dist::LogNormal { mu, sigma } => {
+                assert!((mu - 9.9511).abs() < 0.05, "mu={mu}");
+                assert!((sigma - 1.6764).abs() < 0.05, "sigma={sigma}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exponential_recovers_mean() {
+        let mut rng = SeededRng::new(2);
+        let s = Dist::Exponential { mean: 42.0 }.sample_n(&mut rng, 20_000);
+        match fit_exponential(&s).unwrap() {
+            Dist::Exponential { mean } => assert!((mean - 42.0).abs() < 1.5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weibull_recovers_shape() {
+        let mut rng = SeededRng::new(3);
+        let s = Dist::Weibull { scale: 10.0, shape: 1.8 }.sample_n(&mut rng, 20_000);
+        match fit_weibull(&s).unwrap() {
+            Dist::Weibull { scale, shape } => {
+                assert!((shape - 1.8).abs() < 0.15, "shape={shape}");
+                assert!((scale - 10.0).abs() < 0.5, "scale={scale}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pareto_recovers_alpha() {
+        let mut rng = SeededRng::new(4);
+        let s = Dist::Pareto { scale: 2.0, alpha: 2.5 }.sample_n(&mut rng, 20_000);
+        match fit_pareto(&s).unwrap() {
+            Dist::Pareto { scale, alpha } => {
+                assert!((scale - 2.0).abs() < 0.01);
+                assert!((alpha - 2.5).abs() < 0.1, "alpha={alpha}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn best_fit_picks_lognormal_for_lognormal_data() {
+        // the §V-C scenario: LogNormal data should rank LogNormal first
+        let mut rng = SeededRng::new(5);
+        let s = Dist::FACEBOOK_MAP_MS.sample_n(&mut rng, 5_000);
+        let reports = fit_best(&s);
+        assert!(!reports.is_empty());
+        assert!(
+            matches!(reports[0].dist, Dist::LogNormal { .. }),
+            "best fit was {:?}",
+            reports[0]
+        );
+        assert!(reports[0].ks < 0.05);
+        // reports sorted ascending
+        for w in reports.windows(2) {
+            assert!(w[0].ks <= w[1].ks);
+        }
+    }
+
+    #[test]
+    fn best_fit_picks_exponential_for_exponential_data() {
+        let mut rng = SeededRng::new(6);
+        let s = Dist::Exponential { mean: 100.0 }.sample_n(&mut rng, 5_000);
+        let reports = fit_best(&s);
+        // exponential data is also Weibull(shape≈1) and Gamma(1), so accept either
+        match reports[0].dist {
+            Dist::Exponential { .. } => {}
+            Dist::Weibull { shape, .. } => assert!((shape - 1.0).abs() < 0.1),
+            other => panic!("surprising best fit {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_samples_yield_no_fits() {
+        assert!(fit_lognormal(&[]).is_none());
+        assert!(fit_lognormal(&[5.0]).is_none());
+        assert!(fit_lognormal(&[3.0, 3.0, 3.0]).is_none()); // zero variance
+        assert!(fit_exponential(&[]).is_none());
+        assert!(fit_normal(&[1.0]).is_none());
+        assert!(fit_uniform(&[2.0, 2.0]).is_none());
+        assert!(fit_pareto(&[5.0, 5.0]).is_none());
+        assert!(fit_best(&[]).is_empty());
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,203 @@
+//! Deterministic random-number generation.
+//!
+//! Every stochastic component of the workspace (synthetic trace generators,
+//! the cluster testbed's noise models, the experiment harness) draws from a
+//! [`SeededRng`] so that whole experiments are reproducible from a single
+//! `u64` seed. Sub-streams are derived with [`SeededRng::fork`] so that
+//! adding draws to one component never perturbs another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, forkable RNG wrapping [`rand::rngs::StdRng`].
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SeededRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng { inner: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent sub-stream identified by `label`.
+    ///
+    /// Forking mixes the parent seed with the label via SplitMix64-style
+    /// finalization, so `fork(a) != fork(b)` for `a != b` with overwhelming
+    /// probability, and the parent's own stream is not advanced.
+    pub fn fork(&self, label: u64) -> SeededRng {
+        let mixed = splitmix64(self.seed ^ splitmix64(label.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+        SeededRng::new(mixed)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`. `lo == hi` returns `lo`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo >= hi {
+            lo
+        } else {
+            lo + (hi - lo) * self.unit()
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            lo
+        } else {
+            self.inner.gen_range(lo..=hi)
+        }
+    }
+
+    /// Uniform index in `[0, n)`; panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() needs a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks an index according to the given non-negative weights.
+    /// Panics if the weights are empty or sum to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weighted_index needs positive total weight");
+        let mut x = self.unit() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+impl RngCore for SeededRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// SplitMix64 finalizer, used for seed mixing.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SeededRng::new(1);
+        let mut b = SeededRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forks_are_independent_and_stable() {
+        let root = SeededRng::new(7);
+        let mut f1 = root.fork(0);
+        let mut f1_again = root.fork(0);
+        let mut f2 = root.fork(1);
+        assert_eq!(f1.next_u64(), f1_again.next_u64());
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SeededRng::new(3);
+        for _ in 0..1000 {
+            let x = r.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate() {
+        let mut r = SeededRng::new(3);
+        assert_eq!(r.uniform(5.0, 5.0), 5.0);
+        assert_eq!(r.uniform_u64(9, 9), 9);
+    }
+
+    #[test]
+    fn uniform_u64_inclusive_bounds() {
+        let mut r = SeededRng::new(11);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            match r.uniform_u64(0, 3) {
+                0 => seen_lo = true,
+                3 => seen_hi = true,
+                1 | 2 => {}
+                _ => panic!("out of range"),
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SeededRng::new(5);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(r.weighted_index(&weights), 1);
+        }
+        // rough proportion check
+        let weights = [1.0, 3.0];
+        let picks_1 = (0..4000).filter(|_| r.weighted_index(&weights) == 1).count();
+        let frac = picks_1 as f64 / 4000.0;
+        assert!((0.68..0.82).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SeededRng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely to be identity
+    }
+}

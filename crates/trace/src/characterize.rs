@@ -1,0 +1,231 @@
+//! Workload characterization.
+//!
+//! Summarizes a replayable trace the way §V-C characterizes the Facebook
+//! workload: job-size mix, per-phase duration statistics and best-fit
+//! distributions, and arrival-process statistics. Drives the `simmr stats`
+//! CLI subcommand and gives what-if studies a quick sanity check that a
+//! synthetic workload matches its intended statistical profile.
+
+use simmr_stats::{fit_best, summary::percentile, FitReport, Summary};
+use simmr_types::{DurationMs, WorkloadTrace};
+
+/// Histogram bucket of the job-size mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeBucket {
+    /// Inclusive lower bound on map-task count.
+    pub min_maps: usize,
+    /// Inclusive upper bound on map-task count.
+    pub max_maps: usize,
+    /// Number of jobs in the bucket.
+    pub jobs: usize,
+}
+
+/// Full statistical characterization of a workload trace.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Total task count.
+    pub tasks: usize,
+    /// Serial work in milliseconds.
+    pub serial_work_ms: u128,
+    /// Job-size mix over map counts (powers-of-ten-ish buckets).
+    pub size_mix: Vec<SizeBucket>,
+    /// Map-task duration summary (ms).
+    pub map_durations: Summary,
+    /// Typical-shuffle duration summary (ms).
+    pub shuffle_durations: Summary,
+    /// Reduce-phase duration summary (ms).
+    pub reduce_durations: Summary,
+    /// Median map duration (ms).
+    pub map_p50: f64,
+    /// 95th percentile map duration (ms).
+    pub map_p95: f64,
+    /// Best-fit distribution of map durations (§V-C methodology), when one
+    /// can be fitted.
+    pub map_fit: Option<FitReport>,
+    /// Mean job inter-arrival time (ms); `None` with fewer than two jobs.
+    pub mean_interarrival_ms: Option<f64>,
+}
+
+const BUCKET_EDGES: [usize; 7] = [1, 2, 10, 50, 200, 1000, 5000];
+
+/// Characterizes a trace.
+pub fn characterize(trace: &WorkloadTrace) -> WorkloadProfile {
+    let mut map_durs: Vec<f64> = Vec::new();
+    let mut shuffle_durs: Vec<f64> = Vec::new();
+    let mut reduce_durs: Vec<f64> = Vec::new();
+    for job in &trace.jobs {
+        map_durs.extend(job.template.map_durations.iter().map(|&d| d as f64));
+        shuffle_durs.extend(job.template.typical_shuffle_durations.iter().map(|&d| d as f64));
+        reduce_durs.extend(job.template.reduce_durations.iter().map(|&d| d as f64));
+    }
+
+    let mut size_mix: Vec<SizeBucket> = BUCKET_EDGES
+        .windows(2)
+        .map(|w| SizeBucket { min_maps: w[0], max_maps: w[1] - 1, jobs: 0 })
+        .collect();
+    size_mix.push(SizeBucket {
+        min_maps: *BUCKET_EDGES.last().expect("edges non-empty"),
+        max_maps: usize::MAX,
+        jobs: 0,
+    });
+    for job in &trace.jobs {
+        let n = job.template.num_maps;
+        let bucket = size_mix
+            .iter_mut()
+            .find(|b| n >= b.min_maps && n <= b.max_maps)
+            .expect("buckets cover 1..=MAX");
+        bucket.jobs += 1;
+    }
+
+    let mean_interarrival_ms = if trace.jobs.len() >= 2 {
+        let mut arrivals: Vec<DurationMs> =
+            trace.jobs.iter().map(|j| j.arrival.as_millis()).collect();
+        arrivals.sort_unstable();
+        let span = arrivals.last().expect("non-empty") - arrivals[0];
+        Some(span as f64 / (arrivals.len() - 1) as f64)
+    } else {
+        None
+    };
+
+    WorkloadProfile {
+        jobs: trace.len(),
+        tasks: trace.total_tasks(),
+        serial_work_ms: trace.total_serial_work_ms(),
+        size_mix,
+        map_durations: Summary::of(&map_durs),
+        shuffle_durations: Summary::of(&shuffle_durs),
+        reduce_durations: Summary::of(&reduce_durs),
+        map_p50: percentile(&map_durs, 50.0).unwrap_or(0.0),
+        map_p95: percentile(&map_durs, 95.0).unwrap_or(0.0),
+        // a fit over a handful of samples is statistically meaningless
+        map_fit: if map_durs.len() >= 10 {
+            fit_best(&map_durs).into_iter().next()
+        } else {
+            None
+        },
+        mean_interarrival_ms,
+    }
+}
+
+impl WorkloadProfile {
+    /// Renders a human-readable report (the `simmr stats` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "jobs:            {}", self.jobs);
+        let _ = writeln!(out, "tasks:           {}", self.tasks);
+        let _ = writeln!(
+            out,
+            "serial work:     {:.1} hours",
+            self.serial_work_ms as f64 / 3.6e6
+        );
+        if let Some(ia) = self.mean_interarrival_ms {
+            let _ = writeln!(out, "mean interarrival: {:.1} s", ia / 1000.0);
+        }
+        let _ = writeln!(out, "\njob-size mix (by map count):");
+        for b in &self.size_mix {
+            if b.jobs == 0 {
+                continue;
+            }
+            let label = if b.max_maps == usize::MAX {
+                format!(">= {}", b.min_maps)
+            } else {
+                format!("{}..{}", b.min_maps, b.max_maps)
+            };
+            let pct = b.jobs as f64 / self.jobs.max(1) as f64 * 100.0;
+            let _ = writeln!(out, "  {label:>10} maps: {:>5} jobs ({pct:>5.1}%)", b.jobs);
+        }
+        let phase = |name: &str, s: &Summary| {
+            format!(
+                "  {name:<8} n={:<7} mean={:>9.1}ms  std={:>9.1}ms  max={:>9.1}ms",
+                s.count, s.mean, s.std, s.max
+            )
+        };
+        let _ = writeln!(out, "\ntask durations:");
+        let _ = writeln!(out, "{}", phase("map", &self.map_durations));
+        let _ = writeln!(out, "{}", phase("shuffle", &self.shuffle_durations));
+        let _ = writeln!(out, "{}", phase("reduce", &self.reduce_durations));
+        let _ = writeln!(
+            out,
+            "  map p50 = {:.1}ms, p95 = {:.1}ms",
+            self.map_p50, self.map_p95
+        );
+        if let Some(fit) = &self.map_fit {
+            let _ = writeln!(
+                out,
+                "  best map-duration fit: {:?} (K-S = {:.4})",
+                fit.dist, fit.ks
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::FacebookWorkload;
+    use simmr_types::{JobSpec, JobTemplate, SimTime};
+
+    #[test]
+    fn characterizes_facebook_workload() {
+        let trace = FacebookWorkload { mean_interarrival_ms: 10_000.0 }.generate(300, 1);
+        let p = characterize(&trace);
+        assert_eq!(p.jobs, 300);
+        assert!(p.tasks > 300);
+        // the size mix must be dominated by tiny jobs (the Table 3 shape)
+        let tiny: usize = p
+            .size_mix
+            .iter()
+            .filter(|b| b.max_maps <= 9)
+            .map(|b| b.jobs)
+            .sum();
+        assert!(tiny as f64 > 0.5 * p.jobs as f64, "tiny={tiny}");
+        // best fit should be the generating LogNormal
+        match p.map_fit.expect("fit exists").dist {
+            simmr_stats::Dist::LogNormal { mu, .. } => assert!((mu - 9.9511).abs() < 0.2),
+            other => panic!("unexpected fit {other:?}"),
+        }
+        // mean inter-arrival close to the generator's parameter
+        let ia = p.mean_interarrival_ms.unwrap();
+        assert!((ia / 10_000.0 - 1.0).abs() < 0.3, "ia={ia}");
+        // all jobs land in exactly one bucket
+        let total: usize = p.size_mix.iter().map(|b| b.jobs).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn render_contains_key_lines() {
+        let trace = FacebookWorkload { mean_interarrival_ms: 5_000.0 }.generate(50, 2);
+        let text = characterize(&trace).render();
+        assert!(text.contains("jobs:            50"));
+        assert!(text.contains("job-size mix"));
+        assert!(text.contains("best map-duration fit"));
+    }
+
+    #[test]
+    fn single_job_edge_cases() {
+        let mut trace = simmr_types::WorkloadTrace::new("one", "test");
+        trace.push(JobSpec::new(
+            JobTemplate::new("j", vec![100], vec![], vec![], vec![]).unwrap(),
+            SimTime::ZERO,
+        ));
+        let p = characterize(&trace);
+        assert_eq!(p.jobs, 1);
+        assert_eq!(p.mean_interarrival_ms, None);
+        assert_eq!(p.shuffle_durations.count, 0);
+        // too few samples for a meaningful fit
+        assert!(p.map_fit.is_none());
+        let _ = p.render();
+    }
+
+    #[test]
+    fn empty_trace() {
+        let p = characterize(&simmr_types::WorkloadTrace::default());
+        assert_eq!(p.jobs, 0);
+        assert_eq!(p.tasks, 0);
+        let _ = p.render();
+    }
+}

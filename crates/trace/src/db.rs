@@ -1,0 +1,193 @@
+//! The Trace Database (§III-A).
+//!
+//! *"We store job traces persistently in a Trace database (for efficient
+//! lookup and storage) using a job template."* Ours is a directory of JSON
+//! files, one per trace, with an in-memory name index.
+
+use simmr_types::WorkloadTrace;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory-backed store of named workload traces.
+#[derive(Debug)]
+pub struct TraceDatabase {
+    root: PathBuf,
+}
+
+/// Database operation errors.
+#[derive(Debug)]
+pub enum DbError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Lookup of a trace that does not exist.
+    NotFound(String),
+    /// Rejected trace name (must be non-empty, `[A-Za-z0-9._-]`).
+    BadName(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "trace db I/O error: {e}"),
+            DbError::Json(e) => write!(f, "trace db serialization error: {e}"),
+            DbError::NotFound(n) => write!(f, "trace `{n}` not found"),
+            DbError::BadName(n) => write!(f, "invalid trace name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for DbError {
+    fn from(e: serde_json::Error) -> Self {
+        DbError::Json(e)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+impl TraceDatabase {
+    /// Opens (creating if needed) a database rooted at `root`.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, DbError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root)?;
+        Ok(TraceDatabase { root })
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.trace.json"))
+    }
+
+    /// Stores a trace under `name`, overwriting any previous version.
+    pub fn store(&self, name: &str, trace: &WorkloadTrace) -> Result<(), DbError> {
+        if !valid_name(name) {
+            return Err(DbError::BadName(name.into()));
+        }
+        let json = serde_json::to_string(trace)?;
+        std::fs::write(self.path_of(name), json)?;
+        Ok(())
+    }
+
+    /// Loads the trace stored under `name`.
+    pub fn load(&self, name: &str) -> Result<WorkloadTrace, DbError> {
+        if !valid_name(name) {
+            return Err(DbError::BadName(name.into()));
+        }
+        let path = self.path_of(name);
+        if !path.exists() {
+            return Err(DbError::NotFound(name.into()));
+        }
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+
+    /// Removes a stored trace; `Ok(false)` when it did not exist.
+    pub fn remove(&self, name: &str) -> Result<bool, DbError> {
+        if !valid_name(name) {
+            return Err(DbError::BadName(name.into()));
+        }
+        let path = self.path_of(name);
+        if !path.exists() {
+            return Ok(false);
+        }
+        std::fs::remove_file(path)?;
+        Ok(true)
+    }
+
+    /// Lists stored traces with their job counts, sorted by name.
+    pub fn list(&self) -> Result<BTreeMap<String, usize>, DbError> {
+        let mut out = BTreeMap::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let fname = entry.file_name();
+            let Some(name) = fname.to_str().and_then(|f| f.strip_suffix(".trace.json")) else {
+                continue;
+            };
+            if let Ok(trace) = self.load(name) {
+                out.insert(name.to_string(), trace.len());
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmr_types::{JobSpec, JobTemplate, SimTime};
+
+    fn sample_trace(n: usize) -> WorkloadTrace {
+        let mut t = WorkloadTrace::new("db test", "unit");
+        for i in 0..n {
+            t.push(JobSpec::new(
+                JobTemplate::new(format!("j{i}"), vec![10], vec![], vec![], vec![]).unwrap(),
+                SimTime::from_millis(i as u64),
+            ));
+        }
+        t
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("simmr-db-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let db = TraceDatabase::open(tmpdir("rt")).unwrap();
+        let trace = sample_trace(3);
+        db.store("mixed-6apps", &trace).unwrap();
+        assert_eq!(db.load("mixed-6apps").unwrap(), trace);
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let db = TraceDatabase::open(tmpdir("list")).unwrap();
+        db.store("a", &sample_trace(1)).unwrap();
+        db.store("b", &sample_trace(2)).unwrap();
+        let listing = db.list().unwrap();
+        assert_eq!(listing.get("a"), Some(&1));
+        assert_eq!(listing.get("b"), Some(&2));
+        assert!(db.remove("a").unwrap());
+        assert!(!db.remove("a").unwrap());
+        assert!(!db.list().unwrap().contains_key("a"));
+    }
+
+    #[test]
+    fn missing_trace_errors() {
+        let db = TraceDatabase::open(tmpdir("missing")).unwrap();
+        assert!(matches!(db.load("nope"), Err(DbError::NotFound(_))));
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let db = TraceDatabase::open(tmpdir("names")).unwrap();
+        for bad in ["", "../evil", "a b", "x/y"] {
+            assert!(matches!(db.store(bad, &sample_trace(1)), Err(DbError::BadName(_))), "{bad}");
+            assert!(matches!(db.load(bad), Err(DbError::BadName(_))));
+        }
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let db = TraceDatabase::open(tmpdir("ow")).unwrap();
+        db.store("t", &sample_trace(1)).unwrap();
+        db.store("t", &sample_trace(5)).unwrap();
+        assert_eq!(db.load("t").unwrap().len(), 5);
+    }
+}

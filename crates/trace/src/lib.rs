@@ -1,0 +1,30 @@
+//! # simmr-trace
+//!
+//! The SimMR **Trace Generator** (§III-A of the paper) and friends:
+//!
+//! * [`mrprofiler`] — parses JobTracker-style history logs into replayable
+//!   [`simmr_types::JobTemplate`]s, including the first-shuffle /
+//!   typical-shuffle split;
+//! * [`rumen`] — a Rumen-flavoured extractor producing the richer per-task
+//!   records the Mumak baseline replays;
+//! * [`synthetic`] — Synthetic TraceGen: parametric workloads, including
+//!   the Facebook-like LogNormal workload of §V-C;
+//! * [`db`] — the persistent Trace Database (JSON files on disk);
+//! * [`scaling`] — the paper's *future work* trace-scaling technique:
+//!   derive the trace of a larger-dataset run from a small-dataset run;
+//! * [`mod@characterize`] — workload characterization (§V-C methodology):
+//!   job-size mix, per-phase statistics, best-fit distributions.
+
+pub mod characterize;
+pub mod db;
+pub mod mrprofiler;
+pub mod rumen;
+pub mod scaling;
+pub mod synthetic;
+
+pub use characterize::{characterize, WorkloadProfile};
+pub use db::TraceDatabase;
+pub use mrprofiler::{profile_history, trace_from_history, ProfiledJob};
+pub use rumen::{RumenJob, RumenTask, RumenTrace};
+pub use scaling::scale_template;
+pub use synthetic::{FacebookWorkload, SyntheticJobSpec, SyntheticWorkload};

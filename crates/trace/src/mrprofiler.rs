@@ -1,0 +1,316 @@
+//! MRProfiler: job-history logs → replayable job templates.
+//!
+//! The profiler extracts, per job (§III-A):
+//!
+//! * `(N_M, N_R)` — task counts;
+//! * `MapDurations` — per-map `end − start`;
+//! * `FirstShuffleDurations` — for reduce tasks whose shuffle *started
+//!   before the job's map stage ended* (first wave), the **non-overlapping**
+//!   portion: `shuffle_end − maps_end` (clamped at 0);
+//! * `TypicalShuffleDurations` — full `shuffle_end − start` for reduce
+//!   tasks started after the map stage;
+//! * `ReduceDurations` — the reduce phase `end − sort_end`.
+//!
+//! The shuffle and sort phases are interleaved in Hadoop, so like the paper
+//! we treat `[start, sort_end]` as one combined "shuffle" phase; the log's
+//! `sort_end` is its boundary.
+
+use simmr_types::{
+    parse_history, HistoryLine, HistoryParseError, JobSpec, JobTemplate, SimTime,
+    TaskHistoryRecord, TaskKind, TraceMeta, WorkloadTrace,
+};
+use std::collections::BTreeMap;
+
+/// One job extracted from a history log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfiledJob {
+    /// Job sequence number in the log.
+    pub id: u32,
+    /// Submission time recorded in the log.
+    pub submit: SimTime,
+    /// Completion time recorded in the log.
+    pub finish: SimTime,
+    /// The replayable template.
+    pub template: JobTemplate,
+}
+
+impl ProfiledJob {
+    /// The job's recorded duration.
+    pub fn duration_ms(&self) -> u64 {
+        self.finish.since(self.submit)
+    }
+}
+
+/// Errors from profiling a history log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The log text failed to parse.
+    Parse(HistoryParseError),
+    /// A task record references a job with no `JOB` line.
+    OrphanTask {
+        /// The job id the task referenced.
+        job: u32,
+    },
+    /// A job's extracted arrays were structurally invalid.
+    BadTemplate {
+        /// The job id.
+        job: u32,
+        /// Underlying template error.
+        error: simmr_types::TemplateError,
+    },
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::Parse(e) => write!(f, "{e}"),
+            ProfileError::OrphanTask { job } => {
+                write!(f, "task record references unknown job {job}")
+            }
+            ProfileError::BadTemplate { job, error } => {
+                write!(f, "job {job}: invalid extracted template: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Profiles a raw history log into per-job templates, sorted by job id.
+pub fn profile_history(log_text: &str) -> Result<Vec<ProfiledJob>, ProfileError> {
+    let lines = parse_history(log_text).map_err(ProfileError::Parse)?;
+    let mut jobs: BTreeMap<u32, (simmr_types::JobHistoryRecord, Vec<TaskHistoryRecord>)> =
+        BTreeMap::new();
+    for line in &lines {
+        if let HistoryLine::Job(j) = line {
+            jobs.insert(j.id, (j.clone(), Vec::new()));
+        }
+    }
+    for line in &lines {
+        if let HistoryLine::Task(t) = line {
+            jobs.get_mut(&t.job)
+                .ok_or(ProfileError::OrphanTask { job: t.job })?
+                .1
+                .push(*t);
+        }
+    }
+
+    let mut out = Vec::with_capacity(jobs.len());
+    for (id, (job, tasks)) in jobs {
+        let maps: Vec<&TaskHistoryRecord> =
+            tasks.iter().filter(|t| t.kind == TaskKind::Map).collect();
+        let reduces: Vec<&TaskHistoryRecord> =
+            tasks.iter().filter(|t| t.kind == TaskKind::Reduce).collect();
+
+        let maps_end = maps.iter().map(|t| t.end).max().unwrap_or(SimTime::ZERO);
+
+        let mut map_durations: Vec<u64> = maps.iter().map(|t| t.end.since(t.start)).collect();
+        // keep replay order deterministic: sort map tasks by start time
+        let mut order: Vec<usize> = (0..maps.len()).collect();
+        order.sort_by_key(|&i| (maps[i].start, maps[i].idx));
+        map_durations = order.iter().map(|&i| map_durations[i]).collect();
+
+        let mut first_shuffle = Vec::new();
+        let mut typical_shuffle = Vec::new();
+        let mut reduce_durations = Vec::new();
+        let mut rsorted: Vec<&&TaskHistoryRecord> = reduces.iter().collect();
+        rsorted.sort_by_key(|t| (t.start, t.idx));
+        for t in rsorted {
+            let shuffle_end = t.sort_end.or(t.shuffle_end).unwrap_or(t.start);
+            reduce_durations.push(t.end.since(shuffle_end));
+            if t.start < maps_end {
+                // first wave: record only the non-overlapping portion
+                first_shuffle.push(shuffle_end.since(maps_end));
+            } else {
+                typical_shuffle.push(shuffle_end.since(t.start));
+            }
+        }
+        // a job replayed with fewer slots may need more waves than were
+        // observed; guarantee both shuffle sample sets are non-empty
+        if !reduce_durations.is_empty() {
+            if first_shuffle.is_empty() {
+                first_shuffle = typical_shuffle.clone();
+            }
+            if typical_shuffle.is_empty() {
+                typical_shuffle = first_shuffle.clone();
+            }
+        }
+
+        let template = JobTemplate::new(
+            job.name.clone(),
+            map_durations,
+            first_shuffle,
+            typical_shuffle,
+            reduce_durations,
+        )
+        .map_err(|error| ProfileError::BadTemplate { job: id, error })?;
+        out.push(ProfiledJob { id, submit: job.submit, finish: job.finish, template });
+    }
+    Ok(out)
+}
+
+/// Profiles a log and assembles a replayable [`WorkloadTrace`] preserving
+/// the recorded submit times.
+pub fn trace_from_history(
+    log_text: &str,
+    description: &str,
+) -> Result<WorkloadTrace, ProfileError> {
+    let jobs = profile_history(log_text)?;
+    Ok(WorkloadTrace {
+        meta: TraceMeta {
+            description: description.into(),
+            source: "mrprofiler".into(),
+            seed: None,
+        },
+        jobs: jobs
+            .into_iter()
+            .map(|p| JobSpec::new(p.template, p.submit))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-written log: 2 maps (end at 100, 200), 2 reduces — one first
+    /// wave (starts at 120 < 200), one typical (starts at 260).
+    const LOG: &str = "\
+JOB id=0 name=unit-job submit=0 launch=10 finish=400 maps=2 reduces=2
+TASK job=0 kind=map idx=0 start=10 end=100 node=0
+TASK job=0 kind=map idx=1 start=20 end=200 node=1
+TASK job=0 kind=reduce idx=0 start=120 shuffle_end=230 sort_end=240 end=300 node=2
+TASK job=0 kind=reduce idx=1 start=260 shuffle_end=320 sort_end=330 end=400 node=3
+";
+
+    #[test]
+    fn extracts_phase_arrays() {
+        let jobs = profile_history(LOG).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let t = &jobs[0].template;
+        assert_eq!(t.num_maps, 2);
+        assert_eq!(t.num_reduces, 2);
+        assert_eq!(t.map_durations, vec![90, 180]);
+        // first wave reduce: sort_end 240 - maps_end 200 = 40 (non-overlap)
+        assert_eq!(t.first_shuffle_durations, vec![40]);
+        // typical: sort_end 330 - start 260 = 70
+        assert_eq!(t.typical_shuffle_durations, vec![70]);
+        // reduce phases: 300-240, 400-330
+        assert_eq!(t.reduce_durations, vec![60, 70]);
+        assert_eq!(jobs[0].duration_ms(), 400);
+    }
+
+    #[test]
+    fn first_shuffle_clamped_nonnegative() {
+        // reduce finishes its shuffle before the last map ends
+        let log = "\
+JOB id=0 name=j submit=0 launch=0 finish=500 maps=2 reduces=1
+TASK job=0 kind=map idx=0 start=0 end=100 node=0
+TASK job=0 kind=map idx=1 start=0 end=400 node=1
+TASK job=0 kind=reduce idx=0 start=110 shuffle_end=390 sort_end=395 end=500 node=2
+";
+        let jobs = profile_history(log).unwrap();
+        assert_eq!(jobs[0].template.first_shuffle_durations, vec![0]);
+    }
+
+    #[test]
+    fn all_first_wave_backfills_typical() {
+        let log = "\
+JOB id=0 name=j submit=0 launch=0 finish=300 maps=1 reduces=1
+TASK job=0 kind=map idx=0 start=0 end=200 node=0
+TASK job=0 kind=reduce idx=0 start=50 shuffle_end=250 sort_end=250 end=300 node=1
+";
+        let t = &profile_history(log).unwrap()[0].template;
+        assert_eq!(t.first_shuffle_durations, vec![50]);
+        assert_eq!(t.typical_shuffle_durations, vec![50]); // backfilled
+    }
+
+    #[test]
+    fn map_only_job() {
+        let log = "\
+JOB id=0 name=j submit=5 launch=5 finish=100 maps=1 reduces=0
+TASK job=0 kind=map idx=0 start=5 end=100 node=0
+";
+        let jobs = profile_history(log).unwrap();
+        assert_eq!(jobs[0].template.num_reduces, 0);
+        assert_eq!(jobs[0].submit, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn multi_job_logs_sorted_by_id() {
+        let log = "\
+JOB id=1 name=b submit=100 launch=100 finish=300 maps=1 reduces=0
+JOB id=0 name=a submit=0 launch=0 finish=200 maps=1 reduces=0
+TASK job=1 kind=map idx=0 start=100 end=300 node=0
+TASK job=0 kind=map idx=0 start=0 end=200 node=0
+";
+        let jobs = profile_history(log).unwrap();
+        assert_eq!(jobs[0].template.name, "a");
+        assert_eq!(jobs[1].template.name, "b");
+    }
+
+    #[test]
+    fn orphan_task_rejected() {
+        let log = "TASK job=9 kind=map idx=0 start=0 end=1 node=0\n";
+        assert!(matches!(
+            profile_history(log),
+            Err(ProfileError::OrphanTask { job: 9 })
+        ));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(matches!(profile_history("BOGUS\n"), Err(ProfileError::Parse(_))));
+    }
+
+    #[test]
+    fn trace_assembly_preserves_arrivals() {
+        let trace = trace_from_history(LOG, "test trace").unwrap();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.jobs[0].arrival, SimTime::ZERO);
+        assert_eq!(trace.meta.source, "mrprofiler");
+        trace.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trip_with_cluster_logs() {
+        // end-to-end within the crate family: testbed log -> profile
+        use simmr_types::{write_history, HistoryLine, JobHistoryRecord, TaskHistoryRecord};
+        let lines = vec![
+            HistoryLine::Job(JobHistoryRecord {
+                id: 0,
+                name: "rt".into(),
+                submit: SimTime::ZERO,
+                launch: SimTime::from_millis(3),
+                finish: SimTime::from_millis(50),
+                maps: 1,
+                reduces: 1,
+            }),
+            HistoryLine::Task(TaskHistoryRecord {
+                job: 0,
+                kind: TaskKind::Map,
+                idx: 0,
+                start: SimTime::from_millis(3),
+                shuffle_end: None,
+                sort_end: None,
+                end: SimTime::from_millis(20),
+                node: 0,
+            }),
+            HistoryLine::Task(TaskHistoryRecord {
+                job: 0,
+                kind: TaskKind::Reduce,
+                idx: 0,
+                start: SimTime::from_millis(25),
+                shuffle_end: Some(SimTime::from_millis(40)),
+                sort_end: Some(SimTime::from_millis(42)),
+                end: SimTime::from_millis(50),
+                node: 0,
+            }),
+        ];
+        let jobs = profile_history(&write_history(&lines)).unwrap();
+        let t = &jobs[0].template;
+        assert_eq!(t.map_durations, vec![17]);
+        assert_eq!(t.typical_shuffle_durations, vec![17]); // 42-25
+        assert_eq!(t.reduce_durations, vec![8]);
+    }
+}

@@ -1,0 +1,265 @@
+//! A Rumen-flavoured trace extractor.
+//!
+//! Rumen (§IV-A) processes Hadoop job-history logs into detailed per-task
+//! trace files that Mumak replays. Where our MRProfiler *"is selective and
+//! stores only the task durations"*, Rumen keeps considerably more per-task
+//! detail. This module mirrors that split: [`RumenTask`] carries the full
+//! phase boundaries and placement of every attempt, and the Mumak baseline
+//! (`simmr-mumak`) replays [`RumenTrace`]s — crucially *without* using the
+//! shuffle boundary, just like the real Mumak.
+
+use serde::{Deserialize, Serialize};
+use simmr_types::{parse_history, HistoryLine, HistoryParseError, SimTime, TaskKind};
+
+/// One task attempt in a Rumen trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RumenTask {
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within its stage.
+    pub idx: u32,
+    /// Attempt start.
+    pub start: SimTime,
+    /// Shuffle phase end (reduces only).
+    pub shuffle_end: Option<SimTime>,
+    /// Sort phase end (reduces only).
+    pub sort_end: Option<SimTime>,
+    /// Attempt end.
+    pub end: SimTime,
+    /// Executing node.
+    pub node: u32,
+}
+
+impl RumenTask {
+    /// Total attempt runtime.
+    pub fn runtime_ms(&self) -> u64 {
+        self.end.since(self.start)
+    }
+
+    /// Runtime of the reduce phase alone (`end − sort_end`), which is the
+    /// only part of a reduce task Mumak models.
+    pub fn reduce_phase_ms(&self) -> u64 {
+        match self.sort_end.or(self.shuffle_end) {
+            Some(se) => self.end.since(se),
+            None => self.runtime_ms(),
+        }
+    }
+}
+
+/// One job in a Rumen trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RumenJob {
+    /// Job sequence number.
+    pub id: u32,
+    /// Job name.
+    pub name: String,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Recorded completion time (ground truth for accuracy comparisons).
+    pub finish: SimTime,
+    /// Every task attempt of the job.
+    pub tasks: Vec<RumenTask>,
+}
+
+impl RumenJob {
+    /// Map attempts in start order.
+    pub fn maps(&self) -> Vec<&RumenTask> {
+        let mut v: Vec<&RumenTask> =
+            self.tasks.iter().filter(|t| t.kind == TaskKind::Map).collect();
+        v.sort_by_key(|t| (t.start, t.idx));
+        v
+    }
+
+    /// Reduce attempts in start order.
+    pub fn reduces(&self) -> Vec<&RumenTask> {
+        let mut v: Vec<&RumenTask> =
+            self.tasks.iter().filter(|t| t.kind == TaskKind::Reduce).collect();
+        v.sort_by_key(|t| (t.start, t.idx));
+        v
+    }
+}
+
+/// A full Rumen trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RumenTrace {
+    /// Jobs sorted by id.
+    pub jobs: Vec<RumenJob>,
+}
+
+impl RumenTrace {
+    /// Extracts a Rumen trace from a history log.
+    pub fn from_history(log_text: &str) -> Result<Self, HistoryParseError> {
+        let lines = parse_history(log_text)?;
+        let mut jobs: Vec<RumenJob> = Vec::new();
+        for line in &lines {
+            if let HistoryLine::Job(j) = line {
+                jobs.push(RumenJob {
+                    id: j.id,
+                    name: j.name.clone(),
+                    submit: j.submit,
+                    finish: j.finish,
+                    tasks: Vec::new(),
+                });
+            }
+        }
+        jobs.sort_by_key(|j| j.id);
+        for line in &lines {
+            if let HistoryLine::Task(t) = line {
+                if let Ok(pos) = jobs.binary_search_by_key(&t.job, |j| j.id) {
+                    jobs[pos].tasks.push(RumenTask {
+                        kind: t.kind,
+                        idx: t.idx,
+                        start: t.start,
+                        shuffle_end: t.shuffle_end,
+                        sort_end: t.sort_end,
+                        end: t.end,
+                        node: t.node,
+                    });
+                }
+            }
+        }
+        Ok(RumenTrace { jobs })
+    }
+
+    /// Total task count across all jobs.
+    pub fn total_tasks(&self) -> usize {
+        self.jobs.iter().map(|j| j.tasks.len()).sum()
+    }
+
+    /// Synthesizes a Rumen trace from a replayable workload trace.
+    ///
+    /// Mumak only consumes per-task durations and submit times, so the
+    /// synthesized phase boundaries are laid out back-to-back from the
+    /// job's arrival: a reduce task spans `[arrival, arrival + shuffle +
+    /// reduce]` with `sort_end` at the shuffle/reduce boundary. This is how
+    /// the Figure 6 harness feeds *generated* workloads (no history log
+    /// exists for them) to the Mumak baseline.
+    pub fn from_workload(trace: &simmr_types::WorkloadTrace) -> Self {
+        let jobs = trace
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let t = &spec.template;
+                let mut tasks = Vec::with_capacity(t.num_maps + t.num_reduces);
+                for m in 0..t.num_maps {
+                    let d = t.map_duration(m);
+                    tasks.push(RumenTask {
+                        kind: TaskKind::Map,
+                        idx: m as u32,
+                        start: spec.arrival,
+                        shuffle_end: None,
+                        sort_end: None,
+                        end: spec.arrival + d,
+                        node: 0,
+                    });
+                }
+                for r in 0..t.num_reduces {
+                    let sh = t.typical_shuffle_duration(r);
+                    let red = t.reduce_duration(r);
+                    let boundary = spec.arrival + sh;
+                    tasks.push(RumenTask {
+                        kind: TaskKind::Reduce,
+                        idx: r as u32,
+                        start: spec.arrival,
+                        shuffle_end: Some(boundary),
+                        sort_end: Some(boundary),
+                        end: boundary + red,
+                        node: 0,
+                    });
+                }
+                RumenJob {
+                    id: i as u32,
+                    name: t.name.clone(),
+                    submit: spec.arrival,
+                    finish: tasks.iter().map(|t| t.end).max().unwrap_or(spec.arrival),
+                    tasks,
+                }
+            })
+            .collect();
+        RumenTrace { jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = "\
+JOB id=0 name=j submit=0 launch=10 finish=400 maps=2 reduces=1
+TASK job=0 kind=map idx=1 start=20 end=200 node=1
+TASK job=0 kind=map idx=0 start=10 end=100 node=0
+TASK job=0 kind=reduce idx=0 start=120 shuffle_end=230 sort_end=240 end=300 node=2
+";
+
+    #[test]
+    fn extraction_and_ordering() {
+        let trace = RumenTrace::from_history(LOG).unwrap();
+        assert_eq!(trace.jobs.len(), 1);
+        assert_eq!(trace.total_tasks(), 3);
+        let maps = trace.jobs[0].maps();
+        assert_eq!(maps[0].idx, 0); // ordered by start
+        assert_eq!(maps[1].idx, 1);
+        assert_eq!(trace.jobs[0].reduces().len(), 1);
+    }
+
+    #[test]
+    fn reduce_phase_extraction() {
+        let trace = RumenTrace::from_history(LOG).unwrap();
+        let r = trace.jobs[0].reduces()[0];
+        assert_eq!(r.runtime_ms(), 180);
+        assert_eq!(r.reduce_phase_ms(), 60); // 300 - 240
+    }
+
+    #[test]
+    fn map_task_phase_fallback() {
+        let t = RumenTask {
+            kind: TaskKind::Map,
+            idx: 0,
+            start: SimTime::from_millis(10),
+            shuffle_end: None,
+            sort_end: None,
+            end: SimTime::from_millis(50),
+            node: 0,
+        };
+        assert_eq!(t.reduce_phase_ms(), 40);
+    }
+
+    #[test]
+    fn tasks_for_unknown_jobs_dropped() {
+        let log = "\
+JOB id=0 name=j submit=0 launch=0 finish=10 maps=0 reduces=0
+TASK job=5 kind=map idx=0 start=0 end=1 node=0
+";
+        let trace = RumenTrace::from_history(log).unwrap();
+        assert_eq!(trace.total_tasks(), 0);
+    }
+
+    #[test]
+    fn from_workload_synthesis() {
+        use simmr_types::{JobSpec, JobTemplate, WorkloadTrace};
+        let mut wt = WorkloadTrace::new("t", "test");
+        wt.push(JobSpec::new(
+            JobTemplate::new("j", vec![100, 200], vec![10], vec![30], vec![40]).unwrap(),
+            SimTime::from_millis(5),
+        ));
+        let rumen = RumenTrace::from_workload(&wt);
+        assert_eq!(rumen.jobs.len(), 1);
+        assert_eq!(rumen.total_tasks(), 3);
+        let maps = rumen.jobs[0].maps();
+        assert_eq!(maps[0].runtime_ms(), 100);
+        assert_eq!(maps[1].runtime_ms(), 200);
+        let r = rumen.jobs[0].reduces()[0];
+        assert_eq!(r.reduce_phase_ms(), 40);
+        assert_eq!(r.runtime_ms(), 70);
+        assert_eq!(rumen.jobs[0].submit, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let trace = RumenTrace::from_history(LOG).unwrap();
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: RumenTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

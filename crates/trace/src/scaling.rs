@@ -1,0 +1,119 @@
+//! Trace scaling (the paper's future work, §VII).
+//!
+//! *"We plan to design a trace-scaling technique where from the trace of a
+//! job execution on a small dataset, we could generate a trace that
+//! represents job processing of a larger dataset."*
+//!
+//! Scaling a template by a data factor `f`:
+//!
+//! * **maps** — the map-task count scales linearly with input size (one
+//!   task per block), so the scaled template has `ceil(N_M · f)` maps whose
+//!   durations are resampled (cyclically) from the observed distribution —
+//!   per-block work is size-invariant;
+//! * **shuffles** — each reduce task fetches `f×` the intermediate data, so
+//!   shuffle durations scale by `f` (reduce count is an application
+//!   configuration constant, not a function of input size);
+//! * **reduce phase** — the per-reduce input also grows by `f`, so the
+//!   reduce-phase durations scale by `f` as well.
+
+use simmr_types::{DurationMs, JobTemplate};
+
+/// Scales a job template to a dataset `factor` times as large
+/// (`factor > 0`; `factor < 1` shrinks).
+///
+/// # Panics
+///
+/// Panics if `factor` is not finite and positive.
+pub fn scale_template(template: &JobTemplate, factor: f64) -> JobTemplate {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "scale factor must be positive, got {factor}"
+    );
+    let scaled_maps = ((template.num_maps as f64 * factor).ceil() as usize).max(1);
+    let map_durations: Vec<DurationMs> = (0..scaled_maps)
+        .map(|i| template.map_duration(i))
+        .collect();
+    let scale = |d: &DurationMs| ((*d as f64) * factor).round() as DurationMs;
+    JobTemplate::new(
+        format!("{}-x{:.2}", template.name, factor),
+        map_durations,
+        template.first_shuffle_durations.iter().map(scale).collect(),
+        template.typical_shuffle_durations.iter().map(scale).collect(),
+        template.reduce_durations.iter().map(scale).collect(),
+    )
+    .expect("scaling preserves structural validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn template() -> JobTemplate {
+        JobTemplate::new(
+            "small",
+            vec![100, 200, 300, 400],
+            vec![50],
+            vec![80, 120],
+            vec![40, 60],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn doubling_doubles_maps_and_shuffles() {
+        let t = scale_template(&template(), 2.0);
+        assert_eq!(t.num_maps, 8);
+        assert_eq!(t.num_reduces, 2); // reduce count unchanged
+        // map durations resampled cyclically
+        assert_eq!(&t.map_durations[..4], &[100, 200, 300, 400]);
+        assert_eq!(&t.map_durations[4..], &[100, 200, 300, 400]);
+        assert_eq!(t.typical_shuffle_durations, vec![160, 240]);
+        assert_eq!(t.first_shuffle_durations, vec![100]);
+        assert_eq!(t.reduce_durations, vec![80, 120]);
+        assert!(t.name.contains("x2.00"));
+    }
+
+    #[test]
+    fn shrinking() {
+        let t = scale_template(&template(), 0.5);
+        assert_eq!(t.num_maps, 2);
+        assert_eq!(t.typical_shuffle_durations, vec![40, 60]);
+    }
+
+    #[test]
+    fn shrink_never_below_one_map() {
+        let t = scale_template(&template(), 0.01);
+        assert_eq!(t.num_maps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_factor() {
+        scale_template(&template(), 0.0);
+    }
+
+    proptest! {
+        /// Total map work scales ~linearly with the factor.
+        #[test]
+        fn map_work_scales_linearly(factor in 0.25f64..8.0) {
+            let base = template();
+            let scaled = scale_template(&base, factor);
+            let base_work: u64 = base.map_durations.iter().sum();
+            let scaled_work: u64 = scaled.map_durations.iter().sum();
+            let expected = base_work as f64 * factor;
+            // cyclic resampling quantizes to whole tasks: allow one
+            // wave of slack
+            let slack = *base.map_durations.iter().max().unwrap() as f64;
+            prop_assert!((scaled_work as f64 - expected).abs() <= slack + 1.0,
+                "scaled {scaled_work} vs expected {expected}");
+        }
+
+        /// Scaling is structurally valid for any positive factor.
+        #[test]
+        fn always_valid(factor in 0.01f64..20.0) {
+            let t = scale_template(&template(), factor);
+            prop_assert!(t.validate().is_ok());
+        }
+    }
+}

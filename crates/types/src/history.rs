@@ -1,0 +1,381 @@
+//! Job-history log format.
+//!
+//! The paper's MRProfiler *"extracts the job performance metrics by
+//! processing the counters and logs stored at the JobTracker at the end of
+//! each job"* (§III-A). Our testbed simulator plays the JobTracker's role
+//! and emits an equivalent line-oriented history log; the MRProfiler in
+//! `simmr-trace` parses it back into replayable job templates. The format
+//! is deliberately simple and greppable:
+//!
+//! ```text
+//! JOB id=3 name=WordCount-40GB submit=0 launch=600 finish=251000 maps=640 reduces=256
+//! TASK job=3 kind=map idx=17 start=600 end=19000 node=12
+//! TASK job=3 kind=reduce idx=4 start=20000 shuffle_end=230000 sort_end=230000 end=251000 node=7
+//! ```
+//!
+//! All times are absolute simulated milliseconds. Reduce tasks carry the
+//! ends of their shuffle and sort phases; `sort_end == shuffle_end` when
+//! the sort cost is folded into the shuffle (the paper treats shuffle+sort
+//! as a single phase).
+
+use crate::ids::TaskKind;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Job-level history record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobHistoryRecord {
+    /// Job sequence number within the log.
+    pub id: u32,
+    /// Application/job name (whitespace is replaced by `_` on write).
+    pub name: String,
+    /// Submission time.
+    pub submit: SimTime,
+    /// First task launch time.
+    pub launch: SimTime,
+    /// Completion time.
+    pub finish: SimTime,
+    /// Number of map tasks.
+    pub maps: usize,
+    /// Number of reduce tasks.
+    pub reduces: usize,
+}
+
+/// Task-attempt history record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskHistoryRecord {
+    /// Owning job's sequence number.
+    pub job: u32,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within its stage.
+    pub idx: u32,
+    /// Start of execution (shuffle start for reduces).
+    pub start: SimTime,
+    /// End of the shuffle phase (reduce tasks only).
+    pub shuffle_end: Option<SimTime>,
+    /// End of the sort phase (reduce tasks only).
+    pub sort_end: Option<SimTime>,
+    /// Task completion.
+    pub end: SimTime,
+    /// Worker node that executed the attempt.
+    pub node: u32,
+}
+
+/// One parsed line of a history log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum HistoryLine {
+    /// A `JOB` record.
+    Job(JobHistoryRecord),
+    /// A `TASK` record.
+    Task(TaskHistoryRecord),
+}
+
+/// Errors raised while parsing a history log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for HistoryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "history log line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for HistoryParseError {}
+
+impl fmt::Display for HistoryLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryLine::Job(j) => write!(
+                f,
+                "JOB id={} name={} submit={} launch={} finish={} maps={} reduces={}",
+                j.id,
+                j.name.replace(char::is_whitespace, "_"),
+                j.submit.as_millis(),
+                j.launch.as_millis(),
+                j.finish.as_millis(),
+                j.maps,
+                j.reduces
+            ),
+            HistoryLine::Task(t) => {
+                write!(
+                    f,
+                    "TASK job={} kind={} idx={} start={}",
+                    t.job,
+                    t.kind.as_str(),
+                    t.idx,
+                    t.start.as_millis()
+                )?;
+                if let Some(se) = t.shuffle_end {
+                    write!(f, " shuffle_end={}", se.as_millis())?;
+                }
+                if let Some(se) = t.sort_end {
+                    write!(f, " sort_end={}", se.as_millis())?;
+                }
+                write!(f, " end={} node={}", t.end.as_millis(), t.node)
+            }
+        }
+    }
+}
+
+/// Finds the value of a `key=value` token on the line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_ascii_whitespace().find_map(|tok| {
+        let (k, v) = tok.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+impl FromStr for HistoryLine {
+    type Err = String;
+
+    fn from_str(line: &str) -> Result<Self, Self::Err> {
+        let get = |key: &str| field(line, key);
+        let num = |key: &str| -> Result<u64, String> {
+            get(key)
+                .ok_or_else(|| format!("missing field `{key}`"))?
+                .parse::<u64>()
+                .map_err(|e| format!("field `{key}`: {e}"))
+        };
+        if line.starts_with("JOB ") {
+            Ok(HistoryLine::Job(JobHistoryRecord {
+                id: num("id")? as u32,
+                name: get("name").ok_or("missing field `name`")?.to_string(),
+                submit: SimTime::from_millis(num("submit")?),
+                launch: SimTime::from_millis(num("launch")?),
+                finish: SimTime::from_millis(num("finish")?),
+                maps: num("maps")? as usize,
+                reduces: num("reduces")? as usize,
+            }))
+        } else if line.starts_with("TASK ") {
+            let kind = match get("kind") {
+                Some("map") => TaskKind::Map,
+                Some("reduce") => TaskKind::Reduce,
+                other => return Err(format!("bad task kind {other:?}")),
+            };
+            Ok(HistoryLine::Task(TaskHistoryRecord {
+                job: num("job")? as u32,
+                kind,
+                idx: num("idx")? as u32,
+                start: SimTime::from_millis(num("start")?),
+                shuffle_end: get("shuffle_end")
+                    .map(|v| v.parse::<u64>().map(SimTime::from_millis))
+                    .transpose()
+                    .map_err(|e| format!("field `shuffle_end`: {e}"))?,
+                sort_end: get("sort_end")
+                    .map(|v| v.parse::<u64>().map(SimTime::from_millis))
+                    .transpose()
+                    .map_err(|e| format!("field `sort_end`: {e}"))?,
+                end: SimTime::from_millis(num("end")?),
+                node: num("node")? as u32,
+            }))
+        } else {
+            Err(format!("unrecognized record type in {line:?}"))
+        }
+    }
+}
+
+/// Serializes history lines to log text.
+pub fn write_history(lines: &[HistoryLine]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for line in lines {
+        writeln!(out, "{line}").expect("writing to a String cannot fail");
+    }
+    out
+}
+
+/// Parses a full history log, skipping blank and `#`-comment lines.
+pub fn parse_history(text: &str) -> Result<Vec<HistoryLine>, HistoryParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.parse::<HistoryLine>() {
+            Ok(parsed) => out.push(parsed),
+            Err(message) => return Err(HistoryParseError { line: i + 1, message }),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job_record() -> HistoryLine {
+        HistoryLine::Job(JobHistoryRecord {
+            id: 3,
+            name: "WordCount-40GB".into(),
+            submit: SimTime::from_millis(0),
+            launch: SimTime::from_millis(600),
+            finish: SimTime::from_millis(251_000),
+            maps: 640,
+            reduces: 256,
+        })
+    }
+
+    fn reduce_record() -> HistoryLine {
+        HistoryLine::Task(TaskHistoryRecord {
+            job: 3,
+            kind: TaskKind::Reduce,
+            idx: 4,
+            start: SimTime::from_millis(20_000),
+            shuffle_end: Some(SimTime::from_millis(230_000)),
+            sort_end: Some(SimTime::from_millis(230_000)),
+            end: SimTime::from_millis(251_000),
+            node: 7,
+        })
+    }
+
+    #[test]
+    fn round_trip_job() {
+        let line = job_record().to_string();
+        assert_eq!(line.parse::<HistoryLine>().unwrap(), job_record());
+    }
+
+    #[test]
+    fn round_trip_reduce_task() {
+        let line = reduce_record().to_string();
+        assert_eq!(line.parse::<HistoryLine>().unwrap(), reduce_record());
+    }
+
+    #[test]
+    fn round_trip_map_task() {
+        let rec = HistoryLine::Task(TaskHistoryRecord {
+            job: 0,
+            kind: TaskKind::Map,
+            idx: 17,
+            start: SimTime::from_millis(600),
+            shuffle_end: None,
+            sort_end: None,
+            end: SimTime::from_millis(19_000),
+            node: 12,
+        });
+        let line = rec.to_string();
+        assert!(!line.contains("shuffle_end"));
+        assert_eq!(line.parse::<HistoryLine>().unwrap(), rec);
+    }
+
+    #[test]
+    fn whitespace_in_names_sanitized() {
+        let rec = HistoryLine::Job(JobHistoryRecord {
+            name: "my job".into(),
+            ..match job_record() {
+                HistoryLine::Job(j) => j,
+                _ => unreachable!(),
+            }
+        });
+        let line = rec.to_string();
+        let parsed = line.parse::<HistoryLine>().unwrap();
+        match parsed {
+            HistoryLine::Job(j) => assert_eq!(j.name, "my_job"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn full_log_round_trip_with_comments() {
+        let text = format!("# generated by test\n\n{}\n{}\n", job_record(), reduce_record());
+        let parsed = parse_history(&text).unwrap();
+        assert_eq!(parsed, vec![job_record(), reduce_record()]);
+        let rewritten = write_history(&parsed);
+        assert_eq!(parse_history(&rewritten).unwrap(), parsed);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_history("JOB id=1\nGARBAGE\n").unwrap_err();
+        assert_eq!(err.line, 1); // missing fields already on line 1
+        let err = parse_history("# ok\nGARBAGE\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let err = "TASK job=0 kind=combine idx=0 start=0 end=1 node=0"
+            .parse::<HistoryLine>()
+            .unwrap_err();
+        assert!(err.contains("bad task kind"));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let err = "TASK job=0 kind=map idx=zz start=0 end=1 node=0"
+            .parse::<HistoryLine>()
+            .unwrap_err();
+        assert!(err.contains("idx"));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_task() -> impl Strategy<Value = TaskHistoryRecord> {
+        (
+            0u32..50,
+            prop_oneof![Just(TaskKind::Map), Just(TaskKind::Reduce)],
+            0u32..10_000,
+            0u64..1_000_000,
+            0u64..1_000_000,
+            0u32..256,
+            proptest::bool::ANY,
+        )
+            .prop_map(|(job, kind, idx, start, dur, node, phases)| {
+                let start = SimTime::from_millis(start);
+                let end = start + dur;
+                let (shuffle_end, sort_end) = if kind == TaskKind::Reduce && phases {
+                    let se = start + dur / 2;
+                    (Some(se), Some(se + dur / 4))
+                } else {
+                    (None, None)
+                };
+                TaskHistoryRecord { job, kind, idx, start, shuffle_end, sort_end, end, node }
+            })
+    }
+
+    proptest! {
+        /// Any structurally sane log round-trips through text exactly.
+        #[test]
+        fn log_text_round_trip(
+            tasks in proptest::collection::vec(arb_task(), 0..40),
+            jobs in proptest::collection::vec((0u32..50, 0u64..1_000_000), 0..10),
+        ) {
+            let mut lines: Vec<HistoryLine> = jobs
+                .into_iter()
+                .map(|(id, submit)| HistoryLine::Job(JobHistoryRecord {
+                    id,
+                    name: format!("job-{id}"),
+                    submit: SimTime::from_millis(submit),
+                    launch: SimTime::from_millis(submit + 1),
+                    finish: SimTime::from_millis(submit + 100),
+                    maps: id as usize,
+                    reduces: (id / 2) as usize,
+                }))
+                .collect();
+            lines.extend(tasks.into_iter().map(HistoryLine::Task));
+            let text = write_history(&lines);
+            let parsed = parse_history(&text).unwrap();
+            prop_assert_eq!(parsed, lines);
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_total_on_garbage(input in "\\PC{0,200}") {
+            let _ = parse_history(&input);
+            let _ = input.parse::<HistoryLine>();
+        }
+    }
+}

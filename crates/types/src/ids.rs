@@ -1,0 +1,137 @@
+//! Identifiers for jobs, tasks and slots.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A job's index within a workload trace.
+///
+/// Job ids are dense (0..n) within one [`crate::WorkloadTrace`]; schedulers
+/// receive them through the narrow `choose_next_*` interface described in
+/// §III-B of the paper.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The raw index, usable for `Vec` lookup.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job_{:04}", self.0)
+    }
+}
+
+/// The two stages of a MapReduce job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A map task.
+    Map,
+    /// A reduce task (shuffle + sort + reduce phases; see §II of the paper).
+    Reduce,
+}
+
+impl TaskKind {
+    /// Lowercase name used in the job-history log format.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+        }
+    }
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A task identifier: `(job, kind, index-within-stage)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId {
+    /// Owning job.
+    pub job: JobId,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Dense index within the job's map (or reduce) stage.
+    pub index: u32,
+}
+
+impl TaskId {
+    /// Convenience constructor for a map task id.
+    pub const fn map(job: JobId, index: u32) -> Self {
+        TaskId { job, kind: TaskKind::Map, index }
+    }
+
+    /// Convenience constructor for a reduce task id.
+    pub const fn reduce(job: JobId, index: u32) -> Self {
+        TaskId { job, kind: TaskKind::Reduce, index }
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}_{}_{:05}", self.job, self.kind, self.index)
+    }
+}
+
+/// A slot index within the simulated cluster (map slots and reduce slots are
+/// numbered independently).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// The raw index, usable for `Vec` lookup.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot_{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(JobId(7).to_string(), "job_0007");
+        assert_eq!(TaskId::map(JobId(1), 3).to_string(), "job_0001_map_00003");
+        assert_eq!(TaskId::reduce(JobId(2), 12).to_string(), "job_0002_reduce_00012");
+        assert_eq!(SlotId(5).to_string(), "slot_5");
+    }
+
+    #[test]
+    fn task_id_ordering_is_job_then_kind_then_index() {
+        let a = TaskId::map(JobId(0), 5);
+        let b = TaskId::reduce(JobId(0), 0);
+        let c = TaskId::map(JobId(1), 0);
+        assert!(a < b); // Map < Reduce within a job
+        assert!(b < c); // job dominates
+    }
+
+    #[test]
+    fn indices() {
+        assert_eq!(JobId(9).index(), 9);
+        assert_eq!(SlotId(4).index(), 4);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(TaskKind::Map.as_str(), "map");
+        assert_eq!(TaskKind::Reduce.as_str(), "reduce");
+    }
+}

@@ -1,0 +1,37 @@
+//! # simmr-types
+//!
+//! Common domain types for SimMR-RS, a Rust reproduction of the SimMR
+//! MapReduce simulator ("Play It Again, SimMR!", IEEE CLUSTER 2011).
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace:
+//!
+//! * [`SimTime`] / [`DurationMs`] — simulated wall-clock time, in integer
+//!   milliseconds for fully deterministic event ordering;
+//! * [`JobId`], [`TaskId`], [`TaskKind`] — identifiers for jobs and tasks;
+//! * [`JobTemplate`] — the paper's *job template* (§III-A): the compact
+//!   per-job profile `(N_M, N_R, MapDurations, FirstShuffleDurations,
+//!   TypicalShuffleDurations, ReduceDurations)` that makes a trace
+//!   replayable;
+//! * [`JobSpec`] / [`WorkloadTrace`] — a replayable workload: job templates
+//!   plus arrival times and (optional) deadlines;
+//! * [`JobResult`] / [`SimulationReport`] — the output side: per-job
+//!   completion records, task-level timelines for plotting, and the
+//!   deadline-utility metric from §V-A of the paper.
+
+pub mod history;
+pub mod ids;
+pub mod job;
+pub mod report;
+pub mod time;
+pub mod trace;
+
+pub use history::{
+    parse_history, write_history, HistoryLine, HistoryParseError, JobHistoryRecord,
+    TaskHistoryRecord,
+};
+pub use ids::{JobId, SlotId, TaskId, TaskKind};
+pub use job::{JobSpec, JobTemplate, PhaseStats, TemplateError};
+pub use report::{JobResult, SimulationReport, TimelineEntry, TimelinePhase};
+pub use time::{ms_to_secs, secs_to_ms, DurationMs, SimTime};
+pub use trace::{TraceMeta, WorkloadTrace};

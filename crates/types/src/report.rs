@@ -1,0 +1,221 @@
+//! Simulation output: per-job records, task timelines, and the
+//! deadline-utility metric of §V-A.
+
+use crate::ids::JobId;
+use crate::time::{DurationMs, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which execution phase a timeline entry covers. Reduce tasks are split
+//  into shuffle and reduce portions, exactly like Figures 1-2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimelinePhase {
+    /// Map task execution.
+    Map,
+    /// Shuffle/sort portion of a reduce task.
+    Shuffle,
+    /// Reduce-function portion of a reduce task.
+    Reduce,
+}
+
+impl TimelinePhase {
+    /// Lowercase label used in CSV output.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            TimelinePhase::Map => "map",
+            TimelinePhase::Shuffle => "shuffle",
+            TimelinePhase::Reduce => "reduce",
+        }
+    }
+}
+
+/// One horizontal bar in a Figure-1-style task/slot timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineEntry {
+    /// Owning job.
+    pub job: JobId,
+    /// Phase drawn.
+    pub phase: TimelinePhase,
+    /// Slot the bar occupies (y-axis of the figure).
+    pub slot: u32,
+    /// Bar start.
+    pub start: SimTime,
+    /// Bar end.
+    pub end: SimTime,
+}
+
+/// Completion record for one simulated job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The job.
+    pub job: JobId,
+    /// Application name from the template.
+    pub name: String,
+    /// Submission time.
+    pub arrival: SimTime,
+    /// When the first map task was placed on a slot.
+    pub first_map_start: Option<SimTime>,
+    /// When the last map task finished (the `AllMapsFinished` event).
+    pub maps_finished: Option<SimTime>,
+    /// Completion time of the whole job.
+    pub completion: SimTime,
+    /// Deadline carried by the job spec, if any.
+    pub deadline: Option<SimTime>,
+    /// Number of map tasks executed.
+    pub num_maps: usize,
+    /// Number of reduce tasks executed.
+    pub num_reduces: usize,
+}
+
+impl JobResult {
+    /// Makespan of the job: completion − arrival.
+    pub fn duration(&self) -> DurationMs {
+        self.completion.since(self.arrival)
+    }
+
+    /// Amount by which the deadline was exceeded (0 if met or absent).
+    pub fn deadline_overrun(&self) -> DurationMs {
+        match self.deadline {
+            Some(d) => self.completion.since(d),
+            None => 0,
+        }
+    }
+
+    /// The paper's relative-deadline-exceeded contribution:
+    /// `(T_J − D_J) / D_J` for jobs past their deadline, else 0.
+    ///
+    /// The deadline is interpreted relative to the job's arrival (a deadline
+    /// of "double the standalone runtime" is twice the runtime *after
+    /// submission*, not since the epoch).
+    pub fn relative_deadline_exceeded(&self) -> f64 {
+        match self.deadline {
+            Some(d) if self.completion > d => {
+                let rel_deadline = d.since(self.arrival);
+                if rel_deadline == 0 {
+                    // degenerate deadline-at-arrival: count the full runtime
+                    self.duration() as f64
+                } else {
+                    (self.completion.since(d)) as f64 / rel_deadline as f64
+                }
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// True if the job completed by its deadline (or has none).
+    pub fn met_deadline(&self) -> bool {
+        match self.deadline {
+            Some(d) => self.completion <= d,
+            None => true,
+        }
+    }
+}
+
+/// Full output of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimulationReport {
+    /// Per-job completion records, indexed by job id.
+    pub jobs: Vec<JobResult>,
+    /// Virtual time at which the last event fired.
+    pub makespan: SimTime,
+    /// Total number of discrete events processed (for the >1M events/s
+    /// throughput claim of §I).
+    pub events_processed: u64,
+    /// Task-level timeline; only populated when timeline recording was
+    /// enabled (it is off by default — recording costs memory).
+    pub timeline: Vec<TimelineEntry>,
+}
+
+impl SimulationReport {
+    /// Sum of relative deadline overruns across all jobs — the utility
+    /// function minimized by a good deadline scheduler (§V-A).
+    pub fn total_relative_deadline_exceeded(&self) -> f64 {
+        self.jobs.iter().map(JobResult::relative_deadline_exceeded).sum()
+    }
+
+    /// Number of jobs that missed their deadline.
+    pub fn missed_deadlines(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.met_deadline()).count()
+    }
+
+    /// Completion time of a given job.
+    pub fn completion_of(&self, job: JobId) -> Option<SimTime> {
+        self.jobs.iter().find(|r| r.job == job).map(|r| r.completion)
+    }
+
+    /// Mean job duration in milliseconds (0 for an empty report).
+    pub fn mean_duration_ms(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.duration() as f64).sum::<f64>() / self.jobs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(arrival: u64, completion: u64, deadline: Option<u64>) -> JobResult {
+        JobResult {
+            job: JobId(0),
+            name: "t".into(),
+            arrival: SimTime::from_millis(arrival),
+            first_map_start: None,
+            maps_finished: None,
+            completion: SimTime::from_millis(completion),
+            deadline: deadline.map(SimTime::from_millis),
+            num_maps: 1,
+            num_reduces: 0,
+        }
+    }
+
+    #[test]
+    fn duration_and_overrun() {
+        let r = result(1000, 5000, Some(4000));
+        assert_eq!(r.duration(), 4000);
+        assert_eq!(r.deadline_overrun(), 1000);
+        assert!(!r.met_deadline());
+    }
+
+    #[test]
+    fn relative_exceeded_is_relative_to_arrival() {
+        // arrival 1000, deadline 4000 => relative deadline 3000;
+        // completion 5500 => overrun 1500 => 0.5
+        let r = result(1000, 5500, Some(4000));
+        assert!((r.relative_deadline_exceeded() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn met_deadline_contributes_zero() {
+        let r = result(0, 3000, Some(4000));
+        assert_eq!(r.relative_deadline_exceeded(), 0.0);
+        assert!(r.met_deadline());
+        let r = result(0, 3000, None);
+        assert_eq!(r.relative_deadline_exceeded(), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = SimulationReport {
+            jobs: vec![
+                result(0, 2000, Some(1000)),   // overrun 1000/1000 = 1.0
+                result(0, 500, Some(1000)),    // met
+                result(1000, 4000, Some(2000)), // overrun 2000/1000 = 2.0
+            ],
+            makespan: SimTime::from_millis(4000),
+            events_processed: 42,
+            timeline: vec![],
+        };
+        assert!((report.total_relative_deadline_exceeded() - 3.0).abs() < 1e-12);
+        assert_eq!(report.missed_deadlines(), 2);
+        assert_eq!(report.completion_of(JobId(0)), Some(SimTime::from_millis(2000)));
+        assert!((report.mean_duration_ms() - (2000.0 + 500.0 + 3000.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_labels() {
+        assert_eq!(TimelinePhase::Map.as_str(), "map");
+        assert_eq!(TimelinePhase::Shuffle.as_str(), "shuffle");
+        assert_eq!(TimelinePhase::Reduce.as_str(), "reduce");
+    }
+}

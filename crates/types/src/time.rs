@@ -1,0 +1,160 @@
+//! Simulated time.
+//!
+//! All simulators in this workspace advance a virtual clock measured in
+//! integer **milliseconds**. Integer time (instead of `f64` seconds) keeps
+//! event ordering exact and runs bit-for-bit reproducible, which the
+//! property-based tests rely on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in simulated milliseconds.
+pub type DurationMs = u64;
+
+/// An instant on the simulated clock, in milliseconds since simulation start.
+///
+/// `SimTime` is a transparent newtype over `u64`; arithmetic with
+/// [`DurationMs`] is provided via `+`/`-` operators and saturates on
+/// subtraction (the simulated clock never goes negative).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinite" sentinel for
+    /// the engine's filler reduce tasks (§III-B of the paper).
+    pub const INFINITY: SimTime = SimTime(u64::MAX);
+
+    /// Builds an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Builds an instant from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1000)
+    }
+
+    /// Milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> DurationMs {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// True if this is the `INFINITY` sentinel.
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u64::MAX
+    }
+}
+
+impl Add<DurationMs> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: DurationMs) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<DurationMs> for SimTime {
+    fn add_assign(&mut self, rhs: DurationMs) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = DurationMs;
+    fn sub(self, rhs: SimTime) -> DurationMs {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "inf")
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+/// Converts a float number of seconds to a millisecond duration, rounding to
+/// the nearest millisecond and clamping at zero.
+pub fn secs_to_ms(secs: f64) -> DurationMs {
+    if secs <= 0.0 {
+        0
+    } else {
+        (secs * 1000.0).round() as u64
+    }
+}
+
+/// Converts a millisecond duration to float seconds (reporting only).
+pub fn ms_to_secs(ms: DurationMs) -> f64 {
+    ms as f64 / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(3);
+        assert_eq!(t.as_millis(), 3000);
+        assert_eq!(t.as_secs_f64(), 3.0);
+        assert_eq!(SimTime::from_millis(1500).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(100);
+        assert_eq!((t + 50).as_millis(), 150);
+        assert_eq!(SimTime::from_millis(150) - t, 50);
+        // saturating subtraction: clock never negative
+        assert_eq!(t - SimTime::from_millis(500), 0);
+        assert_eq!(t.since(SimTime::from_millis(500)), 0);
+        assert_eq!(SimTime::from_millis(500).since(t), 400);
+    }
+
+    #[test]
+    fn infinity_sentinel() {
+        assert!(SimTime::INFINITY.is_infinite());
+        assert!(!SimTime::ZERO.is_infinite());
+        // adding to infinity saturates rather than wrapping
+        assert_eq!(SimTime::INFINITY + 10, SimTime::INFINITY);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::from_millis(1));
+        assert!(SimTime::from_millis(1) < SimTime::INFINITY);
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(secs_to_ms(1.5), 1500);
+        assert_eq!(secs_to_ms(-2.0), 0);
+        assert_eq!(secs_to_ms(0.0004), 0);
+        assert_eq!(secs_to_ms(0.0006), 1);
+        assert_eq!(ms_to_secs(2500), 2.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1234).to_string(), "1.234s");
+        assert_eq!(SimTime::INFINITY.to_string(), "inf");
+    }
+}

@@ -1,0 +1,153 @@
+//! Replayable workload traces.
+
+use crate::job::JobSpec;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Metadata describing where a trace came from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TraceMeta {
+    /// Free-form description (cluster name, generator parameters, ...).
+    pub description: String,
+    /// Generator/profiler that produced the trace (`"mrprofiler"`,
+    /// `"synthetic-facebook"`, ...).
+    pub source: String,
+    /// RNG seed for synthetic traces, when applicable.
+    pub seed: Option<u64>,
+}
+
+/// A replayable MapReduce workload: an ordered set of job specs.
+///
+/// This is the unit the Simulator Engine consumes and the Trace Generator
+/// produces (both MRProfiler-extracted and synthetic traces use this type).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct WorkloadTrace {
+    /// Trace provenance.
+    pub meta: TraceMeta,
+    /// The jobs, in arbitrary order (the engine sorts arrivals internally).
+    pub jobs: Vec<JobSpec>,
+}
+
+impl WorkloadTrace {
+    /// An empty trace with the given description.
+    pub fn new(description: impl Into<String>, source: impl Into<String>) -> Self {
+        WorkloadTrace {
+            meta: TraceMeta {
+                description: description.into(),
+                source: source.into(),
+                seed: None,
+            },
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Appends a job.
+    pub fn push(&mut self, job: JobSpec) {
+        self.jobs.push(job);
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the trace holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Earliest arrival across all jobs (None for an empty trace).
+    pub fn first_arrival(&self) -> Option<SimTime> {
+        self.jobs.iter().map(|j| j.arrival).min()
+    }
+
+    /// Latest arrival across all jobs (None for an empty trace).
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.jobs.iter().map(|j| j.arrival).max()
+    }
+
+    /// Total number of tasks (map + reduce) across all jobs.
+    pub fn total_tasks(&self) -> usize {
+        self.jobs
+            .iter()
+            .map(|j| j.template.num_maps + j.template.num_reduces)
+            .sum()
+    }
+
+    /// Sum of serial work across all jobs, in milliseconds. This is the
+    /// "about a week if executed serially" figure from §IV-E of the paper.
+    pub fn total_serial_work_ms(&self) -> u128 {
+        self.jobs.iter().map(|j| j.template.total_work_ms()).sum()
+    }
+
+    /// Returns a copy limited to the first `n` jobs in arrival order
+    /// (used by the Figure 6 performance sweep).
+    pub fn prefix_by_arrival(&self, n: usize) -> WorkloadTrace {
+        let mut jobs = self.jobs.clone();
+        jobs.sort_by_key(|j| j.arrival);
+        jobs.truncate(n);
+        WorkloadTrace { meta: self.meta.clone(), jobs }
+    }
+
+    /// Validates every job template in the trace.
+    pub fn validate(&self) -> Result<(), crate::job::TemplateError> {
+        for job in &self.jobs {
+            job.template.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobTemplate;
+
+    fn job(arrival_s: u64) -> JobSpec {
+        JobSpec::new(
+            JobTemplate::new("t", vec![100, 200], vec![10], vec![20], vec![30]).unwrap(),
+            SimTime::from_secs(arrival_s),
+        )
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut tr = WorkloadTrace::new("unit", "test");
+        assert!(tr.is_empty());
+        tr.push(job(5));
+        tr.push(job(1));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.first_arrival(), Some(SimTime::from_secs(1)));
+        assert_eq!(tr.last_arrival(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn totals() {
+        let mut tr = WorkloadTrace::new("unit", "test");
+        tr.push(job(0));
+        tr.push(job(1));
+        assert_eq!(tr.total_tasks(), 6); // (2 maps + 1 reduce) * 2
+        assert_eq!(tr.total_serial_work_ms(), 2 * (100 + 200 + 20 + 30));
+    }
+
+    #[test]
+    fn prefix_sorts_by_arrival() {
+        let mut tr = WorkloadTrace::new("unit", "test");
+        tr.push(job(9));
+        tr.push(job(2));
+        tr.push(job(4));
+        let p = tr.prefix_by_arrival(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.jobs[0].arrival, SimTime::from_secs(2));
+        assert_eq!(p.jobs[1].arrival, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let tr = WorkloadTrace::default();
+        assert_eq!(tr.first_arrival(), None);
+        assert_eq!(tr.total_tasks(), 0);
+        assert!(tr.validate().is_ok());
+        assert!(tr.prefix_by_arrival(5).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Synthetic Facebook workload end-to-end (§V-C): generate a trace from the
+//! fitted LogNormal model, verify its statistics against the paper's
+//! parameters, and replay it under the deadline schedulers.
+//!
+//! ```sh
+//! cargo run --release -p simmr-examples --bin facebook_replay
+//! ```
+
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_sched::policy_by_name;
+use simmr_stats::{fit_best, fit_lognormal, Dist};
+use simmr_trace::FacebookWorkload;
+
+fn main() {
+    let workload = FacebookWorkload { mean_interarrival_ms: 120_000.0 };
+    let trace = workload.generate(150, 42);
+
+    // 1. Statistical sanity: the generated map durations should fit a
+    //    LogNormal with the paper's parameters (mu=9.9511, sigma=1.6764).
+    let map_samples: Vec<f64> = trace
+        .jobs
+        .iter()
+        .flat_map(|j| j.template.map_durations.iter().map(|&d| d as f64))
+        .collect();
+    match fit_lognormal(&map_samples) {
+        Some(Dist::LogNormal { mu, sigma }) => {
+            println!(
+                "map durations: fitted LN(mu={mu:.3}, sigma={sigma:.3}) — paper LN(9.9511, 1.6764)"
+            );
+        }
+        other => println!("unexpected fit result: {other:?}"),
+    }
+    // ... and the K-S ranking should pick LogNormal first, like StatAssist
+    // did for the paper's authors.
+    let best = &fit_best(&map_samples)[0];
+    println!("best K-S fit: {:?} (K-S = {:.4})", best.dist, best.ks);
+
+    // 2. Deadline study on this trace (deadline factor 1.5).
+    let mut rng = simmr_stats::SeededRng::new(7);
+    let mut trace = trace;
+    for job in trace.jobs.iter_mut() {
+        // standalone runtime on the 64x64 cluster as deadline baseline
+        let mut single = simmr_types::WorkloadTrace::new("s", "fb");
+        single.push(simmr_types::JobSpec::new(job.template.clone(), simmr_types::SimTime::ZERO));
+        let t_j = SimulatorEngine::new(
+            EngineConfig::new(64, 64),
+            &single,
+            policy_by_name("fifo").expect("fifo"),
+        )
+        .run()
+        .jobs[0]
+            .duration();
+        let rel = rng.uniform_u64(t_j, (1.5 * t_j as f64) as u64);
+        job.deadline = Some(job.arrival + rel);
+    }
+
+    println!("\n{:<8} {:>8} {:>16}", "policy", "missed", "rel_exceeded");
+    for name in ["maxedf", "minedf"] {
+        let report = SimulatorEngine::new(
+            EngineConfig::new(64, 64),
+            &trace,
+            policy_by_name(name).expect("policy"),
+        )
+        .run();
+        println!(
+            "{:<8} {:>5}/{:<3} {:>16.2}",
+            name,
+            report.missed_deadlines(),
+            report.jobs.len(),
+            report.total_relative_deadline_exceeded()
+        );
+    }
+}

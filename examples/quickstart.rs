@@ -1,0 +1,65 @@
+//! Quickstart: build a tiny workload by hand, replay it in the SimMR
+//! engine, and read the report.
+//!
+//! ```sh
+//! cargo run -p simmr-examples --bin quickstart
+//! ```
+
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_sched::FifoPolicy;
+use simmr_types::{JobSpec, JobTemplate, SimTime, WorkloadTrace};
+
+fn main() {
+    // 1. A job template is the paper's replayable profile: map durations,
+    //    first/typical shuffle durations, and reduce-phase durations (ms).
+    let wordcount = JobTemplate::new(
+        "wordcount-demo",
+        vec![18_000; 40],  // 40 map tasks, ~18 s each
+        vec![6_000; 8],    // non-overlapping first-wave shuffle tails
+        vec![14_000; 16],  // typical (later-wave) shuffles
+        vec![4_000; 16],   // reduce phases
+    )
+    .expect("structurally valid template");
+
+    let sort = JobTemplate::new(
+        "sort-demo",
+        vec![4_000; 24],
+        vec![9_000; 8],
+        vec![21_000; 8],
+        vec![12_000; 8],
+    )
+    .expect("structurally valid template");
+
+    // 2. A workload trace is a set of jobs with arrival times (and,
+    //    optionally, deadlines — see the deadline_scheduling example).
+    let mut trace = WorkloadTrace::new("quickstart demo", "handwritten");
+    trace.push(JobSpec::new(wordcount, SimTime::ZERO));
+    trace.push(JobSpec::new(sort, SimTime::from_secs(30)));
+
+    // 3. Replay on a simulated 16x8-slot cluster under FIFO.
+    let config = EngineConfig::new(16, 8).with_timeline();
+    let report = SimulatorEngine::new(config, &trace, Box::new(FifoPolicy::new())).run();
+
+    println!("processed {} events", report.events_processed);
+    for job in &report.jobs {
+        println!(
+            "{:<16} arrived {:>6}  maps done {:>8}  finished {:>8}  ({} maps, {} reduces)",
+            job.name,
+            job.arrival,
+            job.maps_finished.expect("job has maps"),
+            job.completion,
+            job.num_maps,
+            job.num_reduces,
+        );
+    }
+    println!("cluster makespan: {}", report.makespan);
+
+    // 4. The recorded timeline drives Figure-1-style plots: one bar per
+    //    task phase, with the slot it occupied.
+    let map_bars = report
+        .timeline
+        .iter()
+        .filter(|b| b.phase == simmr_types::TimelinePhase::Map)
+        .count();
+    println!("timeline: {} bars total, {} map bars", report.timeline.len(), map_bars);
+}

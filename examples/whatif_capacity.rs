@@ -1,0 +1,65 @@
+//! What-if capacity planning: the use case from the paper's introduction.
+//!
+//! "When there is a need to expand the set of production jobs ... one has
+//! to evaluate whether additional resources are required." This example
+//! profiles a production-like job mix once, then replays it at several
+//! hypothetical cluster sizes in milliseconds of wall-clock time — the
+//! kind of question that would take days on a real testbed.
+//!
+//! ```sh
+//! cargo run --release -p simmr-examples --bin whatif_capacity
+//! ```
+
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_sched::FifoPolicy;
+use simmr_stats::SeededRng;
+use simmr_trace::FacebookWorkload;
+use simmr_types::WorkloadTrace;
+
+fn replay(trace: &WorkloadTrace, slots: usize) -> (f64, f64) {
+    let report = SimulatorEngine::new(
+        EngineConfig::new(slots, slots),
+        trace,
+        Box::new(FifoPolicy::new()),
+    )
+    .run();
+    (report.makespan.as_secs_f64(), report.mean_duration_ms() / 1000.0)
+}
+
+fn main() {
+    // A production-like mix: 200 Facebook-style jobs arriving over ~3.3 h.
+    let mut trace = FacebookWorkload { mean_interarrival_ms: 60_000.0 }.generate(200, 7);
+    println!(
+        "workload: {} jobs, {} tasks, {:.1} h serial work\n",
+        trace.len(),
+        trace.total_tasks(),
+        trace.total_serial_work_ms() as f64 / 3.6e6
+    );
+
+    println!("{:>7} {:>14} {:>16}", "slots", "makespan_h", "mean_job_dur_s");
+    let mut prev: Option<f64> = None;
+    for slots in [16, 32, 64, 128, 256] {
+        let (makespan_s, mean_dur) = replay(&trace, slots);
+        let delta = prev
+            .map(|p| format!("  ({:+.0}% vs previous)", (makespan_s / p - 1.0) * 100.0))
+            .unwrap_or_default();
+        println!("{:>4}x{:<3} {:>13.2}h {:>15.1}s{delta}", slots, slots, makespan_s / 3600.0, mean_dur);
+        prev = Some(makespan_s);
+    }
+
+    // Second what-if: what happens when the input data doubles (§VII trace
+    // scaling)? Scale every job and re-ask the 64-slot question.
+    let mut rng = SeededRng::new(99);
+    for job in trace.jobs.iter_mut() {
+        // production datasets rarely double uniformly — jitter the factor
+        let f = rng.uniform(1.8, 2.2);
+        job.template = simmr_trace::scale_template(&job.template, f);
+    }
+    let (makespan_s, mean_dur) = replay(&trace, 64);
+    println!(
+        "\nafter ~2x data growth on 64x64 slots: makespan {:.2} h, mean job {:.1}s",
+        makespan_s / 3600.0,
+        mean_dur
+    );
+    println!("=> decide whether to buy nodes before the data arrives, not after.");
+}

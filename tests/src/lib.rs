@@ -1,0 +1,14 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use simmr_apps::{AppKind, JobModel};
+use simmr_stats::Dist;
+
+/// A scaled-down application job so integration tests finish in
+/// milliseconds: task times in the low seconds, modest shuffle volumes.
+pub fn small_job(kind: AppKind, maps: usize, reduces: usize) -> JobModel {
+    let mut job = JobModel::with_task_counts(kind, maps, reduces);
+    job.map_time_s = Dist::LogNormal { mu: 0.8, sigma: 0.25 };
+    job.reduce_time_s = Dist::LogNormal { mu: 0.2, sigma: 0.25 };
+    job.shuffle_mb_per_reduce = 50.0;
+    job
+}

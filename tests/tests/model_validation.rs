@@ -1,0 +1,135 @@
+//! Validates the ARIA bounds model (simmr-model) against the SimMR engine
+//! (simmr-core): the engine is an instance of the greedy assignment the
+//! bounds theorem covers, so standalone completions must respect the model.
+
+use proptest::prelude::*;
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_model::{
+    estimate_completion, min_slots_for_deadline, min_slots_for_deadline_with, BoundBasis,
+    JobProfileSummary,
+};
+use simmr_sched::policy_by_name;
+use simmr_types::{JobSpec, JobTemplate, SimTime, WorkloadTrace};
+
+fn standalone(template: &JobTemplate, map_slots: usize, reduce_slots: usize) -> u64 {
+    let mut trace = WorkloadTrace::new("standalone", "model-validation");
+    trace.push(JobSpec::new(template.clone(), SimTime::ZERO));
+    SimulatorEngine::new(
+        EngineConfig::new(map_slots, reduce_slots),
+        &trace,
+        policy_by_name("fifo").unwrap(),
+    )
+    .run()
+    .jobs[0]
+        .duration()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For uniform task durations the engine's standalone completion lies
+    /// within the model's [low, up] interval (uniform durations make the
+    /// per-stage bounds tight around the wave structure).
+    #[test]
+    fn engine_within_model_bounds_uniform(
+        maps in 1usize..60,
+        reduces in 0usize..30,
+        map_ms in 100u64..5_000,
+        sh_ms in 50u64..3_000,
+        red_ms in 50u64..3_000,
+        map_slots in 1usize..16,
+        reduce_slots in 1usize..16,
+    ) {
+        let template = JobTemplate::new(
+            "uniform",
+            vec![map_ms; maps],
+            if reduces > 0 { vec![sh_ms] } else { vec![] },
+            if reduces > 0 { vec![sh_ms; reduces] } else { vec![] },
+            vec![red_ms; reduces],
+        ).unwrap();
+        let profile = JobProfileSummary::from_template(&template);
+        let est = estimate_completion(&profile, map_slots, reduce_slots);
+        let actual = standalone(&template, map_slots, reduce_slots) as f64;
+        // Engine nuances the model ignores: slowstart overlap of the first
+        // reduce wave and first-shuffle crediting. Allow modest slack.
+        let slack = 1.15;
+        prop_assert!(
+            actual <= est.up * slack + 1.0,
+            "actual {actual} above upper bound {}", est.up
+        );
+        prop_assert!(
+            actual >= est.low / slack - 1.0,
+            "actual {actual} below lower bound {}", est.low
+        );
+    }
+
+    /// Per-basis allocation contracts hold in the engine:
+    /// * Upper-basis allocations meet the deadline outright (the makespan
+    ///   theorem guarantee, modulo the engine's small first-wave slack);
+    /// * Estimate-basis allocations never exceed their own *upper-bound*
+    ///   prediction — the bounded risk the paper's mean-of-bounds sizing
+    ///   accepts.
+    #[test]
+    fn minedf_allocation_contracts_in_engine(
+        maps in 2usize..50,
+        reduces in 1usize..20,
+        map_ms in 200u64..3_000,
+        factor in 1.2f64..4.0,
+    ) {
+        let template = JobTemplate::new(
+            "alloc",
+            vec![map_ms; maps],
+            vec![map_ms / 4],
+            vec![map_ms / 2; reduces],
+            vec![map_ms / 3; reduces],
+        ).unwrap();
+        // deadline = factor x the all-slots standalone runtime
+        let t_j = standalone(&template, 64, 64);
+        let deadline = (t_j as f64 * factor) as u64;
+        let profile = JobProfileSummary::from_template(&template);
+
+        // conservative basis: actual meets the deadline (when feasible)
+        let upper = min_slots_for_deadline_with(&profile, deadline, 64, 64, BoundBasis::Upper);
+        if estimate_completion(&profile, 64, 64).up <= deadline as f64 {
+            let actual = standalone(&template, upper.maps, upper.reduces.max(1));
+            prop_assert!(
+                actual as f64 <= deadline as f64 * 1.15 + 1.0,
+                "upper-basis {upper:?} blew deadline {deadline} (actual {actual}, T_J {t_j})"
+            );
+        }
+
+        // default basis: actual stays below the allocation's own T_up
+        let alloc = min_slots_for_deadline(&profile, deadline, 64, 64);
+        let actual = standalone(&template, alloc.maps, alloc.reduces.max(1));
+        let own_up = estimate_completion(&profile, alloc.maps, alloc.reduces.max(1)).up;
+        prop_assert!(
+            actual as f64 <= own_up * 1.15 + 1.0,
+            "estimate-basis {alloc:?} exceeded its own bound (actual {actual}, up {own_up})"
+        );
+    }
+}
+
+#[test]
+fn tighter_deadlines_run_faster_in_engine() {
+    let template = JobTemplate::new(
+        "sweep",
+        vec![1_000; 40],
+        vec![300],
+        vec![500; 10],
+        vec![400; 10],
+    )
+    .unwrap();
+    let t_j = standalone(&template, 64, 64);
+    let profile = JobProfileSummary::from_template(&template);
+    let mut prev_duration = u64::MAX;
+    for factor in [8.0, 4.0, 2.0, 1.2] {
+        let deadline = (t_j as f64 * factor) as u64;
+        let alloc = min_slots_for_deadline(&profile, deadline, 64, 64);
+        let actual = standalone(&template, alloc.maps, alloc.reduces.max(1));
+        assert!(
+            actual <= prev_duration,
+            "tighter deadline should not slow the job: {actual} > {prev_duration}"
+        );
+        prev_duration = actual;
+    }
+}

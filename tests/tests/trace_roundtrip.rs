@@ -1,0 +1,107 @@
+//! Trace persistence and transformation round-trips.
+
+use simmr_bench::pipeline::run_testbed;
+use simmr_cluster::{ClusterConfig, ClusterPolicy};
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_integration::small_job;
+use simmr_sched::FifoPolicy;
+use simmr_trace::{scale_template, trace_from_history, TraceDatabase};
+use simmr_types::{parse_history, SimTime, WorkloadTrace};
+
+fn testbed_trace(seed: u64) -> WorkloadTrace {
+    let run = run_testbed(
+        vec![
+            (small_job(simmr_apps::AppKind::WordCount, 18, 6), SimTime::ZERO, None),
+            (small_job(simmr_apps::AppKind::Twitter, 10, 4), SimTime::from_secs(10), None),
+        ],
+        ClusterPolicy::Fifo,
+        ClusterConfig::tiny(6),
+        seed,
+    );
+    trace_from_history(&run.history, "round-trip test").unwrap()
+}
+
+fn replay(trace: &WorkloadTrace, slots: usize) -> simmr_types::SimulationReport {
+    SimulatorEngine::new(EngineConfig::new(slots, slots), trace, Box::new(FifoPolicy::new()))
+        .run()
+}
+
+#[test]
+fn database_round_trip_preserves_replay() {
+    let dir = std::env::temp_dir().join(format!("simmr-it-db-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = TraceDatabase::open(&dir).unwrap();
+    let trace = testbed_trace(1);
+    db.store("roundtrip", &trace).unwrap();
+    let loaded = db.load("roundtrip").unwrap();
+    assert_eq!(trace, loaded);
+    assert_eq!(replay(&trace, 6), replay(&loaded, 6));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn history_text_round_trip() {
+    let run = run_testbed(
+        vec![(small_job(simmr_apps::AppKind::Sort, 12, 4), SimTime::ZERO, None)],
+        ClusterPolicy::Fifo,
+        ClusterConfig::tiny(4),
+        2,
+    );
+    let lines = parse_history(&run.history).unwrap();
+    let rewritten = simmr_types::write_history(&lines);
+    assert_eq!(parse_history(&rewritten).unwrap(), lines);
+    // and both texts profile to the same trace
+    let a = trace_from_history(&run.history, "x").unwrap();
+    let b = trace_from_history(&rewritten, "x").unwrap();
+    assert_eq!(a.jobs, b.jobs);
+}
+
+#[test]
+fn scaled_traces_replay_proportionally() {
+    let trace = testbed_trace(3);
+    let base = replay(&trace, 6);
+
+    let mut doubled = trace.clone();
+    for job in doubled.jobs.iter_mut() {
+        job.template = scale_template(&job.template, 2.0);
+    }
+    let big = replay(&doubled, 6);
+    // twice the data: strictly more work, completion grows substantially
+    let base_ms = base.jobs.last().unwrap().completion.as_millis() as f64;
+    let big_ms = big.jobs.last().unwrap().completion.as_millis() as f64;
+    assert!(
+        big_ms > 1.4 * base_ms,
+        "2x-scaled trace should run much longer: {base_ms} -> {big_ms}"
+    );
+
+    // scaling down to a quarter shrinks it
+    let mut quartered = trace.clone();
+    for job in quartered.jobs.iter_mut() {
+        job.template = scale_template(&job.template, 0.25);
+    }
+    let small = replay(&quartered, 6);
+    assert!(small.makespan < base.makespan);
+}
+
+#[test]
+fn scaling_then_rescaling_is_close_to_identity() {
+    let trace = testbed_trace(4);
+    let t = &trace.jobs[0].template;
+    let back = scale_template(&scale_template(t, 2.0), 0.5);
+    assert_eq!(back.num_maps, t.num_maps);
+    assert_eq!(back.num_reduces, t.num_reduces);
+    // durations survive up to rounding
+    for (a, b) in t.reduce_durations.iter().zip(&back.reduce_durations) {
+        let diff = a.abs_diff(*b);
+        assert!(diff <= 1, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn profiled_trace_serializes_compactly_and_validates() {
+    let trace = testbed_trace(5);
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: WorkloadTrace = serde_json::from_str(&json).unwrap();
+    back.validate().unwrap();
+    assert_eq!(trace, back);
+}
