@@ -1,16 +1,18 @@
 //! Dataset catalog (§IV-C).
 
 use crate::model::{AppKind, JobModel};
-use serde::{Deserialize, Serialize};
+use serde::impl_serde_struct;
 
 /// A dataset an application can process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Display label, e.g. `"40GB"`.
     pub label: &'static str,
     /// Size in gigabytes.
     pub size_gb: f64,
 }
+
+impl_serde_struct!(Dataset { label, size_gb });
 
 /// The three datasets per application, per §IV-C of the paper. WikiTrends
 /// log sizes are not stated in the paper; we use plausible compressed-log
@@ -69,11 +71,7 @@ pub const DATASETS: [(AppKind, [Dataset; 3]); 6] = [
 
 /// Returns the datasets configured for one application.
 pub fn datasets_for(kind: AppKind) -> &'static [Dataset; 3] {
-    &DATASETS
-        .iter()
-        .find(|(k, _)| *k == kind)
-        .expect("every AppKind has catalog datasets")
-        .1
+    &DATASETS.iter().find(|(k, _)| *k == kind).expect("every AppKind has catalog datasets").1
 }
 
 /// The full 18-job suite: every application on each of its three datasets

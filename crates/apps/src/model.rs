@@ -1,14 +1,14 @@
 //! Application cost models.
 
 use crate::catalog::Dataset;
-use serde::{Deserialize, Serialize};
+use serde::impl_serde_unit_enum;
 use simmr_stats::Dist;
 
 /// HDFS block size used throughout (the testbed's 64 MB default, §IV-B).
 pub const BLOCK_MB: f64 = 64.0;
 
 /// The six paper applications.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AppKind {
     /// Word-frequency counting (map-heavy, moderate shuffle).
     WordCount,
@@ -23,6 +23,8 @@ pub enum AppKind {
     /// Twitter asymmetric-link counting (moderate everything).
     Twitter,
 }
+
+impl_serde_unit_enum!(AppKind { WordCount, Sort, Bayes, TfIdf, WikiTrends, Twitter });
 
 impl AppKind {
     /// All six applications, in the paper's §IV-C order.

@@ -45,11 +45,8 @@ fn bench_heartbeat(c: &mut Criterion) {
             b.iter(|| {
                 let config = ClusterConfig { heartbeat_ms: hb, ..ClusterConfig::tiny(8) };
                 let mut sim = ClusterSim::new(config, ClusterPolicy::Fifo, hb);
-                let mut job = simmr_apps::JobModel::with_task_counts(
-                    simmr_apps::AppKind::WordCount,
-                    64,
-                    16,
-                );
+                let mut job =
+                    simmr_apps::JobModel::with_task_counts(simmr_apps::AppKind::WordCount, 64, 16);
                 job.map_time_s = simmr_stats::Dist::Constant { value: 5.0 };
                 job.reduce_time_s = simmr_stats::Dist::Constant { value: 2.0 };
                 sim.submit(job, SimTime::ZERO, None);
@@ -67,13 +64,9 @@ fn bench_shuffle_model(c: &mut Criterion) {
     for (label, mb) in [("no_shuffle", 0.0f64), ("heavy_shuffle", 400.0)] {
         group.bench_with_input(BenchmarkId::new("mb_per_reduce", label), &mb, |b, &mb| {
             b.iter(|| {
-                let mut sim =
-                    ClusterSim::new(ClusterConfig::tiny(8), ClusterPolicy::Fifo, 0x5F);
-                let mut job = simmr_apps::JobModel::with_task_counts(
-                    simmr_apps::AppKind::Sort,
-                    48,
-                    16,
-                );
+                let mut sim = ClusterSim::new(ClusterConfig::tiny(8), ClusterPolicy::Fifo, 0x5F);
+                let mut job =
+                    simmr_apps::JobModel::with_task_counts(simmr_apps::AppKind::Sort, 48, 16);
                 job.map_time_s = simmr_stats::Dist::Constant { value: 3.0 };
                 job.reduce_time_s = simmr_stats::Dist::Constant { value: 2.0 };
                 job.shuffle_mb_per_reduce = mb;

@@ -19,18 +19,16 @@ fn events_in(trace: &simmr_types::WorkloadTrace) -> u64 {
 
 fn bench_engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_throughput");
-    for jobs in [50usize, 200, 500] {
+    // 2k and 10k probe the incremental queue's scaling: per-event cost
+    // must stay flat as the number of concurrently active jobs grows
+    for jobs in [50usize, 200, 500, 2_000, 10_000] {
         let trace = trace_of(jobs);
         let events = events_in(&trace);
         group.throughput(Throughput::Elements(events));
         group.bench_with_input(BenchmarkId::new("fifo", jobs), &trace, |b, trace| {
             b.iter(|| {
-                SimulatorEngine::new(
-                    EngineConfig::new(64, 64),
-                    trace,
-                    Box::new(FifoPolicy::new()),
-                )
-                .run()
+                SimulatorEngine::new(EngineConfig::new(64, 64), trace, Box::new(FifoPolicy::new()))
+                    .run()
             })
         });
     }

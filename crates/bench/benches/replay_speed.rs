@@ -15,12 +15,8 @@ fn bench_replay(c: &mut Criterion) {
         let rumen = RumenTrace::from_workload(&trace);
         group.bench_with_input(BenchmarkId::new("simmr", jobs), &trace, |b, trace| {
             b.iter(|| {
-                SimulatorEngine::new(
-                    EngineConfig::new(64, 64),
-                    trace,
-                    Box::new(FifoPolicy::new()),
-                )
-                .run()
+                SimulatorEngine::new(EngineConfig::new(64, 64), trace, Box::new(FifoPolicy::new()))
+                    .run()
             })
         });
         group.bench_with_input(BenchmarkId::new("mumak", jobs), &rumen, |b, rumen| {

@@ -23,7 +23,7 @@ fn run_suite(mtbf_s: f64, seed: u64) -> simmr_cluster::TestbedRun {
     let mut clock = SimTime::ZERO;
     for model in simmr_bench::suite_models(&[1]) {
         sim.submit(model, clock, None);
-        clock = clock + 2_000_000;
+        clock += 2_000_000;
     }
     sim.run()
 }
@@ -47,20 +47,10 @@ fn main() {
         let replay = replay_in_simmr(&run.history, "fifo", 64, 64, &deadlines);
         let err = mean_abs_error(&accuracy_rows(&run, &replay));
         let inflation = (mean / healthy_mean - 1.0) * 100.0;
-        println!(
-            "{:>10.0} {:>16.1} {:>+14.2} {:>16.2}",
-            mtbf,
-            mean / 1000.0,
-            inflation,
-            err
-        );
+        println!("{:>10.0} {:>16.1} {:>+14.2} {:>16.2}", mtbf, mean / 1000.0, inflation, err);
         rows.push(format!("{mtbf},{mean},{inflation},{err}"));
     }
-    write_csv(
-        "ablation_failures",
-        "mtbf_s,mean_dur_ms,inflation_pct,simmr_replay_err_pct",
-        &rows,
-    );
+    write_csv("ablation_failures", "mtbf_s,mean_dur_ms,inflation_pct,simmr_replay_err_pct", &rows);
     println!(
         "\nShorter MTBF inflates completion times (killed work re-executes) AND\n\
          degrades SimMR's replay accuracy: the history log records only winning\n\

@@ -50,25 +50,9 @@ fn one_run(templates: &[JobTemplate], mean_ia_ms: f64, policy: &str, seed: u64) 
 }
 
 fn average(templates: &[JobTemplate], mean_ia_ms: f64, policy: &str, reps: usize) -> f64 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = reps.div_ceil(threads);
-    let total: f64 = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let (lo, hi) = (t * chunk, ((t + 1) * chunk).min(reps));
-            if lo >= hi {
-                break;
-            }
-            handles.push(scope.spawn(move |_| {
-                (lo..hi)
-                    .map(|r| one_run(templates, mean_ia_ms, policy, 0xAB7_0000 + r as u64 * 31))
-                    .sum::<f64>()
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    simmr_bench::parallel_mean(reps, |r| {
+        one_run(templates, mean_ia_ms, policy, 0xAB7_0000 + r as u64 * 31)
     })
-    .expect("scope");
-    total / reps as f64
 }
 
 fn main() {
@@ -77,10 +61,7 @@ fn main() {
     let reps = reps();
     eprintln!("[preemption] {reps} repetitions per point (df = 1, the Figure 7a setup)");
 
-    println!(
-        "{:>12} {:>14} {:>16} {:>9}",
-        "mean_ia_s", "maxedf", "maxedf_preempt", "change%"
-    );
+    println!("{:>12} {:>14} {:>16} {:>9}", "mean_ia_s", "maxedf", "maxedf_preempt", "change%");
     let mut rows = Vec::new();
     for &ia in &[1.0e3, 1.0e4, 1.0e5, 1.0e6, 1.0e7] {
         let plain = average(&templates, ia, "maxedf", reps);
@@ -89,11 +70,7 @@ fn main() {
         println!("{:>12.0} {:>14.2} {:>16.2} {:>+9.1}", ia / 1000.0, plain, preempt, change);
         rows.push(format!("{},{plain},{preempt}", ia / 1000.0));
     }
-    write_csv(
-        "ablation_preemption",
-        "mean_interarrival_s,maxedf,maxedf_preemptive",
-        &rows,
-    );
+    write_csv("ablation_preemption", "mean_interarrival_s,maxedf,maxedf_preemptive", &rows);
     println!(
         "\nThe paper's diagnosis predicts the largest improvement at ~100 s mean\n\
          inter-arrival (the bump), shrinking elsewhere; preemption trades the\n\

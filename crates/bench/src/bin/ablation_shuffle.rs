@@ -64,9 +64,5 @@ fn main() {
         "=> dropping the shuffle model reproduces Mumak-class underestimation,\n\
          confirming the paper's diagnosis of Mumak's 37% average error."
     );
-    write_csv(
-        "ablation_shuffle",
-        "job,actual_ms,full_err_pct,no_shuffle_err_pct",
-        &rows,
-    );
+    write_csv("ablation_shuffle", "job,actual_ms,full_err_pct,no_shuffle_err_pct", &rows);
 }

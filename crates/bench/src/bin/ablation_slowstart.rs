@@ -15,8 +15,7 @@ fn main() {
     let mut rows = Vec::new();
     for slowstart in [0.0, 0.05, 0.25, 0.5, 1.0] {
         let config = EngineConfig::new(32, 32).with_slowstart(slowstart);
-        let report =
-            SimulatorEngine::new(config, &trace, Box::new(FifoPolicy::new())).run();
+        let report = SimulatorEngine::new(config, &trace, Box::new(FifoPolicy::new())).run();
         println!(
             "{:>10.2} {:>14.1} {:>16.1} {:>12}",
             slowstart,

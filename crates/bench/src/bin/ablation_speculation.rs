@@ -23,10 +23,7 @@ fn run_suite(config: ClusterConfig, seed: u64) -> Vec<(String, u64)> {
 
 fn compare(label: &str, config: ClusterConfig, rows: &mut Vec<String>) {
     let off = run_suite(config, 0x57EC);
-    let on = run_suite(
-        ClusterConfig { speculative_execution: true, ..config },
-        0x57EC,
-    );
+    let on = run_suite(ClusterConfig { speculative_execution: true, ..config }, 0x57EC);
     println!("\n-- {label} --");
     println!("{:<20} {:>12} {:>12} {:>9}", "job", "spec_off_s", "spec_on_s", "delta%");
     let mut total_delta = 0.0;
@@ -60,11 +57,7 @@ fn main() {
     };
     compare("pathological (10% stragglers x6)", pathological, &mut rows);
 
-    write_csv(
-        "ablation_speculation",
-        "scenario,job,spec_off_ms,spec_on_ms,delta_pct",
-        &rows,
-    );
+    write_csv("ablation_speculation", "scenario,job,spec_off_ms,spec_on_ms,delta_pct", &rows);
     println!(
         "\nWith the paper-like straggler profile speculation changes little\n\
          (consistent with §IV-B); on a straggler-heavy cluster it recovers the\n\

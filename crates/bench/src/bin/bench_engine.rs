@@ -1,0 +1,150 @@
+//! Engine throughput check: the §I claim that *"SimMR can process over one
+//! million events per second"* — measured at 100-, 1 000- and 10 000-job
+//! scale on the synthetic Facebook workload, under FIFO and MaxEDF.
+//!
+//! For each trace size the binary runs the simulation repeatedly for at
+//! least `SIMMR_BENCH_SECS` seconds (default 2) per policy, reports the
+//! median events/second, and writes the machine-readable summary to
+//! `BENCH_engine.json` at the workspace root. The interesting comparison
+//! is *across sizes*: with the incremental scheduler view the per-event
+//! cost must stay flat as the number of jobs grows.
+
+use simmr_bench::csvout::workspace_root;
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_sched::policy_by_name;
+use simmr_trace::FacebookWorkload;
+use simmr_types::WorkloadTrace;
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [100, 1_000, 10_000];
+const POLICIES: [&str; 2] = ["fifo", "maxedf"];
+
+fn min_secs() -> f64 {
+    std::env::var("SIMMR_BENCH_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(2.0)
+}
+
+fn trace_of(jobs: usize) -> WorkloadTrace {
+    FacebookWorkload { mean_interarrival_ms: 10_000.0 }.generate(jobs, 0xBE)
+}
+
+fn one_run(trace: &WorkloadTrace, policy: &str) -> u64 {
+    SimulatorEngine::new(
+        EngineConfig::new(64, 64),
+        trace,
+        policy_by_name(policy).expect("policy exists"),
+    )
+    .run()
+    .events_processed
+}
+
+struct Measurement {
+    jobs: usize,
+    policy: &'static str,
+    events: u64,
+    reps: usize,
+    median_secs: f64,
+    events_per_sec: f64,
+}
+
+/// Repeats the simulation until `min_secs` of wall time accumulate (at
+/// least 3 reps) and returns the median per-run duration.
+fn measure(trace: &WorkloadTrace, jobs: usize, policy: &'static str, min_secs: f64) -> Measurement {
+    let events = one_run(trace, policy); // warm-up + event count
+    let mut samples = Vec::new();
+    let mut total = 0.0;
+    while total < min_secs || samples.len() < 3 {
+        let start = Instant::now();
+        let n = one_run(trace, policy);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(n, events, "simulation is not deterministic");
+        samples.push(secs);
+        total += secs;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median_secs = samples[samples.len() / 2];
+    Measurement {
+        jobs,
+        policy,
+        events,
+        reps: samples.len(),
+        median_secs,
+        events_per_sec: events as f64 / median_secs,
+    }
+}
+
+fn main() {
+    let min_secs = min_secs();
+    eprintln!("[bench_engine] >= {min_secs} s per point; set SIMMR_BENCH_SECS to change");
+    println!(
+        "{:>8} {:>8} {:>12} {:>6} {:>12} {:>14}",
+        "jobs", "policy", "events", "reps", "median_ms", "events/sec"
+    );
+    let mut rows = Vec::new();
+    for &jobs in &SIZES {
+        let trace = trace_of(jobs);
+        for policy in POLICIES {
+            let m = measure(&trace, jobs, policy, min_secs);
+            println!(
+                "{:>8} {:>8} {:>12} {:>6} {:>12.3} {:>14.0}",
+                m.jobs,
+                m.policy,
+                m.events,
+                m.reps,
+                m.median_secs * 1e3,
+                m.events_per_sec
+            );
+            rows.push(m);
+        }
+    }
+
+    // The paper's claim, checked at 1k-job scale, plus the scaling bound:
+    // 10k jobs may cost at most 2x the per-event time of 1k jobs.
+    let rate = |jobs: usize, policy: &str| {
+        rows.iter()
+            .find(|m| m.jobs == jobs && m.policy == policy)
+            .map(|m| m.events_per_sec)
+            .unwrap_or(0.0)
+    };
+    let fifo_1k = rate(1_000, "fifo");
+    let fifo_10k = rate(10_000, "fifo");
+    let claim_met = fifo_1k >= 1.0e6;
+    let scaling_ok = fifo_10k * 2.0 >= fifo_1k;
+    println!(
+        "\n1M events/sec claim (fifo, 1k jobs): {} ({:.2} M events/sec)",
+        if claim_met { "MET" } else { "NOT MET" },
+        fifo_1k / 1e6
+    );
+    println!(
+        "10k within 2x of 1k (fifo): {} ({:.2} M events/sec at 10k)",
+        if scaling_ok { "OK" } else { "DEGRADED" },
+        fifo_10k / 1e6
+    );
+
+    let json_rows: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|m| {
+            serde_json::Value::Object(vec![
+                ("jobs".to_owned(), serde_json::Value::U64(m.jobs as u64)),
+                ("policy".to_owned(), serde_json::Value::Str(m.policy.to_owned())),
+                ("events".to_owned(), serde_json::Value::U64(m.events)),
+                ("reps".to_owned(), serde_json::Value::U64(m.reps as u64)),
+                ("median_secs".to_owned(), serde_json::Value::F64(m.median_secs)),
+                ("events_per_sec".to_owned(), serde_json::Value::F64(m.events_per_sec)),
+            ])
+        })
+        .collect();
+    let doc = serde_json::Value::Object(vec![
+        ("benchmark".to_owned(), serde_json::Value::Str("engine_events_per_sec".to_owned())),
+        ("workload".to_owned(), serde_json::Value::Str("facebook_ia10s_seed0xBE".to_owned())),
+        ("cluster".to_owned(), serde_json::Value::Str("64x64".to_owned())),
+        ("claim_1m_events_per_sec_fifo_1k".to_owned(), serde_json::Value::Bool(claim_met)),
+        ("scaling_10k_within_2x_of_1k".to_owned(), serde_json::Value::Bool(scaling_ok)),
+        ("results".to_owned(), serde_json::Value::Array(json_rows)),
+    ]);
+    let path = workspace_root().join("BENCH_engine.json");
+    let text = serde_json::to_string_pretty(&doc).expect("report serializes") + "\n";
+    match std::fs::write(&path, text) {
+        Ok(()) => eprintln!("[bench_engine] wrote {}", path.display()),
+        Err(e) => eprintln!("[bench_engine] cannot write {}: {e}", path.display()),
+    }
+}

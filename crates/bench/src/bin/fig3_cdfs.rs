@@ -38,26 +38,20 @@ fn print_cdf(name: &str, a: &[u64], b: &[u64]) {
     let cdf_a = EmpiricalCdf::from_ms(a);
     let cdf_b = EmpiricalCdf::from_ms(b);
     let kl = symmetric_kl_ms(a, b, KlOptions::default());
-    println!("\n-- {name} durations: 64x64 ({} samples) vs 32x32 ({} samples), KL = {kl:.3} --",
-        a.len(), b.len());
+    println!(
+        "\n-- {name} durations: 64x64 ({} samples) vs 32x32 ({} samples), KL = {kl:.3} --",
+        a.len(),
+        b.len()
+    );
     println!("{:>12} {:>10} {:>10}", "duration_s", "cdf_64x64", "cdf_32x32");
     let mut rows = Vec::new();
     for pct in (5..=100).step_by(5) {
         let q = pct as f64 / 100.0;
         let xa = cdf_a.quantile(q).unwrap_or(0.0);
-        println!(
-            "{:>12.2} {:>10.2} {:>10.2}",
-            xa / 1000.0,
-            cdf_a.eval(xa),
-            cdf_b.eval(xa)
-        );
+        println!("{:>12.2} {:>10.2} {:>10.2}", xa / 1000.0, cdf_a.eval(xa), cdf_b.eval(xa));
         rows.push(format!("{},{},{}", xa, cdf_a.eval(xa), cdf_b.eval(xa)));
     }
-    write_csv(
-        &format!("fig3_{}", name.to_lowercase()),
-        "duration_ms,cdf_64x64,cdf_32x32",
-        &rows,
-    );
+    write_csv(&format!("fig3_{}", name.to_lowercase()), "duration_ms,cdf_64x64,cdf_32x32", &rows);
 }
 
 fn main() {

@@ -51,18 +51,15 @@ fn policy_pair(p: ClusterPolicy) -> &'static str {
 
 /// Aggregates rows per application (mean actual + mean error).
 fn per_app(rows: &[AccuracyRow]) -> Vec<(String, f64, f64)> {
-    let mut apps: Vec<String> = rows
-        .iter()
-        .map(|r| r.name.split('-').next().unwrap_or(&r.name).to_string())
-        .collect();
+    let mut apps: Vec<String> =
+        rows.iter().map(|r| r.name.split('-').next().unwrap_or(&r.name).to_string()).collect();
     apps.sort();
     apps.dedup();
     apps.into_iter()
         .map(|app| {
             let mine: Vec<&AccuracyRow> =
                 rows.iter().filter(|r| r.name.starts_with(&app)).collect();
-            let actual =
-                mine.iter().map(|r| r.actual_ms as f64).sum::<f64>() / mine.len() as f64;
+            let actual = mine.iter().map(|r| r.actual_ms as f64).sum::<f64>() / mine.len() as f64;
             let err = mine.iter().map(|r| r.error_pct()).sum::<f64>() / mine.len() as f64;
             (app, actual / 1000.0, err)
         })
@@ -71,11 +68,9 @@ fn per_app(rows: &[AccuracyRow]) -> Vec<(String, f64, f64)> {
 
 fn main() {
     let config = ClusterConfig::paper_testbed();
-    for (panel, policy) in [
-        ("a", ClusterPolicy::Fifo),
-        ("b", ClusterPolicy::MinEdf),
-        ("c", ClusterPolicy::MaxEdf),
-    ] {
+    for (panel, policy) in
+        [("a", ClusterPolicy::Fifo), ("b", ClusterPolicy::MinEdf), ("c", ClusterPolicy::MaxEdf)]
+    {
         let jobs = workload(0x515 + panel.as_bytes()[0] as u64);
         let deadlines: Vec<Option<SimTime>> = jobs.iter().map(|(_, _, d)| *d).collect();
         // For MinEDF, both sides must size allocations from the same
@@ -119,10 +114,7 @@ fn main() {
             None
         };
 
-        println!(
-            "{:<12} {:>10} {:>11} {:>11}",
-            "app", "actual_s", "simmr_err%", "mumak_err%"
-        );
+        println!("{:<12} {:>10} {:>11} {:>11}", "app", "actual_s", "simmr_err%", "mumak_err%");
         let mut rows = Vec::new();
         let simmr_apps_agg = per_app(&simmr_rows);
         let mumak_apps_agg = mumak_rows.as_deref().map(per_app);

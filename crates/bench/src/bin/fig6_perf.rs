@@ -79,12 +79,9 @@ fn main() {
         let trace = full.prefix_by_arrival(n);
 
         let t0 = Instant::now();
-        let simmr_report = SimulatorEngine::new(
-            EngineConfig::new(64, 64),
-            &trace,
-            Box::new(FifoPolicy::new()),
-        )
-        .run();
+        let simmr_report =
+            SimulatorEngine::new(EngineConfig::new(64, 64), &trace, Box::new(FifoPolicy::new()))
+                .run();
         let simmr_s = t0.elapsed().as_secs_f64();
 
         let rumen = RumenTrace::from_workload(&trace);
@@ -107,11 +104,7 @@ fn main() {
             simmr_report.events_processed, mumak_report.events_processed
         ));
     }
-    write_csv(
-        "fig6_perf",
-        "jobs,simmr_s,simmr_events,mumak_s,mumak_events,speedup",
-        &rows,
-    );
+    write_csv("fig6_perf", "jobs,simmr_s,simmr_events,mumak_s,mumak_events,speedup", &rows);
     println!(
         "\nPaper: SimMR 1.5 s vs Mumak 680 s on 1148 jobs (>450x). The shape to\n\
          check is the orders-of-magnitude gap, driven by Mumak's heartbeat events."

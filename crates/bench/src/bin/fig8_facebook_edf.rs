@@ -37,26 +37,9 @@ fn one_run(mean_ia_ms: f64, df: f64, policy: &str, seed: u64) -> f64 {
 }
 
 fn average(mean_ia_ms: f64, df: f64, policy: &str, reps: usize) -> f64 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = reps.div_ceil(threads);
-    let total: f64 = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(reps);
-            if lo >= hi {
-                break;
-            }
-            handles.push(scope.spawn(move |_| {
-                (lo..hi)
-                    .map(|r| one_run(mean_ia_ms, df, policy, 0xF8_0000 + r as u64 * 6271))
-                    .sum::<f64>()
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    simmr_bench::parallel_mean(reps, |r| {
+        one_run(mean_ia_ms, df, policy, 0xF8_0000 + r as u64 * 6271)
     })
-    .expect("scope");
-    total / reps as f64
 }
 
 fn main() {

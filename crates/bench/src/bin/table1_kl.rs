@@ -22,9 +22,7 @@ fn execute(kind: AppKind, seed: u64) -> JobTemplate {
     let mut sim = ClusterSim::new(ClusterConfig::paper_testbed(), ClusterPolicy::Fifo, seed);
     sim.submit(model, SimTime::ZERO, None);
     let run = sim.run();
-    profile_history(&run.history).expect("history profiles")[0]
-        .template
-        .clone()
+    profile_history(&run.history).expect("history profiles")[0].template.clone()
 }
 
 fn min_avg_max(values: &[f64]) -> (f64, f64, f64) {
@@ -48,8 +46,16 @@ fn main() {
     println!("== Table I: symmetric KL divergence across executions of the same application ==");
     println!(
         "{:<12} {:>6} {:>6} {:>6}   {:>7} {:>7} {:>7}   {:>6} {:>6} {:>6}",
-        "Application", "MapMin", "MapAvg", "MapMax", "ShMin", "ShAvg", "ShMax", "RedMin",
-        "RedAvg", "RedMax"
+        "Application",
+        "MapMin",
+        "MapAvg",
+        "MapMax",
+        "ShMin",
+        "ShAvg",
+        "ShMax",
+        "RedMin",
+        "RedAvg",
+        "RedMax"
     );
     let mut rows = Vec::new();
     let mut representatives: Vec<(AppKind, JobTemplate)> = Vec::new();
@@ -59,20 +65,24 @@ fn main() {
         let maps: Vec<Vec<u64>> = templates.iter().map(|t| t.map_durations.clone()).collect();
         let shuffles: Vec<Vec<u64>> =
             templates.iter().map(|t| t.typical_shuffle_durations.clone()).collect();
-        let reduces: Vec<Vec<u64>> =
-            templates.iter().map(|t| t.reduce_durations.clone()).collect();
+        let reduces: Vec<Vec<u64>> = templates.iter().map(|t| t.reduce_durations.clone()).collect();
         let (m0, m1, m2) = min_avg_max(&pairwise_kl(&maps));
         let (s0, s1, s2) = min_avg_max(&pairwise_kl(&shuffles));
         let (r0, r1, r2) = min_avg_max(&pairwise_kl(&reduces));
         println!(
             "{:<12} {:>6.2} {:>6.2} {:>6.2}   {:>7.2} {:>7.2} {:>7.2}   {:>6.2} {:>6.2} {:>6.2}",
             kind.full_name(),
-            m0, m1, m2, s0, s1, s2, r0, r1, r2
+            m0,
+            m1,
+            m2,
+            s0,
+            s1,
+            s2,
+            r0,
+            r1,
+            r2
         );
-        rows.push(format!(
-            "{},{m0},{m1},{m2},{s0},{s1},{s2},{r0},{r1},{r2}",
-            kind.full_name()
-        ));
+        rows.push(format!("{},{m0},{m1},{m2},{s0},{s1},{s2},{r0},{r1},{r2}", kind.full_name()));
         representatives.push((kind, templates.into_iter().next().unwrap()));
     }
     write_csv(

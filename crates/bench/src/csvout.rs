@@ -6,29 +6,33 @@
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+/// Walks up from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`), falling back to
+/// `.` when none is found.
+pub fn workspace_root() -> PathBuf {
+    let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = cur.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return cur;
+                }
+            }
+        }
+        if !cur.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
 /// Resolves the results directory (created on demand): the
 /// `SIMMR_RESULTS_DIR` environment variable, or `experiments/results`
 /// relative to the workspace root / current directory.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var_os("SIMMR_RESULTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| {
-            // walk up from CWD until a Cargo.toml with [workspace] is found
-            let mut cur = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-            loop {
-                let manifest = cur.join("Cargo.toml");
-                if manifest.exists() {
-                    if let Ok(text) = std::fs::read_to_string(&manifest) {
-                        if text.contains("[workspace]") {
-                            return cur.join("experiments").join("results");
-                        }
-                    }
-                }
-                if !cur.pop() {
-                    return PathBuf::from("experiments/results");
-                }
-            }
-        });
+        .unwrap_or_else(|| workspace_root().join("experiments").join("results"));
     let _ = std::fs::create_dir_all(&dir);
     dir
 }
@@ -40,8 +44,8 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Option<PathBuf> {
     let path = results_dir().join(format!("{name}.csv"));
     match std::fs::File::create(&path) {
         Ok(mut f) => {
-            let ok = writeln!(f, "{header}").is_ok()
-                && rows.iter().all(|r| writeln!(f, "{r}").is_ok());
+            let ok =
+                writeln!(f, "{header}").is_ok() && rows.iter().all(|r| writeln!(f, "{r}").is_ok());
             if ok {
                 eprintln!("[csv] wrote {}", path.display());
                 Some(path)
@@ -59,10 +63,7 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> Option<PathBuf> {
 
 /// Reads back a CSV written by [`write_csv`] (test helper).
 pub fn read_csv(path: &Path) -> std::io::Result<Vec<String>> {
-    Ok(std::fs::read_to_string(path)?
-        .lines()
-        .map(str::to_string)
-        .collect())
+    Ok(std::fs::read_to_string(path)?.lines().map(str::to_string).collect())
 }
 
 #[cfg(test)]

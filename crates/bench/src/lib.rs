@@ -14,11 +14,11 @@
 //! methodology.
 
 pub mod csvout;
+pub mod par;
 pub mod pipeline;
 pub mod plot;
 pub mod workloads;
 
-pub use pipeline::{
-    mean_abs_error, replay_in_mumak, replay_in_simmr, run_testbed, AccuracyRow,
-};
+pub use par::{parallel_mean, parallel_sweep};
+pub use pipeline::{mean_abs_error, replay_in_mumak, replay_in_simmr, run_testbed, AccuracyRow};
 pub use workloads::{assign_deadlines, standalone_runtime_ms, suite_models};

@@ -38,8 +38,8 @@ pub fn replay_in_simmr(
     for (i, job) in trace.jobs.iter_mut().enumerate() {
         job.deadline = deadlines.get(i).copied().flatten();
     }
-    let policy = policy_by_name(policy_name)
-        .unwrap_or_else(|| panic!("unknown policy `{policy_name}`"));
+    let policy =
+        policy_by_name(policy_name).unwrap_or_else(|| panic!("unknown policy `{policy_name}`"));
     SimulatorEngine::new(EngineConfig::new(map_slots, reduce_slots), &trace, policy).run()
 }
 
@@ -135,10 +135,7 @@ mod tests {
     fn accuracy_row_math() {
         let r = AccuracyRow { name: "x".into(), actual_ms: 1000, simulated_ms: 950 };
         assert!((r.error_pct() + 5.0).abs() < 1e-12);
-        let rows = vec![
-            r,
-            AccuracyRow { name: "y".into(), actual_ms: 1000, simulated_ms: 1100 },
-        ];
+        let rows = vec![r, AccuracyRow { name: "y".into(), actual_ms: 1000, simulated_ms: 1100 }];
         assert!((mean_abs_error(&rows) - 7.5).abs() < 1e-12);
         assert!((max_abs_error(&rows) - 10.0).abs() < 1e-12);
         assert_eq!(mean_abs_error(&[]), 0.0);
@@ -173,12 +170,7 @@ mod tests {
         let config = ClusterConfig::tiny(8);
         let mut job = quick_job(16, 8);
         job.shuffle_mb_per_reduce = 400.0; // shuffle-heavy
-        let run = run_testbed(
-            vec![(job, SimTime::ZERO, None)],
-            ClusterPolicy::Fifo,
-            config,
-            7,
-        );
+        let run = run_testbed(vec![(job, SimTime::ZERO, None)], ClusterPolicy::Fifo, config, 7);
         let mumak = replay_in_mumak(
             &run.history,
             MumakConfig { num_trackers: 8, ..MumakConfig::default() },

@@ -36,11 +36,7 @@ impl Args {
 
     /// Value of `--name`, if present with a value.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     /// True when `--name` appears (with or without a value).
@@ -52,9 +48,7 @@ impl Args {
     pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse::<T>()
-                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+            Some(v) => v.parse::<T>().map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
         }
     }
 

@@ -60,8 +60,8 @@ pub fn testbed(args: &Args) -> Result<(), String> {
 pub fn profile(args: &Args) -> Result<(), String> {
     let log_path = args.positional(0).ok_or("usage: simmr profile HISTORY.log --out T.json")?;
     let out = args.require("out")?;
-    let log = std::fs::read_to_string(log_path)
-        .map_err(|e| format!("cannot read `{log_path}`: {e}"))?;
+    let log =
+        std::fs::read_to_string(log_path).map_err(|e| format!("cannot read `{log_path}`: {e}"))?;
     let trace = trace_from_history(&log, &format!("profiled from {log_path}"))
         .map_err(|e| e.to_string())?;
     save_trace(out, &trace)?;

@@ -75,8 +75,7 @@ Policies: fifo, maxedf, minedf, fair, maxedf-p, minedf-p (preemptive).";
 
 /// Loads a trace from JSON, with a helpful error.
 pub(crate) fn load_trace(path: &str) -> Result<WorkloadTrace, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let trace: WorkloadTrace =
         serde_json::from_str(&text).map_err(|e| format!("`{path}` is not a trace: {e}"))?;
     trace.validate().map_err(|e| format!("`{path}` contains an invalid job: {e}"))?;

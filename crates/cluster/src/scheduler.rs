@@ -36,7 +36,12 @@ impl ClusterPolicy {
     /// Ordering key: smaller sorts first. FIFO ignores deadlines; the EDF
     /// policies order by `(deadline, arrival, id)` with absent deadlines
     /// last.
-    pub fn key(self, arrival: SimTime, deadline: Option<SimTime>, id: JobId) -> (SimTime, SimTime, JobId) {
+    pub fn key(
+        self,
+        arrival: SimTime,
+        deadline: Option<SimTime>,
+        id: JobId,
+    ) -> (SimTime, SimTime, JobId) {
         match self {
             ClusterPolicy::Fifo => (arrival, SimTime::ZERO, id),
             ClusterPolicy::MaxEdf | ClusterPolicy::MinEdf => {
@@ -67,10 +72,16 @@ mod tests {
 
     #[test]
     fn edf_orders_by_deadline_then_arrival() {
-        let urgent =
-            ClusterPolicy::MaxEdf.key(SimTime::from_millis(5), Some(SimTime::from_millis(10)), JobId(1));
-        let relaxed =
-            ClusterPolicy::MaxEdf.key(SimTime::from_millis(1), Some(SimTime::from_millis(99)), JobId(0));
+        let urgent = ClusterPolicy::MaxEdf.key(
+            SimTime::from_millis(5),
+            Some(SimTime::from_millis(10)),
+            JobId(1),
+        );
+        let relaxed = ClusterPolicy::MaxEdf.key(
+            SimTime::from_millis(1),
+            Some(SimTime::from_millis(99)),
+            JobId(0),
+        );
         let none = ClusterPolicy::MaxEdf.key(SimTime::ZERO, None, JobId(2));
         assert!(urgent < relaxed);
         assert!(relaxed < none);

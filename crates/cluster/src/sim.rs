@@ -187,18 +187,8 @@ impl ClusterSim {
 
     /// Submits a job with an explicit `(map, reduce)` slot cap — the
     /// paper's modified FIFO that grants a job a fixed number of slots.
-    pub fn submit_capped(
-        &mut self,
-        model: JobModel,
-        arrival: SimTime,
-        cap: (usize, usize),
-    ) {
-        self.submissions.push(SubmittedJob {
-            model,
-            arrival,
-            deadline: None,
-            slot_cap: Some(cap),
-        });
+    pub fn submit_capped(&mut self, model: JobModel, arrival: SimTime, cap: (usize, usize)) {
+        self.submissions.push(SubmittedJob { model, arrival, deadline: None, slot_cap: Some(cap) });
     }
 
     /// Runs all submitted jobs to completion.
@@ -244,13 +234,11 @@ impl Runner {
         let topology = Topology::new(&sim.config, &mut topo_rng);
         let mut queue = BinaryHeap::new();
         let mut seq = 0u64;
-        let push = |q: &mut BinaryHeap<Reverse<(SimTime, u64, Ev)>>,
-                        t: SimTime,
-                        s: &mut u64,
-                        e: Ev| {
-            q.push(Reverse((t, *s, e)));
-            *s += 1;
-        };
+        let push =
+            |q: &mut BinaryHeap<Reverse<(SimTime, u64, Ev)>>, t: SimTime, s: &mut u64, e: Ev| {
+                q.push(Reverse((t, *s, e)));
+                *s += 1;
+            };
 
         // staggered initial heartbeats
         for node in 0..sim.config.num_workers {
@@ -476,8 +464,7 @@ impl Runner {
             .filter(|(_, j)| {
                 j.active
                     && !j.finished
-                    && (j.launched_reduces < j.model.num_reduces
-                        || !j.requeued_reduces.is_empty())
+                    && (j.launched_reduces < j.model.num_reduces || !j.requeued_reduces.is_empty())
                     && j.reduce_eligible()
                     && j.wanted.is_none_or(|w| j.running_reduces < w.reduces)
             })
@@ -632,16 +619,13 @@ impl Runner {
                     continue; // not running, done, or already speculated
                 }
                 let elapsed = now.since(attempts[0].start);
-                if (elapsed as f64) > threshold * avg
-                    && best.is_none_or(|(e, _, _)| elapsed > e)
-                {
+                if (elapsed as f64) > threshold * avg && best.is_none_or(|(e, _, _)| elapsed > e) {
                     best = Some((elapsed, ji as u32, ti as u32));
                 }
             }
         }
         let Some((_, job, task)) = best else { return false };
-        let locality =
-            self.jobs[job as usize].blocks.locality(task as usize, n, &self.topology);
+        let locality = self.jobs[job as usize].blocks.locality(task as usize, n, &self.topology);
         let penalty = match locality {
             Locality::NodeLocal => 1.0,
             Locality::RackLocal => self.config.rack_local_penalty,
@@ -671,10 +655,8 @@ impl Runner {
         let (done, total, start) = {
             let j = &mut self.jobs[job as usize];
             let attempts = std::mem::take(&mut j.map_attempts[task as usize]);
-            let winner = attempts
-                .iter()
-                .find(|a| a.id == attempt)
-                .expect("completed attempt is registered");
+            let winner =
+                attempts.iter().find(|a| a.id == attempt).expect("completed attempt is registered");
             let start = winner.start;
             // kill losing sibling attempts immediately (Hadoop kills the
             // slower attempt as soon as one finishes)
@@ -746,10 +728,9 @@ impl Runner {
                 .as_ref()
                 .expect("reduce task live")
                 .gen;
-            let sort_ms = secs_to_ms(
-                self.config.shuffle_base_s + self.config.sort_s_per_mb * total_mb,
-            )
-            .max(1);
+            let sort_ms =
+                secs_to_ms(self.config.shuffle_base_s + self.config.sort_s_per_mb * total_mb)
+                    .max(1);
             self.push(now + sort_ms, Ev::SortDone { job, task, node, gen });
         }
         // reschedule boundary
@@ -777,9 +758,8 @@ impl Runner {
         let dist = self.jobs[job as usize].model.reduce_time_s;
         let secs = self.sample_task_seconds(&dist);
         let duration = secs_to_ms(secs * self.topology.speed_of[node as usize]).max(1);
-        let rt = self.jobs[job as usize].reduce_rt[task as usize]
-            .as_mut()
-            .expect("reduce task live");
+        let rt =
+            self.jobs[job as usize].reduce_rt[task as usize].as_mut().expect("reduce task live");
         rt.fetch_end.get_or_insert(now);
         rt.sort_end = Some(now);
         self.push(now + duration, Ev::ReduceDone { job, task, node, gen });
@@ -800,8 +780,7 @@ impl Runner {
             let rt = j.reduce_rt[task as usize].take().expect("reduce task live");
             (rt.start, rt.fetch_end.unwrap_or(now), rt.sort_end.unwrap_or(now))
         };
-        self.history
-            .record_reduce(job, task, start, fetch_end, sort_end, now, node);
+        self.history.record_reduce(job, task, start, fetch_end, sort_end, now, node);
         if self.jobs[job as usize].complete() {
             self.finalize_job(job, now);
         }
@@ -845,8 +824,7 @@ impl Runner {
             }
             // kill reduce attempts on this node
             for task in 0..j.model.num_reduces {
-                let on_node =
-                    j.reduce_rt[task].as_ref().is_some_and(|rt| rt.node == node);
+                let on_node = j.reduce_rt[task].as_ref().is_some_and(|rt| rt.node == node);
                 if !on_node {
                     continue;
                 }
@@ -1192,11 +1170,7 @@ mod failure_tests {
     use simmr_apps::AppKind;
 
     fn flaky_config(mtbf_s: f64) -> ClusterConfig {
-        ClusterConfig {
-            node_mtbf_s: mtbf_s,
-            node_recovery_s: 30.0,
-            ..ClusterConfig::tiny(8)
-        }
+        ClusterConfig { node_mtbf_s: mtbf_s, node_recovery_s: 30.0, ..ClusterConfig::tiny(8) }
     }
 
     fn job(maps: usize, reduces: usize) -> JobModel {

@@ -33,13 +33,7 @@ impl Topology {
         let speed_dist = Dist::LogNormal { mu: 0.0, sigma: config.node_speed_sigma.max(0.0) };
         let rack_of = (0..config.num_workers).map(|n| n % config.num_racks).collect();
         let speed_of = (0..config.num_workers)
-            .map(|_| {
-                if config.node_speed_sigma > 0.0 {
-                    speed_dist.sample(rng)
-                } else {
-                    1.0
-                }
-            })
+            .map(|_| if config.node_speed_sigma > 0.0 { speed_dist.sample(rng) } else { 1.0 })
             .collect();
         Topology { rack_of, speed_of, racks: config.num_racks }
     }
@@ -168,11 +162,8 @@ mod tests {
     use super::*;
 
     fn topo(workers: usize, racks: usize) -> (Topology, SeededRng) {
-        let config = ClusterConfig {
-            num_workers: workers,
-            num_racks: racks,
-            ..ClusterConfig::default()
-        };
+        let config =
+            ClusterConfig { num_workers: workers, num_racks: racks, ..ClusterConfig::default() };
         let mut rng = SeededRng::new(42);
         (Topology::new(&config, &mut rng), rng)
     }
@@ -249,9 +240,7 @@ mod tests {
         let bm = BlockMap::place(640, &t, 3, &mut rng);
         let local_count: usize = (0..64)
             .map(|n| {
-                (0..bm.len())
-                    .filter(|&b| bm.locality(b, n, &t) == Locality::NodeLocal)
-                    .count()
+                (0..bm.len()).filter(|&b| bm.locality(b, n, &t) == Locality::NodeLocal).count()
             })
             .sum();
         assert_eq!(local_count, 640 * 3);

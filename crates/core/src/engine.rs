@@ -1,4 +1,17 @@
 //! The discrete-event Simulator Engine (§III-B).
+//!
+//! # Hot path
+//!
+//! The engine keeps a persistent, incrementally-maintained [`JobQueue`]:
+//! entries are inserted on job arrival, removed on departure, and mutated
+//! in place (O(1)) by every launch / completion / preemption — scheduling
+//! never rebuilds a snapshot of the active jobs. A dirty flag skips the
+//! scheduling pass entirely for event batches that did not change the
+//! queue. Task *arrival* marker events are not pushed through the priority
+//! queue either: a launch is counted directly in `events_processed` and the
+//! end-of-batch scheduling loop re-runs until no further task launches at
+//! the current instant, which preserves the exact fixpoint semantics the
+//! markers used to provide.
 
 use crate::config::EngineConfig;
 use crate::event::EventKind;
@@ -64,10 +77,22 @@ pub struct SimulatorEngine<'a> {
     free_map_slots: Vec<u32>,
     free_reduce_slots: Vec<u32>,
     jobs: Vec<JobState>,
+    /// Persistent active-job view handed to the policy; kept in sync
+    /// incrementally by every state transition.
+    jobq: JobQueue,
+    /// Set when an event changed `jobq` (or policy state) since the last
+    /// completed scheduling pass; a clean queue makes `schedule` a no-op.
+    jobq_dirty: bool,
+    /// Scratch buffer for preemption victim lists, reused across rounds.
+    victims: Vec<JobId>,
     events_processed: u64,
     timeline: Vec<TimelineEntry>,
     results: Vec<Option<JobResult>>,
     makespan: SimTime,
+    /// Debug-only reference mode: rebuild the job view from scratch before
+    /// every scheduling pass instead of trusting the incremental updates.
+    #[cfg(any(test, debug_assertions))]
+    snapshot_oracle: bool,
 }
 
 impl<'a> SimulatorEngine<'a> {
@@ -83,10 +108,8 @@ impl<'a> SimulatorEngine<'a> {
         trace: &'a WorkloadTrace,
         policy: Box<dyn SchedulerPolicy + 'a>,
     ) -> Self {
-        trace
-            .validate()
-            .expect("workload trace contains an invalid job template");
-        let jobs = trace
+        trace.validate().expect("workload trace contains an invalid job template");
+        let jobs: Vec<JobState> = trace
             .jobs
             .iter()
             .map(|spec| JobState {
@@ -112,52 +135,93 @@ impl<'a> SimulatorEngine<'a> {
                 fillers: Vec::new(),
             })
             .collect();
+        let timeline = if config.record_timeline {
+            // one bar per map attempt (preemptions may add more) plus a
+            // shuffle and a reduce bar per reduce task
+            let bars: usize =
+                trace.jobs.iter().map(|s| s.template.num_maps + 2 * s.template.num_reduces).sum();
+            Vec::with_capacity(bars)
+        } else {
+            Vec::new()
+        };
         SimulatorEngine {
             config,
             trace,
             policy,
-            queue: EventQueue::new(),
+            // in-flight events: per-job arrival/departure bookkeeping plus
+            // at most one departure per occupied slot
+            queue: EventQueue::with_capacity(
+                trace.jobs.len() + config.map_slots + config.reduce_slots + 8,
+            ),
             free_map_slots: (0..config.map_slots as u32).rev().collect(),
             free_reduce_slots: (0..config.reduce_slots as u32).rev().collect(),
+            jobq: JobQueue::with_capacity(jobs.len()),
+            jobq_dirty: false,
+            victims: Vec::new(),
             jobs,
             events_processed: 0,
-            timeline: Vec::new(),
+            timeline,
             results: vec![None; trace.jobs.len()],
             makespan: SimTime::ZERO,
+            #[cfg(any(test, debug_assertions))]
+            snapshot_oracle: false,
         }
+    }
+
+    /// Debug-only reference mode: rebuilds the job view from the engine's
+    /// per-job state before every scheduling pass (the pre-incremental
+    /// behavior) and never skips a pass. Any divergence between a normal
+    /// run and an oracle run is a bug in the incremental bookkeeping; the
+    /// property tests compare the two report-for-report.
+    #[cfg(any(test, debug_assertions))]
+    pub fn with_snapshot_oracle(mut self) -> Self {
+        self.snapshot_oracle = true;
+        self
     }
 
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> SimulationReport {
         for (i, spec) in self.trace.jobs.iter().enumerate() {
-            self.queue
-                .push(spec.arrival, EventKind::JobArrival, JobId(i as u32), 0);
+            self.queue.push(spec.arrival, EventKind::JobArrival, JobId(i as u32), 0);
         }
         while let Some(event) = self.queue.pop() {
             self.events_processed += 1;
             self.makespan = event.time;
+            let now = event.time;
             let job = event.job;
             match event.kind {
-                EventKind::JobArrival => self.on_job_arrival(job, event.time),
+                EventKind::JobArrival => self.on_job_arrival(job, now),
                 EventKind::MapTaskArrival | EventKind::ReduceTaskArrival => {
-                    // marker events: the placement itself happened when the
-                    // scheduling decision was made (same instant)
+                    // task placements are counted at launch time and no
+                    // longer travel through the priority queue; nothing
+                    // else enqueues these kinds
+                    debug_assert!(false, "marker event in queue");
                 }
                 EventKind::MapTaskDeparture => {
-                    self.on_map_departure(job, event.task_index, event.attempt, event.time)
+                    self.on_map_departure(job, event.task_index, event.attempt, now)
                 }
-                EventKind::AllMapsFinished => self.on_all_maps_finished(job, event.time),
+                EventKind::AllMapsFinished => self.on_all_maps_finished(job, now),
                 EventKind::ReduceTaskDeparture => {
-                    self.on_reduce_departure(job, event.task_index, event.time)
+                    self.on_reduce_departure(job, event.task_index, now)
                 }
-                EventKind::JobDeparture => self.on_job_departure(job, event.time),
+                EventKind::JobDeparture => self.on_job_departure(job, now),
             }
             // Make scheduling decisions only once every same-instant event
             // (simultaneous arrivals, departures, AllMapsFinished) has been
             // applied — the job master sees a consistent queue state, and
             // EDF-style policies observe all jobs submitted at that instant.
-            if self.queue.next_time() != Some(event.time) {
-                self.schedule(event.time);
+            if self.queue.next_time() == Some(now) {
+                continue;
+            }
+            // Fixpoint at `now`: launches may complete instantly
+            // (zero-duration tasks join the current batch) and unlock
+            // further launches, so re-run until the instant is quiescent.
+            loop {
+                let launched = self.schedule(now);
+                self.events_processed += launched;
+                if launched == 0 || self.queue.next_time() == Some(now) {
+                    break;
+                }
             }
         }
         let jobs = self
@@ -178,9 +242,36 @@ impl<'a> SimulatorEngine<'a> {
         &self.trace.jobs[job.index()].template
     }
 
+    /// The policy-visible entry equivalent to a job's current state.
+    fn entry_of(&self, job: JobId) -> JobEntry {
+        let s = &self.jobs[job.index()];
+        JobEntry {
+            id: job,
+            arrival: s.arrival,
+            deadline: s.deadline,
+            pending_maps: s.pending_maps(),
+            running_maps: s.running_map_list.len(),
+            completed_maps: s.maps_completed,
+            total_maps: s.maps_total,
+            pending_reduces: s.reduces_total - s.reduces_launched,
+            running_reduces: s.reduces_launched - s.reduces_completed,
+            completed_reduces: s.reduces_completed,
+            total_reduces: s.reduces_total,
+            reduce_eligible: s.maps_completed >= s.reduce_threshold,
+        }
+    }
+
+    /// Fetches the incrementally-maintained entry of an active job.
+    fn entry_mut(&mut self, job: JobId) -> &mut JobEntry {
+        self.jobq.get_mut(job).expect("active job missing from the job queue")
+    }
+
     fn on_job_arrival(&mut self, job: JobId, _now: SimTime) {
         let spec = &self.trace.jobs[job.index()];
         self.jobs[job.index()].active = true;
+        let entry = self.entry_of(job);
+        self.jobq.insert(entry);
+        self.jobq_dirty = true;
         self.policy.on_job_arrival(
             job,
             &spec.template,
@@ -194,7 +285,7 @@ impl<'a> SimulatorEngine<'a> {
         let idx = task_index as usize;
         if state.map_gen[idx] != attempt || state.map_done[idx] {
             // stale departure from a preempted attempt: its slot was freed
-            // when the task was killed
+            // when the task was killed, and nothing observable changed
             return;
         }
         state.map_done[idx] = true;
@@ -202,7 +293,19 @@ impl<'a> SimulatorEngine<'a> {
         let slot = state.map_task_slots[idx];
         self.free_map_slots.push(slot);
         state.maps_completed += 1;
-        if state.maps_completed == state.maps_total {
+        let completed = state.maps_completed;
+        let threshold = state.reduce_threshold;
+        let all_done = completed == state.maps_total;
+        let entry = self.entry_mut(job);
+        entry.running_maps -= 1;
+        entry.completed_maps += 1;
+        let flipped_eligible = !entry.reduce_eligible && completed >= threshold;
+        entry.reduce_eligible = completed >= threshold;
+        if flipped_eligible {
+            self.jobq.reset_reduce_hint();
+        }
+        self.jobq_dirty = true;
+        if all_done {
             self.queue.push(now, EventKind::AllMapsFinished, job, 0);
         }
     }
@@ -221,10 +324,16 @@ impl<'a> SimulatorEngine<'a> {
         state.requeued_maps.push(idx);
         let slot = state.map_task_slots[idx as usize];
         self.free_map_slots.push(slot);
+        let entry = self.entry_mut(job);
+        entry.running_maps -= 1;
+        entry.pending_maps += 1;
+        self.jobq.reset_map_hint();
         true
     }
 
     fn on_all_maps_finished(&mut self, job: JobId, now: SimTime) {
+        // Resolving fillers changes neither the job queue nor the free
+        // slots, so this handler leaves the dirty flag untouched.
         let fillers = {
             let state = &mut self.jobs[job.index()];
             state.maps_finished = Some(now);
@@ -238,8 +347,7 @@ impl<'a> SimulatorEngine<'a> {
             let reduce = template.reduce_duration(ridx as usize);
             let shuffle_end = now + shuffle;
             let finish = shuffle_end + reduce;
-            self.queue
-                .push(finish, EventKind::ReduceTaskDeparture, job, ridx);
+            self.queue.push(finish, EventKind::ReduceTaskDeparture, job, ridx);
             if self.config.record_timeline {
                 let slot = self.jobs[job.index()].reduce_task_slots[ridx as usize];
                 self.timeline.push(TimelineEntry {
@@ -269,9 +377,13 @@ impl<'a> SimulatorEngine<'a> {
         let slot = state.reduce_task_slots[task_index as usize];
         self.free_reduce_slots.push(slot);
         state.reduces_completed += 1;
-        if state.reduces_completed == state.reduces_total
-            && state.maps_completed == state.maps_total
-        {
+        let job_done = state.reduces_completed == state.reduces_total
+            && state.maps_completed == state.maps_total;
+        let entry = self.entry_mut(job);
+        entry.running_reduces -= 1;
+        entry.completed_reduces += 1;
+        self.jobq_dirty = true;
+        if job_done {
             self.queue.push(now, EventKind::JobDeparture, job, 0);
         }
     }
@@ -283,6 +395,8 @@ impl<'a> SimulatorEngine<'a> {
         }
         state.departed = true;
         state.active = false;
+        self.jobq.remove(job);
+        self.jobq_dirty = true;
         let spec = &self.trace.jobs[job.index()];
         self.results[job.index()] = Some(JobResult {
             job,
@@ -298,41 +412,49 @@ impl<'a> SimulatorEngine<'a> {
         self.policy.on_job_departure(job);
     }
 
-    /// Builds the queue snapshot and drains free slots through the policy.
-    fn schedule(&mut self, now: SimTime) {
-        if self.free_map_slots.is_empty() && self.free_reduce_slots.is_empty() {
-            return;
-        }
-        let entries: Vec<JobEntry> = self
-            .jobs
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.active)
-            .map(|(i, s)| JobEntry {
-                id: JobId(i as u32),
-                arrival: s.arrival,
-                deadline: s.deadline,
-                pending_maps: s.pending_maps(),
-                running_maps: s.running_map_list.len(),
-                completed_maps: s.maps_completed,
-                total_maps: s.maps_total,
-                pending_reduces: s.reduces_total - s.reduces_launched,
-                running_reduces: s.reduces_launched - s.reduces_completed,
-                completed_reduces: s.reduces_completed,
-                total_reduces: s.reduces_total,
-                reduce_eligible: s.maps_completed >= s.reduce_threshold,
-            })
+    /// Rebuilds the policy view from scratch (the snapshot-oracle path),
+    /// in the same `(arrival, id)` order the incremental queue guarantees.
+    #[cfg(any(test, debug_assertions))]
+    fn rebuild_jobq(&mut self) {
+        let mut entries: Vec<crate::JobEntry> = (0..self.jobs.len())
+            .filter(|&i| self.jobs[i].active)
+            .map(|i| self.entry_of(JobId(i as u32)))
             .collect();
-        if entries.is_empty() {
-            return;
+        entries.sort_by_key(|e| (e.arrival, e.id));
+        self.jobq.clear();
+        for entry in entries {
+            self.jobq.insert(entry);
         }
-        let mut view = JobQueue::new(entries, now);
+    }
+
+    /// One scheduling pass: drains free slots through the policy against
+    /// the incrementally-maintained job view. Returns the number of task
+    /// launches (each counts as one processed event). Skipped outright when
+    /// nothing changed since the previous pass.
+    fn schedule(&mut self, now: SimTime) -> u64 {
+        #[cfg(any(test, debug_assertions))]
+        if self.snapshot_oracle {
+            self.rebuild_jobq();
+            self.jobq_dirty = true;
+        }
+        if !self.jobq_dirty {
+            return 0;
+        }
+        self.jobq_dirty = false;
+        if self.free_map_slots.is_empty() && self.free_reduce_slots.is_empty() {
+            return 0;
+        }
+        if self.jobq.is_empty() {
+            return 0;
+        }
+        self.jobq.now = now;
+        let mut launched = 0u64;
 
         while !self.free_map_slots.is_empty() {
-            let Some(id) = self.policy.choose_next_map_task(&view) else {
+            let Some(id) = self.policy.choose_next_map_task(&self.jobq) else {
                 break;
             };
-            let Some(entry) = view.get_mut(id) else {
+            let Some(entry) = self.jobq.get(id) else {
                 debug_assert!(false, "policy chose unknown job {id}");
                 break;
             };
@@ -340,9 +462,8 @@ impl<'a> SimulatorEngine<'a> {
                 debug_assert!(false, "policy chose job {id} without pending maps");
                 break;
             }
-            entry.pending_maps -= 1;
-            entry.running_maps += 1;
             self.launch_map(id, now);
+            launched += 1;
         }
 
         // Preemption rounds: when the map slots are exhausted, the policy
@@ -352,44 +473,41 @@ impl<'a> SimulatorEngine<'a> {
         let mut rounds = self.config.map_slots;
         while self.free_map_slots.is_empty() && rounds > 0 {
             rounds -= 1;
-            let victims = self.policy.map_preemptions(&view);
-            if victims.is_empty() {
+            self.victims.clear();
+            self.policy.map_preemptions(&self.jobq, &mut self.victims);
+            if self.victims.is_empty() {
                 break;
             }
             let mut any = false;
-            for victim in victims {
+            for i in 0..self.victims.len() {
+                let victim = self.victims[i];
                 if self.preempt_map(victim) {
                     any = true;
-                    if let Some(entry) = view.get_mut(victim) {
-                        entry.running_maps -= 1;
-                        entry.pending_maps += 1;
-                    }
                 }
             }
             if !any {
                 break;
             }
             while !self.free_map_slots.is_empty() {
-                let Some(id) = self.policy.choose_next_map_task(&view) else {
+                let Some(id) = self.policy.choose_next_map_task(&self.jobq) else {
                     break;
                 };
-                let Some(entry) = view.get_mut(id) else {
+                let Some(entry) = self.jobq.get(id) else {
                     break;
                 };
                 if !entry.has_schedulable_map() {
                     break;
                 }
-                entry.pending_maps -= 1;
-                entry.running_maps += 1;
                 self.launch_map(id, now);
+                launched += 1;
             }
         }
 
         while !self.free_reduce_slots.is_empty() {
-            let Some(id) = self.policy.choose_next_reduce_task(&view) else {
+            let Some(id) = self.policy.choose_next_reduce_task(&self.jobq) else {
                 break;
             };
-            let Some(entry) = view.get_mut(id) else {
+            let Some(entry) = self.jobq.get(id) else {
                 debug_assert!(false, "policy chose unknown job {id}");
                 break;
             };
@@ -397,17 +515,14 @@ impl<'a> SimulatorEngine<'a> {
                 debug_assert!(false, "policy chose job {id} without schedulable reduces");
                 break;
             }
-            entry.pending_reduces -= 1;
-            entry.running_reduces += 1;
             self.launch_reduce(id, now);
+            launched += 1;
         }
+        launched
     }
 
     fn launch_map(&mut self, job: JobId, now: SimTime) {
-        let slot = self
-            .free_map_slots
-            .pop()
-            .expect("launch_map called with no free map slot");
+        let slot = self.free_map_slots.pop().expect("launch_map called with no free map slot");
         let state = &mut self.jobs[job.index()];
         let idx = state.requeued_maps.pop().unwrap_or_else(|| {
             let fresh = state.fresh_maps as u32;
@@ -419,11 +534,11 @@ impl<'a> SimulatorEngine<'a> {
         state.running_map_list.push((idx, now));
         state.map_task_slots[idx as usize] = slot;
         state.first_map_start.get_or_insert(now);
+        let entry = self.entry_mut(job);
+        entry.pending_maps -= 1;
+        entry.running_maps += 1;
         let duration = self.trace.jobs[job.index()].template.map_duration(idx as usize);
-        self.queue
-            .push_attempt(now, EventKind::MapTaskArrival, job, idx, attempt);
-        self.queue
-            .push_attempt(now + duration, EventKind::MapTaskDeparture, job, idx, attempt);
+        self.queue.push_attempt(now + duration, EventKind::MapTaskDeparture, job, idx, attempt);
         if self.config.record_timeline {
             self.timeline.push(TimelineEntry {
                 job,
@@ -436,16 +551,16 @@ impl<'a> SimulatorEngine<'a> {
     }
 
     fn launch_reduce(&mut self, job: JobId, now: SimTime) {
-        let slot = self
-            .free_reduce_slots
-            .pop()
-            .expect("launch_reduce called with no free reduce slot");
-        let maps_done = self.jobs[job.index()].maps_finished.is_some();
+        let slot =
+            self.free_reduce_slots.pop().expect("launch_reduce called with no free reduce slot");
         let state = &mut self.jobs[job.index()];
+        let maps_done = state.maps_finished.is_some();
         let idx = state.reduces_launched as u32;
         state.reduces_launched += 1;
         state.reduce_task_slots.push(slot);
-        self.queue.push(now, EventKind::ReduceTaskArrival, job, idx);
+        let entry = self.entry_mut(job);
+        entry.pending_reduces -= 1;
+        entry.running_reduces += 1;
         if maps_done {
             // later-wave reduce: typical shuffle + reduce phase
             let template = &self.trace.jobs[job.index()].template;
@@ -453,8 +568,7 @@ impl<'a> SimulatorEngine<'a> {
             let reduce = template.reduce_duration(idx as usize);
             let shuffle_end = now + shuffle;
             let finish = shuffle_end + reduce;
-            self.queue
-                .push(finish, EventKind::ReduceTaskDeparture, job, idx);
+            self.queue.push(finish, EventKind::ReduceTaskDeparture, job, idx);
             if self.config.record_timeline {
                 self.timeline.push(TimelineEntry {
                     job,
@@ -551,14 +665,8 @@ mod tests {
         // map stage is still running). Maps finish at t=100, so the fillers
         // resolve to 100 + first_shuffle(50) + reduce(30) = 180. The
         // typical-shuffle value (999) must NOT be used.
-        let template = JobTemplate::new(
-            "t",
-            vec![50, 100],
-            vec![50],
-            vec![999, 999],
-            vec![30, 30],
-        )
-        .unwrap();
+        let template =
+            JobTemplate::new("t", vec![50, 100], vec![50], vec![999, 999], vec![30, 30]).unwrap();
         let mut trace = WorkloadTrace::new("t", "test");
         trace.push(JobSpec::new(template, SimTime::ZERO));
         let report = run(EngineConfig::new(2, 2), &trace);
@@ -655,10 +763,8 @@ mod tests {
         let report = run(EngineConfig::new(2, 1).with_timeline(), &trace);
         // 2 map bars + 1 shuffle bar + 1 reduce bar
         let maps = report.timeline.iter().filter(|t| t.phase == TimelinePhase::Map).count();
-        let shuffles =
-            report.timeline.iter().filter(|t| t.phase == TimelinePhase::Shuffle).count();
-        let reduces =
-            report.timeline.iter().filter(|t| t.phase == TimelinePhase::Reduce).count();
+        let shuffles = report.timeline.iter().filter(|t| t.phase == TimelinePhase::Shuffle).count();
+        let reduces = report.timeline.iter().filter(|t| t.phase == TimelinePhase::Reduce).count();
         assert_eq!((maps, shuffles, reduces), (2, 1, 1));
         for bar in &report.timeline {
             assert!(bar.start <= bar.end);
@@ -683,10 +789,7 @@ mod tests {
                 TimelinePhase::Map => &mut map_bars,
                 _ => &mut red_bars,
             };
-            target
-                .entry(bar.slot)
-                .or_default()
-                .push((bar.start.as_millis(), bar.end.as_millis()));
+            target.entry(bar.slot).or_default().push((bar.start.as_millis(), bar.end.as_millis()));
         }
         assert!(map_bars.len() <= 3);
         assert!(red_bars.len() <= 2);
@@ -735,8 +838,8 @@ mod tests {
     #[test]
     fn deadline_carried_through() {
         let mut trace = WorkloadTrace::new("t", "test");
-        let job = uniform_job(1, 0, 100, 0, 0, 0, SimTime::ZERO)
-            .with_deadline(SimTime::from_millis(50));
+        let job =
+            uniform_job(1, 0, 100, 0, 0, 0, SimTime::ZERO).with_deadline(SimTime::from_millis(50));
         trace.push(job);
         let report = run(EngineConfig::new(1, 1), &trace);
         assert_eq!(report.jobs[0].deadline, Some(SimTime::from_millis(50)));
@@ -774,9 +877,42 @@ mod tests {
         }
         // completions of FIFO'd jobs with same arrival pattern are monotone
         // in arrival for map-only jobs; at minimum makespan covers all
-        assert_eq!(
-            report.makespan,
-            report.jobs.iter().map(|j| j.completion).max().unwrap()
-        );
+        assert_eq!(report.makespan, report.jobs.iter().map(|j| j.completion).max().unwrap());
+    }
+
+    #[test]
+    fn incremental_view_matches_snapshot_oracle() {
+        // mixed workload with simultaneous arrivals, zero-duration tasks,
+        // multi-wave maps and fillers — the incremental queue must produce
+        // the same report as a per-pass from-scratch rebuild
+        let mut trace = WorkloadTrace::new("t", "test");
+        for i in 0..60u64 {
+            trace.push(uniform_job(
+                1 + (i % 6) as usize,
+                (i % 3) as usize,
+                (i % 5) * 40,
+                7,
+                11,
+                9,
+                SimTime::from_millis((i / 3) * 50),
+            ));
+        }
+        let fast = run(EngineConfig::new(4, 3), &trace);
+        let oracle = SimulatorEngine::new(EngineConfig::new(4, 3), &trace, Box::new(TestFifo))
+            .with_snapshot_oracle()
+            .run();
+        assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn events_counted_per_launch() {
+        // 1 job, 3 maps, 2 reduces, no preemption: events = 1 arrival +
+        // 3 launches + 3 departures (maps) + 2 launches + 2 departures
+        // (reduces) + AllMapsFinished + JobDeparture = 13, matching the
+        // old per-marker accounting exactly
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(3, 2, 100, 10, 20, 15, SimTime::ZERO));
+        let report = run(EngineConfig::new(4, 4), &trace);
+        assert_eq!(report.events_processed, 13);
     }
 }

@@ -3,13 +3,30 @@
 //! The engine communicates with scheduling policies *"using a very narrow
 //! interface"* (§III-B): `CHOOSENEXTMAPTASK(jobQ)` and
 //! `CHOOSENEXTREDUCETASK(jobQ)`, each returning the id of the job whose
-//! task should be launched next. Policies see a read-only snapshot of every
+//! task should be launched next. Policies see a read-only view of every
 //! active job ([`JobEntry`]) and keep any additional state (EDF deadlines,
 //! MinEDF wanted-slot caps, fair-share deficits, ...) internally.
+//!
+//! The [`JobQueue`] is maintained **incrementally** by the engine: entries
+//! are inserted on job arrival, removed on job departure, and their
+//! counters mutated in place as tasks launch, finish, or are preempted —
+//! the queue is *not* rebuilt per event. Entries are kept sorted by
+//! `(arrival, id)`: arrivals are processed in time order so insertion is a
+//! plain append, and removal advances a head pointer (oldest job, the
+//! FIFO-service common case, O(1)) or shifts the shorter side of the hole
+//! (mid-queue). Policies may rely
+//! on that order — [`FifoPolicy`](../../simmr_sched) stops at the first
+//! schedulable entry instead of scanning the whole backlog — but every
+//! selection must still use a total order over entry *fields* (job id as
+//! the final tie-breaker), as all built-in policies do.
 
 use simmr_types::{DurationMs, JobId, SimTime};
+use std::cell::Cell;
 
-/// Read-only snapshot of one active job, as visible to a policy.
+/// Sentinel in the id→position table for jobs not currently in the queue.
+const ABSENT: u32 = u32::MAX;
+
+/// Read-only view of one active job, as visible to a policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JobEntry {
     /// Job id.
@@ -56,34 +73,212 @@ impl JobEntry {
     }
 }
 
-/// Snapshot of the active-job queue passed to policies.
+/// The active-job queue passed to policies.
+///
+/// Lives for the whole simulation and is updated in place: the live view
+/// is `entries[head..]`, kept sorted by `(arrival, id)`. `insert` appends
+/// (arrivals come in time order); `remove` of the oldest job — the common
+/// case under FIFO-like service — just advances `head` in O(1), while a
+/// mid-queue removal shifts the (shorter) front segment right into the
+/// hole. `get` / `get_mut` are O(1) through an id→position table. The
+/// dead prefix is compacted away once it outgrows the live region, so
+/// memory stays proportional to the active-job high-water mark.
 #[derive(Debug, Default)]
 pub struct JobQueue {
     entries: Vec<JobEntry>,
+    /// Start of the live region in `entries`.
+    head: usize,
+    /// Absolute position of each job in `entries`, indexed by job id.
+    index: Vec<u32>,
+    /// No entry before this live position has a schedulable map. On a
+    /// reduce-bound cluster, jobs whose maps are done pile up at the front
+    /// of the queue waiting for reduce slots; this cursor lets FIFO-order
+    /// selection skip that dead prefix in amortized O(1) instead of
+    /// re-scanning it on every free map slot. A job only regains pending
+    /// maps on preemption, which resets the cursor.
+    map_hint: Cell<usize>,
+    /// Same, for schedulable reduces; reset when a job's slowstart
+    /// eligibility flips on (once per job).
+    reduce_hint: Cell<usize>,
     /// Current simulated time at the moment of the scheduling decision.
     pub now: SimTime,
 }
 
 impl JobQueue {
-    /// Builds a queue view.
-    pub fn new(entries: Vec<JobEntry>, now: SimTime) -> Self {
-        JobQueue { entries, now }
+    /// Builds a queue view from a ready-made entry list (sorted into the
+    /// queue's canonical `(arrival, id)` order).
+    pub fn new(mut entries: Vec<JobEntry>, now: SimTime) -> Self {
+        entries.sort_by_key(|e| (e.arrival, e.id));
+        let mut q = JobQueue { entries: Vec::with_capacity(entries.len()), now, ..Self::default() };
+        for e in entries {
+            q.insert(e);
+        }
+        q
     }
 
-    /// The active jobs.
+    /// An empty queue with room for `jobs` entries (ids `0..jobs`) without
+    /// reallocating.
+    pub fn with_capacity(jobs: usize) -> Self {
+        JobQueue { entries: Vec::with_capacity(jobs), index: vec![ABSENT; jobs], ..Self::default() }
+    }
+
+    /// The active jobs, sorted by `(arrival, id)`. The order is an API
+    /// guarantee: FIFO-style policies may stop at the first schedulable
+    /// entry.
     pub fn entries(&self) -> &[JobEntry] {
-        &self.entries
+        &self.entries[self.head..]
+    }
+
+    /// The earliest-arrived job with a schedulable map — the FIFO map
+    /// choice. Amortized O(1): a cursor remembers how far the
+    /// nothing-schedulable prefix reaches, and only preemption can make an
+    /// entry behind the cursor schedulable again.
+    pub fn first_schedulable_map(&self) -> Option<&JobEntry> {
+        let live = self.entries();
+        let start = self.map_hint.get().min(live.len());
+        for (i, e) in live[start..].iter().enumerate() {
+            if e.has_schedulable_map() {
+                self.map_hint.set(start + i);
+                return Some(e);
+            }
+        }
+        self.map_hint.set(live.len());
+        None
+    }
+
+    /// The earliest-arrived job with a schedulable reduce — the FIFO
+    /// reduce choice. Amortized O(1), like [`Self::first_schedulable_map`].
+    pub fn first_schedulable_reduce(&self) -> Option<&JobEntry> {
+        let live = self.entries();
+        let start = self.reduce_hint.get().min(live.len());
+        for (i, e) in live[start..].iter().enumerate() {
+            if e.has_schedulable_reduce() {
+                self.reduce_hint.set(start + i);
+                return Some(e);
+            }
+        }
+        self.reduce_hint.set(live.len());
+        None
+    }
+
+    /// A map task returned to the pending queue (preemption): entries
+    /// behind the scan cursor may be schedulable again.
+    pub(crate) fn reset_map_hint(&mut self) {
+        self.map_hint.set(0);
+    }
+
+    /// A job's slowstart eligibility flipped on: its position may be
+    /// behind the reduce scan cursor.
+    pub(crate) fn reset_reduce_hint(&mut self) {
+        self.reduce_hint.set(0);
+    }
+
+    /// Number of active jobs.
+    pub fn len(&self) -> usize {
+        self.entries.len() - self.head
+    }
+
+    /// True when no job is active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Looks up a job by id.
     pub fn get(&self, id: JobId) -> Option<&JobEntry> {
-        self.entries.iter().find(|e| e.id == id)
+        match self.index.get(id.index()) {
+            Some(&pos) if pos != ABSENT => Some(&self.entries[pos as usize]),
+            _ => None,
+        }
     }
 
-    /// Mutable lookup — used by the engine to update the snapshot after
+    /// Mutable lookup — used by the engine to update the view after
     /// launching a task, so a scheduling loop sees its own placements.
     pub(crate) fn get_mut(&mut self, id: JobId) -> Option<&mut JobEntry> {
-        self.entries.iter_mut().find(|e| e.id == id)
+        match self.index.get(id.index()) {
+            Some(&pos) if pos != ABSENT => Some(&mut self.entries[pos as usize]),
+            _ => None,
+        }
+    }
+
+    /// Adds a job's entry (on arrival). Arrivals are processed in time
+    /// order, so appending keeps the entries sorted by `(arrival, id)`.
+    pub(crate) fn insert(&mut self, entry: JobEntry) {
+        let i = entry.id.index();
+        if i >= self.index.len() {
+            self.index.resize(i + 1, ABSENT);
+        }
+        debug_assert_eq!(self.index[i], ABSENT, "job {} inserted twice", entry.id);
+        debug_assert!(
+            self.entries[self.head..]
+                .last()
+                .is_none_or(|l| (l.arrival, l.id) < (entry.arrival, entry.id)),
+            "job {} inserted out of arrival order",
+            entry.id
+        );
+        self.index[i] = self.entries.len() as u32;
+        self.entries.push(entry);
+    }
+
+    /// Removes a job's entry (on departure), preserving `(arrival, id)`
+    /// order by shifting whichever side of the hole is shorter. Removing
+    /// the oldest active job — the common case under FIFO-like service —
+    /// is O(1): the head pointer just advances.
+    pub(crate) fn remove(&mut self, id: JobId) -> Option<JobEntry> {
+        let i = id.index();
+        let pos = match self.index.get(i) {
+            Some(&pos) if pos != ABSENT => pos as usize,
+            _ => return None,
+        };
+        self.index[i] = ABSENT;
+        let entry = self.entries[pos];
+        // entries after the removed one move down one live position
+        let live_pos = pos - self.head;
+        for hint in [&self.map_hint, &self.reduce_hint] {
+            let h = hint.get();
+            if live_pos < h {
+                hint.set(h - 1);
+            }
+        }
+        if pos - self.head <= self.entries.len() - 1 - pos {
+            // shift the front segment right into the hole
+            self.entries.copy_within(self.head..pos, self.head + 1);
+            for e in &self.entries[self.head + 1..=pos] {
+                self.index[e.id.index()] += 1;
+            }
+            self.head += 1;
+            if self.head > self.entries.len() - self.head {
+                self.compact();
+            }
+        } else {
+            // shift the (shorter) tail segment left over the hole
+            self.entries.copy_within(pos + 1.., pos);
+            self.entries.truncate(self.entries.len() - 1);
+            for e in &self.entries[pos..] {
+                self.index[e.id.index()] -= 1;
+            }
+        }
+        Some(entry)
+    }
+
+    /// Drops the dead prefix, amortized O(1) per removal: runs only when
+    /// dead entries outnumber live ones, and costs O(live).
+    fn compact(&mut self) {
+        self.entries.drain(..self.head);
+        self.head = 0;
+        for (pos, e) in self.entries.iter().enumerate() {
+            self.index[e.id.index()] = pos as u32;
+        }
+    }
+
+    /// Empties the queue, keeping its allocations. Only the snapshot
+    /// oracle rebuilds from scratch, so this is debug/test-only.
+    #[cfg(any(test, debug_assertions))]
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.head = 0;
+        self.index.fill(ABSENT);
+        self.map_hint.set(0);
+        self.reduce_hint.set(0);
     }
 }
 
@@ -92,6 +287,18 @@ impl JobQueue {
 /// The two `choose_next_*` functions are the whole contract with the
 /// engine; the remaining methods are optional lifecycle hooks that
 /// stateful policies (e.g. MinEDF's per-job wanted-slot caps) can use.
+///
+/// # Determinism contract
+///
+/// The engine skips redundant scheduling passes: when no event since the
+/// previous pass changed the job queue (or the policy's lifecycle hooks
+/// fired), `choose_next_*` is **not** re-consulted. A policy's choices must
+/// therefore be a pure function of the queue contents and its own state —
+/// in particular they must not depend on [`JobQueue::now`].
+/// [`JobQueue::entries`] is guaranteed sorted by `(arrival, id)`; policies
+/// may exploit that order (FIFO stops at the first schedulable entry) but
+/// must select by a total order over entry fields either way. All built-in
+/// policies satisfy this.
 pub trait SchedulerPolicy {
     /// Human-readable policy name, used in reports.
     fn name(&self) -> &str;
@@ -120,15 +327,15 @@ pub trait SchedulerPolicy {
     /// `None` to leave remaining reduce slots idle this round.
     fn choose_next_reduce_task(&mut self, jobq: &JobQueue) -> Option<JobId>;
 
-    /// Called when every map slot is busy: the policy may name victim jobs
-    /// whose most recently launched running map task will be **killed and
-    /// requeued** (all progress lost — Hadoop kill semantics), freeing one
-    /// slot per victim for more urgent work. The default (like stock
-    /// Hadoop, and like every policy in the paper) never preempts — §V-B
-    /// attributes the "bump" in Figure 7(a) precisely to this.
-    fn map_preemptions(&mut self, _jobq: &JobQueue) -> Vec<JobId> {
-        Vec::new()
-    }
+    /// Called when every map slot is busy: the policy may push victim jobs
+    /// into `victims`; each victim's most recently launched running map
+    /// task will be **killed and requeued** (all progress lost — Hadoop
+    /// kill semantics), freeing one slot per victim for more urgent work.
+    /// `victims` arrives empty and is a scratch buffer reused across
+    /// rounds. The default (like stock Hadoop, and like every policy in
+    /// the paper) never preempts — §V-B attributes the "bump" in Figure
+    /// 7(a) precisely to this.
+    fn map_preemptions(&mut self, _jobq: &JobQueue, _victims: &mut Vec<JobId>) {}
 }
 
 #[cfg(test)]
@@ -178,5 +385,142 @@ mod tests {
         assert_eq!(q.entries().len(), 2);
         assert!(q.get(JobId(7)).is_some());
         assert!(q.get(JobId(9)).is_none());
+    }
+
+    #[test]
+    fn insert_remove_keeps_index_consistent() {
+        let mut q = JobQueue::with_capacity(4);
+        for id in 0..4 {
+            q.insert(entry(id, None));
+        }
+        assert_eq!(q.len(), 4);
+        // removing from the middle shifts the suffix left
+        let removed = q.remove(JobId(1)).unwrap();
+        assert_eq!(removed.id, JobId(1));
+        assert_eq!(q.len(), 3);
+        assert!(q.get(JobId(1)).is_none());
+        for id in [0, 2, 3] {
+            assert_eq!(q.get(JobId(id)).unwrap().id, JobId(id));
+        }
+        // double-remove is a no-op
+        assert!(q.remove(JobId(1)).is_none());
+        // a later arrival inserts after the survivors
+        q.insert(entry(9, None));
+        assert_eq!(q.get(JobId(9)).unwrap().id, JobId(9));
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn front_removals_advance_head_and_compact() {
+        let mut q = JobQueue::with_capacity(8);
+        for id in 0..8 {
+            q.insert(entry(id, None));
+        }
+        // FIFO-style service: oldest jobs depart first
+        for id in 0..6 {
+            assert_eq!(q.remove(JobId(id)).unwrap().id, JobId(id));
+            assert!(
+                q.entries().windows(2).all(|w| (w[0].arrival, w[0].id) < (w[1].arrival, w[1].id)),
+                "entries out of order after removing job {id}"
+            );
+        }
+        let order: Vec<u32> = q.entries().iter().map(|e| e.id.0).collect();
+        assert_eq!(order, vec![6, 7]);
+        for id in [6, 7] {
+            assert_eq!(q.get(JobId(id)).unwrap().id, JobId(id));
+        }
+        // inserts keep working after the dead prefix is compacted away
+        q.insert(entry(8, None));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.get(JobId(8)).unwrap().id, JobId(8));
+    }
+
+    #[test]
+    fn tail_removal_shifts_suffix() {
+        let mut q = JobQueue::with_capacity(4);
+        for id in 0..4 {
+            q.insert(entry(id, None));
+        }
+        // newest job departs first: the tail side of the hole is shorter
+        assert_eq!(q.remove(JobId(3)).unwrap().id, JobId(3));
+        assert_eq!(q.remove(JobId(2)).unwrap().id, JobId(2));
+        let order: Vec<u32> = q.entries().iter().map(|e| e.id.0).collect();
+        assert_eq!(order, vec![0, 1]);
+        for id in [0, 1] {
+            assert_eq!(q.get(JobId(id)).unwrap().id, JobId(id));
+        }
+    }
+
+    #[test]
+    fn schedulable_cursors_follow_mutations() {
+        let mut q = JobQueue::with_capacity(3);
+        for id in 0..3 {
+            q.insert(entry(id, None));
+        }
+        assert_eq!(q.first_schedulable_map().unwrap().id, JobId(0));
+        q.get_mut(JobId(0)).unwrap().pending_maps = 0;
+        assert_eq!(q.first_schedulable_map().unwrap().id, JobId(1));
+        // preemption makes a job behind the cursor schedulable again
+        q.get_mut(JobId(0)).unwrap().pending_maps = 1;
+        q.reset_map_hint();
+        assert_eq!(q.first_schedulable_map().unwrap().id, JobId(0));
+        // slowstart eligibility flips on behind the reduce cursor
+        assert!(q.first_schedulable_reduce().is_none());
+        q.get_mut(JobId(1)).unwrap().reduce_eligible = true;
+        q.reset_reduce_hint();
+        assert_eq!(q.first_schedulable_reduce().unwrap().id, JobId(1));
+        // removal ahead of the cursor keeps it aligned
+        q.remove(JobId(0));
+        assert_eq!(q.first_schedulable_reduce().unwrap().id, JobId(1));
+        q.get_mut(JobId(1)).unwrap().pending_reduces = 0;
+        q.get_mut(JobId(2)).unwrap().reduce_eligible = true;
+        assert_eq!(q.first_schedulable_reduce().unwrap().id, JobId(2));
+    }
+
+    #[test]
+    fn remove_preserves_arrival_order() {
+        let mut q = JobQueue::with_capacity(5);
+        for id in 0..5 {
+            q.insert(entry(id, None));
+        }
+        q.remove(JobId(2));
+        q.remove(JobId(0));
+        let order: Vec<u32> = q.entries().iter().map(|e| e.id.0).collect();
+        assert_eq!(order, vec![1, 3, 4]);
+        assert!(q.entries().windows(2).all(|w| (w[0].arrival, w[0].id) < (w[1].arrival, w[1].id)));
+        for id in [1, 3, 4] {
+            assert_eq!(q.get(JobId(id)).unwrap().id, JobId(id));
+        }
+    }
+
+    #[test]
+    fn remove_last_and_clear() {
+        let mut q = JobQueue::with_capacity(2);
+        q.insert(entry(0, None));
+        q.insert(entry(1, None));
+        assert_eq!(q.remove(JobId(1)).unwrap().id, JobId(1));
+        assert_eq!(q.entries().len(), 1);
+        assert_eq!(q.entries()[0].id, JobId(0));
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.get(JobId(0)).is_none());
+        q.insert(entry(0, None));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn insert_beyond_capacity_grows() {
+        let mut q = JobQueue::with_capacity(1);
+        q.insert(entry(0, None));
+        q.insert(entry(9, None)); // id beyond the pre-sized table
+        assert_eq!(q.get(JobId(9)).unwrap().id, JobId(9));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut q = JobQueue::new(vec![entry(0, None)], SimTime::ZERO);
+        q.get_mut(JobId(0)).unwrap().running_maps = 5;
+        assert_eq!(q.get(JobId(0)).unwrap().running_maps, 5);
     }
 }

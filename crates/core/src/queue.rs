@@ -20,6 +20,12 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// An empty queue with room for `n` in-flight events without
+    /// reallocating.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(n), next_seq: 0, pushed: 0 }
+    }
+
     /// Schedules an event; insertion order breaks same-time ties.
     pub fn push(&mut self, time: SimTime, kind: EventKind, job: JobId, task_index: u32) {
         self.push_attempt(time, kind, job, task_index, 0);

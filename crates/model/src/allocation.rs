@@ -93,11 +93,8 @@ pub fn min_slots_for_deadline_with(
     basis: BoundBasis,
 ) -> SlotAllocation {
     let cap_m = max_maps.min(profile.num_maps).max(1);
-    let cap_r = if profile.num_reduces == 0 {
-        0
-    } else {
-        max_reduces.min(profile.num_reduces).max(1)
-    };
+    let cap_r =
+        if profile.num_reduces == 0 { 0 } else { max_reduces.min(profile.num_reduces).max(1) };
     let max_alloc = SlotAllocation { maps: cap_m, reduces: cap_r };
     let t_of = |m: usize, r: usize| basis.eval(&estimate_completion(profile, m, r));
 
@@ -141,8 +138,7 @@ pub fn min_slots_for_deadline_with(
             if has_r { sr_avg * (n_r - 1.0) } else { 0.0 },
             profile.map.max as f64
                 + if has_r {
-                    profile.first_shuffle.max as f64 + profile.sr_max()
-                        - profile.shuffle.avg
+                    profile.first_shuffle.max as f64 + profile.sr_max() - profile.shuffle.avg
                 } else {
                     0.0
                 },
@@ -173,11 +169,8 @@ pub fn min_slots_for_deadline_with(
         }
         let grow_m =
             if alloc.maps < cap_m { t_of(alloc.maps + 1, alloc.reduces) } else { f64::INFINITY };
-        let grow_r = if alloc.reduces < cap_r {
-            t_of(alloc.maps, alloc.reduces + 1)
-        } else {
-            f64::INFINITY
-        };
+        let grow_r =
+            if alloc.reduces < cap_r { t_of(alloc.maps, alloc.reduces + 1) } else { f64::INFINITY };
         if grow_m <= grow_r {
             alloc.maps += 1;
         } else {

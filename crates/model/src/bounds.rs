@@ -35,10 +35,7 @@ pub fn makespan_bounds(n: usize, avg: f64, max: DurationMs, k: usize) -> Makespa
     }
     let n_f = n as f64;
     let k_f = k as f64;
-    MakespanBounds {
-        low: n_f * avg / k_f,
-        up: (n_f - 1.0) * avg / k_f + max as f64,
-    }
+    MakespanBounds { low: n_f * avg / k_f, up: (n_f - 1.0) * avg / k_f + max as f64 }
 }
 
 /// Reference implementation of the online greedy assignment: each task (in
@@ -53,11 +50,8 @@ pub fn greedy_makespan(durations: &[DurationMs], k: usize) -> DurationMs {
     // *reference* implementation, clarity over speed
     let mut finish = vec![0u64; k.min(durations.len())];
     for &d in durations {
-        let (idx, _) = finish
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &f)| f)
-            .expect("non-empty slot vector");
+        let (idx, _) =
+            finish.iter().enumerate().min_by_key(|&(_, &f)| f).expect("non-empty slot vector");
         finish[idx] += d;
     }
     finish.into_iter().max().unwrap_or(0)

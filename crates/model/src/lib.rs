@@ -19,6 +19,8 @@ pub mod allocation;
 pub mod bounds;
 pub mod completion;
 
-pub use allocation::{min_slots_for_deadline, min_slots_for_deadline_with, BoundBasis, SlotAllocation};
+pub use allocation::{
+    min_slots_for_deadline, min_slots_for_deadline_with, BoundBasis, SlotAllocation,
+};
 pub use bounds::{greedy_makespan, makespan_bounds, MakespanBounds};
 pub use completion::{estimate_completion, CompletionEstimate, JobProfileSummary};

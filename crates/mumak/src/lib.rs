@@ -81,8 +81,7 @@ struct JobRt {
 
 impl JobRt {
     fn complete(&self) -> bool {
-        self.maps_done == self.map_durations.len()
-            && self.reduces_done == self.reduce_phases.len()
+        self.maps_done == self.map_durations.len() && self.reduces_done == self.reduce_phases.len()
     }
 }
 
@@ -120,8 +119,7 @@ impl MumakSim {
             .jobs
             .iter()
             .map(|j| {
-                let map_durations: Vec<u64> =
-                    j.maps().iter().map(|t| t.runtime_ms()).collect();
+                let map_durations: Vec<u64> = j.maps().iter().map(|t| t.runtime_ms()).collect();
                 // Mumak ignores the shuffle boundary: only the reduce
                 // phase survives into the model
                 let reduce_phases: Vec<u64> =
@@ -179,8 +177,7 @@ impl MumakSim {
                         && if want_map {
                             j.maps_launched < j.map_durations.len()
                         } else {
-                            j.reduces_launched < j.reduce_phases.len()
-                                && j.maps_done >= j.threshold
+                            j.reduces_launched < j.reduce_phases.len() && j.maps_done >= j.threshold
                         }
                 })
                 .min_by_key(|(i, j)| (j.arrival, *i))
@@ -235,11 +232,7 @@ impl MumakSim {
                         }
                     }
                     if remaining > 0 {
-                        push(
-                            &mut queue,
-                            now + cfg.heartbeat_ms.max(1),
-                            Ev::Heartbeat { tracker },
-                        );
+                        push(&mut queue, now + cfg.heartbeat_ms.max(1), Ev::Heartbeat { tracker });
                     }
                 }
                 Ev::MapDone { job, tracker } => {
@@ -295,7 +288,7 @@ impl MumakSim {
                 .enumerate()
                 .map(|(i, j)| JobResult {
                     job: JobId(i as u32),
-                    name: j.name.clone(),
+                    name: j.name.as_str().into(),
                     arrival: j.arrival,
                     first_map_start: None,
                     maps_finished: j.maps_finish,
@@ -314,12 +307,7 @@ impl MumakSim {
 
 /// Convenience: count tasks of a kind in a Rumen trace (diagnostics).
 pub fn count_tasks(trace: &RumenTrace, kind: TaskKind) -> usize {
-    trace
-        .jobs
-        .iter()
-        .flat_map(|j| j.tasks.iter())
-        .filter(|t| t.kind == kind)
-        .count()
+    trace.jobs.iter().flat_map(|j| j.tasks.iter()).filter(|t| t.kind == kind).count()
 }
 
 #[cfg(test)]
@@ -379,8 +367,7 @@ mod tests {
     fn map_only_replay() {
         // 2 maps of 1000ms each, 2 trackers: both run in the first
         // heartbeat round => completion ≈ 1000 + heartbeat offset
-        let trace =
-            RumenTrace { jobs: vec![rumen_job(0, 0, &[(0, 1000), (0, 1000)], &[])] };
+        let trace = RumenTrace { jobs: vec![rumen_job(0, 0, &[(0, 1000), (0, 1000)], &[])] };
         let report = MumakSim::new(config(2)).run(&trace);
         let done = report.jobs[0].completion.as_millis();
         assert!((1000..1300).contains(&done), "completion {done}");
@@ -392,9 +379,8 @@ mod tests {
         // until 5000, reduce phase 5000->6000 (total job 6000ms).
         // Mumak: reduce completes at all_maps(~1000) + reduce_phase(1000)
         // ≈ 2000 — a gross underestimate, which is the point.
-        let trace = RumenTrace {
-            jobs: vec![rumen_job(0, 0, &[(0, 1000)], &[(500, 4800, 5000, 6000)])],
-        };
+        let trace =
+            RumenTrace { jobs: vec![rumen_job(0, 0, &[(0, 1000)], &[(500, 4800, 5000, 6000)])] };
         let report = MumakSim::new(config(2)).run(&trace);
         let done = report.jobs[0].completion.as_millis();
         assert!(done < 2600, "Mumak must underestimate: {done}");
@@ -416,9 +402,7 @@ mod tests {
 
     #[test]
     fn heartbeat_granularity_dominates_event_count() {
-        let trace = RumenTrace {
-            jobs: vec![rumen_job(0, 0, &[(0, 60_000)], &[])],
-        };
+        let trace = RumenTrace { jobs: vec![rumen_job(0, 0, &[(0, 60_000)], &[])] };
         let report = MumakSim::new(MumakConfig::default()).run(&trace);
         // 64 trackers * (60s / 0.6s) = ~6400 heartbeats for a 1-task job
         assert!(
@@ -438,9 +422,7 @@ mod tests {
     fn slowstart_gates_reduce_launch() {
         // 10 maps, threshold 5%=1: reduce may launch after the first map
         let maps: Vec<(u64, u64)> = (0..10).map(|i| (0, 1000 + i * 10)).collect();
-        let trace = RumenTrace {
-            jobs: vec![rumen_job(0, 0, &maps, &[(0, 0, 0, 500)])],
-        };
+        let trace = RumenTrace { jobs: vec![rumen_job(0, 0, &maps, &[(0, 0, 0, 500)])] };
         let report = MumakSim::new(config(4)).run(&trace);
         // reduce phase = 500; all maps done ≈ 3 waves on 4 trackers
         let j = &report.jobs[0];
@@ -449,9 +431,7 @@ mod tests {
 
     #[test]
     fn count_tasks_helper() {
-        let trace = RumenTrace {
-            jobs: vec![rumen_job(0, 0, &[(0, 1), (0, 2)], &[(0, 1, 1, 2)])],
-        };
+        let trace = RumenTrace { jobs: vec![rumen_job(0, 0, &[(0, 1), (0, 2)], &[(0, 1, 1, 2)])] };
         assert_eq!(count_tasks(&trace, TaskKind::Map), 2);
         assert_eq!(count_tasks(&trace, TaskKind::Reduce), 1);
     }

@@ -39,10 +39,7 @@ impl CapacityPolicy {
     /// Panics if `queues` is empty or any weight is not positive.
     pub fn new(queues: Vec<QueueConfig>) -> Self {
         assert!(!queues.is_empty(), "capacity policy needs at least one queue");
-        assert!(
-            queues.iter().all(|q| q.weight > 0.0),
-            "queue weights must be positive"
-        );
+        assert!(queues.iter().all(|q| q.weight > 0.0), "queue weights must be positive");
         CapacityPolicy { queues, assignment: HashMap::new() }
     }
 

@@ -42,21 +42,20 @@ impl MaxEdfPolicy {
 
 /// Shared EDF preemption rule: kill one map of the latest-deadline running
 /// job, provided a strictly more urgent job is waiting for a map slot.
-fn edf_map_preemptions(jobq: &JobQueue) -> Vec<JobId> {
-    let Some(urgent) = jobq
-        .entries()
-        .iter()
-        .filter(|e| e.has_schedulable_map())
-        .min_by_key(|e| e.edf_key())
+fn edf_map_preemptions(jobq: &JobQueue, victims: &mut Vec<JobId>) {
+    let Some(urgent) =
+        jobq.entries().iter().filter(|e| e.has_schedulable_map()).min_by_key(|e| e.edf_key())
     else {
-        return Vec::new();
+        return;
     };
-    jobq.entries()
+    if let Some(victim) = jobq
+        .entries()
         .iter()
         .filter(|e| e.id != urgent.id && e.running_maps > 0 && e.edf_key() > urgent.edf_key())
         .max_by_key(|e| e.edf_key())
-        .map(|victim| vec![victim.id])
-        .unwrap_or_default()
+    {
+        victims.push(victim.id);
+    }
 }
 
 impl SchedulerPolicy for MaxEdfPolicy {
@@ -80,11 +79,9 @@ impl SchedulerPolicy for MaxEdfPolicy {
             .map(|e| e.id)
     }
 
-    fn map_preemptions(&mut self, jobq: &JobQueue) -> Vec<JobId> {
+    fn map_preemptions(&mut self, jobq: &JobQueue, victims: &mut Vec<JobId>) {
         if self.preemptive {
-            edf_map_preemptions(jobq)
-        } else {
-            Vec::new()
+            edf_map_preemptions(jobq, victims);
         }
     }
 }
@@ -165,10 +162,7 @@ impl SchedulerPolicy for MinEdfPolicy {
             .iter()
             .filter(|e| {
                 e.has_schedulable_map()
-                    && self
-                        .wanted
-                        .get(&e.id)
-                        .is_none_or(|w| e.running_maps < w.maps)
+                    && self.wanted.get(&e.id).is_none_or(|w| e.running_maps < w.maps)
             })
             .min_by_key(|e| e.edf_key())
             .map(|e| e.id)
@@ -179,18 +173,15 @@ impl SchedulerPolicy for MinEdfPolicy {
             .iter()
             .filter(|e| {
                 e.has_schedulable_reduce()
-                    && self
-                        .wanted
-                        .get(&e.id)
-                        .is_none_or(|w| e.running_reduces < w.reduces)
+                    && self.wanted.get(&e.id).is_none_or(|w| e.running_reduces < w.reduces)
             })
             .min_by_key(|e| e.edf_key())
             .map(|e| e.id)
     }
 
-    fn map_preemptions(&mut self, jobq: &JobQueue) -> Vec<JobId> {
+    fn map_preemptions(&mut self, jobq: &JobQueue, victims: &mut Vec<JobId>) {
         if !self.preemptive {
-            return Vec::new();
+            return;
         }
         // only preempt on behalf of a job still under its wanted cap
         let urgent_exists = jobq.entries().iter().any(|e| {
@@ -198,9 +189,7 @@ impl SchedulerPolicy for MinEdfPolicy {
                 && self.wanted.get(&e.id).is_none_or(|w| e.running_maps < w.maps)
         });
         if urgent_exists {
-            edf_map_preemptions(jobq)
-        } else {
-            Vec::new()
+            edf_map_preemptions(jobq, victims);
         }
     }
 }
@@ -249,8 +238,7 @@ mod tests {
     #[test]
     fn minedf_computes_wanted_on_arrival() {
         let mut p = MinEdfPolicy::new();
-        let t = JobTemplate::new("j", vec![1000; 16], vec![10], vec![10; 8], vec![10; 8])
-            .unwrap();
+        let t = JobTemplate::new("j", vec![1000; 16], vec![10], vec![10; 8], vec![10; 8]).unwrap();
         // very relaxed deadline: minimal slots
         p.on_job_arrival(JobId(0), &t, Some(1_000_000), (64, 64));
         let w = p.wanted(JobId(0)).unwrap();

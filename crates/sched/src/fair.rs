@@ -62,12 +62,9 @@ mod tests {
         let mut trace = WorkloadTrace::new("t", "test");
         trace.push(map_job(4, 1000, 0));
         trace.push(map_job(4, 1000, 0));
-        let report = SimulatorEngine::new(
-            EngineConfig::new(4, 4),
-            &trace,
-            Box::new(FairSharePolicy::new()),
-        )
-        .run();
+        let report =
+            SimulatorEngine::new(EngineConfig::new(4, 4), &trace, Box::new(FairSharePolicy::new()))
+                .run();
         assert_eq!(report.jobs[0].completion, report.jobs[1].completion);
         assert_eq!(report.jobs[0].completion, SimTime::from_millis(2000));
     }
@@ -76,12 +73,9 @@ mod tests {
     fn single_job_gets_everything() {
         let mut trace = WorkloadTrace::new("t", "test");
         trace.push(map_job(4, 1000, 0));
-        let report = SimulatorEngine::new(
-            EngineConfig::new(4, 4),
-            &trace,
-            Box::new(FairSharePolicy::new()),
-        )
-        .run();
+        let report =
+            SimulatorEngine::new(EngineConfig::new(4, 4), &trace, Box::new(FairSharePolicy::new()))
+                .run();
         assert_eq!(report.jobs[0].completion, SimTime::from_millis(1000));
     }
 
@@ -92,12 +86,9 @@ mod tests {
         let mut trace = WorkloadTrace::new("t", "test");
         trace.push(map_job(6, 1000, 0));
         trace.push(map_job(2, 1000, 500));
-        let report = SimulatorEngine::new(
-            EngineConfig::new(2, 2),
-            &trace,
-            Box::new(FairSharePolicy::new()),
-        )
-        .run();
+        let report =
+            SimulatorEngine::new(EngineConfig::new(2, 2), &trace, Box::new(FairSharePolicy::new()))
+                .run();
         // job 1's two tasks run at t=1000 and t=2000 at the latest
         assert!(report.jobs[1].completion <= SimTime::from_millis(3000));
         // job 0 still finishes (no starvation)

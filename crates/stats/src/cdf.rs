@@ -60,11 +60,7 @@ impl EmpiricalCdf {
     /// Figure 3.
     pub fn points(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len();
-        self.sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
-            .collect()
+        self.sorted.iter().enumerate().map(|(i, &x)| (x, (i + 1) as f64 / n as f64)).collect()
     }
 
     /// Maximum vertical distance to another empirical CDF (the two-sample

@@ -7,7 +7,7 @@
 //! the open trait.
 
 use crate::rng::SeededRng;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// A sampleable, real-valued distribution.
 pub trait Distribution {
@@ -29,7 +29,7 @@ pub trait Distribution {
 /// All parameters are in the sampled unit (the trace generators sample
 /// milliseconds directly, matching §V-C where `LN(9.9511, 1.6764)` is fitted
 /// to map durations in milliseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Dist {
     /// Point mass at `value`.
     Constant {
@@ -84,6 +84,59 @@ pub enum Dist {
         alpha: f64,
     },
 }
+
+// Externally tagged struct-variant representation, matching serde's enum
+// default: `{"LogNormal": {"mu": 9.9511, "sigma": 1.6764}}`.
+macro_rules! dist_serde {
+    ($($variant:ident { $($field:ident),+ }),+ $(,)?) => {
+        impl Serialize for Dist {
+            fn to_value(&self) -> Value {
+                match *self {
+                    $(Dist::$variant { $($field),+ } => Value::Object(vec![(
+                        stringify!($variant).to_owned(),
+                        Value::Object(vec![
+                            $((stringify!($field).to_owned(), $field.to_value()),)+
+                        ]),
+                    )]),)+
+                }
+            }
+        }
+
+        impl Deserialize for Dist {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let Value::Object(pairs) = v else {
+                    return Err(DeError::new("expected object for Dist"));
+                };
+                let [(tag, inner)] = pairs.as_slice() else {
+                    return Err(DeError::new("expected single-key object for Dist"));
+                };
+                match tag.as_str() {
+                    $(stringify!($variant) => Ok(Dist::$variant {
+                        $($field: match inner.get(stringify!($field)) {
+                            Some(fv) => f64::from_value(fv)?,
+                            None => return Err(DeError::new(format!(
+                                "Dist::{} missing field `{}`",
+                                stringify!($variant), stringify!($field)
+                            ))),
+                        },)+
+                    }),)+
+                    other => Err(DeError::new(format!("unknown Dist variant `{other}`"))),
+                }
+            }
+        }
+    };
+}
+
+dist_serde!(
+    Constant { value },
+    Uniform { lo, hi },
+    Exponential { mean },
+    Normal { mu, sigma },
+    LogNormal { mu, sigma },
+    Weibull { scale, shape },
+    Gamma { shape, scale },
+    Pareto { scale, alpha },
+);
 
 impl Dist {
     /// The LogNormal fitted to Facebook **map** task durations in §V-C of
@@ -226,8 +279,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

@@ -228,11 +228,7 @@ mod tests {
         let s = Dist::FACEBOOK_MAP_MS.sample_n(&mut rng, 5_000);
         let reports = fit_best(&s);
         assert!(!reports.is_empty());
-        assert!(
-            matches!(reports[0].dist, Dist::LogNormal { .. }),
-            "best fit was {:?}",
-            reports[0]
-        );
+        assert!(matches!(reports[0].dist, Dist::LogNormal { .. }), "best fit was {:?}", reports[0]);
         assert!(reports[0].ks < 0.05);
         // reports sorted ascending
         for w in reports.windows(2) {

@@ -29,11 +29,7 @@ impl Default for KlOptions {
 
 /// Asymmetric KL divergence `D(P||Q)` between two histograms (natural log).
 fn kl_histograms(p: &[f64], q: &[f64]) -> f64 {
-    p.iter()
-        .zip(q)
-        .filter(|(&pi, _)| pi > 0.0)
-        .map(|(&pi, &qi)| pi * (pi / qi).ln())
-        .sum()
+    p.iter().zip(q).filter(|(&pi, _)| pi > 0.0).map(|(&pi, &qi)| pi * (pi / qi).ln()).sum()
 }
 
 /// Builds a smoothed probability histogram of `samples` over `[lo, hi]`.
@@ -72,16 +68,8 @@ pub fn symmetric_kl(sample_p: &[f64], sample_q: &[f64], opts: KlOptions) -> f64 
         (true, false) | (false, true) => return f64::INFINITY,
         _ => {}
     }
-    let lo = sample_p
-        .iter()
-        .chain(sample_q)
-        .copied()
-        .fold(f64::INFINITY, f64::min);
-    let hi = sample_p
-        .iter()
-        .chain(sample_q)
-        .copied()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = sample_p.iter().chain(sample_q).copied().fold(f64::INFINITY, f64::min);
+    let hi = sample_p.iter().chain(sample_q).copied().fold(f64::NEG_INFINITY, f64::max);
     if lo == hi {
         // all samples identical in both sets => zero divergence
         return 0.0;

@@ -5,21 +5,31 @@
 //! [`SeededRng`] so that whole experiments are reproducible from a single
 //! `u64` seed. Sub-streams are derived with [`SeededRng::fork`] so that
 //! adding draws to one component never perturbs another.
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 as its authors recommend — no external RNG
+//! crate is required, and the stream for a given seed is stable across
+//! platforms and releases of this workspace.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A seeded, forkable RNG wrapping [`rand::rngs::StdRng`].
+/// A seeded, forkable xoshiro256++ generator.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
 }
 
 impl SeededRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        SeededRng { inner: StdRng::seed_from_u64(seed), seed }
+        // Expand the 64-bit seed into 256 bits of state via SplitMix64;
+        // this guarantees a nonzero state for every seed.
+        let mut s = seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *slot = splitmix64(s);
+        }
+        SeededRng { state, seed }
     }
 
     /// The seed this generator was created with.
@@ -37,9 +47,37 @@ impl SeededRng {
         SeededRng::new(mixed)
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// The next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of a 64-bit step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills a byte slice with random data.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` (53-bit resolution).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`. `lo == hi` returns `lo`.
@@ -56,20 +94,36 @@ impl SeededRng {
         if lo >= hi {
             lo
         } else {
-            self.inner.gen_range(lo..=hi)
+            let span = hi - lo;
+            if span == u64::MAX {
+                return self.next_u64();
+            }
+            lo + self.below(span + 1)
         }
     }
 
     /// Uniform index in `[0, n)`; panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() needs a non-empty range");
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
+    }
+
+    /// Debiased uniform draw in `[0, n)` via rejection sampling.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - u64::MAX.wrapping_rem(n);
+        loop {
+            let v = self.next_u64();
+            if v < zone || zone == 0 {
+                return v % n;
+            }
+        }
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
@@ -90,22 +144,7 @@ impl SeededRng {
     }
 }
 
-impl RngCore for SeededRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
-/// SplitMix64 finalizer, used for seed mixing.
+/// SplitMix64 finalizer, used for seed expansion and mixing.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -199,5 +238,13 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely to be identity
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SeededRng::new(17);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

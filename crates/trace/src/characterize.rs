@@ -100,11 +100,7 @@ pub fn characterize(trace: &WorkloadTrace) -> WorkloadProfile {
         map_p50: percentile(&map_durs, 50.0).unwrap_or(0.0),
         map_p95: percentile(&map_durs, 95.0).unwrap_or(0.0),
         // a fit over a handful of samples is statistically meaningless
-        map_fit: if map_durs.len() >= 10 {
-            fit_best(&map_durs).into_iter().next()
-        } else {
-            None
-        },
+        map_fit: if map_durs.len() >= 10 { fit_best(&map_durs).into_iter().next() } else { None },
         mean_interarrival_ms,
     }
 }
@@ -116,11 +112,7 @@ impl WorkloadProfile {
         let mut out = String::new();
         let _ = writeln!(out, "jobs:            {}", self.jobs);
         let _ = writeln!(out, "tasks:           {}", self.tasks);
-        let _ = writeln!(
-            out,
-            "serial work:     {:.1} hours",
-            self.serial_work_ms as f64 / 3.6e6
-        );
+        let _ = writeln!(out, "serial work:     {:.1} hours", self.serial_work_ms as f64 / 3.6e6);
         if let Some(ia) = self.mean_interarrival_ms {
             let _ = writeln!(out, "mean interarrival: {:.1} s", ia / 1000.0);
         }
@@ -147,17 +139,9 @@ impl WorkloadProfile {
         let _ = writeln!(out, "{}", phase("map", &self.map_durations));
         let _ = writeln!(out, "{}", phase("shuffle", &self.shuffle_durations));
         let _ = writeln!(out, "{}", phase("reduce", &self.reduce_durations));
-        let _ = writeln!(
-            out,
-            "  map p50 = {:.1}ms, p95 = {:.1}ms",
-            self.map_p50, self.map_p95
-        );
+        let _ = writeln!(out, "  map p50 = {:.1}ms, p95 = {:.1}ms", self.map_p50, self.map_p95);
         if let Some(fit) = &self.map_fit {
-            let _ = writeln!(
-                out,
-                "  best map-duration fit: {:?} (K-S = {:.4})",
-                fit.dist, fit.ks
-            );
+            let _ = writeln!(out, "  best map-duration fit: {:?} (K-S = {:.4})", fit.dist, fit.ks);
         }
         out
     }
@@ -176,12 +160,7 @@ mod tests {
         assert_eq!(p.jobs, 300);
         assert!(p.tasks > 300);
         // the size mix must be dominated by tiny jobs (the Table 3 shape)
-        let tiny: usize = p
-            .size_mix
-            .iter()
-            .filter(|b| b.max_maps <= 9)
-            .map(|b| b.jobs)
-            .sum();
+        let tiny: usize = p.size_mix.iter().filter(|b| b.max_maps <= 9).map(|b| b.jobs).sum();
         assert!(tiny as f64 > 0.5 * p.jobs as f64, "tiny={tiny}");
         // best fit should be the generating LogNormal
         match p.map_fit.expect("fit exists").dist {

@@ -88,10 +88,7 @@ pub fn profile_history(log_text: &str) -> Result<Vec<ProfiledJob>, ProfileError>
     }
     for line in &lines {
         if let HistoryLine::Task(t) = line {
-            jobs.get_mut(&t.job)
-                .ok_or(ProfileError::OrphanTask { job: t.job })?
-                .1
-                .push(*t);
+            jobs.get_mut(&t.job).ok_or(ProfileError::OrphanTask { job: t.job })?.1.push(*t);
         }
     }
 
@@ -162,10 +159,7 @@ pub fn trace_from_history(
             source: "mrprofiler".into(),
             seed: None,
         },
-        jobs: jobs
-            .into_iter()
-            .map(|p| JobSpec::new(p.template, p.submit))
-            .collect(),
+        jobs: jobs.into_iter().map(|p| JobSpec::new(p.template, p.submit)).collect(),
     })
 }
 
@@ -245,17 +239,14 @@ TASK job=1 kind=map idx=0 start=100 end=300 node=0
 TASK job=0 kind=map idx=0 start=0 end=200 node=0
 ";
         let jobs = profile_history(log).unwrap();
-        assert_eq!(jobs[0].template.name, "a");
-        assert_eq!(jobs[1].template.name, "b");
+        assert_eq!(&*jobs[0].template.name, "a");
+        assert_eq!(&*jobs[1].template.name, "b");
     }
 
     #[test]
     fn orphan_task_rejected() {
         let log = "TASK job=9 kind=map idx=0 start=0 end=1 node=0\n";
-        assert!(matches!(
-            profile_history(log),
-            Err(ProfileError::OrphanTask { job: 9 })
-        ));
+        assert!(matches!(profile_history(log), Err(ProfileError::OrphanTask { job: 9 })));
     }
 
     #[test]

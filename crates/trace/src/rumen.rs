@@ -8,11 +8,11 @@
 //! (`simmr-mumak`) replays [`RumenTrace`]s — crucially *without* using the
 //! shuffle boundary, just like the real Mumak.
 
-use serde::{Deserialize, Serialize};
+use serde::impl_serde_struct;
 use simmr_types::{parse_history, HistoryLine, HistoryParseError, SimTime, TaskKind};
 
 /// One task attempt in a Rumen trace.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RumenTask {
     /// Map or reduce.
     pub kind: TaskKind,
@@ -29,6 +29,8 @@ pub struct RumenTask {
     /// Executing node.
     pub node: u32,
 }
+
+impl_serde_struct!(RumenTask { kind, idx, start, shuffle_end, sort_end, end, node });
 
 impl RumenTask {
     /// Total attempt runtime.
@@ -47,7 +49,7 @@ impl RumenTask {
 }
 
 /// One job in a Rumen trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RumenJob {
     /// Job sequence number.
     pub id: u32,
@@ -60,6 +62,8 @@ pub struct RumenJob {
     /// Every task attempt of the job.
     pub tasks: Vec<RumenTask>,
 }
+
+impl_serde_struct!(RumenJob { id, name, submit, finish, tasks });
 
 impl RumenJob {
     /// Map attempts in start order.
@@ -80,11 +84,13 @@ impl RumenJob {
 }
 
 /// A full Rumen trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RumenTrace {
     /// Jobs sorted by id.
     pub jobs: Vec<RumenJob>,
 }
+
+impl_serde_struct!(RumenTrace { jobs });
 
 impl RumenTrace {
     /// Extracts a Rumen trace from a history log.
@@ -170,7 +176,7 @@ impl RumenTrace {
                 }
                 RumenJob {
                     id: i as u32,
-                    name: t.name.clone(),
+                    name: t.name.to_string(),
                     submit: spec.arrival,
                     finish: tasks.iter().map(|t| t.end).max().unwrap_or(spec.arrival),
                     tasks,

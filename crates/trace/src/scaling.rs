@@ -25,14 +25,10 @@ use simmr_types::{DurationMs, JobTemplate};
 ///
 /// Panics if `factor` is not finite and positive.
 pub fn scale_template(template: &JobTemplate, factor: f64) -> JobTemplate {
-    assert!(
-        factor.is_finite() && factor > 0.0,
-        "scale factor must be positive, got {factor}"
-    );
+    assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive, got {factor}");
     let scaled_maps = ((template.num_maps as f64 * factor).ceil() as usize).max(1);
-    let map_durations: Vec<DurationMs> = (0..scaled_maps)
-        .map(|i| template.map_duration(i))
-        .collect();
+    let map_durations: Vec<DurationMs> =
+        (0..scaled_maps).map(|i| template.map_duration(i)).collect();
     let scale = |d: &DurationMs| ((*d as f64) * factor).round() as DurationMs;
     JobTemplate::new(
         format!("{}-x{:.2}", template.name, factor),
@@ -50,14 +46,8 @@ mod tests {
     use proptest::prelude::*;
 
     fn template() -> JobTemplate {
-        JobTemplate::new(
-            "small",
-            vec![100, 200, 300, 400],
-            vec![50],
-            vec![80, 120],
-            vec![40, 60],
-        )
-        .unwrap()
+        JobTemplate::new("small", vec![100, 200, 300, 400], vec![50], vec![80, 120], vec![40, 60])
+            .unwrap()
     }
 
     #[test]
@@ -65,7 +55,7 @@ mod tests {
         let t = scale_template(&template(), 2.0);
         assert_eq!(t.num_maps, 8);
         assert_eq!(t.num_reduces, 2); // reduce count unchanged
-        // map durations resampled cyclically
+                                      // map durations resampled cyclically
         assert_eq!(&t.map_durations[..4], &[100, 200, 300, 400]);
         assert_eq!(&t.map_durations[4..], &[100, 200, 300, 400]);
         assert_eq!(t.typical_shuffle_durations, vec![160, 240]);

@@ -265,9 +265,6 @@ mod tests {
         let cdf = EmpiricalCdf::new(&all);
         let median = cdf.quantile(0.5).unwrap();
         let expected = 12.375f64.exp();
-        assert!(
-            (median / expected).ln().abs() < 0.35,
-            "median {median} vs expected {expected}"
-        );
+        assert!((median / expected).ln().abs() < 0.35, "median {median} vs expected {expected}");
     }
 }

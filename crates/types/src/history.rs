@@ -20,12 +20,12 @@
 
 use crate::ids::TaskKind;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use serde::{impl_serde_struct, DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::str::FromStr;
 
 /// Job-level history record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobHistoryRecord {
     /// Job sequence number within the log.
     pub id: u32,
@@ -43,8 +43,10 @@ pub struct JobHistoryRecord {
     pub reduces: usize,
 }
 
+impl_serde_struct!(JobHistoryRecord { id, name, submit, launch, finish, maps, reduces });
+
 /// Task-attempt history record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskHistoryRecord {
     /// Owning job's sequence number.
     pub job: u32,
@@ -64,13 +66,40 @@ pub struct TaskHistoryRecord {
     pub node: u32,
 }
 
+impl_serde_struct!(TaskHistoryRecord { job, kind, idx, start, shuffle_end, sort_end, end, node });
+
 /// One parsed line of a history log.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HistoryLine {
     /// A `JOB` record.
     Job(JobHistoryRecord),
     /// A `TASK` record.
     Task(TaskHistoryRecord),
+}
+
+// Externally tagged representation, matching serde's enum default:
+// `{"Job": {...}}` / `{"Task": {...}}`.
+impl Serialize for HistoryLine {
+    fn to_value(&self) -> Value {
+        let (tag, inner) = match self {
+            HistoryLine::Job(j) => ("Job", j.to_value()),
+            HistoryLine::Task(t) => ("Task", t.to_value()),
+        };
+        Value::Object(vec![(tag.to_owned(), inner)])
+    }
+}
+
+impl Deserialize for HistoryLine {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) if pairs.len() == 1 => match pairs[0].0.as_str() {
+                "Job" => JobHistoryRecord::from_value(&pairs[0].1).map(HistoryLine::Job),
+                "Task" => TaskHistoryRecord::from_value(&pairs[0].1).map(HistoryLine::Task),
+                other => Err(DeError::new(format!("unknown HistoryLine variant `{other}`"))),
+            },
+            _ => Err(DeError::new("expected single-key object for HistoryLine")),
+        }
+    }
 }
 
 /// Errors raised while parsing a history log line.
@@ -311,9 +340,8 @@ mod tests {
 
     #[test]
     fn bad_number_rejected() {
-        let err = "TASK job=0 kind=map idx=zz start=0 end=1 node=0"
-            .parse::<HistoryLine>()
-            .unwrap_err();
+        let err =
+            "TASK job=0 kind=map idx=zz start=0 end=1 node=0".parse::<HistoryLine>().unwrap_err();
         assert!(err.contains("idx"));
     }
 }

@@ -1,6 +1,6 @@
 //! Identifiers for jobs, tasks and slots.
 
-use serde::{Deserialize, Serialize};
+use serde::{impl_serde_struct, impl_serde_transparent, impl_serde_unit_enum};
 use std::fmt;
 
 /// A job's index within a workload trace.
@@ -8,11 +8,10 @@ use std::fmt;
 /// Job ids are dense (0..n) within one [`crate::WorkloadTrace`]; schedulers
 /// receive them through the narrow `choose_next_*` interface described in
 /// §III-B of the paper.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct JobId(pub u32);
+
+impl_serde_transparent!(JobId(u32));
 
 impl JobId {
     /// The raw index, usable for `Vec` lookup.
@@ -28,13 +27,15 @@ impl fmt::Display for JobId {
 }
 
 /// The two stages of a MapReduce job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TaskKind {
     /// A map task.
     Map,
     /// A reduce task (shuffle + sort + reduce phases; see §II of the paper).
     Reduce,
 }
+
+impl_serde_unit_enum!(TaskKind { Map, Reduce });
 
 impl TaskKind {
     /// Lowercase name used in the job-history log format.
@@ -53,7 +54,7 @@ impl fmt::Display for TaskKind {
 }
 
 /// A task identifier: `(job, kind, index-within-stage)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId {
     /// Owning job.
     pub job: JobId,
@@ -62,6 +63,8 @@ pub struct TaskId {
     /// Dense index within the job's map (or reduce) stage.
     pub index: u32,
 }
+
+impl_serde_struct!(TaskId { job, kind, index });
 
 impl TaskId {
     /// Convenience constructor for a map task id.
@@ -83,11 +86,10 @@ impl fmt::Display for TaskId {
 
 /// A slot index within the simulated cluster (map slots and reduce slots are
 /// numbered independently).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SlotId(pub u32);
+
+impl_serde_transparent!(SlotId(u32));
 
 impl SlotId {
     /// The raw index, usable for `Vec` lookup.

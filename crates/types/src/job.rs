@@ -7,8 +7,9 @@
 //! and an optional deadline, forming one entry of a workload trace.
 
 use crate::time::{DurationMs, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::impl_serde_struct;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised when constructing a malformed [`JobTemplate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,7 +47,7 @@ impl std::error::Error for TemplateError {}
 
 /// Average/maximum summary of one execution phase, used by the ARIA bounds
 /// model (`simmr-model`) to predict completion times.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseStats {
     /// Mean task duration in milliseconds.
     pub avg: f64,
@@ -71,16 +72,22 @@ impl PhaseStats {
     }
 }
 
+impl_serde_struct!(PhaseStats { avg, max, count });
+
 /// The paper's *job template*: everything needed to replay one job.
 ///
 /// Durations are in simulated milliseconds. `first_shuffle_durations` holds
 /// the **non-overlapping** portion of the first-wave shuffle (the part that
 /// extends past the end of the map stage — see §II/§III-A), and
 /// `typical_shuffle_durations` holds full shuffle durations for later waves.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobTemplate {
     /// Human-readable application name (e.g. `"WordCount-32GB"`).
-    pub name: String,
+    ///
+    /// Interned as `Arc<str>` so that cloning a template — and stamping
+    /// the name onto every per-job result the engine emits — is a
+    /// reference-count bump rather than a heap copy.
+    pub name: Arc<str>,
     /// Number of map tasks `N_M^J`.
     pub num_maps: usize,
     /// Number of reduce tasks `N_R^J`.
@@ -95,6 +102,16 @@ pub struct JobTemplate {
     pub reduce_durations: Vec<DurationMs>,
 }
 
+impl_serde_struct!(JobTemplate {
+    name,
+    num_maps,
+    num_reduces,
+    map_durations,
+    first_shuffle_durations,
+    typical_shuffle_durations,
+    reduce_durations,
+});
+
 impl JobTemplate {
     /// Validates and builds a template.
     ///
@@ -104,7 +121,7 @@ impl JobTemplate {
     /// * if `num_reduces > 0`, at least one first-shuffle and one
     ///   typical-shuffle sample (the engine indexes them cyclically).
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Arc<str>>,
         map_durations: Vec<DurationMs>,
         first_shuffle_durations: Vec<DurationMs>,
         typical_shuffle_durations: Vec<DurationMs>,
@@ -215,7 +232,7 @@ impl JobTemplate {
 }
 
 /// One job of a workload trace: a template plus arrival time and deadline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// The replayable profile.
     pub template: JobTemplate,
@@ -227,6 +244,8 @@ pub struct JobSpec {
     /// field; `None` means "no deadline" and sorts last.
     pub deadline: Option<SimTime>,
 }
+
+impl_serde_struct!(JobSpec { template, arrival, deadline });
 
 impl JobSpec {
     /// A job arriving at `arrival` with no deadline.
@@ -251,14 +270,7 @@ mod tests {
     use super::*;
 
     fn simple_template() -> JobTemplate {
-        JobTemplate::new(
-            "test",
-            vec![10, 20, 30],
-            vec![5],
-            vec![7, 9],
-            vec![4, 6],
-        )
-        .unwrap()
+        JobTemplate::new("test", vec![10, 20, 30], vec![5], vec![7, 9], vec![4, 6]).unwrap()
     }
 
     #[test]

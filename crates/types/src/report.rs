@@ -3,11 +3,12 @@
 
 use crate::ids::JobId;
 use crate::time::{DurationMs, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{impl_serde_struct, impl_serde_unit_enum};
+use std::sync::Arc;
 
 /// Which execution phase a timeline entry covers. Reduce tasks are split
 //  into shuffle and reduce portions, exactly like Figures 1-2 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimelinePhase {
     /// Map task execution.
     Map,
@@ -16,6 +17,8 @@ pub enum TimelinePhase {
     /// Reduce-function portion of a reduce task.
     Reduce,
 }
+
+impl_serde_unit_enum!(TimelinePhase { Map, Shuffle, Reduce });
 
 impl TimelinePhase {
     /// Lowercase label used in CSV output.
@@ -29,7 +32,7 @@ impl TimelinePhase {
 }
 
 /// One horizontal bar in a Figure-1-style task/slot timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimelineEntry {
     /// Owning job.
     pub job: JobId,
@@ -43,13 +46,16 @@ pub struct TimelineEntry {
     pub end: SimTime,
 }
 
+impl_serde_struct!(TimelineEntry { job, phase, slot, start, end });
+
 /// Completion record for one simulated job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
     /// The job.
     pub job: JobId,
-    /// Application name from the template.
-    pub name: String,
+    /// Application name, shared with the job's template (`Arc<str>`
+    /// interning: emitting a result is a refcount bump, not a copy).
+    pub name: Arc<str>,
     /// Submission time.
     pub arrival: SimTime,
     /// When the first map task was placed on a slot.
@@ -65,6 +71,18 @@ pub struct JobResult {
     /// Number of reduce tasks executed.
     pub num_reduces: usize,
 }
+
+impl_serde_struct!(JobResult {
+    job,
+    name,
+    arrival,
+    first_map_start,
+    maps_finished,
+    completion,
+    deadline,
+    num_maps,
+    num_reduces,
+});
 
 impl JobResult {
     /// Makespan of the job: completion − arrival.
@@ -111,7 +129,7 @@ impl JobResult {
 }
 
 /// Full output of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimulationReport {
     /// Per-job completion records, indexed by job id.
     pub jobs: Vec<JobResult>,
@@ -124,6 +142,8 @@ pub struct SimulationReport {
     /// enabled (it is off by default — recording costs memory).
     pub timeline: Vec<TimelineEntry>,
 }
+
+impl_serde_struct!(SimulationReport { jobs, makespan, events_processed, timeline });
 
 impl SimulationReport {
     /// Sum of relative deadline overruns across all jobs — the utility
@@ -198,8 +218,8 @@ mod tests {
     fn report_aggregates() {
         let report = SimulationReport {
             jobs: vec![
-                result(0, 2000, Some(1000)),   // overrun 1000/1000 = 1.0
-                result(0, 500, Some(1000)),    // met
+                result(0, 2000, Some(1000)),    // overrun 1000/1000 = 1.0
+                result(0, 500, Some(1000)),     // met
                 result(1000, 4000, Some(2000)), // overrun 2000/1000 = 2.0
             ],
             makespan: SimTime::from_millis(4000),

@@ -5,7 +5,7 @@
 //! event ordering exact and runs bit-for-bit reproducible, which the
 //! property-based tests rely on.
 
-use serde::{Deserialize, Serialize};
+use serde::impl_serde_transparent;
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -17,11 +17,10 @@ pub type DurationMs = u64;
 /// `SimTime` is a transparent newtype over `u64`; arithmetic with
 /// [`DurationMs`] is provided via `+`/`-` operators and saturates on
 /// subtraction (the simulated clock never goes negative).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
+
+impl_serde_transparent!(SimTime(u64));
 
 impl SimTime {
     /// The simulation epoch (t = 0).

@@ -2,10 +2,10 @@
 
 use crate::job::JobSpec;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use serde::impl_serde_struct;
 
 /// Metadata describing where a trace came from.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct TraceMeta {
     /// Free-form description (cluster name, generator parameters, ...).
     pub description: String,
@@ -16,11 +16,13 @@ pub struct TraceMeta {
     pub seed: Option<u64>,
 }
 
+impl_serde_struct!(TraceMeta { description, source, seed });
+
 /// A replayable MapReduce workload: an ordered set of job specs.
 ///
 /// This is the unit the Simulator Engine consumes and the Trace Generator
 /// produces (both MRProfiler-extracted and synthetic traces use this type).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct WorkloadTrace {
     /// Trace provenance.
     pub meta: TraceMeta,
@@ -28,15 +30,13 @@ pub struct WorkloadTrace {
     pub jobs: Vec<JobSpec>,
 }
 
+impl_serde_struct!(WorkloadTrace { meta, jobs });
+
 impl WorkloadTrace {
     /// An empty trace with the given description.
     pub fn new(description: impl Into<String>, source: impl Into<String>) -> Self {
         WorkloadTrace {
-            meta: TraceMeta {
-                description: description.into(),
-                source: source.into(),
-                seed: None,
-            },
+            meta: TraceMeta { description: description.into(), source: source.into(), seed: None },
             jobs: Vec::new(),
         }
     }
@@ -68,10 +68,7 @@ impl WorkloadTrace {
 
     /// Total number of tasks (map + reduce) across all jobs.
     pub fn total_tasks(&self) -> usize {
-        self.jobs
-            .iter()
-            .map(|j| j.template.num_maps + j.template.num_reduces)
-            .sum()
+        self.jobs.iter().map(|j| j.template.num_maps + j.template.num_reduces).sum()
     }
 
     /// Sum of serial work across all jobs, in milliseconds. This is the

@@ -24,9 +24,7 @@ fn profile_app(kind: AppKind, maps: usize, reduces: usize, seed: u64) -> simmr_t
     let mut sim = ClusterSim::new(ClusterConfig::tiny(SLOTS), ClusterPolicy::Fifo, seed);
     sim.submit(JobModel::with_task_counts(kind, maps, reduces), SimTime::ZERO, None);
     let run = sim.run();
-    profile_history(&run.history).expect("testbed history profiles")[0]
-        .template
-        .clone()
+    profile_history(&run.history).expect("testbed history profiles")[0].template.clone()
 }
 
 /// Standalone (all-slots) runtime of a template — the deadline baseline.
@@ -45,10 +43,8 @@ fn standalone(template: &simmr_types::JobTemplate) -> u64 {
 
 fn main() {
     println!("profiling WordCount and Sort on the testbed simulator ...");
-    let templates = [
-        profile_app(AppKind::WordCount, 48, 16, 11),
-        profile_app(AppKind::Sort, 32, 16, 12),
-    ];
+    let templates =
+        [profile_app(AppKind::WordCount, 48, 16, 11), profile_app(AppKind::Sort, 32, 16, 12)];
 
     // Build a bursty workload: 10 jobs, exponential-ish arrivals, deadlines
     // uniform in [T_J, 2 T_J] after arrival (deadline factor 2).
@@ -63,10 +59,7 @@ fn main() {
         clock += rng.uniform_u64(5_000, 60_000);
     }
 
-    println!(
-        "\n{:<8} {:>14} {:>10} {:>12}",
-        "policy", "rel_exceeded", "missed", "makespan_s"
-    );
+    println!("\n{:<8} {:>14} {:>10} {:>12}", "policy", "rel_exceeded", "missed", "makespan_s");
     for name in ["fifo", "maxedf", "minedf"] {
         let report = SimulatorEngine::new(
             EngineConfig::new(SLOTS, SLOTS),

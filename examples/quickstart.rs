@@ -14,10 +14,10 @@ fn main() {
     //    first/typical shuffle durations, and reduce-phase durations (ms).
     let wordcount = JobTemplate::new(
         "wordcount-demo",
-        vec![18_000; 40],  // 40 map tasks, ~18 s each
-        vec![6_000; 8],    // non-overlapping first-wave shuffle tails
-        vec![14_000; 16],  // typical (later-wave) shuffles
-        vec![4_000; 16],   // reduce phases
+        vec![18_000; 40], // 40 map tasks, ~18 s each
+        vec![6_000; 8],   // non-overlapping first-wave shuffle tails
+        vec![14_000; 16], // typical (later-wave) shuffles
+        vec![4_000; 16],  // reduce phases
     )
     .expect("structurally valid template");
 
@@ -56,10 +56,7 @@ fn main() {
 
     // 4. The recorded timeline drives Figure-1-style plots: one bar per
     //    task phase, with the slot it occupied.
-    let map_bars = report
-        .timeline
-        .iter()
-        .filter(|b| b.phase == simmr_types::TimelinePhase::Map)
-        .count();
+    let map_bars =
+        report.timeline.iter().filter(|b| b.phase == simmr_types::TimelinePhase::Map).count();
     println!("timeline: {} bars total, {} map bars", report.timeline.len(), map_bars);
 }

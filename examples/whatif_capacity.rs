@@ -17,12 +17,9 @@ use simmr_trace::FacebookWorkload;
 use simmr_types::WorkloadTrace;
 
 fn replay(trace: &WorkloadTrace, slots: usize) -> (f64, f64) {
-    let report = SimulatorEngine::new(
-        EngineConfig::new(slots, slots),
-        trace,
-        Box::new(FifoPolicy::new()),
-    )
-    .run();
+    let report =
+        SimulatorEngine::new(EngineConfig::new(slots, slots), trace, Box::new(FifoPolicy::new()))
+            .run();
     (report.makespan.as_secs_f64(), report.mean_duration_ms() / 1000.0)
 }
 
@@ -43,7 +40,13 @@ fn main() {
         let delta = prev
             .map(|p| format!("  ({:+.0}% vs previous)", (makespan_s / p - 1.0) * 100.0))
             .unwrap_or_default();
-        println!("{:>4}x{:<3} {:>13.2}h {:>15.1}s{delta}", slots, slots, makespan_s / 3600.0, mean_dur);
+        println!(
+            "{:>4}x{:<3} {:>13.2}h {:>15.1}s{delta}",
+            slots,
+            slots,
+            makespan_s / 3600.0,
+            mean_dur
+        );
         prev = Some(makespan_s);
     }
 

@@ -51,12 +51,8 @@ fn engine_identical_across_all_policies() {
     let trace = FacebookWorkload { mean_interarrival_ms: 20_000.0 }.generate(40, 5);
     for name in ["fifo", "maxedf", "minedf", "fair"] {
         let run = |_: u32| {
-            SimulatorEngine::new(
-                EngineConfig::new(16, 16),
-                &trace,
-                policy_by_name(name).unwrap(),
-            )
-            .run()
+            SimulatorEngine::new(EngineConfig::new(16, 16), &trace, policy_by_name(name).unwrap())
+                .run()
         };
         assert_eq!(run(0), run(1), "policy {name} not deterministic");
     }
@@ -78,12 +74,9 @@ fn facebook_generator_stable_across_calls() {
 fn conservation_every_job_completes_exactly_once() {
     let trace = FacebookWorkload { mean_interarrival_ms: 5_000.0 }.generate(60, 11);
     for name in ["fifo", "maxedf", "minedf", "fair"] {
-        let report = SimulatorEngine::new(
-            EngineConfig::new(8, 8),
-            &trace,
-            policy_by_name(name).unwrap(),
-        )
-        .run();
+        let report =
+            SimulatorEngine::new(EngineConfig::new(8, 8), &trace, policy_by_name(name).unwrap())
+                .run();
         assert_eq!(report.jobs.len(), trace.len(), "{name}");
         for (i, job) in report.jobs.iter().enumerate() {
             assert_eq!(job.job.index(), i);

@@ -111,14 +111,9 @@ proptest! {
 
 #[test]
 fn tighter_deadlines_run_faster_in_engine() {
-    let template = JobTemplate::new(
-        "sweep",
-        vec![1_000; 40],
-        vec![300],
-        vec![500; 10],
-        vec![400; 10],
-    )
-    .unwrap();
+    let template =
+        JobTemplate::new("sweep", vec![1_000; 40], vec![300], vec![500; 10], vec![400; 10])
+            .unwrap();
     let t_j = standalone(&template, 64, 64);
     let profile = JobProfileSummary::from_template(&template);
     let mut prev_duration = u64::MAX;

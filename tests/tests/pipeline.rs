@@ -36,10 +36,7 @@ fn simmr_replay_accuracy_under_fifo() {
 fn simmr_replay_accuracy_under_edf_policies() {
     for (policy, name) in [(ClusterPolicy::MaxEdf, "maxedf"), (ClusterPolicy::MinEdf, "minedf")] {
         let deadline = Some(SimTime::from_secs(600));
-        let jobs: Vec<_> = workload()
-            .into_iter()
-            .map(|(m, a, _)| (m, a, deadline))
-            .collect();
+        let jobs: Vec<_> = workload().into_iter().map(|(m, a, _)| (m, a, deadline)).collect();
         let deadlines: Vec<Option<SimTime>> = jobs.iter().map(|(_, _, d)| *d).collect();
         let run = run_testbed(jobs, policy, config(), 202);
         let report = replay_in_simmr(&run.history, name, 8, 8, &deadlines);
@@ -55,10 +52,8 @@ fn simmr_replay_accuracy_under_edf_policies() {
 fn mumak_always_underestimates_and_simmr_beats_it() {
     let run = run_testbed(workload(), ClusterPolicy::Fifo, config(), 303);
     let simmr = replay_in_simmr(&run.history, "fifo", 8, 8, &[None, None, None]);
-    let mumak = replay_in_mumak(
-        &run.history,
-        MumakConfig { num_trackers: 8, ..MumakConfig::default() },
-    );
+    let mumak =
+        replay_in_mumak(&run.history, MumakConfig { num_trackers: 8, ..MumakConfig::default() });
     let simmr_rows = accuracy_rows(&run, &simmr);
     let mumak_rows = accuracy_rows(&run, &mumak);
     for row in &mumak_rows {
@@ -99,19 +94,13 @@ fn simmr_simulation_loop_is_faster_than_mumaks() {
     let run = run_testbed(workload(), ClusterPolicy::Fifo, config(), 505);
     let trace = simmr_trace::trace_from_history(&run.history, "perf").unwrap();
     let rumen = RumenTrace::from_history(&run.history).unwrap();
-    let mumak = simmr_mumak::MumakSim::new(MumakConfig {
-        num_trackers: 8,
-        ..MumakConfig::default()
-    });
+    let mumak =
+        simmr_mumak::MumakSim::new(MumakConfig { num_trackers: 8, ..MumakConfig::default() });
     let reps = 20;
     let t0 = std::time::Instant::now();
     for _ in 0..reps {
-        let _ = SimulatorEngine::new(
-            EngineConfig::new(8, 8),
-            &trace,
-            Box::new(FifoPolicy::new()),
-        )
-        .run();
+        let _ = SimulatorEngine::new(EngineConfig::new(8, 8), &trace, Box::new(FifoPolicy::new()))
+            .run();
     }
     let simmr_t = t0.elapsed();
     let t0 = std::time::Instant::now();
@@ -129,10 +118,8 @@ fn simmr_simulation_loop_is_faster_than_mumaks() {
 fn event_counts_reflect_architectures() {
     let run = run_testbed(workload(), ClusterPolicy::Fifo, config(), 606);
     let simmr = replay_in_simmr(&run.history, "fifo", 8, 8, &[None, None, None]);
-    let mumak = replay_in_mumak(
-        &run.history,
-        MumakConfig { num_trackers: 8, ..MumakConfig::default() },
-    );
+    let mumak =
+        replay_in_mumak(&run.history, MumakConfig { num_trackers: 8, ..MumakConfig::default() });
     // Mumak simulates heartbeats: it must process far more events than
     // SimMR's task-level queue (§IV-E's root cause)
     assert!(

@@ -25,8 +25,7 @@ fn minedf_beats_maxedf_on_average() {
     let mut min_total = 0.0;
     let mut max_total = 0.0;
     for seed in 0..8u64 {
-        let mut trace =
-            FacebookWorkload { mean_interarrival_ms: 30_000.0 }.generate(60, seed);
+        let mut trace = FacebookWorkload { mean_interarrival_ms: 30_000.0 }.generate(60, seed);
         let mut rng = SeededRng::new(seed ^ 0xD00D);
         assign_deadlines(&mut trace, 2.0, 32, 32, &mut rng);
         min_total += run(&trace, "minedf", 32).total_relative_deadline_exceeded();
@@ -66,9 +65,8 @@ fn df_one_policies_coincide() {
     assign_deadlines(&mut trace, 1.0, 16, 16, &mut rng);
     let min = run(&trace, "minedf", 16);
     let max = run(&trace, "maxedf", 16);
-    let completions = |r: &simmr_types::SimulationReport| {
-        r.jobs.iter().map(|j| j.completion).collect::<Vec<_>>()
-    };
+    let completions =
+        |r: &simmr_types::SimulationReport| r.jobs.iter().map(|j| j.completion).collect::<Vec<_>>();
     assert_eq!(
         completions(&min),
         completions(&max),
@@ -126,9 +124,8 @@ fn fifo_is_deadline_blind() {
     let mut rng = SeededRng::new(1);
     assign_deadlines(&mut trace, 2.0, 8, 8, &mut rng);
     let b = run(&trace, "fifo", 8);
-    let completions = |r: &simmr_types::SimulationReport| {
-        r.jobs.iter().map(|j| j.completion).collect::<Vec<_>>()
-    };
+    let completions =
+        |r: &simmr_types::SimulationReport| r.jobs.iter().map(|j| j.completion).collect::<Vec<_>>();
     assert_eq!(completions(&a), completions(&b));
 }
 

@@ -22,8 +22,7 @@ fn testbed_trace(seed: u64) -> WorkloadTrace {
 }
 
 fn replay(trace: &WorkloadTrace, slots: usize) -> simmr_types::SimulationReport {
-    SimulatorEngine::new(EngineConfig::new(slots, slots), trace, Box::new(FifoPolicy::new()))
-        .run()
+    SimulatorEngine::new(EngineConfig::new(slots, slots), trace, Box::new(FifoPolicy::new())).run()
 }
 
 #[test]

@@ -1,0 +1,251 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with criterion's surface syntax (`criterion_group!`,
+//! `criterion_main!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `black_box`).
+//!
+//! Methodology: each benchmark warms up for ~300 ms to calibrate an
+//! iteration count, then takes `sample_size` timed samples and reports
+//! the median ns/iteration plus derived throughput. Results print to
+//! stdout; there is no statistical regression analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: converts time/iter into elements- or
+/// bytes-per-second in the printed report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(300), measurement: Duration::from_millis(1000) }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measurement: self.criterion.measurement,
+            sample_size: self.sample_size,
+            sample: None,
+        };
+        f(&mut bencher);
+        self.report(&id.name, bencher.sample);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, sample: Option<f64>) {
+        let label =
+            if self.name.is_empty() { id.to_owned() } else { format!("{}/{}", self.name, id) };
+        let Some(ns_per_iter) = sample else {
+            println!("{label:<50} (no measurement)");
+            return;
+        };
+        let time = format_ns(ns_per_iter);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (ns_per_iter / 1e9);
+                println!("{label:<50} time: {time:>12}  thrpt: {} elem/s", format_rate(rate));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (ns_per_iter / 1e9);
+                println!("{label:<50} time: {time:>12}  thrpt: {}B/s", format_rate(rate));
+            }
+            None => println!("{label:<50} time: {time:>12}"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Per-benchmark measurement handle.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    sample: Option<f64>,
+}
+
+impl Bencher {
+    /// Times the closure: calibrates an iteration count during warm-up,
+    /// then records the median of `sample_size` timed samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: find iters that take ~1/sample_size of
+        // the measurement window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / per_iter) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.sample = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c =
+            Criterion { warm_up: Duration::from_millis(5), measurement: Duration::from_millis(20) };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = false;
+        group.bench_function(BenchmarkId::new("sum", 10), |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("fifo", 500).name, "fifo/500");
+        assert_eq!(BenchmarkId::from_parameter(7).name, "7");
+    }
+}

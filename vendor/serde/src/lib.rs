@@ -1,0 +1,466 @@
+//! Offline stand-in for the `serde` data model.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal serde-compatible core: a [`Value`] tree,
+//! [`Serialize`]/[`Deserialize`] traits expressed in terms of it, and
+//! declarative macros ([`impl_serde_struct!`], [`impl_serde_unit_enum!`],
+//! [`impl_serde_transparent!`]) that replace `#[derive(Serialize,
+//! Deserialize)]` for the shapes this codebase uses. Types with
+//! non-trivial representations (externally tagged enums with payloads)
+//! write the two impls by hand — see `simmr_types::history::HistoryLine`
+//! and `simmr_stats::dist::Dist`.
+//!
+//! The JSON text format lives in the sibling `serde_json` shim; this
+//! crate is format-agnostic.
+
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A self-describing data tree: the intermediate representation between
+/// typed values and a concrete format (JSON, in this workspace).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Key order is preserved (serialization is deterministic).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an `Object` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {}", got.type_name()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the self-describing [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from the self-describing [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent from the serialized object.
+    /// Overridden by `Option<T>` (absent means `None`); everything else
+    /// treats a missing field as an error.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{field}`")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+/// `&'static str` fields deserialize by leaking the owned string; this
+/// codebase only uses them for a small fixed catalog of labels, so the
+/// leak is bounded in practice.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Arc::from(s.as_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impl macros (the stand-in for #[derive(Serialize, Deserialize)])
+// ---------------------------------------------------------------------------
+
+/// Implements `Serialize`/`Deserialize` for a plain struct with named
+/// fields, mapping it to a JSON object with the field names as keys.
+///
+/// ```ignore
+/// impl_serde_struct!(PhaseStats { avg, max, count });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_owned(), $crate::Serialize::to_value(&self.$field)),)+
+                ])
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                if !matches!(v, $crate::Value::Object(_)) {
+                    return Err($crate::DeError::new(format!(
+                        "expected object for {}", stringify!($ty)
+                    )));
+                }
+                Ok($ty {
+                    $($field: match v.get(stringify!($field)) {
+                        Some(fv) => $crate::Deserialize::from_value(fv)
+                            .map_err(|e| $crate::DeError::new(format!(
+                                "{}.{}: {}", stringify!($ty), stringify!($field), e
+                            )))?,
+                        None => $crate::Deserialize::from_missing(stringify!($field))?,
+                    },)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements `Serialize`/`Deserialize` for a field-less enum, mapping
+/// each variant to its name as a JSON string (serde's default external
+/// representation for unit variants).
+///
+/// ```ignore
+/// impl_serde_unit_enum!(TaskKind { Map, Reduce });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let name = match self {
+                    $($ty::$variant => stringify!($variant),)+
+                };
+                $crate::Value::Str(name.to_owned())
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                match v {
+                    $crate::Value::Str(s) => match s.as_str() {
+                        $(stringify!($variant) => Ok($ty::$variant),)+
+                        other => Err($crate::DeError::new(format!(
+                            "unknown {} variant `{}`", stringify!($ty), other
+                        ))),
+                    },
+                    other => Err($crate::DeError::new(format!(
+                        "expected string for {}, got {:?}", stringify!($ty), other
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Implements `Serialize`/`Deserialize` for a single-field tuple struct
+/// as the bare inner value (serde's `#[serde(transparent)]`).
+///
+/// ```ignore
+/// impl_serde_transparent!(SimTime(u64));
+/// ```
+#[macro_export]
+macro_rules! impl_serde_transparent {
+    ($ty:ident($inner:ty)) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Serialize::to_value(&self.0)
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::DeError> {
+                <$inner as $crate::Deserialize>::from_value(v).map($ty)
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: u32,
+        y: Option<i64>,
+    }
+    impl_serde_struct!(Point { x, y });
+
+    #[derive(Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+    impl_serde_unit_enum!(Color { Red, Green });
+
+    #[derive(Debug, PartialEq)]
+    struct Wrapped(u64);
+    impl_serde_transparent!(Wrapped(u64));
+
+    #[test]
+    fn struct_round_trip() {
+        let p = Point { x: 3, y: Some(-4) };
+        assert_eq!(Point::from_value(&p.to_value()).unwrap(), p);
+    }
+
+    #[test]
+    fn missing_option_field_is_none() {
+        let v = Value::Object(vec![("x".into(), Value::U64(1))]);
+        assert_eq!(Point::from_value(&v).unwrap(), Point { x: 1, y: None });
+    }
+
+    #[test]
+    fn missing_required_field_errors() {
+        let v = Value::Object(vec![("y".into(), Value::I64(1))]);
+        assert!(Point::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn unit_enum_round_trip() {
+        assert_eq!(Color::from_value(&Color::Green.to_value()).unwrap(), Color::Green);
+        assert!(Color::from_value(&Value::Str("Blue".into())).is_err());
+    }
+
+    #[test]
+    fn transparent_round_trip() {
+        let w = Wrapped(99);
+        assert_eq!(w.to_value(), Value::U64(99));
+        assert_eq!(Wrapped::from_value(&w.to_value()).unwrap(), w);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(f64::from_value(&Value::U64(7)).unwrap(), 7.0);
+        assert_eq!(u32::from_value(&Value::I64(7)).unwrap(), 7);
+        assert!(u32::from_value(&Value::I64(-7)).is_err());
+    }
+}
