@@ -8,6 +8,14 @@
 //! `BENCH_engine.json` at the workspace root. The interesting comparison
 //! is *across sizes*: with the incremental scheduler view the per-event
 //! cost must stay flat as the number of jobs grows.
+//!
+//! With `SIMMR_BENCH_ASSERT=1` the binary turns into a regression gate
+//! (used by CI to verify the invariant checker costs nothing when
+//! disabled): it exits nonzero unless the paper's claim and the scaling
+//! bound hold *and* FIFO throughput stays within a noise band of the
+//! committed `BENCH_engine.json` baseline (default ≥ 50% of it, for noisy
+//! shared runners; tune with `SIMMR_BENCH_NOISE_FRAC`). The baseline is
+//! read before the file is overwritten.
 
 use simmr_bench::csvout::workspace_root;
 use simmr_core::{EngineConfig, SimulatorEngine};
@@ -21,6 +29,34 @@ const POLICIES: [&str; 2] = ["fifo", "maxedf"];
 
 fn min_secs() -> f64 {
     std::env::var("SIMMR_BENCH_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(2.0)
+}
+
+fn assert_mode() -> bool {
+    std::env::var("SIMMR_BENCH_ASSERT").map(|v| v == "1").unwrap_or(false)
+}
+
+fn noise_frac() -> f64 {
+    std::env::var("SIMMR_BENCH_NOISE_FRAC").ok().and_then(|v| v.parse().ok()).unwrap_or(0.5)
+}
+
+/// FIFO events/sec at `jobs` scale from a previously written
+/// `BENCH_engine.json`, if one exists and parses.
+fn baseline_rate(path: &std::path::Path, jobs: u64) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc: serde_json::Value = serde_json::from_str(&text).ok()?;
+    let serde_json::Value::Array(rows) = doc.get("results")? else {
+        return None;
+    };
+    rows.iter()
+        .find(|r| {
+            r.get("jobs") == Some(&serde_json::Value::U64(jobs))
+                && r.get("policy") == Some(&serde_json::Value::Str("fifo".to_owned()))
+        })
+        .and_then(|r| match r.get("events_per_sec") {
+            Some(serde_json::Value::F64(v)) => Some(*v),
+            Some(serde_json::Value::U64(v)) => Some(*v as f64),
+            _ => None,
+        })
 }
 
 fn trace_of(jobs: usize) -> WorkloadTrace {
@@ -74,6 +110,9 @@ fn measure(trace: &WorkloadTrace, jobs: usize, policy: &'static str, min_secs: f
 
 fn main() {
     let min_secs = min_secs();
+    let out_path = workspace_root().join("BENCH_engine.json");
+    // read the committed baseline before this run overwrites the file
+    let baseline_1k = baseline_rate(&out_path, 1_000);
     eprintln!("[bench_engine] >= {min_secs} s per point; set SIMMR_BENCH_SECS to change");
     println!(
         "{:>8} {:>8} {:>12} {:>6} {:>12} {:>14}",
@@ -141,10 +180,55 @@ fn main() {
         ("scaling_10k_within_2x_of_1k".to_owned(), serde_json::Value::Bool(scaling_ok)),
         ("results".to_owned(), serde_json::Value::Array(json_rows)),
     ]);
-    let path = workspace_root().join("BENCH_engine.json");
     let text = serde_json::to_string_pretty(&doc).expect("report serializes") + "\n";
-    match std::fs::write(&path, text) {
-        Ok(()) => eprintln!("[bench_engine] wrote {}", path.display()),
-        Err(e) => eprintln!("[bench_engine] cannot write {}: {e}", path.display()),
+    match std::fs::write(&out_path, text) {
+        Ok(()) => eprintln!("[bench_engine] wrote {}", out_path.display()),
+        Err(e) => eprintln!("[bench_engine] cannot write {}: {e}", out_path.display()),
+    }
+
+    if assert_mode() {
+        let mut failures = Vec::new();
+        if !claim_met {
+            failures.push(format!(
+                "1M events/sec claim not met (fifo 1k: {:.2} M events/sec)",
+                fifo_1k / 1e6
+            ));
+        }
+        if !scaling_ok {
+            failures.push(format!(
+                "scaling degraded: fifo 10k ({:.2} M/s) below half of 1k ({:.2} M/s)",
+                fifo_10k / 1e6,
+                fifo_1k / 1e6
+            ));
+        }
+        match baseline_1k {
+            Some(base) => {
+                let floor = base * noise_frac();
+                if fifo_1k < floor {
+                    failures.push(format!(
+                        "fifo 1k throughput {:.2} M/s fell below the noise floor {:.2} M/s \
+                         ({}% of the baseline {:.2} M/s)",
+                        fifo_1k / 1e6,
+                        floor / 1e6,
+                        (noise_frac() * 100.0) as u32,
+                        base / 1e6
+                    ));
+                } else {
+                    eprintln!(
+                        "[bench_engine] fifo 1k {:.2} M/s within noise of baseline {:.2} M/s",
+                        fifo_1k / 1e6,
+                        base / 1e6
+                    );
+                }
+            }
+            None => eprintln!("[bench_engine] no baseline BENCH_engine.json; skipping noise gate"),
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("[bench_engine] ASSERT FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("[bench_engine] all throughput assertions passed");
     }
 }

@@ -81,7 +81,14 @@ pub fn replay(args: &Args) -> Result<(), String> {
         let seed: u64 = args.parse_or("seed", 1)?;
         attach_deadlines(&mut trace, df, map_slots, reduce_slots, seed);
     }
-    let report = run_replay(&trace, &policy, map_slots, reduce_slots, args.has("timeline"))?;
+    let report = run_replay(
+        &trace,
+        &policy,
+        map_slots,
+        reduce_slots,
+        args.has("timeline"),
+        args.has("check-invariants"),
+    )?;
     println!("{:<24} {:>10} {:>10} {:>10} {:>8}", "job", "arrival_s", "finish_s", "dur_s", "met?");
     for job in &report.jobs {
         println!(
@@ -127,7 +134,7 @@ pub fn compare(args: &Args) -> Result<(), String> {
         "policy", "makespan_s", "missed", "rel_exceeded", "mean_dur_s"
     );
     for policy in policies.split(',') {
-        let report = run_replay(&trace, policy.trim(), map_slots, reduce_slots, false)?;
+        let report = run_replay(&trace, policy.trim(), map_slots, reduce_slots, false, false)?;
         println!(
             "{:<10} {:>12.1} {:>7}/{:<2} {:>14.2} {:>12.1}",
             policy.trim(),

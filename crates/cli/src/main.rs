@@ -64,7 +64,7 @@ USAGE:
   simmr testbed  [--policy fifo|maxedf|minedf] [--datasets 0,1,2] [--seed S] --out HISTORY.log
   simmr profile  HISTORY.log --out TRACE.json
   simmr replay   TRACE.json [--policy NAME] [--map-slots N] [--reduce-slots N]
-                 [--deadline-factor F --seed S] [--timeline]
+                 [--deadline-factor F --seed S] [--timeline] [--check-invariants]
   simmr compare  TRACE.json [--policies fifo,maxedf,minedf] [--map-slots N]
                  [--reduce-slots N] [--deadline-factor F] [--seed S]
   simmr scale    TRACE.json --factor F --out SCALED.json
@@ -95,12 +95,16 @@ pub(crate) fn run_replay(
     map_slots: usize,
     reduce_slots: usize,
     timeline: bool,
+    check_invariants: bool,
 ) -> Result<simmr_types::SimulationReport, String> {
     let policy =
         policy_by_name(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
     let mut config = EngineConfig::new(map_slots, reduce_slots);
     if timeline {
         config = config.with_timeline();
+    }
+    if check_invariants {
+        config = config.with_invariants();
     }
     let start = std::time::Instant::now();
     let report = SimulatorEngine::new(config, trace, policy).run();

@@ -14,6 +14,16 @@ pub struct EngineConfig {
     /// Record a per-task timeline (Figures 1–2). Off by default: recording
     /// costs memory proportional to the task count.
     pub record_timeline: bool,
+    /// Run the engine's runtime invariant checker (see
+    /// `crates/core/src/invariants.rs`): slot conservation, policy-view /
+    /// engine-state counter consistency, event-time monotonicity, per-slot
+    /// timeline disjointness and end-of-run report accounting are verified
+    /// after every same-instant event batch, panicking with a field-level
+    /// diagnosis on the first violation. Off by default — checking costs
+    /// O(active jobs) per batch; the release hot path is untouched when
+    /// disabled. The `check-invariants` cargo feature forces this on for
+    /// every engine regardless of the flag.
+    pub check_invariants: bool,
 }
 
 impl EngineConfig {
@@ -25,6 +35,7 @@ impl EngineConfig {
             reduce_slots,
             min_map_percent_completed: 0.05,
             record_timeline: false,
+            check_invariants: false,
         }
     }
 
@@ -38,6 +49,18 @@ impl EngineConfig {
     pub fn with_timeline(mut self) -> Self {
         self.record_timeline = true;
         self
+    }
+
+    /// Enables runtime invariant checking (see [`Self::check_invariants`]).
+    pub fn with_invariants(mut self) -> Self {
+        self.check_invariants = true;
+        self
+    }
+
+    /// True when this run must check invariants: the config flag, or the
+    /// crate-wide `check-invariants` feature.
+    pub fn invariants_enabled(&self) -> bool {
+        self.check_invariants || cfg!(feature = "check-invariants")
     }
 
     /// Number of map tasks of an `n`-map job that must complete before its
@@ -68,6 +91,8 @@ mod tests {
         let c = EngineConfig::new(2, 2).with_slowstart(0.5).with_timeline();
         assert_eq!(c.min_map_percent_completed, 0.5);
         assert!(c.record_timeline);
+        assert!(!c.check_invariants);
+        assert!(c.with_invariants().check_invariants);
         assert_eq!(EngineConfig::new(1, 1).with_slowstart(7.0).min_map_percent_completed, 1.0);
         assert_eq!(EngineConfig::new(1, 1).with_slowstart(-1.0).min_map_percent_completed, 0.0);
     }

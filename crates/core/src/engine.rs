@@ -15,46 +15,49 @@
 
 use crate::config::EngineConfig;
 use crate::event::EventKind;
+use crate::invariants::InvariantState;
 use crate::jobq::{JobEntry, JobQueue, SchedulerPolicy};
 use crate::queue::EventQueue;
 use simmr_types::{
     JobId, JobResult, SimTime, SimulationReport, TimelineEntry, TimelinePhase, WorkloadTrace,
 };
 
-/// Runtime state of one job inside the engine.
+/// Runtime state of one job inside the engine. Fields are crate-visible so
+/// the invariant checker (`crate::invariants`) can re-derive the policy
+/// view from first principles.
 #[derive(Debug)]
-struct JobState {
-    arrival: SimTime,
-    deadline: Option<SimTime>,
-    maps_total: usize,
-    reduces_total: usize,
+pub(crate) struct JobState {
+    pub(crate) arrival: SimTime,
+    pub(crate) deadline: Option<SimTime>,
+    pub(crate) maps_total: usize,
+    pub(crate) reduces_total: usize,
     /// Next never-launched map task index.
-    fresh_maps: usize,
+    pub(crate) fresh_maps: usize,
     /// Map tasks returned to the queue by preemption (LIFO relaunch).
-    requeued_maps: Vec<u32>,
+    pub(crate) requeued_maps: Vec<u32>,
     /// Currently running map tasks in launch order (`(idx, start)`);
     /// the last entry is the preemption victim of choice.
-    running_map_list: Vec<(u32, SimTime)>,
+    pub(crate) running_map_list: Vec<(u32, SimTime)>,
     /// Attempt generation per map task; stale departures are ignored.
-    map_gen: Vec<u32>,
+    pub(crate) map_gen: Vec<u32>,
     /// Completion flags per map task.
-    map_done: Vec<bool>,
-    maps_completed: usize,
-    reduces_launched: usize,
-    reduces_completed: usize,
+    pub(crate) map_done: Vec<bool>,
+    pub(crate) maps_completed: usize,
+    pub(crate) reduces_launched: usize,
+    pub(crate) reduces_completed: usize,
     /// Map tasks completed before reduces become schedulable.
-    reduce_threshold: usize,
-    active: bool,
-    departed: bool,
-    first_map_start: Option<SimTime>,
-    maps_finished: Option<SimTime>,
+    pub(crate) reduce_threshold: usize,
+    pub(crate) active: bool,
+    pub(crate) departed: bool,
+    pub(crate) first_map_start: Option<SimTime>,
+    pub(crate) maps_finished: Option<SimTime>,
     /// Slot occupied by each map task, indexed by task index.
-    map_task_slots: Vec<u32>,
+    pub(crate) map_task_slots: Vec<u32>,
     /// Slot occupied by each launched reduce task, indexed by task index.
-    reduce_task_slots: Vec<u32>,
+    pub(crate) reduce_task_slots: Vec<u32>,
     /// First-wave "filler" reduce tasks awaiting `AllMapsFinished`:
     /// `(reduce index, launch time)`.
-    fillers: Vec<(u32, SimTime)>,
+    pub(crate) fillers: Vec<(u32, SimTime)>,
 }
 
 impl JobState {
@@ -70,25 +73,29 @@ impl JobState {
 /// pluggable [`SchedulerPolicy`]. See the crate docs for the model and an
 /// end-to-end example.
 pub struct SimulatorEngine<'a> {
-    config: EngineConfig,
+    pub(crate) config: EngineConfig,
     trace: &'a WorkloadTrace,
     policy: Box<dyn SchedulerPolicy + 'a>,
     queue: EventQueue,
-    free_map_slots: Vec<u32>,
-    free_reduce_slots: Vec<u32>,
-    jobs: Vec<JobState>,
+    pub(crate) free_map_slots: Vec<u32>,
+    pub(crate) free_reduce_slots: Vec<u32>,
+    pub(crate) jobs: Vec<JobState>,
     /// Persistent active-job view handed to the policy; kept in sync
     /// incrementally by every state transition.
-    jobq: JobQueue,
+    pub(crate) jobq: JobQueue,
     /// Set when an event changed `jobq` (or policy state) since the last
     /// completed scheduling pass; a clean queue makes `schedule` a no-op.
-    jobq_dirty: bool,
+    pub(crate) jobq_dirty: bool,
     /// Scratch buffer for preemption victim lists, reused across rounds.
     victims: Vec<JobId>,
     events_processed: u64,
     timeline: Vec<TimelineEntry>,
     results: Vec<Option<JobResult>>,
     makespan: SimTime,
+    /// Opt-in runtime invariant checker (`None` on the production hot
+    /// path). Boxed so a disabled engine pays one pointer of space and a
+    /// predictable branch per event batch.
+    invariants: Option<Box<InvariantState>>,
     /// Debug-only reference mode: rebuild the job view from scratch before
     /// every scheduling pass instead of trusting the incremental updates.
     #[cfg(any(test, debug_assertions))]
@@ -163,6 +170,7 @@ impl<'a> SimulatorEngine<'a> {
             timeline,
             results: vec![None; trace.jobs.len()],
             makespan: SimTime::ZERO,
+            invariants: config.invariants_enabled().then(|| Box::new(InvariantState::new(&config))),
             #[cfg(any(test, debug_assertions))]
             snapshot_oracle: false,
         }
@@ -189,6 +197,9 @@ impl<'a> SimulatorEngine<'a> {
             self.makespan = event.time;
             let now = event.time;
             let job = event.job;
+            if let Some(inv) = self.invariants.as_deref_mut() {
+                inv.on_event(now);
+            }
             match event.kind {
                 EventKind::JobArrival => self.on_job_arrival(job, now),
                 EventKind::MapTaskArrival | EventKind::ReduceTaskArrival => {
@@ -219,31 +230,69 @@ impl<'a> SimulatorEngine<'a> {
             loop {
                 let launched = self.schedule(now);
                 self.events_processed += launched;
+                if let Some(inv) = self.invariants.as_deref_mut() {
+                    inv.note_launches(launched);
+                }
                 if launched == 0 || self.queue.next_time() == Some(now) {
                     break;
                 }
             }
+            // The instant is quiescent (no further same-time events):
+            // every engine invariant must hold on the settled state.
+            if self.invariants.is_some() && self.queue.next_time() != Some(now) {
+                let mut inv = self.invariants.take().expect("checked is_some");
+                inv.check_batch(&self, now);
+                self.invariants = Some(inv);
+            }
         }
+        let invariants = self.invariants.take();
+        let (free_maps, free_reduces) = (self.free_map_slots.len(), self.free_reduce_slots.len());
         let jobs = self
             .results
             .into_iter()
             .enumerate()
             .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never departed")))
             .collect();
-        SimulationReport {
+        let report = SimulationReport {
             jobs,
             makespan: self.makespan,
             events_processed: self.events_processed,
             timeline: self.timeline,
+        };
+        if let Some(inv) = invariants {
+            inv.check_report(&report, free_maps, free_reduces);
         }
+        report
     }
 
     fn template(&self, job: JobId) -> &simmr_types::JobTemplate {
         &self.trace.jobs[job.index()].template
     }
 
+    /// Asserts (when checking) that the dirty flag covers the queue
+    /// mutation that just happened at `site` — every event handler and the
+    /// preemption path must set `jobq_dirty` so the next scheduling pass
+    /// cannot no-op against a silently changed queue. Task launches are
+    /// exempt: they happen *inside* a pass, which re-consults the policy to
+    /// a fixpoint before the flag matters again.
+    fn note_mutation(&mut self, site: &'static str) {
+        let dirty = self.jobq_dirty;
+        if let Some(inv) = self.invariants.as_deref_mut() {
+            inv.mutation_covered(dirty, site);
+        }
+    }
+
+    /// Appends a timeline bar, running it through the online per-slot
+    /// disjointness check when invariants are enabled.
+    fn record_bar(&mut self, bar: TimelineEntry) {
+        if let Some(inv) = self.invariants.as_deref_mut() {
+            inv.check_bar(&bar);
+        }
+        self.timeline.push(bar);
+    }
+
     /// The policy-visible entry equivalent to a job's current state.
-    fn entry_of(&self, job: JobId) -> JobEntry {
+    pub(crate) fn entry_of(&self, job: JobId) -> JobEntry {
         let s = &self.jobs[job.index()];
         JobEntry {
             id: job,
@@ -278,6 +327,7 @@ impl<'a> SimulatorEngine<'a> {
             spec.relative_deadline(),
             (self.config.map_slots, self.config.reduce_slots),
         );
+        self.note_mutation("on_job_arrival");
     }
 
     fn on_map_departure(&mut self, job: JobId, task_index: u32, attempt: u32, now: SimTime) {
@@ -289,7 +339,12 @@ impl<'a> SimulatorEngine<'a> {
             return;
         }
         state.map_done[idx] = true;
-        state.running_map_list.retain(|&(i, _)| i != task_index);
+        let pos = state
+            .running_map_list
+            .iter()
+            .position(|&(i, _)| i == task_index)
+            .expect("departing map task not in the running list");
+        let (_, start) = state.running_map_list.remove(pos);
         let slot = state.map_task_slots[idx];
         self.free_map_slots.push(slot);
         state.maps_completed += 1;
@@ -305,18 +360,31 @@ impl<'a> SimulatorEngine<'a> {
             self.jobq.reset_reduce_hint();
         }
         self.jobq_dirty = true;
+        // Map bars are recorded at *departure* (not launch): a preempted
+        // attempt must not leave a full-duration phantom bar overlapping
+        // the slot's next occupant.
+        if self.config.record_timeline {
+            self.record_bar(TimelineEntry {
+                job,
+                phase: TimelinePhase::Map,
+                slot,
+                start,
+                end: now,
+            });
+        }
         if all_done {
             self.queue.push(now, EventKind::AllMapsFinished, job, 0);
         }
+        self.note_mutation("on_map_departure");
     }
 
     /// Kills the victim job's most recently launched running map task: the
     /// slot frees immediately, all progress is lost, and the task returns
     /// to the pending queue for a later relaunch (Hadoop task-kill
     /// semantics). Returns false when the job had no running map.
-    fn preempt_map(&mut self, job: JobId) -> bool {
+    fn preempt_map(&mut self, job: JobId, now: SimTime) -> bool {
         let state = &mut self.jobs[job.index()];
-        let Some((idx, _)) = state.running_map_list.pop() else {
+        let Some((idx, start)) = state.running_map_list.pop() else {
             return false;
         };
         // invalidate the in-flight departure event
@@ -328,6 +396,22 @@ impl<'a> SimulatorEngine<'a> {
         entry.running_maps -= 1;
         entry.pending_maps += 1;
         self.jobq.reset_map_hint();
+        // The kill changed the policy-visible queue and freed a slot: the
+        // next scheduling pass must not no-op behind a clean flag (a pass
+        // that kills without relaunching would otherwise end that way).
+        self.jobq_dirty = true;
+        // The killed attempt's bar is truncated at the kill instant, so
+        // the slot's next occupant never overlaps it.
+        if self.config.record_timeline {
+            self.record_bar(TimelineEntry {
+                job,
+                phase: TimelinePhase::Map,
+                slot,
+                start,
+                end: now,
+            });
+        }
+        self.note_mutation("preempt_map");
         true
     }
 
@@ -350,14 +434,14 @@ impl<'a> SimulatorEngine<'a> {
             self.queue.push(finish, EventKind::ReduceTaskDeparture, job, ridx);
             if self.config.record_timeline {
                 let slot = self.jobs[job.index()].reduce_task_slots[ridx as usize];
-                self.timeline.push(TimelineEntry {
+                self.record_bar(TimelineEntry {
                     job,
                     phase: TimelinePhase::Shuffle,
                     slot,
                     start: launch_time,
                     end: shuffle_end,
                 });
-                self.timeline.push(TimelineEntry {
+                self.record_bar(TimelineEntry {
                     job,
                     phase: TimelinePhase::Reduce,
                     slot,
@@ -386,6 +470,7 @@ impl<'a> SimulatorEngine<'a> {
         if job_done {
             self.queue.push(now, EventKind::JobDeparture, job, 0);
         }
+        self.note_mutation("on_reduce_departure");
     }
 
     fn on_job_departure(&mut self, job: JobId, now: SimTime) {
@@ -410,6 +495,7 @@ impl<'a> SimulatorEngine<'a> {
             num_reduces: state.reduces_total,
         });
         self.policy.on_job_departure(job);
+        self.note_mutation("on_job_departure");
     }
 
     /// Rebuilds the policy view from scratch (the snapshot-oracle path),
@@ -481,7 +567,7 @@ impl<'a> SimulatorEngine<'a> {
             let mut any = false;
             for i in 0..self.victims.len() {
                 let victim = self.victims[i];
-                if self.preempt_map(victim) {
+                if self.preempt_map(victim, now) {
                     any = true;
                 }
             }
@@ -539,15 +625,9 @@ impl<'a> SimulatorEngine<'a> {
         entry.running_maps += 1;
         let duration = self.trace.jobs[job.index()].template.map_duration(idx as usize);
         self.queue.push_attempt(now + duration, EventKind::MapTaskDeparture, job, idx, attempt);
-        if self.config.record_timeline {
-            self.timeline.push(TimelineEntry {
-                job,
-                phase: TimelinePhase::Map,
-                slot,
-                start: now,
-                end: now + duration,
-            });
-        }
+        // No timeline bar yet: map bars are recorded when the attempt
+        // leaves the slot (departure or preemption), so killed attempts
+        // show their true truncated extent.
     }
 
     fn launch_reduce(&mut self, job: JobId, now: SimTime) {
@@ -570,14 +650,14 @@ impl<'a> SimulatorEngine<'a> {
             let finish = shuffle_end + reduce;
             self.queue.push(finish, EventKind::ReduceTaskDeparture, job, idx);
             if self.config.record_timeline {
-                self.timeline.push(TimelineEntry {
+                self.record_bar(TimelineEntry {
                     job,
                     phase: TimelinePhase::Shuffle,
                     slot,
                     start: now,
                     end: shuffle_end,
                 });
-                self.timeline.push(TimelineEntry {
+                self.record_bar(TimelineEntry {
                     job,
                     phase: TimelinePhase::Reduce,
                     slot,
@@ -617,6 +697,46 @@ mod tests {
                 .filter(|e| e.has_schedulable_reduce())
                 .min_by_key(|e| (e.arrival, e.id))
                 .map(|e| e.id)
+        }
+    }
+
+    /// EDF with one preemption victim per round, mirroring `maxedf-p` —
+    /// exercises the kill-and-requeue path without depending on simmr-sched.
+    struct TestEdfPreempt;
+    impl SchedulerPolicy for TestEdfPreempt {
+        fn name(&self) -> &str {
+            "test-edf-p"
+        }
+        fn choose_next_map_task(&mut self, q: &JobQueue) -> Option<JobId> {
+            q.entries()
+                .iter()
+                .filter(|e| e.has_schedulable_map())
+                .min_by_key(|e| e.edf_key())
+                .map(|e| e.id)
+        }
+        fn choose_next_reduce_task(&mut self, q: &JobQueue) -> Option<JobId> {
+            q.entries()
+                .iter()
+                .filter(|e| e.has_schedulable_reduce())
+                .min_by_key(|e| e.edf_key())
+                .map(|e| e.id)
+        }
+        fn map_preemptions(&mut self, q: &JobQueue, victims: &mut Vec<JobId>) {
+            let Some(urgent) =
+                q.entries().iter().filter(|e| e.has_schedulable_map()).min_by_key(|e| e.edf_key())
+            else {
+                return;
+            };
+            if let Some(victim) = q
+                .entries()
+                .iter()
+                .filter(|e| {
+                    e.id != urgent.id && e.running_maps > 0 && e.edf_key() > urgent.edf_key()
+                })
+                .max_by_key(|e| e.edf_key())
+            {
+                victims.push(victim.id);
+            }
         }
     }
 
@@ -774,14 +894,10 @@ mod tests {
         assert!(report.timeline.is_empty());
     }
 
-    #[test]
-    fn timeline_slots_never_oversubscribed() {
-        let mut trace = WorkloadTrace::new("t", "test");
-        for i in 0..10 {
-            trace.push(uniform_job(6, 3, 90, 15, 35, 25, SimTime::from_millis(i * 40)));
-        }
-        let report = run(EngineConfig::new(3, 2).with_timeline(), &trace);
-        // group bars by (kind-of-slot, slot id) and check pairwise disjoint
+    /// Groups bars by (kind-of-slot, slot id) and checks pairwise
+    /// disjointness; shuffle+reduce of one task share a slot contiguously,
+    /// so adjacent reduce-slot bars are merged first.
+    fn assert_timeline_disjoint(report: &SimulationReport, map_slots: usize, reduce_slots: usize) {
         let mut map_bars: std::collections::HashMap<u32, Vec<(u64, u64)>> = Default::default();
         let mut red_bars: std::collections::HashMap<u32, Vec<(u64, u64)>> = Default::default();
         for bar in &report.timeline {
@@ -791,16 +907,14 @@ mod tests {
             };
             target.entry(bar.slot).or_default().push((bar.start.as_millis(), bar.end.as_millis()));
         }
-        assert!(map_bars.len() <= 3);
-        assert!(red_bars.len() <= 2);
+        assert!(map_bars.len() <= map_slots);
+        assert!(red_bars.len() <= reduce_slots);
         for bars in map_bars.values_mut() {
             bars.sort_unstable();
             for w in bars.windows(2) {
                 assert!(w[0].1 <= w[1].0, "overlap on map slot: {w:?}");
             }
         }
-        // shuffle+reduce of the same task share a slot contiguously; check
-        // distinct tasks don't overlap by merging adjacent bars first
         for bars in red_bars.values_mut() {
             bars.sort_unstable();
             let mut merged: Vec<(u64, u64)> = Vec::new();
@@ -814,6 +928,84 @@ mod tests {
                 assert!(w[0].1 <= w[1].0, "overlap on reduce slot: {w:?}");
             }
         }
+    }
+
+    #[test]
+    fn timeline_slots_never_oversubscribed() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        for i in 0..10 {
+            trace.push(uniform_job(6, 3, 90, 15, 35, 25, SimTime::from_millis(i * 40)));
+        }
+        let report = run(EngineConfig::new(3, 2).with_timeline(), &trace);
+        assert_timeline_disjoint(&report, 3, 2);
+    }
+
+    #[test]
+    fn timeline_slots_never_oversubscribed_under_preemption() {
+        // Regression test for the preemption-path pair of bugs: killed map
+        // attempts used to keep their full launch-time bar (overlapping the
+        // slot's next occupant), and `preempt_map` left `jobq_dirty` unset.
+        // Staggered arrivals with ever-tighter deadlines under 3 contended
+        // map slots force repeated kills; invariants are armed so the
+        // checker cross-examines every batch as well.
+        let mut trace = WorkloadTrace::new("t", "test");
+        for i in 0..10u64 {
+            trace.push(
+                uniform_job(6, 2, 200, 15, 35, 25, SimTime::from_millis(i * 60))
+                    .with_deadline(SimTime::from_millis(20_000 - i * 1_800)),
+            );
+        }
+        let report = SimulatorEngine::new(
+            EngineConfig::new(3, 2).with_timeline().with_invariants(),
+            &trace,
+            Box::new(TestEdfPreempt),
+        )
+        .run();
+        assert_eq!(report.jobs.len(), 10);
+        assert_timeline_disjoint(&report, 3, 2);
+        // preemption actually happened: killed attempts add extra map bars
+        let total_maps: usize = trace.jobs.iter().map(|j| j.template.num_maps).sum();
+        let map_bars = report.timeline.iter().filter(|t| t.phase == TimelinePhase::Map).count();
+        assert!(
+            map_bars > total_maps,
+            "no preemption occurred ({map_bars} bars, {total_maps} maps)"
+        );
+    }
+
+    #[test]
+    fn preempted_map_bar_truncated_at_kill() {
+        // Job 0 (loose deadline) holds the only map slot; job 1 arrives at
+        // t=200 with a tight deadline and preempts it. The killed attempt
+        // must leave a bar truncated at exactly t=200, and job 0's relaunch
+        // restarts from scratch at t=300.
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(
+            uniform_job(2, 0, 1000, 0, 0, 0, SimTime::ZERO)
+                .with_deadline(SimTime::from_millis(100_000)),
+        );
+        trace.push(
+            uniform_job(1, 0, 100, 0, 0, 0, SimTime::from_millis(200))
+                .with_deadline(SimTime::from_millis(300)),
+        );
+        let report = SimulatorEngine::new(
+            EngineConfig::new(1, 1).with_timeline().with_invariants(),
+            &trace,
+            Box::new(TestEdfPreempt),
+        )
+        .run();
+        assert_eq!(report.jobs[1].completion, SimTime::from_millis(300));
+        // job 0: map 0 reruns 300..1300, map 1 runs 1300..2300
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(2300));
+        let mut map_bars: Vec<(u32, u64, u64)> = report
+            .timeline
+            .iter()
+            .filter(|t| t.phase == TimelinePhase::Map)
+            .map(|t| (t.job.0, t.start.as_millis(), t.end.as_millis()))
+            .collect();
+        map_bars.sort_unstable_by_key(|&(_, s, _)| s);
+        // 3 map tasks + 1 killed attempt = 4 bars, killed bar cut at t=200
+        assert_eq!(map_bars, vec![(0, 0, 200), (1, 200, 300), (0, 300, 1300), (0, 1300, 2300)]);
+        assert_timeline_disjoint(&report, 1, 1);
     }
 
     #[test]

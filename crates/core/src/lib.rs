@@ -22,6 +22,19 @@
 //! * Reduce scheduling for a job begins once `min_map_percent_completed`
 //!   of its maps have finished (Hadoop's "slowstart", §III-B).
 //!
+//! ## Runtime invariant checking
+//!
+//! [`EngineConfig::with_invariants`] arms an opt-in checker (see
+//! `crates/core/src/invariants.rs`) that re-derives the engine's redundant
+//! incremental state from first principles after every settled event batch:
+//! slot conservation, per-job counter consistency against the policy-visible
+//! [`JobEntry`] view (with field-level diff messages on divergence),
+//! event-time monotonicity, per-slot timeline disjointness, dirty-flag
+//! coverage of queue mutations, and end-of-run report accounting. The
+//! `check-invariants` cargo feature forces it on for every engine (CI runs
+//! the test suite once that way). Disabled — the default — the hot path
+//! carries only a `None` check per event batch.
+//!
 //! ## Scheduling interface
 //!
 //! The engine talks to policies through the paper's narrow two-function
@@ -59,6 +72,7 @@
 pub mod config;
 pub mod engine;
 pub mod event;
+mod invariants;
 pub mod jobq;
 pub mod queue;
 

@@ -74,6 +74,14 @@ impl CompletionEstimate {
     pub fn predicted(&self) -> f64 {
         0.5 * (self.low + self.up)
     }
+
+    /// True when a measured completion time falls inside the bounds,
+    /// widened by a multiplicative `slack` (≥ 1, e.g. `1.15` for the
+    /// paper's ≈10–15% validation error band in §V) and by 1 ms for
+    /// integer-rounding of simulated times.
+    pub fn contains(&self, actual_ms: f64, slack: f64) -> bool {
+        actual_ms >= self.low / slack - 1.0 && actual_ms <= self.up * slack + 1.0
+    }
 }
 
 /// Estimates job completion time for an allocation of `map_slots` /
@@ -180,6 +188,20 @@ mod tests {
         let t = JobTemplate::new("m", vec![10; 4], vec![], vec![], vec![]).unwrap();
         let p = JobProfileSummary::from_template(&t);
         assert!(estimate_completion(&p, 2, 0).up.is_finite());
+    }
+
+    #[test]
+    fn contains_with_slack() {
+        let est = CompletionEstimate { low: 200.0, up: 280.0 };
+        assert!(est.contains(200.0, 1.0));
+        assert!(est.contains(280.0, 1.0));
+        assert!(est.contains(240.0, 1.0));
+        assert!(!est.contains(150.0, 1.0));
+        assert!(!est.contains(350.0, 1.0));
+        // 15% slack widens both ends
+        assert!(est.contains(180.0, 1.15));
+        assert!(est.contains(320.0, 1.15));
+        assert!(!est.contains(100.0, 1.15));
     }
 
     #[test]

@@ -72,7 +72,8 @@ proptest! {
         for policy in POLICIES {
             let config = EngineConfig::new(map_slots, reduce_slots)
                 .with_slowstart(slowstart)
-                .with_timeline();
+                .with_timeline()
+                .with_invariants();
             let fast = run(&trace, config, policy, false);
             let oracle = run(&trace, config, policy, true);
             prop_assert_eq!(&fast, &oracle, "policy {} diverged from the oracle", policy);

@@ -1,0 +1,162 @@
+//! Differential harness over the engine's runtime invariant checker
+//! (`EngineConfig::with_invariants`):
+//!
+//! * single-job traces must land inside the ARIA bounds model of eq. 1
+//!   across randomized templates and slot counts, with every batch
+//!   invariant armed;
+//! * random preemption-heavy traces sweep all five policies with the
+//!   checker on — any slot leak, counter drift, phantom timeline bar or
+//!   uncovered queue mutation panics inside the engine;
+//! * a deterministic preemption scenario is cross-checked against the
+//!   snapshot oracle. With the two preemption fixes reverted
+//!   (`preempt_map` not setting `jobq_dirty`; map bars recorded at launch
+//!   with full duration) this suite fails — the checker provably catches
+//!   that bug class.
+
+use proptest::prelude::*;
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_model::{estimate_completion, JobProfileSummary};
+use simmr_sched::policy_by_name;
+use simmr_types::{JobSpec, JobTemplate, SimTime, TimelinePhase, WorkloadTrace};
+
+const POLICIES: [&str; 5] = ["fifo", "maxedf", "minedf", "fair", "maxedf-p"];
+
+/// The paper's §V validation error band (~10–15%) covers the engine
+/// nuances the bounds model ignores (slowstart overlap, first-shuffle
+/// crediting).
+const SLACK: f64 = 1.15;
+
+fn uniform_template(
+    maps: usize,
+    reduces: usize,
+    map_ms: u64,
+    sh_ms: u64,
+    red_ms: u64,
+) -> JobTemplate {
+    JobTemplate::new(
+        "j",
+        vec![map_ms; maps],
+        if reduces > 0 { vec![sh_ms] } else { vec![] },
+        if reduces > 0 { vec![sh_ms; reduces] } else { vec![] },
+        vec![red_ms; reduces],
+    )
+    .expect("generated template is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (a) Single-job differential: the simulated makespan lies within the
+    /// `simmr-model` bounds of eq. 1, with all runtime invariants checked
+    /// along the way.
+    #[test]
+    fn single_job_makespan_within_model_bounds(
+        maps in 1usize..50,
+        reduces in 0usize..24,
+        map_ms in 50u64..4_000,
+        sh_ms in 20u64..2_000,
+        red_ms in 20u64..2_000,
+        map_slots in 1usize..12,
+        reduce_slots in 1usize..12,
+        slowstart_pick in 0usize..3,
+    ) {
+        let template = uniform_template(maps, reduces, map_ms, sh_ms, red_ms);
+        let profile = JobProfileSummary::from_template(&template);
+        let est = estimate_completion(&profile, map_slots, reduce_slots);
+        let mut trace = WorkloadTrace::new("single", "invariant-harness");
+        trace.push(JobSpec::new(template, SimTime::ZERO));
+        let config = EngineConfig::new(map_slots, reduce_slots)
+            .with_slowstart([0.0, 0.05, 1.0][slowstart_pick])
+            .with_timeline()
+            .with_invariants();
+        let report =
+            SimulatorEngine::new(config, &trace, policy_by_name("fifo").unwrap()).run();
+        let actual = report.jobs[0].duration() as f64;
+        prop_assert!(
+            est.contains(actual, SLACK),
+            "makespan {actual} outside model bounds [{}, {}] at slack {SLACK}",
+            est.low, est.up
+        );
+    }
+
+    /// (b) Preemption-heavy sweep: contended slots, staggered arrivals and
+    /// ever-tighter deadlines force `maxedf-p` through repeated
+    /// kill/requeue/relaunch cycles; all five policies replay the same
+    /// trace with the checker armed.
+    #[test]
+    fn preemption_heavy_sweep_all_policies(
+        jobs in proptest::collection::vec(
+            // (maps, reduces, map_ms, sh_ms, red_ms, arrival, deadline_rel)
+            (1usize..7, 0usize..4, 50u64..600, 1u64..60, 1u64..80,
+             0u64..800, 50u64..2_500),
+            2..14,
+        ),
+        map_slots in 1usize..4,
+        reduce_slots in 1usize..4,
+    ) {
+        let mut trace = WorkloadTrace::new("preempt", "invariant-harness");
+        for &(maps, reduces, map_ms, sh_ms, red_ms, arrival, deadline_rel) in &jobs {
+            trace.push(
+                JobSpec::new(
+                    uniform_template(maps, reduces, map_ms, sh_ms, red_ms),
+                    SimTime::from_millis(arrival),
+                )
+                .with_deadline(SimTime::from_millis(arrival + deadline_rel)),
+            );
+        }
+        for policy in POLICIES {
+            let config = EngineConfig::new(map_slots, reduce_slots)
+                .with_timeline()
+                .with_invariants();
+            let report =
+                SimulatorEngine::new(config, &trace, policy_by_name(policy).unwrap()).run();
+            prop_assert_eq!(report.jobs.len(), jobs.len(), "policy {} lost jobs", policy);
+            for job in &report.jobs {
+                prop_assert!(
+                    job.completion >= job.arrival,
+                    "policy {}: job {} finished before arriving", policy, job.job
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic kill-and-requeue scenario cross-checked against the
+/// snapshot oracle, with invariants and timeline recording on. On the
+/// pre-fix engine this dies inside the checker: the killed attempt's
+/// launch-time bar overlaps the slot's next occupant
+/// (`timeline-slot-disjoint`), and `preempt_map` leaves the dirty flag
+/// unset (`dirty-flag-coverage`).
+#[cfg(debug_assertions)] // with_snapshot_oracle is debug/test-only
+#[test]
+fn preemption_matches_snapshot_oracle_under_invariants() {
+    let mut trace = WorkloadTrace::new("preempt-oracle", "invariant-harness");
+    trace.push(
+        JobSpec::new(uniform_template(2, 0, 1000, 0, 0), SimTime::ZERO)
+            .with_deadline(SimTime::from_millis(100_000)),
+    );
+    trace.push(
+        JobSpec::new(uniform_template(1, 0, 100, 0, 0), SimTime::from_millis(200))
+            .with_deadline(SimTime::from_millis(300)),
+    );
+    let config = EngineConfig::new(1, 1).with_timeline().with_invariants();
+    let run = |oracle: bool| {
+        let engine = SimulatorEngine::new(config, &trace, policy_by_name("maxedf-p").unwrap());
+        let engine = if oracle { engine.with_snapshot_oracle() } else { engine };
+        engine.run()
+    };
+    let fast = run(false);
+    let oracle = run(true);
+    assert_eq!(fast, oracle);
+    // the urgent job preempts at t=200 and meets its deadline
+    assert_eq!(fast.jobs[1].completion, SimTime::from_millis(300));
+    // 3 map tasks + 1 killed attempt = 4 bars, the killed one cut at t=200
+    let mut bars: Vec<(u64, u64)> = fast
+        .timeline
+        .iter()
+        .filter(|t| t.phase == TimelinePhase::Map)
+        .map(|t| (t.start.as_millis(), t.end.as_millis()))
+        .collect();
+    bars.sort_unstable();
+    assert_eq!(bars, vec![(0, 200), (200, 300), (300, 1300), (1300, 2300)]);
+}
