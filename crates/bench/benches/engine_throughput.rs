@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::{policy_by_name, FifoPolicy};
+use simmr_sched::{parse_policy, FifoPolicy};
 use simmr_trace::FacebookWorkload;
 
 fn trace_of(jobs: usize) -> simmr_types::WorkloadTrace {
@@ -46,7 +46,7 @@ fn bench_policies(c: &mut Criterion) {
                 SimulatorEngine::new(
                     EngineConfig::new(64, 64),
                     &trace,
-                    policy_by_name(policy).expect("policy"),
+                    parse_policy(policy).expect("policy"),
                 )
                 .run()
             })

@@ -28,19 +28,19 @@ impl SchedulerPolicy for BasisMinEdf {
         id: JobId,
         template: &JobTemplate,
         relative_deadline: Option<DurationMs>,
-        cluster: (usize, usize),
+        cluster: simmr_types::ClusterSpec,
     ) {
         let alloc = match relative_deadline {
             Some(d) => min_slots_for_deadline_with(
                 &JobProfileSummary::from_template(template),
                 d,
-                cluster.0,
-                cluster.1,
+                cluster.map_slots,
+                cluster.reduce_slots,
                 self.basis,
             ),
             None => SlotAllocation {
-                maps: cluster.0.min(template.num_maps),
-                reduces: cluster.1.min(template.num_reduces),
+                maps: cluster.map_slots.min(template.num_maps),
+                reduces: cluster.reduce_slots.min(template.num_reduces),
             },
         };
         self.wanted.insert(id, alloc);

@@ -19,7 +19,7 @@
 
 use simmr_bench::csvout::workspace_root;
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_trace::FacebookWorkload;
 use simmr_types::WorkloadTrace;
 use std::time::Instant;
@@ -67,7 +67,7 @@ fn one_run(trace: &WorkloadTrace, policy: &str) -> u64 {
     SimulatorEngine::new(
         EngineConfig::new(64, 64),
         trace,
-        policy_by_name(policy).expect("policy exists"),
+        parse_policy(policy).expect("policy exists"),
     )
     .run()
     .events_processed

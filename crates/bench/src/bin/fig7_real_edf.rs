@@ -16,7 +16,7 @@ use simmr_bench::csvout::write_csv;
 use simmr_bench::workloads::{assign_deadlines, permute_with_exponential_arrivals};
 use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_stats::SeededRng;
 use simmr_trace::profile_history;
 use simmr_types::{JobSpec, JobTemplate, SimTime, WorkloadTrace};
@@ -50,7 +50,7 @@ fn one_run(templates: &[JobTemplate], mean_ia_ms: f64, df: f64, policy: &str, se
     let report = SimulatorEngine::new(
         EngineConfig::new(64, 64),
         &trace,
-        policy_by_name(policy).expect("policy exists"),
+        parse_policy(policy).expect("policy exists"),
     )
     .run();
     report.total_relative_deadline_exceeded()

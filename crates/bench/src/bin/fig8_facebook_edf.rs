@@ -12,7 +12,7 @@
 use simmr_bench::csvout::write_csv;
 use simmr_bench::workloads::assign_deadlines;
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_stats::SeededRng;
 use simmr_trace::FacebookWorkload;
 
@@ -30,7 +30,7 @@ fn one_run(mean_ia_ms: f64, df: f64, policy: &str, seed: u64) -> f64 {
     let report = SimulatorEngine::new(
         EngineConfig::new(64, 64),
         &trace,
-        policy_by_name(policy).expect("policy exists"),
+        parse_policy(policy).expect("policy exists"),
     )
     .run();
     report.total_relative_deadline_exceeded()

@@ -3,7 +3,7 @@
 use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim, TestbedRun};
 use simmr_core::{EngineConfig, SimulatorEngine};
 use simmr_mumak::{MumakConfig, MumakSim};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_trace::{trace_from_history, RumenTrace};
 use simmr_types::{SimTime, SimulationReport, WorkloadTrace};
 
@@ -38,8 +38,7 @@ pub fn replay_in_simmr(
     for (i, job) in trace.jobs.iter_mut().enumerate() {
         job.deadline = deadlines.get(i).copied().flatten();
     }
-    let policy =
-        policy_by_name(policy_name).unwrap_or_else(|| panic!("unknown policy `{policy_name}`"));
+    let policy = parse_policy(policy_name).unwrap_or_else(|e| panic!("{e}"));
     SimulatorEngine::new(EngineConfig::new(map_slots, reduce_slots), &trace, policy).run()
 }
 

@@ -76,19 +76,49 @@ pub fn replay(args: &Args) -> Result<(), String> {
     let policy = args.get("policy").unwrap_or("fifo").to_string();
     let map_slots: usize = args.parse_or("map-slots", 64)?;
     let reduce_slots: usize = args.parse_or("reduce-slots", 64)?;
+    let seed: u64 = args.parse_or("seed", 1)?;
     if let Some(df) = args.get("deadline-factor") {
         let df: f64 = df.parse().map_err(|e| format!("--deadline-factor: {e}"))?;
-        let seed: u64 = args.parse_or("seed", 1)?;
         attach_deadlines(&mut trace, df, map_slots, reduce_slots, seed);
     }
-    let report = run_replay(
-        &trace,
-        &policy,
-        map_slots,
-        reduce_slots,
-        args.has("timeline"),
-        args.has("check-invariants"),
-    )?;
+    let mut config = simmr_core::EngineConfig::new(map_slots, reduce_slots);
+    if args.has("timeline") {
+        config = config.with_timeline();
+    }
+    if args.has("check-invariants") {
+        config = config.with_invariants();
+    }
+    let hosts: usize = args.parse_or("hosts", 1)?;
+    config = config.with_hosts(hosts);
+    if let Some(failures) = args.get("failures") {
+        let count: u32 = failures.parse().map_err(|e| format!("--failures: {e}"))?;
+        if hosts < 2 {
+            return Err("--failures needs --hosts of at least 2 (host 0 never fails)".into());
+        }
+        let mtbf_s: f64 = args.parse_or("failure-mtbf-s", 3600.0)?;
+        if !(mtbf_s.is_finite() && mtbf_s > 0.0) {
+            return Err("--failure-mtbf-s must be positive".into());
+        }
+        config = config.with_faults(simmr_core::FaultSpec {
+            seed,
+            count,
+            mean_interval_ms: (mtbf_s * 1000.0) as u64,
+        });
+    }
+    if let Some(factor) = args.get("speculation") {
+        let factor: f64 = factor.parse().map_err(|e| format!("--speculation: {e}"))?;
+        config = config.with_speculation(factor);
+    }
+    if let Some(sigma) = args.get("slowdown") {
+        let sigma: f64 = sigma.parse().map_err(|e| format!("--slowdown: {e}"))?;
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err("--slowdown must be positive".into());
+        }
+        // mean-1 LogNormal: perturbs without shifting the average
+        let dist = simmr_stats::Dist::LogNormal { mu: -sigma * sigma / 2.0, sigma };
+        config = config.with_slowdown(dist, seed);
+    }
+    let report = run_replay(&trace, &policy, config)?;
     println!("{:<24} {:>10} {:>10} {:>10} {:>8}", "job", "arrival_s", "finish_s", "dur_s", "met?");
     for job in &report.jobs {
         println!(
@@ -134,7 +164,8 @@ pub fn compare(args: &Args) -> Result<(), String> {
         "policy", "makespan_s", "missed", "rel_exceeded", "mean_dur_s"
     );
     for policy in policies.split(',') {
-        let report = run_replay(&trace, policy.trim(), map_slots, reduce_slots, false, false)?;
+        let config = simmr_core::EngineConfig::new(map_slots, reduce_slots);
+        let report = run_replay(&trace, policy.trim(), config)?;
         println!(
             "{:<10} {:>12.1} {:>7}/{:<2} {:>14.2} {:>12.1}",
             policy.trim(),

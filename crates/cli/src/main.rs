@@ -15,7 +15,7 @@
 //!   the Kolmogorov–Smirnov statistic (§V-C methodology).
 
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_stats::SeededRng;
 use simmr_types::{SimTime, WorkloadTrace};
 use std::process::ExitCode;
@@ -65,13 +65,22 @@ USAGE:
   simmr profile  HISTORY.log --out TRACE.json
   simmr replay   TRACE.json [--policy NAME] [--map-slots N] [--reduce-slots N]
                  [--deadline-factor F --seed S] [--timeline] [--check-invariants]
+                 [--hosts N] [--failures N] [--failure-mtbf-s S]
+                 [--speculation F] [--slowdown SIGMA]
   simmr compare  TRACE.json [--policies fifo,maxedf,minedf] [--map-slots N]
                  [--reduce-slots N] [--deadline-factor F] [--seed S]
   simmr scale    TRACE.json --factor F --out SCALED.json
   simmr stats    TRACE.json         (workload characterization)
   simmr fit      SAMPLES.txt        (one duration per line)
 
-Policies: fifo, maxedf, minedf, fair, maxedf-p, minedf-p (preemptive).";
+Policies: fifo, maxedf, minedf, fair, maxedf-p, minedf-p (preemptive), and
+capacity[:q1=w1,q2=w2,...] (weighted queues routed by job-name prefix).
+
+Failure model (replay): --hosts stripes the slot pools over N workers;
+--failures plans N seeded fail-stop host losses (mean interval
+--failure-mtbf-s seconds, reusing --seed); --speculation F re-executes map
+stragglers past F x the job's median map duration; --slowdown SIGMA gives
+each slot a LogNormal(-SIGMA^2/2, SIGMA) execution slowdown (mean 1).";
 
 /// Loads a trace from JSON, with a helpful error.
 pub(crate) fn load_trace(path: &str) -> Result<WorkloadTrace, String> {
@@ -92,20 +101,9 @@ pub(crate) fn save_trace(path: &str, trace: &WorkloadTrace) -> Result<(), String
 pub(crate) fn run_replay(
     trace: &WorkloadTrace,
     policy_name: &str,
-    map_slots: usize,
-    reduce_slots: usize,
-    timeline: bool,
-    check_invariants: bool,
+    config: EngineConfig,
 ) -> Result<simmr_types::SimulationReport, String> {
-    let policy =
-        policy_by_name(policy_name).ok_or_else(|| format!("unknown policy `{policy_name}`"))?;
-    let mut config = EngineConfig::new(map_slots, reduce_slots);
-    if timeline {
-        config = config.with_timeline();
-    }
-    if check_invariants {
-        config = config.with_invariants();
-    }
+    let policy = parse_policy(policy_name).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
     let report = SimulatorEngine::new(config, trace, policy).run();
     let wall = start.elapsed();
@@ -134,7 +132,7 @@ pub(crate) fn attach_deadlines(
         let report = SimulatorEngine::new(
             EngineConfig::new(map_slots, reduce_slots),
             &single,
-            policy_by_name("fifo").expect("fifo exists"),
+            parse_policy("fifo").expect("fifo exists"),
         )
         .run();
         let t_j = report.jobs[0].duration() as f64;

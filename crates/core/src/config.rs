@@ -1,12 +1,47 @@
 //! Engine configuration.
 
+use simmr_stats::Dist;
+use simmr_types::ClusterSpec;
+
+/// A seeded plan of worker-host failures (see `DESIGN.md` §2.3).
+///
+/// The engine derives a deterministic fault plan from this spec at
+/// construction time: `count` failure times with exponentially distributed
+/// inter-arrivals of mean `mean_interval_ms`, each hitting a uniformly
+/// chosen host other than host 0 (which never fails, so every workload
+/// stays finishable). Single-host clusters ignore the spec entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the dedicated fault-plan RNG stream.
+    pub seed: u64,
+    /// Number of host-failure events to plan.
+    pub count: u32,
+    /// Mean inter-failure interval in simulated milliseconds.
+    pub mean_interval_ms: u64,
+}
+
+/// A per-slot execution-speed perturbation.
+///
+/// At engine construction one multiplicative slowdown factor is sampled
+/// per slot from `dist` (clamped to ≥ 0.05) with a dedicated seeded RNG
+/// stream; every task duration on that slot is scaled by the factor. A
+/// mean-1 distribution (e.g. a LogNormal with `mu = -sigma²/2`) perturbs
+/// durations without shifting the workload's average, which is what makes
+/// stragglers for the speculation model to chase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowdownSpec {
+    /// Distribution the per-slot factors are drawn from.
+    pub dist: Dist,
+    /// Seed of the dedicated slowdown RNG stream.
+    pub seed: u64,
+}
+
 /// Configuration of a [`crate::SimulatorEngine`] run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
-    /// Total map slots in the simulated cluster.
-    pub map_slots: usize,
-    /// Total reduce slots in the simulated cluster.
-    pub reduce_slots: usize,
+    /// The cluster shape: map/reduce slot pools and the worker-host count
+    /// they are striped over.
+    pub cluster: ClusterSpec,
     /// Fraction of a job's map tasks that must complete before its reduce
     /// tasks become schedulable (the paper's `minMapPercentCompleted`;
     /// Hadoop calls this "slowstart" and defaults it to 5%).
@@ -24,19 +59,41 @@ pub struct EngineConfig {
     /// disabled. The `check-invariants` cargo feature forces this on for
     /// every engine regardless of the flag.
     pub check_invariants: bool,
+    /// Seeded host-failure plan; `None` disables the failure model.
+    pub faults: Option<FaultSpec>,
+    /// Speculative-execution threshold: a map attempt running longer than
+    /// `factor ×` its job's median map duration gets a duplicate attempt
+    /// (first finisher wins). `None` disables speculation.
+    pub speculation_factor: Option<f64>,
+    /// Per-slot execution slowdown; `None` runs every slot at nominal speed.
+    pub slowdown: Option<SlowdownSpec>,
 }
 
 impl EngineConfig {
-    /// A configuration with the given slot counts and default slowstart
-    /// (5%), no timeline recording.
+    /// A single-host configuration with the given slot counts and default
+    /// slowstart (5%), no timeline recording, no failures or speculation.
     pub fn new(map_slots: usize, reduce_slots: usize) -> Self {
         EngineConfig {
-            map_slots,
-            reduce_slots,
+            cluster: ClusterSpec::new(map_slots, reduce_slots),
             min_map_percent_completed: 0.05,
             record_timeline: false,
             check_invariants: false,
+            faults: None,
+            speculation_factor: None,
+            slowdown: None,
         }
+    }
+
+    /// Replaces the whole cluster shape.
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Stripes the slot pools over `hosts` workers (clamped to ≥ 1).
+    pub fn with_hosts(mut self, hosts: usize) -> Self {
+        self.cluster = self.cluster.with_hosts(hosts);
+        self
     }
 
     /// Sets the slowstart threshold (clamped to `[0, 1]`).
@@ -54,6 +111,25 @@ impl EngineConfig {
     /// Enables runtime invariant checking (see [`Self::check_invariants`]).
     pub fn with_invariants(mut self) -> Self {
         self.check_invariants = true;
+        self
+    }
+
+    /// Installs a seeded host-failure plan.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Enables speculative map re-execution past `factor ×` the job's
+    /// median map duration (clamped to ≥ 1).
+    pub fn with_speculation(mut self, factor: f64) -> Self {
+        self.speculation_factor = Some(factor.max(1.0));
+        self
+    }
+
+    /// Installs a per-slot slowdown distribution.
+    pub fn with_slowdown(mut self, dist: Dist, seed: u64) -> Self {
+        self.slowdown = Some(SlowdownSpec { dist, seed });
         self
     }
 
@@ -81,9 +157,13 @@ mod tests {
     #[test]
     fn defaults() {
         let c = EngineConfig::new(64, 64);
-        assert_eq!(c.map_slots, 64);
+        assert_eq!(c.cluster, ClusterSpec::new(64, 64));
+        assert_eq!(c.cluster.hosts, 1);
         assert_eq!(c.min_map_percent_completed, 0.05);
         assert!(!c.record_timeline);
+        assert!(c.faults.is_none());
+        assert!(c.speculation_factor.is_none());
+        assert!(c.slowdown.is_none());
     }
 
     #[test]
@@ -95,6 +175,23 @@ mod tests {
         assert!(c.with_invariants().check_invariants);
         assert_eq!(EngineConfig::new(1, 1).with_slowstart(7.0).min_map_percent_completed, 1.0);
         assert_eq!(EngineConfig::new(1, 1).with_slowstart(-1.0).min_map_percent_completed, 0.0);
+    }
+
+    #[test]
+    fn failure_model_builders() {
+        let c = EngineConfig::new(4, 2)
+            .with_hosts(3)
+            .with_faults(FaultSpec { seed: 7, count: 2, mean_interval_ms: 60_000 })
+            .with_speculation(1.5)
+            .with_slowdown(Dist::Constant { value: 1.0 }, 9);
+        assert_eq!(c.cluster.hosts, 3);
+        assert_eq!(c.faults.unwrap().count, 2);
+        assert_eq!(c.speculation_factor, Some(1.5));
+        assert_eq!(c.slowdown.unwrap().seed, 9);
+        // speculation factors below 1 would duplicate non-stragglers
+        assert_eq!(EngineConfig::new(1, 1).with_speculation(0.2).speculation_factor, Some(1.0));
+        let shaped = EngineConfig::new(1, 1).with_cluster(ClusterSpec::new(8, 4).with_hosts(4));
+        assert_eq!((shaped.cluster.map_slots, shaped.cluster.hosts), (8, 4));
     }
 
     #[test]

@@ -12,15 +12,77 @@
 //! end-of-batch scheduling loop re-runs until no further task launches at
 //! the current instant, which preserves the exact fixpoint semantics the
 //! markers used to provide.
+//!
+//! # Failure and speculation model
+//!
+//! Beyond the paper's failure-free engine, three opt-in mechanisms model a
+//! lossy cluster (all off by default and fully deterministic under a seed):
+//!
+//! * **Host failures** ([`crate::FaultSpec`] / [`SimulatorEngine::with_fault_plan`]):
+//!   slots are striped over [`simmr_types::ClusterSpec::hosts`] workers;
+//!   when a host fails its slots permanently leave the pools, attempts
+//!   running on them are killed and requeued, and — Hadoop semantics —
+//!   completed map tasks whose output lived on the lost host are
+//!   re-executed while the job's map stage is still open. Host 0 never
+//!   fails (it models the master's worker), so every workload stays
+//!   finishable.
+//! * **Speculative execution** ([`EngineConfig::with_speculation`]): a map
+//!   attempt running past `factor ×` its job's median map duration gets a
+//!   duplicate attempt; the first finisher wins and the losers are killed.
+//! * **Per-slot slowdown** ([`EngineConfig::with_slowdown`]): each slot
+//!   draws a multiplicative speed factor at startup, scaling every task
+//!   duration it executes — the straggler source speculation exists for.
+//!
+//! Task identity is `(task index, attempt)`: every launch bumps the task's
+//! attempt counter, and a departure whose pair is no longer in the running
+//! list is stale (killed by preemption, a host failure, or a lost
+//! speculation race) and ignored.
 
 use crate::config::EngineConfig;
 use crate::event::EventKind;
 use crate::invariants::InvariantState;
 use crate::jobq::{JobEntry, JobQueue, SchedulerPolicy};
 use crate::queue::EventQueue;
+use simmr_stats::{Dist, Distribution, SeededRng};
 use simmr_types::{
-    JobId, JobResult, SimTime, SimulationReport, TimelineEntry, TimelinePhase, WorkloadTrace,
+    DurationMs, HostId, JobId, JobResult, SimTime, SimulationReport, TimelineEntry, TimelinePhase,
+    WorkloadTrace,
 };
+
+/// One planned host failure: `host` is permanently lost at time `at`.
+///
+/// Plans are normally derived from a seeded [`crate::FaultSpec`]; tests and
+/// what-if runs can install an explicit plan with
+/// [`SimulatorEngine::with_fault_plan`]. Failures naming host 0 or a host
+/// outside the cluster, or a host that already failed, are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostFailure {
+    /// The failing host.
+    pub host: HostId,
+    /// When it fails.
+    pub at: SimTime,
+}
+
+/// A live map attempt occupying a slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RunningMap {
+    pub(crate) idx: u32,
+    pub(crate) attempt: u32,
+    pub(crate) start: SimTime,
+    pub(crate) slot: u32,
+}
+
+/// A live reduce attempt occupying a slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RunningReduce {
+    pub(crate) idx: u32,
+    pub(crate) attempt: u32,
+    pub(crate) start: SimTime,
+    pub(crate) slot: u32,
+    /// End of the shuffle phase; [`SimTime::INFINITY`] while the task is an
+    /// unresolved first-wave filler.
+    pub(crate) shuffle_end: SimTime,
+}
 
 /// Runtime state of one job inside the engine. Fields are crate-visible so
 /// the invariant checker (`crate::invariants`) can re-derive the policy
@@ -33,17 +95,30 @@ pub(crate) struct JobState {
     pub(crate) reduces_total: usize,
     /// Next never-launched map task index.
     pub(crate) fresh_maps: usize,
-    /// Map tasks returned to the queue by preemption (LIFO relaunch).
+    /// Map tasks returned to the queue by a kill (LIFO relaunch).
     pub(crate) requeued_maps: Vec<u32>,
-    /// Currently running map tasks in launch order (`(idx, start)`);
-    /// the last entry is the preemption victim of choice.
-    pub(crate) running_map_list: Vec<(u32, SimTime)>,
-    /// Attempt generation per map task; stale departures are ignored.
+    /// Live map attempts in launch order; the last entry is the preemption
+    /// victim of choice. A task has two entries while a speculative
+    /// duplicate races its primary.
+    pub(crate) running_map_list: Vec<RunningMap>,
+    /// Monotone per-task launch counter; stamps each attempt so stale
+    /// departures of killed attempts can be recognized.
     pub(crate) map_gen: Vec<u32>,
     /// Completion flags per map task.
     pub(crate) map_done: Vec<bool>,
+    /// Slot whose host stores each completed map's output (the winning
+    /// attempt's slot); a host failure re-runs maps whose output it held.
+    pub(crate) map_done_slot: Vec<u32>,
     pub(crate) maps_completed: usize,
-    pub(crate) reduces_launched: usize,
+    /// Next never-launched reduce task index.
+    pub(crate) fresh_reduces: usize,
+    /// Reduce tasks returned to the queue by a host failure.
+    pub(crate) requeued_reduces: Vec<u32>,
+    /// Live reduce attempts (unresolved fillers carry an infinite
+    /// `shuffle_end` until `AllMapsFinished`).
+    pub(crate) running_reduce_list: Vec<RunningReduce>,
+    /// Monotone per-task launch counter for reduces.
+    pub(crate) reduce_gen: Vec<u32>,
     pub(crate) reduces_completed: usize,
     /// Map tasks completed before reduces become schedulable.
     pub(crate) reduce_threshold: usize,
@@ -51,21 +126,43 @@ pub(crate) struct JobState {
     pub(crate) departed: bool,
     pub(crate) first_map_start: Option<SimTime>,
     pub(crate) maps_finished: Option<SimTime>,
-    /// Slot occupied by each map task, indexed by task index.
-    pub(crate) map_task_slots: Vec<u32>,
-    /// Slot occupied by each launched reduce task, indexed by task index.
-    pub(crate) reduce_task_slots: Vec<u32>,
-    /// First-wave "filler" reduce tasks awaiting `AllMapsFinished`:
-    /// `(reduce index, launch time)`.
-    pub(crate) fillers: Vec<(u32, SimTime)>,
+    /// Straggler threshold in ms (`speculation_factor ×` the job's median
+    /// map duration, ≥ 1); 0 when speculation is disabled.
+    pub(crate) spec_threshold: DurationMs,
+    /// Per-task flag: a speculative duplicate was already requested (reset
+    /// when a failure forces the task to re-run from scratch).
+    pub(crate) speculated: Vec<bool>,
+    /// Tasks whose speculative duplicate is awaiting a slot. Every entry
+    /// still has a live primary attempt in `running_map_list`.
+    pub(crate) spec_pending: Vec<u32>,
 }
 
 impl JobState {
-    /// Map tasks not yet launched (fresh or requeued by preemption).
+    /// Map launches the policy may still request: fresh or requeued tasks
+    /// plus pending speculative duplicates.
     fn pending_maps(&self) -> usize {
-        (self.maps_total - self.fresh_maps) + self.requeued_maps.len()
+        (self.maps_total - self.fresh_maps) + self.requeued_maps.len() + self.spec_pending.len()
+    }
+
+    /// Reduce tasks not yet launched (fresh or requeued by a host failure).
+    fn pending_reduces(&self) -> usize {
+        (self.reduces_total - self.fresh_reduces) + self.requeued_reduces.len()
     }
 }
+
+/// Applies a per-slot slowdown factor to a base duration.
+#[inline]
+fn scaled(base: DurationMs, factor: f64) -> DurationMs {
+    (base as f64 * factor).round() as u64
+}
+
+/// Slot slowdown factors below this are clamped: a factor near zero would
+/// make a slot's tasks effectively free.
+const MIN_SLOWDOWN: f64 = 0.05;
+
+/// RNG stream labels (forked off the user seed) for the two derived plans.
+const FAULT_STREAM: u64 = 1;
+const SLOWDOWN_STREAM: u64 = 2;
 
 /// The SimMR Simulator Engine.
 ///
@@ -79,6 +176,21 @@ pub struct SimulatorEngine<'a> {
     queue: EventQueue,
     pub(crate) free_map_slots: Vec<u32>,
     pub(crate) free_reduce_slots: Vec<u32>,
+    /// Hosts that have failed so far.
+    pub(crate) dead_hosts: Vec<bool>,
+    /// Map slots permanently lost to a host failure (never free, never
+    /// occupied again).
+    pub(crate) dead_map_slots: Vec<bool>,
+    /// Reduce slots permanently lost to a host failure.
+    pub(crate) dead_reduce_slots: Vec<bool>,
+    /// Planned host failures, derived from `config.faults` or installed
+    /// explicitly via [`Self::with_fault_plan`].
+    fault_plan: Vec<HostFailure>,
+    /// Per-map-slot duration multipliers; empty when slowdown is disabled
+    /// (tasks then run at their exact template durations, integer-only).
+    map_slowdown: Vec<f64>,
+    /// Per-reduce-slot duration multipliers (shuffle and reduce phases).
+    reduce_slowdown: Vec<f64>,
     pub(crate) jobs: Vec<JobState>,
     /// Persistent active-job view handed to the policy; kept in sync
     /// incrementally by every state transition.
@@ -116,30 +228,49 @@ impl<'a> SimulatorEngine<'a> {
         policy: Box<dyn SchedulerPolicy + 'a>,
     ) -> Self {
         trace.validate().expect("workload trace contains an invalid job template");
+        let cluster = config.cluster;
         let jobs: Vec<JobState> = trace
             .jobs
             .iter()
-            .map(|spec| JobState {
-                arrival: spec.arrival,
-                deadline: spec.deadline,
-                maps_total: spec.template.num_maps,
-                reduces_total: spec.template.num_reduces,
-                fresh_maps: 0,
-                requeued_maps: Vec::new(),
-                running_map_list: Vec::new(),
-                map_gen: vec![0; spec.template.num_maps],
-                map_done: vec![false; spec.template.num_maps],
-                maps_completed: 0,
-                reduces_launched: 0,
-                reduces_completed: 0,
-                reduce_threshold: config.reduce_start_threshold(spec.template.num_maps),
-                active: false,
-                departed: false,
-                first_map_start: None,
-                maps_finished: None,
-                map_task_slots: vec![0; spec.template.num_maps],
-                reduce_task_slots: Vec::new(),
-                fillers: Vec::new(),
+            .map(|spec| {
+                let spec_threshold = match config.speculation_factor {
+                    Some(factor) if spec.template.num_maps > 0 => {
+                        let mut ds: Vec<DurationMs> = (0..spec.template.num_maps)
+                            .map(|i| spec.template.map_duration(i))
+                            .collect();
+                        ds.sort_unstable();
+                        // upper median; clamped ≥ 1ms so zero-duration maps
+                        // never trigger a duplicate
+                        ((ds[ds.len() / 2] as f64 * factor).round() as u64).max(1)
+                    }
+                    _ => 0,
+                };
+                JobState {
+                    arrival: spec.arrival,
+                    deadline: spec.deadline,
+                    maps_total: spec.template.num_maps,
+                    reduces_total: spec.template.num_reduces,
+                    fresh_maps: 0,
+                    requeued_maps: Vec::new(),
+                    running_map_list: Vec::new(),
+                    map_gen: vec![0; spec.template.num_maps],
+                    map_done: vec![false; spec.template.num_maps],
+                    map_done_slot: vec![0; spec.template.num_maps],
+                    maps_completed: 0,
+                    fresh_reduces: 0,
+                    requeued_reduces: Vec::new(),
+                    running_reduce_list: Vec::new(),
+                    reduce_gen: vec![0; spec.template.num_reduces],
+                    reduces_completed: 0,
+                    reduce_threshold: config.reduce_start_threshold(spec.template.num_maps),
+                    active: false,
+                    departed: false,
+                    first_map_start: None,
+                    maps_finished: None,
+                    spec_threshold,
+                    speculated: vec![false; spec.template.num_maps],
+                    spec_pending: Vec::new(),
+                }
             })
             .collect();
         let timeline = if config.record_timeline {
@@ -151,17 +282,50 @@ impl<'a> SimulatorEngine<'a> {
         } else {
             Vec::new()
         };
+        let (map_slowdown, reduce_slowdown) = match config.slowdown {
+            Some(sd) => {
+                let mut rng = SeededRng::new(sd.seed).fork(SLOWDOWN_STREAM);
+                let mut draw =
+                    |n: usize| (0..n).map(|_| sd.dist.sample(&mut rng).max(MIN_SLOWDOWN)).collect();
+                let maps: Vec<f64> = draw(cluster.map_slots);
+                let reduces: Vec<f64> = draw(cluster.reduce_slots);
+                (maps, reduces)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let fault_plan: Vec<HostFailure> = match config.faults {
+            Some(f) if cluster.hosts > 1 && f.count > 0 => {
+                let mut rng = SeededRng::new(f.seed).fork(FAULT_STREAM);
+                let gaps = Dist::Exponential { mean: f.mean_interval_ms.max(1) as f64 };
+                let mut at = SimTime::ZERO;
+                (0..f.count)
+                    .map(|_| {
+                        at += (gaps.sample(&mut rng).round() as u64).max(1);
+                        // host 0 never fails, keeping every workload finishable
+                        let host = HostId(1 + rng.index(cluster.hosts - 1) as u32);
+                        HostFailure { host, at }
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
         SimulatorEngine {
             config,
             trace,
             policy,
             // in-flight events: per-job arrival/departure bookkeeping plus
-            // at most one departure per occupied slot
+            // at most one departure per occupied slot and the fault plan
             queue: EventQueue::with_capacity(
-                trace.jobs.len() + config.map_slots + config.reduce_slots + 8,
+                trace.jobs.len() + cluster.map_slots + cluster.reduce_slots + fault_plan.len() + 8,
             ),
-            free_map_slots: (0..config.map_slots as u32).rev().collect(),
-            free_reduce_slots: (0..config.reduce_slots as u32).rev().collect(),
+            free_map_slots: (0..cluster.map_slots as u32).rev().collect(),
+            free_reduce_slots: (0..cluster.reduce_slots as u32).rev().collect(),
+            dead_hosts: vec![false; cluster.hosts],
+            dead_map_slots: vec![false; cluster.map_slots],
+            dead_reduce_slots: vec![false; cluster.reduce_slots],
+            fault_plan,
+            map_slowdown,
+            reduce_slowdown,
             jobq: JobQueue::with_capacity(jobs.len()),
             jobq_dirty: false,
             victims: Vec::new(),
@@ -174,6 +338,19 @@ impl<'a> SimulatorEngine<'a> {
             #[cfg(any(test, debug_assertions))]
             snapshot_oracle: false,
         }
+    }
+
+    /// Replaces the seeded fault plan with an explicit failure list (tests
+    /// and what-if runs). Entries naming host 0, an unknown host, or an
+    /// already-failed host are ignored at fire time.
+    pub fn with_fault_plan(mut self, plan: Vec<HostFailure>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The host failures this run will inject, in plan order.
+    pub fn fault_plan(&self) -> &[HostFailure] {
+        &self.fault_plan
     }
 
     /// Debug-only reference mode: rebuilds the job view from the engine's
@@ -192,9 +369,19 @@ impl<'a> SimulatorEngine<'a> {
         for (i, spec) in self.trace.jobs.iter().enumerate() {
             self.queue.push(spec.arrival, EventKind::JobArrival, JobId(i as u32), 0);
         }
+        for i in 0..self.fault_plan.len() {
+            let f = self.fault_plan[i];
+            self.queue.push(f.at, EventKind::HostFailure, JobId(0), f.host.0);
+        }
         while let Some(event) = self.queue.pop() {
             self.events_processed += 1;
-            self.makespan = event.time;
+            // Makespan tracks job completions only: stale events (a killed
+            // attempt's in-flight departure, a lost speculation race, a
+            // late fault or straggler timer) may pop after the last job
+            // has departed.
+            if event.kind == EventKind::JobDeparture {
+                self.makespan = event.time;
+            }
             let now = event.time;
             let job = event.job;
             if let Some(inv) = self.invariants.as_deref_mut() {
@@ -213,9 +400,13 @@ impl<'a> SimulatorEngine<'a> {
                 }
                 EventKind::AllMapsFinished => self.on_all_maps_finished(job, now),
                 EventKind::ReduceTaskDeparture => {
-                    self.on_reduce_departure(job, event.task_index, now)
+                    self.on_reduce_departure(job, event.task_index, event.attempt, now)
                 }
                 EventKind::JobDeparture => self.on_job_departure(job, now),
+                EventKind::HostFailure => self.on_host_failure(event.task_index, now),
+                EventKind::SpeculationDue => {
+                    self.on_speculation_due(job, event.task_index, event.attempt)
+                }
             }
             // Make scheduling decisions only once every same-instant event
             // (simultaneous arrivals, departures, AllMapsFinished) has been
@@ -247,6 +438,8 @@ impl<'a> SimulatorEngine<'a> {
         }
         let invariants = self.invariants.take();
         let (free_maps, free_reduces) = (self.free_map_slots.len(), self.free_reduce_slots.len());
+        let lost_maps = self.dead_map_slots.iter().filter(|&&d| d).count();
+        let lost_reduces = self.dead_reduce_slots.iter().filter(|&&d| d).count();
         let jobs = self
             .results
             .into_iter()
@@ -260,7 +453,7 @@ impl<'a> SimulatorEngine<'a> {
             timeline: self.timeline,
         };
         if let Some(inv) = invariants {
-            inv.check_report(&report, free_maps, free_reduces);
+            inv.check_report(&report, free_maps, free_reduces, lost_maps, lost_reduces);
         }
         report
     }
@@ -302,8 +495,8 @@ impl<'a> SimulatorEngine<'a> {
             running_maps: s.running_map_list.len(),
             completed_maps: s.maps_completed,
             total_maps: s.maps_total,
-            pending_reduces: s.reduces_total - s.reduces_launched,
-            running_reduces: s.reduces_launched - s.reduces_completed,
+            pending_reduces: s.pending_reduces(),
+            running_reduces: s.running_reduce_list.len(),
             completed_reduces: s.reduces_completed,
             total_reduces: s.reduces_total,
             reduce_eligible: s.maps_completed >= s.reduce_threshold,
@@ -325,52 +518,86 @@ impl<'a> SimulatorEngine<'a> {
             job,
             &spec.template,
             spec.relative_deadline(),
-            (self.config.map_slots, self.config.reduce_slots),
+            self.config.cluster,
         );
         self.note_mutation("on_job_arrival");
     }
 
     fn on_map_departure(&mut self, job: JobId, task_index: u32, attempt: u32, now: SimTime) {
+        let speculation = self.config.speculation_factor.is_some();
         let state = &mut self.jobs[job.index()];
-        let idx = task_index as usize;
-        if state.map_gen[idx] != attempt || state.map_done[idx] {
-            // stale departure from a preempted attempt: its slot was freed
-            // when the task was killed, and nothing observable changed
+        let Some(pos) =
+            state.running_map_list.iter().position(|r| r.idx == task_index && r.attempt == attempt)
+        else {
+            // stale departure from a killed attempt (preemption, host
+            // failure, or a lost speculation race): its slot was already
+            // handled at kill time, and nothing observable changed
             return;
-        }
+        };
+        let winner = state.running_map_list.remove(pos);
+        let idx = task_index as usize;
+        debug_assert!(!state.map_done[idx], "live attempt of an already-done map");
         state.map_done[idx] = true;
-        let pos = state
-            .running_map_list
-            .iter()
-            .position(|&(i, _)| i == task_index)
-            .expect("departing map task not in the running list");
-        let (_, start) = state.running_map_list.remove(pos);
-        let slot = state.map_task_slots[idx];
-        self.free_map_slots.push(slot);
+        state.map_done_slot[idx] = winner.slot;
         state.maps_completed += 1;
+        // First finisher wins: kill the losing duplicate attempts and
+        // cancel a not-yet-launched duplicate. Only speculation can create
+        // a second attempt, so the scan is gated off the hot path.
+        let mut losers: Vec<RunningMap> = Vec::new();
+        let mut spec_cancelled = false;
+        if speculation {
+            let mut i = 0;
+            while i < state.running_map_list.len() {
+                if state.running_map_list[i].idx == task_index {
+                    losers.push(state.running_map_list.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if let Some(p) = state.spec_pending.iter().position(|&x| x == task_index) {
+                state.spec_pending.remove(p);
+                spec_cancelled = true;
+            }
+        }
         let completed = state.maps_completed;
         let threshold = state.reduce_threshold;
         let all_done = completed == state.maps_total;
+        self.free_map_slots.push(winner.slot);
+        for l in &losers {
+            self.free_map_slots.push(l.slot);
+        }
         let entry = self.entry_mut(job);
-        entry.running_maps -= 1;
+        entry.running_maps -= 1 + losers.len();
         entry.completed_maps += 1;
+        if spec_cancelled {
+            entry.pending_maps -= 1;
+        }
         let flipped_eligible = !entry.reduce_eligible && completed >= threshold;
         entry.reduce_eligible = completed >= threshold;
         if flipped_eligible {
             self.jobq.reset_reduce_hint();
         }
         self.jobq_dirty = true;
-        // Map bars are recorded at *departure* (not launch): a preempted
+        // Map bars are recorded at *departure* (not launch): a killed
         // attempt must not leave a full-duration phantom bar overlapping
         // the slot's next occupant.
         if self.config.record_timeline {
             self.record_bar(TimelineEntry {
                 job,
                 phase: TimelinePhase::Map,
-                slot,
-                start,
+                slot: winner.slot,
+                start: winner.start,
                 end: now,
             });
+            for l in &losers {
+                self.record_bar(TimelineEntry {
+                    job,
+                    phase: TimelinePhase::Map,
+                    slot: l.slot,
+                    start: l.start,
+                    end: now,
+                });
+            }
         }
         if all_done {
             self.queue.push(now, EventKind::AllMapsFinished, job, 0);
@@ -378,23 +605,40 @@ impl<'a> SimulatorEngine<'a> {
         self.note_mutation("on_map_departure");
     }
 
-    /// Kills the victim job's most recently launched running map task: the
-    /// slot frees immediately, all progress is lost, and the task returns
-    /// to the pending queue for a later relaunch (Hadoop task-kill
-    /// semantics). Returns false when the job had no running map.
+    /// Kills the victim job's most recently launched running map attempt:
+    /// the slot frees immediately, all progress is lost, and the task
+    /// returns to the pending queue for a later relaunch (Hadoop task-kill
+    /// semantics) — unless another attempt of the same task is still alive
+    /// or pending, in which case the survivor covers it. Returns false when
+    /// the job had no running map.
     fn preempt_map(&mut self, job: JobId, now: SimTime) -> bool {
         let state = &mut self.jobs[job.index()];
-        let Some((idx, start)) = state.running_map_list.pop() else {
+        let Some(victim) = state.running_map_list.pop() else {
             return false;
         };
-        // invalidate the in-flight departure event
-        state.map_gen[idx as usize] += 1;
-        state.requeued_maps.push(idx);
-        let slot = state.map_task_slots[idx as usize];
-        self.free_map_slots.push(slot);
+        // The in-flight departure of (idx, attempt) is now stale: the pair
+        // is no longer in the running list and attempts are never reused.
+        let idx = victim.idx;
+        let other_live = state.running_map_list.iter().any(|r| r.idx == idx);
+        let mut requeued = false;
+        if !other_live {
+            if let Some(p) = state.spec_pending.iter().position(|&x| x == idx) {
+                // downgrade the pending duplicate to the requeued primary
+                state.spec_pending.remove(p);
+                state.speculated[idx as usize] = false;
+                state.requeued_maps.push(idx);
+                // pending count is unchanged: spec_pending −1, requeued +1
+            } else {
+                state.requeued_maps.push(idx);
+                requeued = true;
+            }
+        }
+        self.free_map_slots.push(victim.slot);
         let entry = self.entry_mut(job);
         entry.running_maps -= 1;
-        entry.pending_maps += 1;
+        if requeued {
+            entry.pending_maps += 1;
+        }
         self.jobq.reset_map_hint();
         // The kill changed the policy-visible queue and freed a slot: the
         // next scheduling pass must not no-op behind a clean flag (a pass
@@ -406,8 +650,8 @@ impl<'a> SimulatorEngine<'a> {
             self.record_bar(TimelineEntry {
                 job,
                 phase: TimelinePhase::Map,
-                slot,
-                start,
+                slot: victim.slot,
+                start: victim.start,
                 end: now,
             });
         }
@@ -416,39 +660,41 @@ impl<'a> SimulatorEngine<'a> {
     }
 
     fn on_all_maps_finished(&mut self, job: JobId, now: SimTime) {
-        // Resolving fillers changes neither the job queue nor the free
-        // slots, so this handler leaves the dirty flag untouched.
-        let fillers = {
+        // A host failure firing at the same instant can reopen the map
+        // stage before this event pops, and a rerun wave can queue a second
+        // AllMapsFinished later: only the first event of a truly closed
+        // stage resolves the fillers.
+        {
             let state = &mut self.jobs[job.index()];
+            if state.maps_completed != state.maps_total || state.maps_finished.is_some() {
+                return;
+            }
             state.maps_finished = Some(now);
-            std::mem::take(&mut state.fillers)
-        };
+        }
         // Rewrite every in-flight first-wave filler's "infinite" duration to
         // (non-overlapping first shuffle) + (reduce phase), per §III-B.
-        for (ridx, launch_time) in fillers {
+        // Resolving fillers changes neither the job queue nor the free
+        // slots, so this handler leaves the dirty flag untouched.
+        let n = self.jobs[job.index()].running_reduce_list.len();
+        for i in 0..n {
+            let r = self.jobs[job.index()].running_reduce_list[i];
+            if !r.shuffle_end.is_infinite() {
+                // later-wave reduce already fully scheduled at launch
+                continue;
+            }
             let template = self.template(job);
-            let shuffle = template.first_shuffle_duration(ridx as usize);
-            let reduce = template.reduce_duration(ridx as usize);
+            let mut shuffle = template.first_shuffle_duration(r.idx as usize);
+            let mut reduce = template.reduce_duration(r.idx as usize);
+            if let Some(&f) = self.reduce_slowdown.get(r.slot as usize) {
+                shuffle = scaled(shuffle, f);
+                reduce = scaled(reduce, f);
+            }
             let shuffle_end = now + shuffle;
             let finish = shuffle_end + reduce;
-            self.queue.push(finish, EventKind::ReduceTaskDeparture, job, ridx);
-            if self.config.record_timeline {
-                let slot = self.jobs[job.index()].reduce_task_slots[ridx as usize];
-                self.record_bar(TimelineEntry {
-                    job,
-                    phase: TimelinePhase::Shuffle,
-                    slot,
-                    start: launch_time,
-                    end: shuffle_end,
-                });
-                self.record_bar(TimelineEntry {
-                    job,
-                    phase: TimelinePhase::Reduce,
-                    slot,
-                    start: shuffle_end,
-                    end: finish,
-                });
-            }
+            self.jobs[job.index()].running_reduce_list[i].shuffle_end = shuffle_end;
+            self.queue.push_attempt(finish, EventKind::ReduceTaskDeparture, job, r.idx, r.attempt);
+            // No bars yet: reduce bars are recorded at departure (or kill)
+            // so a host failure can truncate them at the true extent.
         }
         let state = &self.jobs[job.index()];
         if state.reduces_total == 0 {
@@ -456,17 +702,41 @@ impl<'a> SimulatorEngine<'a> {
         }
     }
 
-    fn on_reduce_departure(&mut self, job: JobId, task_index: u32, now: SimTime) {
+    fn on_reduce_departure(&mut self, job: JobId, task_index: u32, attempt: u32, now: SimTime) {
         let state = &mut self.jobs[job.index()];
-        let slot = state.reduce_task_slots[task_index as usize];
-        self.free_reduce_slots.push(slot);
+        let Some(pos) = state
+            .running_reduce_list
+            .iter()
+            .position(|r| r.idx == task_index && r.attempt == attempt)
+        else {
+            // stale departure from an attempt killed by a host failure
+            return;
+        };
+        let done = state.running_reduce_list.remove(pos);
         state.reduces_completed += 1;
         let job_done = state.reduces_completed == state.reduces_total
             && state.maps_completed == state.maps_total;
+        self.free_reduce_slots.push(done.slot);
         let entry = self.entry_mut(job);
         entry.running_reduces -= 1;
         entry.completed_reduces += 1;
         self.jobq_dirty = true;
+        if self.config.record_timeline {
+            self.record_bar(TimelineEntry {
+                job,
+                phase: TimelinePhase::Shuffle,
+                slot: done.slot,
+                start: done.start,
+                end: done.shuffle_end,
+            });
+            self.record_bar(TimelineEntry {
+                job,
+                phase: TimelinePhase::Reduce,
+                slot: done.slot,
+                start: done.shuffle_end,
+                end: now,
+            });
+        }
         if job_done {
             self.queue.push(now, EventKind::JobDeparture, job, 0);
         }
@@ -498,6 +768,168 @@ impl<'a> SimulatorEngine<'a> {
         self.note_mutation("on_job_departure");
     }
 
+    /// Permanently removes a worker host (fail-stop, Hadoop semantics):
+    ///
+    /// 1. every slot striped onto the host leaves the free pools forever;
+    /// 2. attempts running on those slots are killed and the tasks requeued;
+    /// 3. for jobs whose map stage is still open, *completed* map tasks
+    ///    whose output lived on the host are re-executed (their output is
+    ///    needed by reduces that have not shuffled it yet).
+    ///
+    /// Host 0 never fails: it always holds at least one slot of each kind
+    /// under round-robin striping, so every workload remains finishable.
+    /// This also shields against out-of-range hosts in a user fault plan.
+    fn on_host_failure(&mut self, host: u32, now: SimTime) {
+        let hosts = self.config.cluster.hosts;
+        if host == 0 || host as usize >= hosts || self.dead_hosts[host as usize] {
+            return;
+        }
+        self.dead_hosts[host as usize] = true;
+        for slot in (host as usize..self.config.cluster.map_slots).step_by(hosts) {
+            self.dead_map_slots[slot] = true;
+        }
+        for slot in (host as usize..self.config.cluster.reduce_slots).step_by(hosts) {
+            self.dead_reduce_slots[slot] = true;
+        }
+        let dead_maps = &self.dead_map_slots;
+        self.free_map_slots.retain(|&s| !dead_maps[s as usize]);
+        let dead_reduces = &self.dead_reduce_slots;
+        self.free_reduce_slots.retain(|&s| !dead_reduces[s as usize]);
+
+        for j in 0..self.jobs.len() {
+            let job = JobId(j as u32);
+            let state = &mut self.jobs[j];
+            if !state.active {
+                continue;
+            }
+            let mut map_bars: Vec<RunningMap> = Vec::new();
+            let mut reduce_bars: Vec<RunningReduce> = Vec::new();
+            let mut reruns = 0usize;
+            // kill running map attempts placed on the dead host
+            let mut i = 0;
+            while i < state.running_map_list.len() {
+                if !self.dead_map_slots[state.running_map_list[i].slot as usize] {
+                    i += 1;
+                    continue;
+                }
+                // ordered remove: later attempts stay "most recent" for
+                // the preemption victim choice
+                let victim = state.running_map_list.remove(i);
+                let idx = victim.idx;
+                let other_live = state.running_map_list.iter().any(|r| r.idx == idx);
+                if !other_live {
+                    if let Some(p) = state.spec_pending.iter().position(|&x| x == idx) {
+                        // the pending duplicate becomes the requeued primary
+                        state.spec_pending.remove(p);
+                        state.speculated[idx as usize] = false;
+                    }
+                    state.requeued_maps.push(idx);
+                }
+                map_bars.push(victim);
+            }
+            // Re-run completed maps whose output lived on the host — but
+            // only while the map stage is still open. Once AllMapsFinished
+            // has fired, every reduce has entered (or finished) its shuffle
+            // and the model treats the map outputs as consumed; the stage
+            // never re-opens.
+            if state.maps_finished.is_none() {
+                for idx in 0..state.maps_total {
+                    if state.map_done[idx] && self.dead_map_slots[state.map_done_slot[idx] as usize]
+                    {
+                        state.map_done[idx] = false;
+                        state.maps_completed -= 1;
+                        state.speculated[idx] = false;
+                        state.requeued_maps.push(idx as u32);
+                        reruns += 1;
+                    }
+                }
+            }
+            // kill running reduce attempts placed on the dead host
+            let mut i = 0;
+            while i < state.running_reduce_list.len() {
+                if !self.dead_reduce_slots[state.running_reduce_list[i].slot as usize] {
+                    i += 1;
+                    continue;
+                }
+                let victim = state.running_reduce_list.remove(i);
+                state.requeued_reduces.push(victim.idx);
+                reduce_bars.push(victim);
+            }
+            if map_bars.is_empty() && reduce_bars.is_empty() && reruns == 0 {
+                continue;
+            }
+            // The per-field deltas are intricate here (kills, downgrades,
+            // reruns, eligibility may flip back off); re-derive the policy
+            // view wholesale from the mutated job state instead.
+            let rebuilt = self.entry_of(job);
+            *self.entry_mut(job) = rebuilt;
+            if self.config.record_timeline {
+                for m in &map_bars {
+                    self.record_bar(TimelineEntry {
+                        job,
+                        phase: TimelinePhase::Map,
+                        slot: m.slot,
+                        start: m.start,
+                        end: now,
+                    });
+                }
+                for r in &reduce_bars {
+                    if r.shuffle_end >= now {
+                        // killed mid-shuffle (fillers have infinite ends)
+                        self.record_bar(TimelineEntry {
+                            job,
+                            phase: TimelinePhase::Shuffle,
+                            slot: r.slot,
+                            start: r.start,
+                            end: now,
+                        });
+                    } else {
+                        self.record_bar(TimelineEntry {
+                            job,
+                            phase: TimelinePhase::Shuffle,
+                            slot: r.slot,
+                            start: r.start,
+                            end: r.shuffle_end,
+                        });
+                        self.record_bar(TimelineEntry {
+                            job,
+                            phase: TimelinePhase::Reduce,
+                            slot: r.slot,
+                            start: r.shuffle_end,
+                            end: now,
+                        });
+                    }
+                }
+            }
+        }
+        self.jobq.reset_map_hint();
+        self.jobq.reset_reduce_hint();
+        self.jobq_dirty = true;
+        self.note_mutation("on_host_failure");
+    }
+
+    /// Straggler timer: the attempt launched `speculation_factor × median`
+    /// ago is still running — make a duplicate attempt schedulable. The
+    /// event is stale (ignored) when the attempt already finished or was
+    /// killed; a task is speculated at most once per primary attempt.
+    fn on_speculation_due(&mut self, job: JobId, task_index: u32, attempt: u32) {
+        let state = &mut self.jobs[job.index()];
+        let idx = task_index as usize;
+        if state.departed || state.map_done[idx] || state.speculated[idx] {
+            return;
+        }
+        if !state.running_map_list.iter().any(|r| r.idx == task_index && r.attempt == attempt) {
+            return;
+        }
+        state.speculated[idx] = true;
+        state.spec_pending.push(task_index);
+        let entry = self.entry_mut(job);
+        entry.pending_maps += 1;
+        self.jobq.reset_map_hint();
+        self.jobq_dirty = true;
+        self.note_mutation("on_speculation_due");
+    }
+
     /// Rebuilds the policy view from scratch (the snapshot-oracle path),
     /// in the same `(arrival, id)` order the incremental queue guarantees.
     #[cfg(any(test, debug_assertions))]
@@ -527,9 +959,10 @@ impl<'a> SimulatorEngine<'a> {
             return 0;
         }
         self.jobq_dirty = false;
-        if self.free_map_slots.is_empty() && self.free_reduce_slots.is_empty() {
-            return 0;
-        }
+        // NOTE: no free-slot early return here. A fully busy cluster must
+        // still reach the preemption rounds below — bailing out when no
+        // slot of either kind is free silently disabled `map_preemptions`
+        // exactly when preemption matters most.
         if self.jobq.is_empty() {
             return 0;
         }
@@ -556,7 +989,7 @@ impl<'a> SimulatorEngine<'a> {
         // may name victim jobs whose most recent map task is killed and
         // requeued, freeing slots for more urgent work. Bounded by the
         // cluster size so a misbehaving policy cannot loop forever.
-        let mut rounds = self.config.map_slots;
+        let mut rounds = self.config.cluster.map_slots;
         while self.free_map_slots.is_empty() && rounds > 0 {
             rounds -= 1;
             self.victims.clear();
@@ -610,24 +1043,51 @@ impl<'a> SimulatorEngine<'a> {
     fn launch_map(&mut self, job: JobId, now: SimTime) {
         let slot = self.free_map_slots.pop().expect("launch_map called with no free map slot");
         let state = &mut self.jobs[job.index()];
-        let idx = state.requeued_maps.pop().unwrap_or_else(|| {
+        // Requeued tasks (kills, failure reruns) go first, then fresh tasks,
+        // then speculative duplicates of running stragglers.
+        let (idx, primary) = if let Some(idx) = state.requeued_maps.pop() {
+            (idx, true)
+        } else if state.fresh_maps < state.maps_total {
             let fresh = state.fresh_maps as u32;
             state.fresh_maps += 1;
-            fresh
-        });
+            (fresh, true)
+        } else {
+            let idx = state
+                .spec_pending
+                .pop()
+                .expect("launch_map called on a job with no pending map work");
+            (idx, false)
+        };
         state.map_gen[idx as usize] += 1;
         let attempt = state.map_gen[idx as usize];
-        state.running_map_list.push((idx, now));
-        state.map_task_slots[idx as usize] = slot;
+        state.running_map_list.push(RunningMap { idx, attempt, start: now, slot });
         state.first_map_start.get_or_insert(now);
+        let spec_threshold = state.spec_threshold;
+        let already_speculated = state.speculated[idx as usize];
         let entry = self.entry_mut(job);
         entry.pending_maps -= 1;
         entry.running_maps += 1;
-        let duration = self.trace.jobs[job.index()].template.map_duration(idx as usize);
+        let base = self.trace.jobs[job.index()].template.map_duration(idx as usize);
+        let duration = match self.map_slowdown.get(slot as usize) {
+            Some(&f) => scaled(base, f),
+            None => base,
+        };
         self.queue.push_attempt(now + duration, EventKind::MapTaskDeparture, job, idx, attempt);
+        // Arm the straggler timer only for primary attempts that will
+        // actually outlive the threshold (the common fast case never
+        // allocates a timer event).
+        if primary && spec_threshold > 0 && duration > spec_threshold && !already_speculated {
+            self.queue.push_attempt(
+                now + spec_threshold,
+                EventKind::SpeculationDue,
+                job,
+                idx,
+                attempt,
+            );
+        }
         // No timeline bar yet: map bars are recorded when the attempt
-        // leaves the slot (departure or preemption), so killed attempts
-        // show their true truncated extent.
+        // leaves the slot (departure or kill), so killed attempts show
+        // their true truncated extent.
     }
 
     fn launch_reduce(&mut self, job: JobId, now: SimTime) {
@@ -635,47 +1095,55 @@ impl<'a> SimulatorEngine<'a> {
             self.free_reduce_slots.pop().expect("launch_reduce called with no free reduce slot");
         let state = &mut self.jobs[job.index()];
         let maps_done = state.maps_finished.is_some();
-        let idx = state.reduces_launched as u32;
-        state.reduces_launched += 1;
-        state.reduce_task_slots.push(slot);
+        let idx = state.requeued_reduces.pop().unwrap_or_else(|| {
+            let fresh = state.fresh_reduces as u32;
+            state.fresh_reduces += 1;
+            fresh
+        });
+        state.reduce_gen[idx as usize] += 1;
+        let attempt = state.reduce_gen[idx as usize];
         let entry = self.entry_mut(job);
         entry.pending_reduces -= 1;
         entry.running_reduces += 1;
-        if maps_done {
+        let shuffle_end = if maps_done {
             // later-wave reduce: typical shuffle + reduce phase
             let template = &self.trace.jobs[job.index()].template;
-            let shuffle = template.typical_shuffle_duration(idx as usize);
-            let reduce = template.reduce_duration(idx as usize);
-            let shuffle_end = now + shuffle;
-            let finish = shuffle_end + reduce;
-            self.queue.push(finish, EventKind::ReduceTaskDeparture, job, idx);
-            if self.config.record_timeline {
-                self.record_bar(TimelineEntry {
-                    job,
-                    phase: TimelinePhase::Shuffle,
-                    slot,
-                    start: now,
-                    end: shuffle_end,
-                });
-                self.record_bar(TimelineEntry {
-                    job,
-                    phase: TimelinePhase::Reduce,
-                    slot,
-                    start: shuffle_end,
-                    end: finish,
-                });
+            let mut shuffle = template.typical_shuffle_duration(idx as usize);
+            let mut reduce = template.reduce_duration(idx as usize);
+            if let Some(&f) = self.reduce_slowdown.get(slot as usize) {
+                shuffle = scaled(shuffle, f);
+                reduce = scaled(reduce, f);
             }
+            let shuffle_end = now + shuffle;
+            self.queue.push_attempt(
+                shuffle_end + reduce,
+                EventKind::ReduceTaskDeparture,
+                job,
+                idx,
+                attempt,
+            );
+            shuffle_end
         } else {
             // first-wave filler of "infinite" duration; resolved by
             // AllMapsFinished
-            self.jobs[job.index()].fillers.push((idx, now));
-        }
+            SimTime::INFINITY
+        };
+        self.jobs[job.index()].running_reduce_list.push(RunningReduce {
+            idx,
+            attempt,
+            start: now,
+            slot,
+            shuffle_end,
+        });
+        // No timeline bars yet: reduce bars are recorded at departure (or
+        // kill) so a host failure can truncate them at the true extent.
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultSpec;
     use simmr_types::{JobSpec, JobTemplate};
 
     /// Minimal FIFO used to exercise the engine in isolation.
@@ -1106,5 +1574,160 @@ mod tests {
         trace.push(uniform_job(3, 2, 100, 10, 20, 15, SimTime::ZERO));
         let report = run(EngineConfig::new(4, 4), &trace);
         assert_eq!(report.events_processed, 13);
+    }
+
+    #[test]
+    fn saturated_cluster_preemption_still_runs() {
+        // Regression for the preemption gap: with 1 map + 1 reduce slot and
+        // the reduce slot occupied by job 0's filler, the old scheduling
+        // pass early-returned ("no slot of either kind free") and never
+        // consulted map_preemptions — job 1's tight-deadline map had to
+        // wait for job 0's 1000 ms map to finish naturally.
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(
+            uniform_job(2, 1, 1000, 10, 20, 15, SimTime::ZERO)
+                .with_deadline(SimTime::from_millis(100_000)),
+        );
+        trace.push(
+            uniform_job(1, 0, 100, 0, 0, 0, SimTime::from_millis(1500))
+                .with_deadline(SimTime::from_millis(1700)),
+        );
+        let config = EngineConfig::new(1, 1).with_slowstart(0.05).with_invariants();
+        let report = SimulatorEngine::new(config, &trace, Box::new(TestEdfPreempt)).run();
+        // job 0's second map (launched at 1000) is killed at 1500; job 1
+        // runs 1500..1600 and meets its deadline
+        assert_eq!(report.jobs[1].completion, SimTime::from_millis(1600));
+        assert!(report.jobs[1].met_deadline());
+    }
+
+    #[test]
+    fn host_failure_kills_and_reruns() {
+        // 4 map + 2 reduce slots striped over 2 hosts: host 1 owns map
+        // slots 1, 3 and reduce slot 1. Six 100 ms maps: wave 1 puts maps
+        // 0-3 on slots 3,2,1,0 (free list pops from the back), wave 2 puts
+        // map 4 on slot 0 and map 5 on slot 1 at t=100. The failure at
+        // t=150 kills the running map 5 (slot 1) and re-runs completed
+        // maps 0 (slot 3) and 2 (slot 1) whose output died with the host;
+        // the filler reduce on dead reduce slot 1 is killed and relaunched
+        // on slot 0.
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(6, 1, 100, 20, 40, 30, SimTime::ZERO));
+        let config = EngineConfig::new(4, 2).with_hosts(2).with_timeline().with_invariants();
+        let report = SimulatorEngine::new(config, &trace, Box::new(TestFifo))
+            .with_fault_plan(vec![HostFailure { host: HostId(1), at: SimTime::from_millis(150) }])
+            .run();
+        // surviving slots 0, 2 re-run the three lost tasks: only slot 2 is
+        // free at 150 (map 2 runs 150..250), slot 0 frees at 200 (map 0
+        // runs 200..300), slot 2 again at 250 (map 5 runs 250..350); the
+        // filler reduce resolves with first shuffle 20 + reduce 30
+        assert_eq!(report.jobs[0].maps_finished, Some(SimTime::from_millis(350)));
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(400));
+        assert_eq!(report.makespan, SimTime::from_millis(400));
+        // 6 originals + 1 killed attempt + 2 re-runs = 9 map bars, none on
+        // the dead slots after t=150
+        let map_bars: Vec<_> =
+            report.timeline.iter().filter(|b| b.phase == TimelinePhase::Map).collect();
+        assert_eq!(map_bars.len(), 9);
+        for bar in &map_bars {
+            if bar.slot % 2 == 1 {
+                assert!(
+                    bar.end <= SimTime::from_millis(150),
+                    "bar on dead slot past the failure: {bar:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_first_finisher_wins() {
+        // maps [100, 100, 100, 1000] on 2 slots: median 100, threshold
+        // 2.0 × 100 = 200. Map 3 (launched at 100 on slot 1) is still
+        // running when its timer fires at 300; the duplicate launches at
+        // 300 on slot 0. The original finishes first at 1100 and the
+        // duplicate is killed (truncated bar 300..1100); its stale
+        // departure at 1300 is ignored.
+        let template =
+            JobTemplate::new("t", vec![100, 100, 100, 1000], vec![], vec![], vec![]).unwrap();
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(JobSpec::new(template, SimTime::ZERO));
+        let config =
+            EngineConfig::new(2, 1).with_speculation(2.0).with_timeline().with_invariants();
+        let report = run(config, &trace);
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(1100));
+        assert_eq!(report.makespan, SimTime::from_millis(1100));
+        let map_bars: Vec<_> =
+            report.timeline.iter().filter(|b| b.phase == TimelinePhase::Map).collect();
+        assert_eq!(map_bars.len(), 5, "4 primaries + 1 killed duplicate");
+        let dup = map_bars
+            .iter()
+            .find(|b| b.start == SimTime::from_millis(300))
+            .expect("duplicate attempt bar");
+        assert_eq!(dup.end, SimTime::from_millis(1100));
+    }
+
+    #[test]
+    fn host_0_failures_ignored() {
+        // host 0 never fails (it anchors at least one slot of each kind);
+        // out-of-range hosts in a hand-built plan are ignored too
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(4, 1, 100, 10, 20, 15, SimTime::ZERO));
+        let config = EngineConfig::new(2, 1).with_hosts(2).with_invariants();
+        let baseline = SimulatorEngine::new(config, &trace, Box::new(TestFifo)).run();
+        let ignored = SimulatorEngine::new(config, &trace, Box::new(TestFifo))
+            .with_fault_plan(vec![
+                HostFailure { host: HostId(0), at: SimTime::from_millis(50) },
+                HostFailure { host: HostId(9), at: SimTime::from_millis(60) },
+            ])
+            .run();
+        assert_eq!(baseline.jobs, ignored.jobs);
+        assert_eq!(baseline.makespan, ignored.makespan);
+    }
+
+    #[test]
+    fn slowdown_scales_task_durations() {
+        // constant 2× slowdown on every slot: 2 maps of 100 ms run
+        // sequentially on the single map slot (200 + 200), the map stage
+        // closes at 400, and the reduce (launched at 400 under full
+        // slowstart) takes (40 + 30) × 2 = 140 → completion at 540
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(2, 1, 100, 20, 40, 30, SimTime::ZERO));
+        let config = EngineConfig::new(1, 1)
+            .with_slowstart(1.0)
+            .with_slowdown(Dist::Constant { value: 2.0 }, 5)
+            .with_invariants();
+        let report = run(config, &trace);
+        assert_eq!(report.jobs[0].maps_finished, Some(SimTime::from_millis(400)));
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(540));
+    }
+
+    #[test]
+    fn failure_model_deterministic_across_reruns() {
+        // the full perturbation stack — seeded faults, speculation and
+        // per-slot slowdowns — must replay byte-identically
+        let mut trace = WorkloadTrace::new("t", "test");
+        for i in 0..20u64 {
+            trace.push(uniform_job(
+                1 + (i % 7) as usize,
+                (i % 3) as usize,
+                50 + (i % 5) * 90,
+                15,
+                25,
+                35,
+                SimTime::from_millis(i * 130),
+            ));
+        }
+        let config = EngineConfig::new(6, 3)
+            .with_hosts(3)
+            .with_faults(FaultSpec { seed: 42, count: 3, mean_interval_ms: 400 })
+            .with_speculation(1.5)
+            .with_slowdown(Dist::LogNormal { mu: -0.125, sigma: 0.5 }, 7)
+            .with_timeline()
+            .with_invariants();
+        let a = run(config, &trace);
+        let b = run(config, &trace);
+        assert_eq!(a, b);
+        // the plan actually fired: some slots are lost, so at least one
+        // host beyond host 0 died — all jobs still complete
+        assert_eq!(a.jobs.len(), 20);
     }
 }

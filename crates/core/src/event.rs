@@ -4,10 +4,16 @@
 //! seven event types: job arrivals and departures, map and reduce task
 //! arrivals and departures, and an event signaling the completion of the
 //! map stage. Each event is a triplet (eventTime, eventType, jobId)."*
+//!
+//! The failure/speculation model (§VII future work) adds two more kinds:
+//! [`EventKind::HostFailure`] for the seeded fault plan and
+//! [`EventKind::SpeculationDue`] for the straggler-detection timer of a
+//! running map attempt.
 
 use simmr_types::{JobId, SimTime};
 
-/// The seven event types of the SimMR engine.
+/// The event types of the SimMR engine: the paper's seven plus the two
+/// failure-model kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     /// A job is submitted to the job master.
@@ -25,6 +31,15 @@ pub enum EventKind {
     /// The job's entire map stage has completed (triggers the first-shuffle
     /// fix-up of filler reduce tasks).
     AllMapsFinished,
+    /// A worker host is permanently lost (`task_index` carries the host
+    /// id): its slots leave the pools, attempts running on them are killed
+    /// and requeued, and completed map outputs stored there are re-executed
+    /// while the owning job's map stage is still open.
+    HostFailure,
+    /// A running map attempt has outlived the speculation threshold
+    /// (`speculation_factor ×` the job's median map duration); if it is
+    /// still running, a duplicate attempt becomes schedulable.
+    SpeculationDue,
 }
 
 /// One scheduled event: the paper's `(eventTime, eventType, jobId)` triplet
@@ -92,9 +107,11 @@ mod tests {
             EventKind::ReduceTaskArrival,
             EventKind::ReduceTaskDeparture,
             EventKind::AllMapsFinished,
+            EventKind::HostFailure,
+            EventKind::SpeculationDue,
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 7);
+        assert_eq!(kinds.len(), 9);
     }
 }

@@ -11,17 +11,19 @@
 //!
 //! Checked invariants:
 //!
-//! * **Slot conservation** — per slot kind, `free + occupied = configured`;
-//!   free map/reduce slot ids are unique and in range, and the occupied map
-//!   slot ids are exactly the complement of the free list.
+//! * **Slot conservation** — per slot kind, `free + occupied + lost =
+//!   configured`; free and occupied map/reduce slot ids are unique, in
+//!   range, never double-booked, and never on a failed host.
 //! * **Counter consistency** — every [`crate::JobEntry`] field of every
 //!   active job is re-derivable from the engine's [`JobState`]; a mismatch
 //!   reports the differing fields one by one (a strict generalization of
 //!   the snapshot oracle, which only detects divergence after it changes a
 //!   scheduling decision). Per-job task accounting (`fresh + requeued +
-//!   running + done = total`) is verified along the way, and the queue
-//!   itself must stay sorted by `(arrival, id)` and contain exactly the
-//!   active jobs.
+//!   distinct running + done = total`, with duplicate attempts only under
+//!   speculation) is verified along the way, including the speculation
+//!   bookkeeping (`spec_pending` entries always shadow a live primary
+//!   attempt), and the queue itself must stay sorted by `(arrival, id)`
+//!   and contain exactly the active jobs.
 //! * **Event-time monotonicity** — popped events never go back in time,
 //!   and settled batches are strictly increasing.
 //! * **Timeline disjointness (online)** — every recorded bar must start at
@@ -78,10 +80,10 @@ macro_rules! violation {
 impl InvariantState {
     pub(crate) fn new(config: &EngineConfig) -> Self {
         InvariantState {
-            map_slots: config.map_slots,
-            reduce_slots: config.reduce_slots,
-            map_bar_end: vec![SimTime::ZERO; config.map_slots],
-            reduce_bar_end: vec![SimTime::ZERO; config.reduce_slots],
+            map_slots: config.cluster.map_slots,
+            reduce_slots: config.cluster.reduce_slots,
+            map_bar_end: vec![SimTime::ZERO; config.cluster.map_slots],
+            reduce_bar_end: vec![SimTime::ZERO; config.cluster.reduce_slots],
             last_event: None,
             last_batch: None,
             events_popped: 0,
@@ -167,12 +169,15 @@ impl InvariantState {
         self.check_entries(engine, now);
     }
 
-    /// Slot conservation: free + occupied = configured, ids unique and in
-    /// range, occupied map slots are exactly the free list's complement.
+    /// Slot conservation: `free + occupied + lost = configured` per kind;
+    /// every slot id is unique (no double-booking between or within the
+    /// free list and the running lists) and never on a failed host.
     fn check_slots(&self, engine: &SimulatorEngine<'_>, now: SimTime) {
-        let mut map_free = vec![false; self.map_slots];
+        // seen[slot] marks a slot claimed by the free list or a running
+        // attempt; a second claim of any flavor is a violation.
+        let mut map_seen = vec![false; self.map_slots];
         for &slot in &engine.free_map_slots {
-            match map_free.get_mut(slot as usize) {
+            match map_seen.get_mut(slot as usize) {
                 Some(seen @ false) => *seen = true,
                 Some(true) => violation!(
                     "slot-conservation",
@@ -184,10 +189,16 @@ impl InvariantState {
                     self.map_slots
                 ),
             }
+            if engine.dead_map_slots[slot as usize] {
+                violation!(
+                    "slot-conservation",
+                    "map slot {slot} of a failed host is in the free list at t={now}"
+                );
+            }
         }
-        let mut reduce_free = vec![false; self.reduce_slots];
+        let mut reduce_seen = vec![false; self.reduce_slots];
         for &slot in &engine.free_reduce_slots {
-            match reduce_free.get_mut(slot as usize) {
+            match reduce_seen.get_mut(slot as usize) {
                 Some(seen @ false) => *seen = true,
                 Some(true) => violation!(
                     "slot-conservation",
@@ -199,37 +210,82 @@ impl InvariantState {
                     self.reduce_slots
                 ),
             }
+            if engine.dead_reduce_slots[slot as usize] {
+                violation!(
+                    "slot-conservation",
+                    "reduce slot {slot} of a failed host is in the free list at t={now}"
+                );
+            }
         }
         let mut running_maps = 0usize;
         let mut running_reduces = 0usize;
         for (i, state) in engine.jobs.iter().enumerate() {
             running_maps += state.running_map_list.len();
-            running_reduces += state.reduces_launched - state.reduces_completed;
-            for &(idx, _) in &state.running_map_list {
-                let slot = state.map_task_slots[idx as usize] as usize;
-                if map_free.get(slot).copied().unwrap_or(false) {
+            running_reduces += state.running_reduce_list.len();
+            for r in &state.running_map_list {
+                let slot = r.slot as usize;
+                match map_seen.get_mut(slot) {
+                    Some(seen @ false) => *seen = true,
+                    Some(true) => violation!(
+                        "slot-conservation",
+                        "map slot {slot} double-booked (job {i} task {} at t={now})",
+                        r.idx
+                    ),
+                    None => violation!(
+                        "slot-conservation",
+                        "job {i} task {} runs on out-of-range map slot {slot} at t={now}",
+                        r.idx
+                    ),
+                }
+                if engine.dead_map_slots[slot] {
                     violation!(
                         "slot-conservation",
-                        "map slot {slot} is both free and occupied by job {i} task {idx} at t={now}"
+                        "job {i} task {} still runs on dead map slot {slot} at t={now}",
+                        r.idx
+                    );
+                }
+            }
+            for r in &state.running_reduce_list {
+                let slot = r.slot as usize;
+                match reduce_seen.get_mut(slot) {
+                    Some(seen @ false) => *seen = true,
+                    Some(true) => violation!(
+                        "slot-conservation",
+                        "reduce slot {slot} double-booked (job {i} task {} at t={now})",
+                        r.idx
+                    ),
+                    None => violation!(
+                        "slot-conservation",
+                        "job {i} task {} runs on out-of-range reduce slot {slot} at t={now}",
+                        r.idx
+                    ),
+                }
+                if engine.dead_reduce_slots[slot] {
+                    violation!(
+                        "slot-conservation",
+                        "job {i} task {} still runs on dead reduce slot {slot} at t={now}",
+                        r.idx
                     );
                 }
             }
         }
-        if engine.free_map_slots.len() + running_maps != self.map_slots {
+        let lost_maps = engine.dead_map_slots.iter().filter(|&&d| d).count();
+        let lost_reduces = engine.dead_reduce_slots.iter().filter(|&&d| d).count();
+        if engine.free_map_slots.len() + running_maps + lost_maps != self.map_slots {
             violation!(
                 "slot-conservation",
-                "map slots at t={now}: {} free + {} running != {} configured",
+                "map slots at t={now}: {} free + {running_maps} running + {lost_maps} lost \
+                 != {} configured",
                 engine.free_map_slots.len(),
-                running_maps,
                 self.map_slots
             );
         }
-        if engine.free_reduce_slots.len() + running_reduces != self.reduce_slots {
+        if engine.free_reduce_slots.len() + running_reduces + lost_reduces != self.reduce_slots {
             violation!(
                 "slot-conservation",
-                "reduce slots at t={now}: {} free + {} running != {} configured",
+                "reduce slots at t={now}: {} free + {running_reduces} running + {lost_reduces} \
+                 lost != {} configured",
                 engine.free_reduce_slots.len(),
-                running_reduces,
                 self.reduce_slots
             );
         }
@@ -240,24 +296,74 @@ impl InvariantState {
     /// the queue must contain exactly the active jobs in arrival order.
     fn check_entries(&self, engine: &SimulatorEngine<'_>, now: SimTime) {
         let mut active = 0usize;
+        let speculation = engine.config.speculation_factor.is_some();
         for (i, state) in engine.jobs.iter().enumerate() {
             let id = JobId(i as u32);
-            // internal task accounting before the view comparison
+            // internal task accounting before the view comparison: a task
+            // may have up to two live attempts under speculation, so the
+            // conservation law counts *distinct* running task indices
+            let mut running_idx: Vec<u32> = state.running_map_list.iter().map(|r| r.idx).collect();
+            running_idx.sort_unstable();
+            let mut distinct = 0usize;
+            for (k, &idx) in running_idx.iter().enumerate() {
+                if k > 0 && running_idx[k - 1] == idx {
+                    if !speculation {
+                        violation!(
+                            "task-accounting",
+                            "job {id} at t={now}: map task {idx} has multiple live attempts \
+                             with speculation disabled"
+                        );
+                    }
+                    continue;
+                }
+                distinct += 1;
+                if state.map_done[idx as usize] {
+                    violation!(
+                        "task-accounting",
+                        "job {id} at t={now}: completed map task {idx} still has a live attempt"
+                    );
+                }
+            }
             let fresh_left = state.maps_total - state.fresh_maps;
-            let placed = fresh_left
-                + state.requeued_maps.len()
-                + state.running_map_list.len()
-                + state.maps_completed;
+            let placed = fresh_left + state.requeued_maps.len() + distinct + state.maps_completed;
             if placed != state.maps_total {
                 violation!(
                     "task-accounting",
-                    "job {id} at t={now}: {fresh_left} fresh + {} requeued + {} running + {} done \
-                     != {} total maps",
+                    "job {id} at t={now}: {fresh_left} fresh + {} requeued + {distinct} running \
+                     + {} done != {} total maps",
                     state.requeued_maps.len(),
-                    state.running_map_list.len(),
                     state.maps_completed,
                     state.maps_total
                 );
+            }
+            for &idx in &state.requeued_maps {
+                if state.map_done[idx as usize] {
+                    violation!(
+                        "task-accounting",
+                        "job {id} at t={now}: requeued map task {idx} is marked done"
+                    );
+                }
+                if running_idx.binary_search(&idx).is_ok() {
+                    violation!(
+                        "task-accounting",
+                        "job {id} at t={now}: map task {idx} is both requeued and running"
+                    );
+                }
+            }
+            // every not-yet-launched duplicate must shadow a live primary
+            for &idx in &state.spec_pending {
+                if !state.speculated[idx as usize]
+                    || state.map_done[idx as usize]
+                    || running_idx.binary_search(&idx).is_err()
+                {
+                    violation!(
+                        "speculation-bookkeeping",
+                        "job {id} at t={now}: spec_pending map task {idx} has no live primary \
+                         attempt (speculated={}, done={})",
+                        state.speculated[idx as usize],
+                        state.map_done[idx as usize]
+                    );
+                }
             }
             let done_flags = state.map_done.iter().filter(|&&d| d).count();
             if done_flags != state.maps_completed {
@@ -267,13 +373,18 @@ impl InvariantState {
                     state.maps_completed
                 );
             }
-            if state.reduces_completed > state.reduces_launched
-                || state.reduces_launched > state.reduces_total
-            {
+            let fresh_left_r = state.reduces_total - state.fresh_reduces;
+            let placed_r = fresh_left_r
+                + state.requeued_reduces.len()
+                + state.running_reduce_list.len()
+                + state.reduces_completed;
+            if placed_r != state.reduces_total {
                 violation!(
                     "task-accounting",
-                    "job {id} at t={now}: reduces launched {} / completed {} / total {}",
-                    state.reduces_launched,
+                    "job {id} at t={now}: {fresh_left_r} fresh + {} requeued + {} running + {} \
+                     done != {} total reduces",
+                    state.requeued_reduces.len(),
+                    state.running_reduce_list.len(),
                     state.reduces_completed,
                     state.reduces_total
                 );
@@ -318,17 +429,23 @@ impl InvariantState {
         }
     }
 
-    /// End-of-run report invariants.
+    /// End-of-run report invariants: every surviving slot returned free,
+    /// every lost slot accounted to a failed host.
     pub(crate) fn check_report(
         &self,
         report: &SimulationReport,
         free_maps: usize,
         free_reduces: usize,
+        lost_maps: usize,
+        lost_reduces: usize,
     ) {
-        if free_maps != self.map_slots || free_reduces != self.reduce_slots {
+        if free_maps + lost_maps != self.map_slots
+            || free_reduces + lost_reduces != self.reduce_slots
+        {
             violation!(
                 "slot-conservation",
-                "end of run: {free_maps}/{} map and {free_reduces}/{} reduce slots returned",
+                "end of run: {free_maps}+{lost_maps}/{} map and {free_reduces}+{lost_reduces}/{} \
+                 reduce slots returned or lost",
                 self.map_slots,
                 self.reduce_slots
             );
@@ -528,7 +645,7 @@ mod tests {
             events_processed: 0,
             timeline: vec![],
         };
-        inv.check_report(&report, 1, 1);
+        inv.check_report(&report, 1, 1, 0, 0);
     }
 
     #[test]
@@ -543,6 +660,6 @@ mod tests {
             events_processed: 7,
             timeline: vec![],
         };
-        inv.check_report(&report, 1, 1);
+        inv.check_report(&report, 1, 1, 0, 0);
     }
 }

@@ -303,16 +303,17 @@ pub trait SchedulerPolicy {
     /// Human-readable policy name, used in reports.
     fn name(&self) -> &str;
 
-    /// Called once when a job arrives. `profile_deadline` carries the job's
-    /// *relative* deadline (deadline − arrival) when present, and
+    /// Called once when a job arrives. `relative_deadline` carries the
+    /// job's *relative* deadline (deadline − arrival) when present,
     /// `template` gives policies access to the job profile for model-based
-    /// decisions.
+    /// decisions, and `cluster` names the shape the run executes on
+    /// (slot pools plus host count).
     fn on_job_arrival(
         &mut self,
         _id: JobId,
         _template: &simmr_types::JobTemplate,
         _relative_deadline: Option<DurationMs>,
-        _cluster: (usize, usize),
+        _cluster: simmr_types::ClusterSpec,
     ) {
     }
 

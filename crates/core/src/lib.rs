@@ -11,8 +11,10 @@
 //!   reduce slots (TaskTracker internals are deliberately *not* simulated —
 //!   that is SimMR's speed advantage over Mumak and MRPerf; per-task
 //!   latencies come from the replayed job profiles instead).
-//! * Seven event types drive the simulation: job arrivals/departures, map
-//!   and reduce task arrivals/departures, and `AllMapsFinished`.
+//! * Nine event types drive the simulation: the paper's seven (job
+//!   arrivals/departures, map and reduce task arrivals/departures, and
+//!   `AllMapsFinished`) plus `HostFailure` and `SpeculationDue` from the
+//!   failure/speculation model.
 //! * Reduce tasks launched before a job's map stage completes are **filler
 //!   tasks of infinite duration**; when `AllMapsFinished` fires their
 //!   duration is rewritten to the profile's *non-overlapping first-shuffle*
@@ -21,6 +23,28 @@
 //!   modeling that Mumak lacks (§IV-A).
 //! * Reduce scheduling for a job begins once `min_map_percent_completed`
 //!   of its maps have finished (Hadoop's "slowstart", §III-B).
+//!
+//! ## Failure and speculation model
+//!
+//! [`EngineConfig`] optionally stripes the slot pools over worker hosts
+//! ([`simmr_types::ClusterSpec::with_hosts`]) and enables three
+//! perturbations (see `DESIGN.md` §2.3):
+//!
+//! * **Host failures** — a seeded [`FaultSpec`] (or an explicit
+//!   [`HostFailure`] plan via [`SimulatorEngine::with_fault_plan`])
+//!   permanently removes hosts: their slots leave the pools, running
+//!   attempts are killed and requeued, and completed map outputs stored
+//!   there are re-executed while the owning job's map stage is open.
+//! * **Speculative execution** — [`EngineConfig::with_speculation`] arms a
+//!   straggler timer per map attempt; an attempt outliving `factor ×` the
+//!   job's median map duration gets a duplicate, and the first finisher
+//!   wins (losers are killed).
+//! * **Per-slot slowdowns** — [`SlowdownSpec`] scales every task duration
+//!   on a slot by a factor sampled once per slot, which is what creates
+//!   stragglers for speculation to chase.
+//!
+//! All three are deterministic: byte-identical reports across same-seed
+//! reruns.
 //!
 //! ## Runtime invariant checking
 //!
@@ -76,8 +100,8 @@ mod invariants;
 pub mod jobq;
 pub mod queue;
 
-pub use config::EngineConfig;
-pub use engine::SimulatorEngine;
+pub use config::{EngineConfig, FaultSpec, SlowdownSpec};
+pub use engine::{HostFailure, SimulatorEngine};
 pub use event::{Event, EventKind};
 pub use jobq::{JobEntry, JobQueue, SchedulerPolicy};
 pub use queue::EventQueue;

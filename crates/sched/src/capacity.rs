@@ -118,7 +118,7 @@ impl SchedulerPolicy for CapacityPolicy {
         id: JobId,
         template: &JobTemplate,
         _relative_deadline: Option<DurationMs>,
-        _cluster: (usize, usize),
+        _cluster: simmr_types::ClusterSpec,
     ) {
         let q = self.route(&template.name);
         self.assignment.insert(id, q);

@@ -132,9 +132,9 @@ impl SchedulerPolicy for MinEdfPolicy {
         id: JobId,
         template: &JobTemplate,
         relative_deadline: Option<DurationMs>,
-        cluster: (usize, usize),
+        cluster: simmr_types::ClusterSpec,
     ) {
-        let (max_maps, max_reduces) = cluster;
+        let (max_maps, max_reduces) = (cluster.map_slots, cluster.reduce_slots);
         if let Some(&preset) = self.presets.get(&id) {
             self.wanted.insert(id, preset);
             return;
@@ -240,15 +240,15 @@ mod tests {
         let mut p = MinEdfPolicy::new();
         let t = JobTemplate::new("j", vec![1000; 16], vec![10], vec![10; 8], vec![10; 8]).unwrap();
         // very relaxed deadline: minimal slots
-        p.on_job_arrival(JobId(0), &t, Some(1_000_000), (64, 64));
+        p.on_job_arrival(JobId(0), &t, Some(1_000_000), simmr_types::ClusterSpec::new(64, 64));
         let w = p.wanted(JobId(0)).unwrap();
         assert!(w.maps <= 2, "{w:?}");
         // tight deadline: lots of slots
-        p.on_job_arrival(JobId(1), &t, Some(2_000), (64, 64));
+        p.on_job_arrival(JobId(1), &t, Some(2_000), simmr_types::ClusterSpec::new(64, 64));
         let w_tight = p.wanted(JobId(1)).unwrap();
         assert!(w_tight.maps > w.maps);
         // no deadline: max
-        p.on_job_arrival(JobId(2), &t, None, (64, 64));
+        p.on_job_arrival(JobId(2), &t, None, simmr_types::ClusterSpec::new(64, 64));
         assert_eq!(p.wanted(JobId(2)).unwrap().maps, 16);
         p.on_job_departure(JobId(0));
         assert!(p.wanted(JobId(0)).is_none());

@@ -17,33 +17,214 @@
 //!
 //! All policies implement [`simmr_core::SchedulerPolicy`] and are
 //! deterministic: ties break on `(arrival, job id)`.
+//!
+//! ## Policy specs
+//!
+//! CLIs and experiment harnesses name policies with a **spec string**,
+//! parsed by [`PolicySpec`] (or the [`parse_policy`] shortcut):
+//!
+//! ```text
+//! fifo | maxedf | minedf | maxedf-p | minedf-p | fair
+//! capacity                       # two_tier() default queues
+//! capacity:prod=3,adhoc=1        # ordered weighted queues
+//! ```
+//!
+//! Parsing returns a [`PolicyParseError`] that names the valid policies,
+//! instead of the old `Option`-returning [`policy_by_name`] (kept as a
+//! deprecated shim).
 
 pub mod capacity;
 pub mod edf;
 pub mod fair;
 pub mod fifo;
 
-pub use capacity::CapacityPolicy;
+pub use capacity::{CapacityPolicy, QueueConfig};
 pub use edf::{MaxEdfPolicy, MinEdfPolicy};
 pub use fair::FairSharePolicy;
 pub use fifo::FifoPolicy;
 
 use simmr_core::SchedulerPolicy;
+use std::fmt;
+use std::str::FromStr;
+
+/// The valid policy names, in the order error messages list them.
+pub const POLICY_NAMES: &[&str] =
+    &["fifo", "maxedf", "minedf", "maxedf-p", "minedf-p", "fair", "capacity"];
+
+/// A parsed policy spec: which built-in policy to run, with parameters.
+///
+/// Parse one with [`str::parse`] / [`FromStr`] and instantiate it with
+/// [`PolicySpec::build`]; [`parse_policy`] does both in one call. The
+/// grammar is `name` or `name:params`, where only `capacity` currently
+/// takes params (an ordered `queue=weight` list).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// Hadoop's default FIFO.
+    Fifo,
+    /// EDF with greedy allocation; `preemptive` arms map-slot preemption.
+    MaxEdf {
+        /// Kill latest-deadline maps for a more urgent waiting job.
+        preemptive: bool,
+    },
+    /// EDF with ARIA minimal allocation; `preemptive` as above.
+    MinEdf {
+        /// Kill latest-deadline maps for a more urgent waiting job.
+        preemptive: bool,
+    },
+    /// Fair share: smallest running share first.
+    Fair,
+    /// Weighted capacity queues, FIFO inside each queue, in listed order.
+    /// Empty means [`CapacityPolicy::two_tier`].
+    Capacity {
+        /// Ordered `(queue name, weight)` pairs.
+        queues: Vec<(String, f64)>,
+    },
+}
+
+/// Why a policy spec string failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyParseError {
+    /// The name before the optional `:` is not a known policy.
+    UnknownPolicy {
+        /// The offending name, as given.
+        given: String,
+    },
+    /// The part after `:` is invalid for the named policy.
+    InvalidParams {
+        /// The policy the params were for.
+        policy: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyParseError::UnknownPolicy { given } => {
+                write!(f, "unknown policy {given:?}; valid policies: {}", POLICY_NAMES.join(", "))
+            }
+            PolicyParseError::InvalidParams { policy, reason } => {
+                write!(f, "invalid parameters for policy {policy:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+impl FromStr for PolicySpec {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, params) = match s.split_once(':') {
+            Some((name, params)) => (name, Some(params)),
+            None => (s, None),
+        };
+        let spec = match name {
+            "fifo" => PolicySpec::Fifo,
+            "maxedf" => PolicySpec::MaxEdf { preemptive: false },
+            "minedf" => PolicySpec::MinEdf { preemptive: false },
+            "maxedf-p" => PolicySpec::MaxEdf { preemptive: true },
+            "minedf-p" => PolicySpec::MinEdf { preemptive: true },
+            "fair" => PolicySpec::Fair,
+            "capacity" => {
+                let queues = match params {
+                    None => Vec::new(),
+                    Some(p) => parse_capacity_queues(p)?,
+                };
+                return Ok(PolicySpec::Capacity { queues });
+            }
+            _ => return Err(PolicyParseError::UnknownPolicy { given: name.to_string() }),
+        };
+        if let Some(p) = params {
+            return Err(PolicyParseError::InvalidParams {
+                policy: match spec {
+                    PolicySpec::Fifo => "fifo",
+                    PolicySpec::MaxEdf { preemptive: false } => "maxedf",
+                    PolicySpec::MaxEdf { preemptive: true } => "maxedf-p",
+                    PolicySpec::MinEdf { preemptive: false } => "minedf",
+                    PolicySpec::MinEdf { preemptive: true } => "minedf-p",
+                    _ => unreachable!(),
+                },
+                reason: format!("takes no parameters, got {p:?}"),
+            });
+        }
+        Ok(spec)
+    }
+}
+
+/// `prod=3,adhoc=1` → ordered `(name, weight)` pairs.
+fn parse_capacity_queues(params: &str) -> Result<Vec<(String, f64)>, PolicyParseError> {
+    let invalid = |reason: String| PolicyParseError::InvalidParams { policy: "capacity", reason };
+    if params.is_empty() {
+        return Err(invalid("empty parameter list (drop the ':' for default queues)".into()));
+    }
+    let mut queues = Vec::new();
+    for part in params.split(',') {
+        let Some((name, weight)) = part.split_once('=') else {
+            return Err(invalid(format!("expected queue=weight, got {part:?}")));
+        };
+        let weight: f64 = weight.parse().map_err(|_| {
+            invalid(format!("weight of queue {name:?} is not a number: {weight:?}"))
+        })?;
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(invalid(format!("weight of queue {name:?} must be finite and > 0")));
+        }
+        if queues.iter().any(|(n, _)| n == name) {
+            return Err(invalid(format!("queue {name:?} listed twice")));
+        }
+        queues.push((name.to_string(), weight));
+    }
+    Ok(queues)
+}
+
+impl PolicySpec {
+    /// Instantiates the policy this spec describes.
+    pub fn build(&self) -> Box<dyn SchedulerPolicy> {
+        match self {
+            PolicySpec::Fifo => Box::new(FifoPolicy::new()),
+            PolicySpec::MaxEdf { preemptive: false } => Box::new(MaxEdfPolicy::new()),
+            PolicySpec::MaxEdf { preemptive: true } => Box::new(MaxEdfPolicy::preemptive()),
+            PolicySpec::MinEdf { preemptive: false } => Box::new(MinEdfPolicy::new()),
+            PolicySpec::MinEdf { preemptive: true } => Box::new(MinEdfPolicy::preemptive()),
+            PolicySpec::Fair => Box::new(FairSharePolicy::new()),
+            PolicySpec::Capacity { queues } if queues.is_empty() => {
+                Box::new(CapacityPolicy::two_tier())
+            }
+            PolicySpec::Capacity { queues } => Box::new(CapacityPolicy::new(
+                queues
+                    .iter()
+                    .map(|(name, weight)| QueueConfig { name: name.clone(), weight: *weight })
+                    .collect(),
+            )),
+        }
+    }
+}
+
+/// Parses a policy spec string and builds the policy in one step.
+///
+/// ```
+/// let p = simmr_sched::parse_policy("capacity:prod=3,adhoc=1").unwrap();
+/// assert_eq!(p.name(), "capacity");
+/// let err = simmr_sched::parse_policy("nope").err().unwrap();
+/// assert!(err.to_string().contains("valid policies"));
+/// ```
+pub fn parse_policy(spec: &str) -> Result<Box<dyn SchedulerPolicy>, PolicyParseError> {
+    Ok(spec.parse::<PolicySpec>()?.build())
+}
 
 /// The built-in policies by name, for CLIs and experiment harnesses.
 ///
 /// Returns `None` for an unknown name. Valid names: `fifo`, `maxedf`,
 /// `minedf`, `fair`, and the preemptive variants `maxedf-p` / `minedf-p`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `parse_policy` (or `PolicySpec::from_str`), which \
+    reports *why* a spec is invalid and supports parameterized policies"
+)]
 pub fn policy_by_name(name: &str) -> Option<Box<dyn SchedulerPolicy>> {
-    match name {
-        "fifo" => Some(Box::new(FifoPolicy::new())),
-        "maxedf" => Some(Box::new(MaxEdfPolicy::new())),
-        "minedf" => Some(Box::new(MinEdfPolicy::new())),
-        "maxedf-p" => Some(Box::new(MaxEdfPolicy::preemptive())),
-        "minedf-p" => Some(Box::new(MinEdfPolicy::preemptive())),
-        "fair" => Some(Box::new(FairSharePolicy::new())),
-        _ => None,
-    }
+    parse_policy(name).ok()
 }
 
 #[cfg(test)]
@@ -51,13 +232,72 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lookup_by_name() {
-        for name in ["fifo", "maxedf", "minedf", "fair"] {
-            let p = policy_by_name(name).unwrap();
+    fn parse_and_build_all_plain_names() {
+        for name in ["fifo", "maxedf", "minedf", "fair", "capacity"] {
+            let p = parse_policy(name).unwrap();
             assert_eq!(p.name(), name);
         }
-        assert!(policy_by_name("maxedf-p").is_some());
-        assert!(policy_by_name("minedf-p").is_some());
+        assert!(parse_policy("maxedf-p").is_ok());
+        assert!(parse_policy("minedf-p").is_ok());
+    }
+
+    #[test]
+    fn unknown_policy_lists_valid_names() {
+        let err = parse_policy("nope").err().unwrap();
+        let msg = err.to_string();
+        for name in POLICY_NAMES {
+            assert!(msg.contains(name), "{msg}");
+        }
+    }
+
+    #[test]
+    fn capacity_params_parse_in_order() {
+        let spec: PolicySpec = "capacity:prod=3,adhoc=1.5".parse().unwrap();
+        assert_eq!(
+            spec,
+            PolicySpec::Capacity { queues: vec![("prod".into(), 3.0), ("adhoc".into(), 1.5)] }
+        );
+        assert_eq!(spec.build().name(), "capacity");
+        // bare name: the two_tier default
+        assert_eq!(
+            "capacity".parse::<PolicySpec>().unwrap(),
+            PolicySpec::Capacity { queues: vec![] }
+        );
+    }
+
+    #[test]
+    fn capacity_param_errors() {
+        for bad in [
+            "capacity:",
+            "capacity:prod",
+            "capacity:prod=abc",
+            "capacity:prod=0",
+            "capacity:prod=-1",
+            "capacity:prod=inf",
+            "capacity:prod=1,prod=2",
+        ] {
+            let err = bad.parse::<PolicySpec>().unwrap_err();
+            assert!(
+                matches!(err, PolicyParseError::InvalidParams { policy: "capacity", .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn params_on_parameterless_policy_rejected() {
+        let err = "fifo:x=1".parse::<PolicySpec>().unwrap_err();
+        assert!(matches!(err, PolicyParseError::InvalidParams { policy: "fifo", .. }), "{err}");
+        let err = "maxedf-p:1".parse::<PolicySpec>().unwrap_err();
+        assert!(err.to_string().contains("maxedf-p"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_resolves_all_names() {
+        for name in ["fifo", "maxedf", "minedf", "maxedf-p", "minedf-p", "fair"] {
+            assert!(policy_by_name(name).is_some(), "{name}");
+        }
         assert!(policy_by_name("nope").is_none());
     }
 }

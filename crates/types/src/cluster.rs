@@ -1,0 +1,110 @@
+//! The cluster shape shared by the engine and the scheduling policies.
+//!
+//! SimMR models the cluster as two flat slot pools (§III-B); the failure
+//! model additionally needs to know *which worker host* each slot lives on,
+//! so that a host failure takes out the right set of slots and completed
+//! map outputs. [`ClusterSpec`] names the three numbers — previously a bare
+//! `(usize, usize)` tuple threaded positionally through
+//! `SchedulerPolicy::on_job_arrival` — and owns the deterministic
+//! slot-to-host striping.
+
+use crate::HostId;
+
+/// The simulated cluster's shape: slot pools plus the worker-host count.
+///
+/// Slots are striped over hosts round-robin (`slot % hosts`), separately
+/// for the map and reduce pools, so every host carries a near-equal share
+/// of each kind. With the default single host the classic SimMR
+/// abstraction is recovered exactly: one failure would take the whole
+/// cluster, and the striping is the identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Total map slots in the cluster.
+    pub map_slots: usize,
+    /// Total reduce slots in the cluster.
+    pub reduce_slots: usize,
+    /// Number of worker hosts the slots are striped over (≥ 1).
+    pub hosts: usize,
+}
+
+impl ClusterSpec {
+    /// A single-host cluster with the given slot pools — the paper's
+    /// failure-free model.
+    pub fn new(map_slots: usize, reduce_slots: usize) -> Self {
+        ClusterSpec { map_slots, reduce_slots, hosts: 1 }
+    }
+
+    /// Stripes the slots over `hosts` workers (clamped to ≥ 1).
+    pub fn with_hosts(mut self, hosts: usize) -> Self {
+        self.hosts = hosts.max(1);
+        self
+    }
+
+    /// The host carrying a map slot.
+    pub fn map_slot_host(&self, slot: u32) -> HostId {
+        HostId(slot % self.hosts as u32)
+    }
+
+    /// The host carrying a reduce slot.
+    pub fn reduce_slot_host(&self, slot: u32) -> HostId {
+        HostId(slot % self.hosts as u32)
+    }
+
+    /// Number of map slots on one host.
+    pub fn map_slots_of(&self, host: HostId) -> usize {
+        pool_share(self.map_slots, self.hosts, host)
+    }
+
+    /// Number of reduce slots on one host.
+    pub fn reduce_slots_of(&self, host: HostId) -> usize {
+        pool_share(self.reduce_slots, self.hosts, host)
+    }
+}
+
+/// Slots of a `pool`-sized round-robin striping landing on `host`.
+fn pool_share(pool: usize, hosts: usize, host: HostId) -> usize {
+    let h = host.index();
+    if h >= hosts {
+        return 0;
+    }
+    pool / hosts + usize::from(h < pool % hosts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_host_default() {
+        let c = ClusterSpec::new(4, 2);
+        assert_eq!((c.map_slots, c.reduce_slots, c.hosts), (4, 2, 1));
+        assert_eq!(c.map_slot_host(3), HostId(0));
+        assert_eq!(c.map_slots_of(HostId(0)), 4);
+        assert_eq!(c.reduce_slots_of(HostId(0)), 2);
+    }
+
+    #[test]
+    fn round_robin_striping() {
+        let c = ClusterSpec::new(5, 3).with_hosts(2);
+        assert_eq!(c.map_slot_host(0), HostId(0));
+        assert_eq!(c.map_slot_host(1), HostId(1));
+        assert_eq!(c.map_slot_host(4), HostId(0));
+        // host 0 gets the extra slot of an odd pool
+        assert_eq!(c.map_slots_of(HostId(0)), 3);
+        assert_eq!(c.map_slots_of(HostId(1)), 2);
+        assert_eq!(c.reduce_slots_of(HostId(0)), 2);
+        assert_eq!(c.reduce_slots_of(HostId(1)), 1);
+        // shares always sum to the pool
+        for hosts in 1..7 {
+            let c = ClusterSpec::new(5, 3).with_hosts(hosts);
+            let maps: usize = (0..hosts).map(|h| c.map_slots_of(HostId(h as u32))).sum();
+            assert_eq!(maps, 5);
+        }
+    }
+
+    #[test]
+    fn hosts_clamped_to_one() {
+        assert_eq!(ClusterSpec::new(1, 1).with_hosts(0).hosts, 1);
+        assert_eq!(ClusterSpec::new(1, 1).with_hosts(9).map_slots_of(HostId(20)), 0);
+    }
+}

@@ -84,6 +84,30 @@ impl fmt::Display for TaskId {
     }
 }
 
+/// A worker host in the simulated cluster.
+///
+/// Slots are striped over hosts by [`crate::ClusterSpec`]; a host failure
+/// permanently removes every slot the host carries and kills the task
+/// attempts running on them (plus, Hadoop-style, completed map outputs
+/// stored there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HostId(pub u32);
+
+impl_serde_transparent!(HostId(u32));
+
+impl HostId {
+    /// The raw index, usable for `Vec` lookup.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host_{}", self.0)
+    }
+}
+
 /// A slot index within the simulated cluster (map slots and reduce slots are
 /// numbered independently).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -114,6 +138,8 @@ mod tests {
         assert_eq!(TaskId::map(JobId(1), 3).to_string(), "job_0001_map_00003");
         assert_eq!(TaskId::reduce(JobId(2), 12).to_string(), "job_0002_reduce_00012");
         assert_eq!(SlotId(5).to_string(), "slot_5");
+        assert_eq!(HostId(3).to_string(), "host_3");
+        assert_eq!(HostId(3).index(), 3);
     }
 
     #[test]

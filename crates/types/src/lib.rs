@@ -8,7 +8,11 @@
 //!
 //! * [`SimTime`] / [`DurationMs`] — simulated wall-clock time, in integer
 //!   milliseconds for fully deterministic event ordering;
-//! * [`JobId`], [`TaskId`], [`TaskKind`] — identifiers for jobs and tasks;
+//! * [`JobId`], [`TaskId`], [`TaskKind`], [`HostId`] — identifiers for
+//!   jobs, tasks and worker hosts;
+//! * [`ClusterSpec`] — the named cluster shape (map/reduce slot pools plus
+//!   the host count the slots are striped over), shared by the engine
+//!   configuration and the scheduler interface;
 //! * [`JobTemplate`] — the paper's *job template* (§III-A): the compact
 //!   per-job profile `(N_M, N_R, MapDurations, FirstShuffleDurations,
 //!   TypicalShuffleDurations, ReduceDurations)` that makes a trace
@@ -19,6 +23,7 @@
 //!   completion records, task-level timelines for plotting, and the
 //!   deadline-utility metric from §V-A of the paper.
 
+pub mod cluster;
 pub mod history;
 pub mod ids;
 pub mod job;
@@ -26,11 +31,12 @@ pub mod report;
 pub mod time;
 pub mod trace;
 
+pub use cluster::ClusterSpec;
 pub use history::{
     parse_history, write_history, HistoryLine, HistoryParseError, JobHistoryRecord,
     TaskHistoryRecord,
 };
-pub use ids::{JobId, SlotId, TaskId, TaskKind};
+pub use ids::{HostId, JobId, SlotId, TaskId, TaskKind};
 pub use job::{JobSpec, JobTemplate, PhaseStats, TemplateError};
 pub use report::{JobResult, SimulationReport, TimelineEntry, TimelinePhase};
 pub use time::{ms_to_secs, secs_to_ms, DurationMs, SimTime};

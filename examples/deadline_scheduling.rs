@@ -12,7 +12,7 @@
 use simmr_apps::{AppKind, JobModel};
 use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_stats::SeededRng;
 use simmr_trace::profile_history;
 use simmr_types::{JobSpec, SimTime, WorkloadTrace};
@@ -34,7 +34,7 @@ fn standalone(template: &simmr_types::JobTemplate) -> u64 {
     SimulatorEngine::new(
         EngineConfig::new(SLOTS, SLOTS),
         &trace,
-        policy_by_name("fifo").expect("fifo exists"),
+        parse_policy("fifo").expect("fifo exists"),
     )
     .run()
     .jobs[0]
@@ -64,7 +64,7 @@ fn main() {
         let report = SimulatorEngine::new(
             EngineConfig::new(SLOTS, SLOTS),
             &trace,
-            policy_by_name(name).expect("known policy"),
+            parse_policy(name).expect("known policy"),
         )
         .run();
         println!(

@@ -7,7 +7,7 @@
 //! ```
 
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_stats::{fit_best, fit_lognormal, Dist};
 use simmr_trace::FacebookWorkload;
 
@@ -45,7 +45,7 @@ fn main() {
         let t_j = SimulatorEngine::new(
             EngineConfig::new(64, 64),
             &single,
-            policy_by_name("fifo").expect("fifo"),
+            parse_policy("fifo").expect("fifo"),
         )
         .run()
         .jobs[0]
@@ -59,7 +59,7 @@ fn main() {
         let report = SimulatorEngine::new(
             EngineConfig::new(64, 64),
             &trace,
-            policy_by_name(name).expect("policy"),
+            parse_policy(name).expect("policy"),
         )
         .run();
         println!(

@@ -6,7 +6,7 @@ use simmr_bench::pipeline::{replay_in_simmr, run_testbed};
 use simmr_cluster::{ClusterConfig, ClusterPolicy};
 use simmr_core::{EngineConfig, SimulatorEngine};
 use simmr_integration::small_job;
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_trace::FacebookWorkload;
 use simmr_types::SimTime;
 
@@ -51,7 +51,7 @@ fn engine_identical_across_all_policies() {
     let trace = FacebookWorkload { mean_interarrival_ms: 20_000.0 }.generate(40, 5);
     for name in ["fifo", "maxedf", "minedf", "fair"] {
         let run = |_: u32| {
-            SimulatorEngine::new(EngineConfig::new(16, 16), &trace, policy_by_name(name).unwrap())
+            SimulatorEngine::new(EngineConfig::new(16, 16), &trace, parse_policy(name).unwrap())
                 .run()
         };
         assert_eq!(run(0), run(1), "policy {name} not deterministic");
@@ -75,7 +75,7 @@ fn conservation_every_job_completes_exactly_once() {
     let trace = FacebookWorkload { mean_interarrival_ms: 5_000.0 }.generate(60, 11);
     for name in ["fifo", "maxedf", "minedf", "fair"] {
         let report =
-            SimulatorEngine::new(EngineConfig::new(8, 8), &trace, policy_by_name(name).unwrap())
+            SimulatorEngine::new(EngineConfig::new(8, 8), &trace, parse_policy(name).unwrap())
                 .run();
         assert_eq!(report.jobs.len(), trace.len(), "{name}");
         for (i, job) in report.jobs.iter().enumerate() {

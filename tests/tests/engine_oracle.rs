@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_types::{JobSpec, JobTemplate, SimTime, SimulationReport, WorkloadTrace};
 
 /// Preemptive MaxEDF included: preemption exercises the trickiest
@@ -45,8 +45,7 @@ fn run(
     policy: &str,
     oracle: bool,
 ) -> SimulationReport {
-    let engine =
-        SimulatorEngine::new(config, trace, policy_by_name(policy).expect("policy exists"));
+    let engine = SimulatorEngine::new(config, trace, parse_policy(policy).expect("policy exists"));
     let engine = if oracle { engine.with_snapshot_oracle() } else { engine };
     engine.run()
 }

@@ -4,9 +4,12 @@
 //! * single-job traces must land inside the ARIA bounds model of eq. 1
 //!   across randomized templates and slot counts, with every batch
 //!   invariant armed;
-//! * random preemption-heavy traces sweep all five policies with the
+//! * random preemption-heavy traces sweep all six policies with the
 //!   checker on — any slot leak, counter drift, phantom timeline bar or
 //!   uncovered queue mutation panics inside the engine;
+//! * random traces under the full failure model (host failures,
+//!   speculation, per-slot slowdowns) sweep all six policies with the
+//!   checker on, and every run must replay byte-identically;
 //! * a deterministic preemption scenario is cross-checked against the
 //!   snapshot oracle. With the two preemption fixes reverted
 //!   (`preempt_map` not setting `jobq_dirty`; map bars recorded at launch
@@ -14,12 +17,13 @@
 //!   that bug class.
 
 use proptest::prelude::*;
-use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_core::{EngineConfig, FaultSpec, HostFailure, SimulatorEngine};
 use simmr_model::{estimate_completion, JobProfileSummary};
-use simmr_sched::policy_by_name;
-use simmr_types::{JobSpec, JobTemplate, SimTime, TimelinePhase, WorkloadTrace};
+use simmr_sched::parse_policy;
+use simmr_stats::Dist;
+use simmr_types::{HostId, JobSpec, JobTemplate, SimTime, TimelinePhase, WorkloadTrace};
 
-const POLICIES: [&str; 5] = ["fifo", "maxedf", "minedf", "fair", "maxedf-p"];
+const POLICIES: [&str; 6] = ["fifo", "maxedf", "minedf", "fair", "maxedf-p", "capacity"];
 
 /// The paper's §V validation error band (~10–15%) covers the engine
 /// nuances the bounds model ignores (slowstart overlap, first-shuffle
@@ -70,7 +74,7 @@ proptest! {
             .with_timeline()
             .with_invariants();
         let report =
-            SimulatorEngine::new(config, &trace, policy_by_name("fifo").unwrap()).run();
+            SimulatorEngine::new(config, &trace, parse_policy("fifo").unwrap()).run();
         let actual = report.jobs[0].duration() as f64;
         prop_assert!(
             est.contains(actual, SLACK),
@@ -109,7 +113,7 @@ proptest! {
                 .with_timeline()
                 .with_invariants();
             let report =
-                SimulatorEngine::new(config, &trace, policy_by_name(policy).unwrap()).run();
+                SimulatorEngine::new(config, &trace, parse_policy(policy).unwrap()).run();
             prop_assert_eq!(report.jobs.len(), jobs.len(), "policy {} lost jobs", policy);
             for job in &report.jobs {
                 prop_assert!(
@@ -119,6 +123,107 @@ proptest! {
             }
         }
     }
+
+    /// (c) Failure-model sweep: host failures, speculative re-execution and
+    /// per-slot slowdowns together, across all six policies, invariants and
+    /// timeline armed — and every configuration must replay
+    /// byte-identically from the same seeds.
+    #[test]
+    fn failure_model_sweep_all_policies(
+        jobs in proptest::collection::vec(
+            // (maps, reduces, map_ms, sh_ms, red_ms, arrival)
+            (1usize..7, 0usize..4, 50u64..600, 1u64..60, 1u64..80, 0u64..1_000),
+            2..10,
+        ),
+        map_slots in 2usize..8,
+        reduce_slots in 1usize..4,
+        hosts in 2usize..5,
+        fault_count in 0u32..4,
+        fault_seed in 0u64..1_000,
+        speculation_on in proptest::bool::ANY,
+        slowdown_on in proptest::bool::ANY,
+    ) {
+        let mut trace = WorkloadTrace::new("failures", "invariant-harness");
+        for &(maps, reduces, map_ms, sh_ms, red_ms, arrival) in &jobs {
+            trace.push(JobSpec::new(
+                uniform_template(maps, reduces, map_ms, sh_ms, red_ms),
+                SimTime::from_millis(arrival),
+            ));
+        }
+        let mut config = EngineConfig::new(map_slots, reduce_slots)
+            .with_hosts(hosts)
+            .with_faults(FaultSpec {
+                seed: fault_seed,
+                count: fault_count,
+                mean_interval_ms: 700,
+            })
+            .with_timeline()
+            .with_invariants();
+        if speculation_on {
+            config = config.with_speculation(1.5);
+        }
+        if slowdown_on {
+            config = config.with_slowdown(
+                Dist::LogNormal { mu: -0.125, sigma: 0.5 },
+                fault_seed ^ 0x5eed,
+            );
+        }
+        for policy in POLICIES {
+            let run = || {
+                SimulatorEngine::new(config, &trace, parse_policy(policy).unwrap()).run()
+            };
+            let report = run();
+            prop_assert_eq!(report.jobs.len(), jobs.len(), "policy {} lost jobs", policy);
+            for job in &report.jobs {
+                prop_assert!(
+                    job.completion >= job.arrival,
+                    "policy {}: job {} finished before arriving", policy, job.job
+                );
+            }
+            prop_assert_eq!(report, run(), "policy {} replay diverged", policy);
+        }
+    }
+}
+
+/// Deterministic host-failure scenario: killing a host mid-stage re-runs
+/// the completed maps whose output it held (Hadoop semantics) and the
+/// report still balances under the invariant checker. Mirrors the unit
+/// test inside simmr-core but drives the public crate API end to end.
+#[test]
+fn host_failure_reruns_completed_maps_and_balances() {
+    let mut trace = WorkloadTrace::new("host-failure", "invariant-harness");
+    trace.push(JobSpec::new(uniform_template(6, 1, 100, 20, 30), SimTime::ZERO));
+    let config = EngineConfig::new(4, 2).with_hosts(2).with_timeline().with_invariants();
+    let run = |fail: bool| {
+        let engine = SimulatorEngine::new(config, &trace, parse_policy("fifo").unwrap());
+        let engine = if fail {
+            engine.with_fault_plan(vec![HostFailure {
+                host: HostId(1),
+                at: SimTime::from_millis(150),
+            }])
+        } else {
+            engine
+        };
+        engine.run()
+    };
+    let healthy = run(false);
+    let failed = run(true);
+    // losing half the cluster mid-stage must delay completion, not lose
+    // work: the job still finishes, later than the healthy run
+    assert_eq!(failed.jobs.len(), 1);
+    assert!(failed.jobs[0].completion > healthy.jobs[0].completion);
+    // re-runs visible in the timeline: strictly more map bars than tasks
+    let map_bars = |r: &simmr_types::SimulationReport| {
+        r.timeline.iter().filter(|t| t.phase == TimelinePhase::Map).count()
+    };
+    assert_eq!(map_bars(&healthy), 6);
+    assert!(map_bars(&failed) > 6, "expected re-run bars, got {}", map_bars(&failed));
+    // no bar on a dead slot extends past the failure instant
+    for bar in failed.timeline.iter().filter(|t| t.slot % 2 == 1) {
+        assert!(bar.end <= SimTime::from_millis(150), "bar on dead slot after failure: {bar:?}");
+    }
+    // deterministic replay
+    assert_eq!(failed, run(true));
 }
 
 /// Deterministic kill-and-requeue scenario cross-checked against the
@@ -141,7 +246,7 @@ fn preemption_matches_snapshot_oracle_under_invariants() {
     );
     let config = EngineConfig::new(1, 1).with_timeline().with_invariants();
     let run = |oracle: bool| {
-        let engine = SimulatorEngine::new(config, &trace, policy_by_name("maxedf-p").unwrap());
+        let engine = SimulatorEngine::new(config, &trace, parse_policy("maxedf-p").unwrap());
         let engine = if oracle { engine.with_snapshot_oracle() } else { engine };
         engine.run()
     };

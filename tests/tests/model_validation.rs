@@ -8,7 +8,7 @@ use simmr_model::{
     estimate_completion, min_slots_for_deadline, min_slots_for_deadline_with, BoundBasis,
     JobProfileSummary,
 };
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_types::{JobSpec, JobTemplate, SimTime, WorkloadTrace};
 
 fn standalone(template: &JobTemplate, map_slots: usize, reduce_slots: usize) -> u64 {
@@ -17,7 +17,7 @@ fn standalone(template: &JobTemplate, map_slots: usize, reduce_slots: usize) -> 
     SimulatorEngine::new(
         EngineConfig::new(map_slots, reduce_slots),
         &trace,
-        policy_by_name("fifo").unwrap(),
+        parse_policy("fifo").unwrap(),
     )
     .run()
     .jobs[0]

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use simmr_bench::workloads::assign_deadlines;
 use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::policy_by_name;
+use simmr_sched::parse_policy;
 use simmr_stats::SeededRng;
 use simmr_trace::FacebookWorkload;
 use simmr_types::{JobSpec, JobTemplate, SimTime, WorkloadTrace};
@@ -13,7 +13,7 @@ fn run(trace: &WorkloadTrace, policy: &str, slots: usize) -> simmr_types::Simula
     SimulatorEngine::new(
         EngineConfig::new(slots, slots),
         trace,
-        policy_by_name(policy).expect("known policy"),
+        parse_policy(policy).expect("known policy"),
     )
     .run()
 }
