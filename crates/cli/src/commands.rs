@@ -1,7 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use crate::{attach_deadlines, load_trace, run_replay, save_trace};
+use crate::{attach_deadlines, load_trace, run_replay, run_replay_with, save_trace};
 use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
 use simmr_stats::fit_best;
 use simmr_trace::{trace_from_history, FacebookWorkload};
@@ -105,6 +105,17 @@ pub fn replay(args: &Args) -> Result<(), String> {
             mean_interval_ms: (mtbf_s * 1000.0) as u64,
         });
     }
+    if let Some(rec_s) = args.get("failure-recovery-s") {
+        if config.faults.is_none() {
+            return Err("--failure-recovery-s needs --failures".into());
+        }
+        let rec_s: f64 = rec_s.parse().map_err(|e| format!("--failure-recovery-s: {e}"))?;
+        if !(rec_s.is_finite() && rec_s > 0.0) {
+            return Err("--failure-recovery-s must be positive".into());
+        }
+        config = config
+            .with_recovery(simmr_core::RecoverySpec { seed, mean_ms: (rec_s * 1000.0) as u64 });
+    }
     if let Some(factor) = args.get("speculation") {
         let factor: f64 = factor.parse().map_err(|e| format!("--speculation: {e}"))?;
         config = config.with_speculation(factor);
@@ -118,7 +129,24 @@ pub fn replay(args: &Args) -> Result<(), String> {
         let dist = simmr_stats::Dist::LogNormal { mu: -sigma * sigma / 2.0, sigma };
         config = config.with_slowdown(dist, seed);
     }
-    let report = run_replay(&trace, &policy, config)?;
+    let report = if let Some(pools_path) = args.get("pools") {
+        match args.get("policy") {
+            None | Some("hier") => {}
+            Some(other) => {
+                return Err(format!(
+                    "--pools picks the hierarchical policy; drop --policy or set it to \
+                     `hier` (got `{other}`)"
+                ));
+            }
+        }
+        let text = std::fs::read_to_string(pools_path)
+            .map_err(|e| format!("cannot read `{pools_path}`: {e}"))?;
+        let pools =
+            simmr_sched::pools_from_json(&text).map_err(|e| format!("`{pools_path}`: {e}"))?;
+        run_replay_with(&trace, Box::new(simmr_sched::HierPolicy::new(pools)), config)?
+    } else {
+        run_replay(&trace, &policy, config)?
+    };
     println!("{:<24} {:>10} {:>10} {:>10} {:>8}", "job", "arrival_s", "finish_s", "dur_s", "met?");
     for job in &report.jobs {
         println!(

@@ -63,9 +63,10 @@ USAGE:
   simmr generate --jobs N [--mean-ia-ms MS] [--seed S] --out TRACE.json
   simmr testbed  [--policy fifo|maxedf|minedf] [--datasets 0,1,2] [--seed S] --out HISTORY.log
   simmr profile  HISTORY.log --out TRACE.json
-  simmr replay   TRACE.json [--policy NAME] [--map-slots N] [--reduce-slots N]
-                 [--deadline-factor F --seed S] [--timeline] [--check-invariants]
-                 [--hosts N] [--failures N] [--failure-mtbf-s S]
+  simmr replay   TRACE.json [--policy NAME] [--pools POOLS.json] [--map-slots N]
+                 [--reduce-slots N] [--deadline-factor F --seed S] [--timeline]
+                 [--check-invariants] [--hosts N] [--failures N]
+                 [--failure-mtbf-s S] [--failure-recovery-s S]
                  [--speculation F] [--slowdown SIGMA]
   simmr compare  TRACE.json [--policies fifo,maxedf,minedf] [--map-slots N]
                  [--reduce-slots N] [--deadline-factor F] [--seed S]
@@ -73,14 +74,19 @@ USAGE:
   simmr stats    TRACE.json         (workload characterization)
   simmr fit      SAMPLES.txt        (one duration per line)
 
-Policies: fifo, maxedf, minedf, fair, maxedf-p, minedf-p (preemptive), and
-capacity[:q1=w1,q2=w2,...] (weighted queues routed by job-name prefix).
+Policies: fifo, maxedf, minedf, fair, maxedf-p, minedf-p (preemptive),
+capacity[:q1=w1,q2=w2,...] (weighted queues routed by job-name prefix), and
+hier[:SPEC] (hierarchical pool tree with weights, min/max shares and
+min-share preemption timeouts; e.g. `hier:prod[w=3,min=4]{etl,serving},adhoc`;
+--pools POOLS.json loads the same tree from a JSON file instead).
 
 Failure model (replay): --hosts stripes the slot pools over N workers;
 --failures plans N seeded fail-stop host losses (mean interval
---failure-mtbf-s seconds, reusing --seed); --speculation F re-executes map
-stragglers past F x the job's median map duration; --slowdown SIGMA gives
-each slot a LogNormal(-SIGMA^2/2, SIGMA) execution slowdown (mean 1).";
+--failure-mtbf-s seconds, reusing --seed); --failure-recovery-s S brings
+each failed host back after a seeded exponential downtime of mean S seconds;
+--speculation F re-executes map stragglers past F x the job's median map
+duration; --slowdown SIGMA gives each slot a LogNormal(-SIGMA^2/2, SIGMA)
+execution slowdown (mean 1).";
 
 /// Loads a trace from JSON, with a helpful error.
 pub(crate) fn load_trace(path: &str) -> Result<WorkloadTrace, String> {
@@ -104,6 +110,16 @@ pub(crate) fn run_replay(
     config: EngineConfig,
 ) -> Result<simmr_types::SimulationReport, String> {
     let policy = parse_policy(policy_name).map_err(|e| e.to_string())?;
+    run_replay_with(trace, policy, config)
+}
+
+/// [`run_replay`] with an already-built policy (the `--pools FILE` path
+/// constructs its [`simmr_sched::HierPolicy`] from JSON, not a spec string).
+pub(crate) fn run_replay_with(
+    trace: &WorkloadTrace,
+    policy: Box<dyn simmr_core::SchedulerPolicy>,
+    config: EngineConfig,
+) -> Result<simmr_types::SimulationReport, String> {
     let start = std::time::Instant::now();
     let report = SimulatorEngine::new(config, trace, policy).run();
     let wall = start.elapsed();

@@ -20,6 +20,23 @@ pub struct FaultSpec {
     pub mean_interval_ms: u64,
 }
 
+/// A seeded host-recovery model: failed hosts come back.
+///
+/// Without this spec a planned [`FaultSpec`] failure is permanent for the
+/// run. With it, the engine schedules one `HostRecovery` event per planned
+/// failure, delayed by an exponentially distributed downtime of mean
+/// `mean_ms` drawn from a dedicated RNG stream — so arming recovery never
+/// perturbs the fault or slowdown plans, and reruns are deterministic.
+/// A recovered host's surviving slots rejoin the free pools (empty), and
+/// the host may fail again if a later plan entry names it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoverySpec {
+    /// Seed of the dedicated recovery RNG stream.
+    pub seed: u64,
+    /// Mean downtime in simulated milliseconds (clamped to ≥ 1).
+    pub mean_ms: u64,
+}
+
 /// A per-slot execution-speed perturbation.
 ///
 /// At engine construction one multiplicative slowdown factor is sampled
@@ -61,6 +78,9 @@ pub struct EngineConfig {
     pub check_invariants: bool,
     /// Seeded host-failure plan; `None` disables the failure model.
     pub faults: Option<FaultSpec>,
+    /// Seeded host-recovery model; `None` keeps planned failures
+    /// permanent for the run.
+    pub recovery: Option<RecoverySpec>,
     /// Speculative-execution threshold: a map attempt running longer than
     /// `factor ×` its job's median map duration gets a duplicate attempt
     /// (first finisher wins). `None` disables speculation.
@@ -79,6 +99,7 @@ impl EngineConfig {
             record_timeline: false,
             check_invariants: false,
             faults: None,
+            recovery: None,
             speculation_factor: None,
             slowdown: None,
         }
@@ -117,6 +138,13 @@ impl EngineConfig {
     /// Installs a seeded host-failure plan.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Installs a seeded host-recovery model (failed hosts come back
+    /// after an exponential downtime of mean `mean_ms`).
+    pub fn with_recovery(mut self, recovery: RecoverySpec) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 
@@ -162,6 +190,7 @@ mod tests {
         assert_eq!(c.min_map_percent_completed, 0.05);
         assert!(!c.record_timeline);
         assert!(c.faults.is_none());
+        assert!(c.recovery.is_none());
         assert!(c.speculation_factor.is_none());
         assert!(c.slowdown.is_none());
     }
@@ -182,10 +211,12 @@ mod tests {
         let c = EngineConfig::new(4, 2)
             .with_hosts(3)
             .with_faults(FaultSpec { seed: 7, count: 2, mean_interval_ms: 60_000 })
+            .with_recovery(RecoverySpec { seed: 7, mean_ms: 30_000 })
             .with_speculation(1.5)
             .with_slowdown(Dist::Constant { value: 1.0 }, 9);
         assert_eq!(c.cluster.hosts, 3);
         assert_eq!(c.faults.unwrap().count, 2);
+        assert_eq!(c.recovery.unwrap().mean_ms, 30_000);
         assert_eq!(c.speculation_factor, Some(1.5));
         assert_eq!(c.slowdown.unwrap().seed, 9);
         // speculation factors below 1 would duplicate non-stragglers

@@ -20,12 +20,15 @@
 //!
 //! * **Host failures** ([`crate::FaultSpec`] / [`SimulatorEngine::with_fault_plan`]):
 //!   slots are striped over [`simmr_types::ClusterSpec::hosts`] workers;
-//!   when a host fails its slots permanently leave the pools, attempts
-//!   running on them are killed and requeued, and — Hadoop semantics —
-//!   completed map tasks whose output lived on the lost host are
-//!   re-executed while the job's map stage is still open. Host 0 never
-//!   fails (it models the master's worker), so every workload stays
-//!   finishable.
+//!   when a host fails its slots leave the pools, attempts running on
+//!   them are killed and requeued, and — Hadoop semantics — completed map
+//!   tasks whose output lived on the lost host are re-executed while the
+//!   job's map stage is still open. Host 0 never fails (it models the
+//!   master's worker), so every workload stays finishable. Failures are
+//!   permanent for the run unless **host recovery**
+//!   ([`crate::RecoverySpec`]) is armed, which brings each failed host
+//!   back after a seeded exponential downtime, its slots rejoining the
+//!   pools empty.
 //! * **Speculative execution** ([`EngineConfig::with_speculation`]): a map
 //!   attempt running past `factor ×` its job's median map duration gets a
 //!   duplicate attempt; the first finisher wins and the losers are killed.
@@ -49,7 +52,8 @@ use simmr_types::{
     WorkloadTrace,
 };
 
-/// One planned host failure: `host` is permanently lost at time `at`.
+/// One planned host failure: `host` is lost at time `at` (permanently,
+/// unless the run arms [`crate::RecoverySpec`]).
 ///
 /// Plans are normally derived from a seeded [`crate::FaultSpec`]; tests and
 /// what-if runs can install an explicit plan with
@@ -160,9 +164,12 @@ fn scaled(base: DurationMs, factor: f64) -> DurationMs {
 /// make a slot's tasks effectively free.
 const MIN_SLOWDOWN: f64 = 0.05;
 
-/// RNG stream labels (forked off the user seed) for the two derived plans.
+/// RNG stream labels (forked off the user seed) for the derived plans.
+/// Each plan draws from its own stream so enabling one never perturbs the
+/// others.
 const FAULT_STREAM: u64 = 1;
 const SLOWDOWN_STREAM: u64 = 2;
+const RECOVERY_STREAM: u64 = 3;
 
 /// The SimMR Simulator Engine.
 ///
@@ -172,16 +179,18 @@ const SLOWDOWN_STREAM: u64 = 2;
 pub struct SimulatorEngine<'a> {
     pub(crate) config: EngineConfig,
     trace: &'a WorkloadTrace,
-    policy: Box<dyn SchedulerPolicy + 'a>,
+    /// Visible to the invariant checker, which runs the policy's own
+    /// `verify_invariants` hook against the settled queue view.
+    pub(crate) policy: Box<dyn SchedulerPolicy + 'a>,
     queue: EventQueue,
     pub(crate) free_map_slots: Vec<u32>,
     pub(crate) free_reduce_slots: Vec<u32>,
     /// Hosts that have failed so far.
     pub(crate) dead_hosts: Vec<bool>,
-    /// Map slots permanently lost to a host failure (never free, never
-    /// occupied again).
+    /// Map slots currently lost to a host failure (never free, never
+    /// occupied while dead; restored only by a `HostRecovery`).
     pub(crate) dead_map_slots: Vec<bool>,
-    /// Reduce slots permanently lost to a host failure.
+    /// Reduce slots currently lost to a host failure.
     pub(crate) dead_reduce_slots: Vec<bool>,
     /// Planned host failures, derived from `config.faults` or installed
     /// explicitly via [`Self::with_fault_plan`].
@@ -200,6 +209,10 @@ pub struct SimulatorEngine<'a> {
     pub(crate) jobq_dirty: bool,
     /// Scratch buffer for preemption victim lists, reused across rounds.
     victims: Vec<JobId>,
+    /// Earliest outstanding `PolicyWakeup` timer, if any: arming is
+    /// deduplicated against it, and a popped timer that does not match is
+    /// stale (superseded by an earlier one) and ignored.
+    policy_wakeup_at: Option<SimTime>,
     events_processed: u64,
     timeline: Vec<TimelineEntry>,
     results: Vec<Option<JobResult>>,
@@ -329,6 +342,7 @@ impl<'a> SimulatorEngine<'a> {
             jobq: JobQueue::with_capacity(jobs.len()),
             jobq_dirty: false,
             victims: Vec::new(),
+            policy_wakeup_at: None,
             jobs,
             events_processed: 0,
             timeline,
@@ -373,6 +387,18 @@ impl<'a> SimulatorEngine<'a> {
             let f = self.fault_plan[i];
             self.queue.push(f.at, EventKind::HostFailure, JobId(0), f.host.0);
         }
+        // One recovery per planned failure, after an exponential downtime
+        // drawn from a dedicated stream: arming recovery never perturbs
+        // the fault or slowdown plans.
+        if let Some(rec) = self.config.recovery {
+            let mut rng = SeededRng::new(rec.seed).fork(RECOVERY_STREAM);
+            let downtime = Dist::Exponential { mean: rec.mean_ms.max(1) as f64 };
+            for i in 0..self.fault_plan.len() {
+                let f = self.fault_plan[i];
+                let delay = (downtime.sample(&mut rng).round() as u64).max(1);
+                self.queue.push(f.at + delay, EventKind::HostRecovery, JobId(0), f.host.0);
+            }
+        }
         while let Some(event) = self.queue.pop() {
             self.events_processed += 1;
             // Makespan tracks job completions only: stale events (a killed
@@ -407,6 +433,8 @@ impl<'a> SimulatorEngine<'a> {
                 EventKind::SpeculationDue => {
                     self.on_speculation_due(job, event.task_index, event.attempt)
                 }
+                EventKind::HostRecovery => self.on_host_recovery(event.task_index),
+                EventKind::PolicyWakeup => self.on_policy_wakeup(now),
             }
             // Make scheduling decisions only once every same-instant event
             // (simultaneous arrivals, departures, AllMapsFinished) has been
@@ -768,7 +796,8 @@ impl<'a> SimulatorEngine<'a> {
         self.note_mutation("on_job_departure");
     }
 
-    /// Permanently removes a worker host (fail-stop, Hadoop semantics):
+    /// Removes a worker host (fail-stop, Hadoop semantics; permanent for
+    /// the run unless a recovery model is armed):
     ///
     /// 1. every slot striped onto the host leaves the free pools forever;
     /// 2. attempts running on those slots are killed and the tasks requeued;
@@ -908,6 +937,48 @@ impl<'a> SimulatorEngine<'a> {
         self.note_mutation("on_host_failure");
     }
 
+    /// Restores a failed worker host: the slots it lost rejoin the free
+    /// pools, empty (no task state survives the downtime). Ignored for
+    /// host 0, out-of-range ids, and hosts that are not currently dead
+    /// (the matching failure was itself ignored, or the host already
+    /// recovered); a recovered host may fail again if a later fault-plan
+    /// entry names it.
+    fn on_host_recovery(&mut self, host: u32) {
+        let hosts = self.config.cluster.hosts;
+        if host == 0 || host as usize >= hosts || !self.dead_hosts[host as usize] {
+            return;
+        }
+        self.dead_hosts[host as usize] = false;
+        for slot in (host as usize..self.config.cluster.map_slots).step_by(hosts) {
+            if self.dead_map_slots[slot] {
+                self.dead_map_slots[slot] = false;
+                self.free_map_slots.push(slot as u32);
+            }
+        }
+        for slot in (host as usize..self.config.cluster.reduce_slots).step_by(hosts) {
+            if self.dead_reduce_slots[slot] {
+                self.dead_reduce_slots[slot] = false;
+                self.free_reduce_slots.push(slot as u32);
+            }
+        }
+        self.jobq_dirty = true;
+        self.note_mutation("on_host_recovery");
+    }
+
+    /// Policy-requested timer (see [`SchedulerPolicy::next_wakeup`]): force
+    /// a scheduling pass so time-based decisions (min-share preemption
+    /// timeouts) fire at their exact instant instead of waiting for the
+    /// next queue event. A timer that was superseded by an earlier one is
+    /// stale and ignored.
+    fn on_policy_wakeup(&mut self, now: SimTime) {
+        if self.policy_wakeup_at != Some(now) {
+            return;
+        }
+        self.policy_wakeup_at = None;
+        self.jobq_dirty = true;
+        self.note_mutation("on_policy_wakeup");
+    }
+
     /// Straggler timer: the attempt launched `speculation_factor × median`
     /// ago is still running — make a duplicate attempt schedulable. The
     /// event is stale (ignored) when the attempt already finished or was
@@ -963,10 +1034,13 @@ impl<'a> SimulatorEngine<'a> {
         // still reach the preemption rounds below — bailing out when no
         // slot of either kind is free silently disabled `map_preemptions`
         // exactly when preemption matters most.
+        self.jobq.now = now;
         if self.jobq.is_empty() {
+            // still consult the wakeup hook: time-based policies clear
+            // their starvation clocks when the queue drains
+            self.consult_wakeup(now);
             return 0;
         }
-        self.jobq.now = now;
         let mut launched = 0u64;
 
         while !self.free_map_slots.is_empty() {
@@ -1037,7 +1111,22 @@ impl<'a> SimulatorEngine<'a> {
             self.launch_reduce(id, now);
             launched += 1;
         }
+        self.consult_wakeup(now);
         launched
+    }
+
+    /// Asks the policy for its next time-based deadline and arms a
+    /// `PolicyWakeup` timer for it. Arming is deduplicated: a new timer is
+    /// pushed only when it is strictly earlier than the outstanding one
+    /// (the pop-side handler re-consults after every fired timer, so a
+    /// later deadline is re-armed then).
+    fn consult_wakeup(&mut self, now: SimTime) {
+        if let Some(at) = self.policy.next_wakeup(&self.jobq) {
+            if at > now && !at.is_infinite() && self.policy_wakeup_at.is_none_or(|p| at < p) {
+                self.policy_wakeup_at = Some(at);
+                self.queue.push(at, EventKind::PolicyWakeup, JobId(0), 0);
+            }
+        }
     }
 
     fn launch_map(&mut self, job: JobId, now: SimTime) {
@@ -1143,7 +1232,7 @@ impl<'a> SimulatorEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::FaultSpec;
+    use crate::{FaultSpec, RecoverySpec};
     use simmr_types::{JobSpec, JobTemplate};
 
     /// Minimal FIFO used to exercise the engine in isolation.
@@ -1729,5 +1818,137 @@ mod tests {
         // the plan actually fired: some slots are lost, so at least one
         // host beyond host 0 died — all jobs still complete
         assert_eq!(a.jobs.len(), 20);
+    }
+
+    #[test]
+    fn host_recovery_restores_slots() {
+        // 40 maps of 100 ms on 4 slots over 2 hosts; host 1 (slots 1, 3)
+        // dies at t=150. Permanently, the tail of the job runs on host 0's
+        // two surviving slots. With recovery armed the host comes back
+        // after a seeded exponential downtime and the run finishes
+        // strictly earlier — and byte-identically across reruns. The
+        // invariant checker's slot-conservation pass covers the restored
+        // slots at every batch.
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(40, 0, 100, 0, 0, 0, SimTime::ZERO));
+        let plan = vec![HostFailure { host: HostId(1), at: SimTime::from_millis(150) }];
+        let config = EngineConfig::new(4, 1).with_hosts(2).with_invariants();
+        let permanent = SimulatorEngine::new(config, &trace, Box::new(TestFifo))
+            .with_fault_plan(plan.clone())
+            .run();
+        let recovering = config.with_recovery(RecoverySpec { seed: 9, mean_ms: 300 });
+        let a = SimulatorEngine::new(recovering, &trace, Box::new(TestFifo))
+            .with_fault_plan(plan.clone())
+            .run();
+        let b = SimulatorEngine::new(recovering, &trace, Box::new(TestFifo))
+            .with_fault_plan(plan)
+            .run();
+        assert_eq!(a, b);
+        assert!(
+            a.makespan < permanent.makespan,
+            "recovery did not help: {} vs permanent {}",
+            a.makespan,
+            permanent.makespan
+        );
+    }
+
+    #[test]
+    fn recovery_deterministic_with_full_perturbation_stack() {
+        // recovery draws from its own RNG stream, so arming it alongside
+        // seeded faults, speculation and slowdowns stays deterministic —
+        // and a recovered host may fail again under a later plan entry
+        let mut trace = WorkloadTrace::new("t", "test");
+        for i in 0..20u64 {
+            trace.push(uniform_job(
+                1 + (i % 7) as usize,
+                (i % 3) as usize,
+                50 + (i % 5) * 90,
+                15,
+                25,
+                35,
+                SimTime::from_millis(i * 130),
+            ));
+        }
+        let config = EngineConfig::new(6, 3)
+            .with_hosts(3)
+            .with_faults(FaultSpec { seed: 42, count: 4, mean_interval_ms: 400 })
+            .with_recovery(RecoverySpec { seed: 11, mean_ms: 500 })
+            .with_speculation(1.5)
+            .with_slowdown(Dist::LogNormal { mu: -0.125, sigma: 0.5 }, 7)
+            .with_timeline()
+            .with_invariants();
+        let a = run(config, &trace);
+        let b = run(config, &trace);
+        assert_eq!(a, b);
+        assert_eq!(a.jobs.len(), 20);
+        // changing only the recovery seed must leave the fault plan intact
+        // but may shift completions (different downtimes)
+        let reseeded = config.with_recovery(RecoverySpec { seed: 12, mean_ms: 500 });
+        let c = run(reseeded, &trace);
+        assert_eq!(c.jobs.len(), 20);
+    }
+
+    /// Holds every map back until `release`, using the wakeup timer to get
+    /// a scheduling pass at the release time (plus one more to launch,
+    /// since `next_wakeup` runs after the pass's choose loop).
+    struct GatedRelease {
+        release: SimTime,
+        open: bool,
+    }
+    impl SchedulerPolicy for GatedRelease {
+        fn name(&self) -> &str {
+            "test-gated"
+        }
+        fn choose_next_map_task(&mut self, q: &JobQueue) -> Option<JobId> {
+            if !self.open {
+                return None;
+            }
+            q.entries()
+                .iter()
+                .filter(|e| e.has_schedulable_map())
+                .min_by_key(|e| (e.arrival, e.id))
+                .map(|e| e.id)
+        }
+        fn choose_next_reduce_task(&mut self, q: &JobQueue) -> Option<JobId> {
+            q.entries()
+                .iter()
+                .filter(|e| e.has_schedulable_reduce())
+                .min_by_key(|e| (e.arrival, e.id))
+                .map(|e| e.id)
+        }
+        fn next_wakeup(&mut self, q: &JobQueue) -> Option<SimTime> {
+            if self.open || q.is_empty() {
+                return None;
+            }
+            if q.now >= self.release {
+                self.open = true;
+                // one more pass so the now-open gate actually launches
+                return Some(q.now + 1);
+            }
+            Some(self.release)
+        }
+    }
+
+    #[test]
+    fn policy_wakeup_drives_time_based_scheduling() {
+        // One 100 ms map arriving at t=0, gate at t=500: without the
+        // PolicyWakeup timer the engine would run out of events with the
+        // job stuck. The wakeup fires the pass at 500, the follow-up pass
+        // at 501 launches, and the job completes at 601.
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(uniform_job(1, 0, 100, 0, 0, 0, SimTime::ZERO));
+        let policy = GatedRelease { release: SimTime::from_millis(500), open: false };
+        let report = SimulatorEngine::new(
+            EngineConfig::new(2, 1).with_invariants(),
+            &trace,
+            Box::new(policy),
+        )
+        .run();
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(601));
+
+        // a gate already open at arrival time needs only the follow-up pass
+        let policy = GatedRelease { release: SimTime::ZERO, open: false };
+        let report = SimulatorEngine::new(EngineConfig::new(2, 1), &trace, Box::new(policy)).run();
+        assert_eq!(report.jobs[0].completion, SimTime::from_millis(101));
     }
 }

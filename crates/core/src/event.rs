@@ -8,12 +8,15 @@
 //! The failure/speculation model (§VII future work) adds two more kinds:
 //! [`EventKind::HostFailure`] for the seeded fault plan and
 //! [`EventKind::SpeculationDue`] for the straggler-detection timer of a
-//! running map attempt.
+//! running map attempt; [`EventKind::HostRecovery`] restores a failed
+//! host when the optional recovery model is armed, and
+//! [`EventKind::PolicyWakeup`] is the policy-requested timer behind
+//! time-based scheduling (min-share preemption timeouts).
 
 use simmr_types::{JobId, SimTime};
 
-/// The event types of the SimMR engine: the paper's seven plus the two
-/// failure-model kinds.
+/// The event types of the SimMR engine: the paper's seven plus the
+/// failure-model and policy-timer kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum EventKind {
     /// A job is submitted to the job master.
@@ -31,15 +34,26 @@ pub enum EventKind {
     /// The job's entire map stage has completed (triggers the first-shuffle
     /// fix-up of filler reduce tasks).
     AllMapsFinished,
-    /// A worker host is permanently lost (`task_index` carries the host
-    /// id): its slots leave the pools, attempts running on them are killed
-    /// and requeued, and completed map outputs stored there are re-executed
-    /// while the owning job's map stage is still open.
+    /// A worker host is lost (`task_index` carries the host id): its
+    /// slots leave the pools, attempts running on them are killed and
+    /// requeued, and completed map outputs stored there are re-executed
+    /// while the owning job's map stage is still open. The loss is
+    /// permanent for the run unless a [`HostRecovery`](Self::HostRecovery)
+    /// is scheduled for the host.
     HostFailure,
     /// A running map attempt has outlived the speculation threshold
     /// (`speculation_factor ×` the job's median map duration); if it is
     /// still running, a duplicate attempt becomes schedulable.
     SpeculationDue,
+    /// A failed host comes back (`task_index` carries the host id): its
+    /// surviving slots rejoin the free pools, empty. Only scheduled when
+    /// [`RecoverySpec`](crate::RecoverySpec) is configured.
+    HostRecovery,
+    /// A scheduling pass requested by the policy via
+    /// [`SchedulerPolicy::next_wakeup`](crate::SchedulerPolicy::next_wakeup)
+    /// — fires time-based decisions (min-share preemption timeouts) that
+    /// would otherwise wait for the next queue event.
+    PolicyWakeup,
 }
 
 /// One scheduled event: the paper's `(eventTime, eventType, jobId)` triplet
@@ -109,9 +123,11 @@ mod tests {
             EventKind::AllMapsFinished,
             EventKind::HostFailure,
             EventKind::SpeculationDue,
+            EventKind::HostRecovery,
+            EventKind::PolicyWakeup,
         ]
         .into_iter()
         .collect();
-        assert_eq!(kinds.len(), 9);
+        assert_eq!(kinds.len(), 11);
     }
 }

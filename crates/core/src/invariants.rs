@@ -33,6 +33,11 @@
 //!   a scheduling pass's own launches must leave `jobq_dirty` set, so a
 //!   later pass cannot no-op against a silently changed queue (the
 //!   `preempt_map` bug class).
+//! * **Policy-internal state** — each settled batch also calls
+//!   [`crate::SchedulerPolicy::verify_invariants`], letting stateful
+//!   policies cross-check their own books against the queue (the
+//!   hierarchical policy re-derives per-pool share accounting: routing
+//!   stability, per-leaf job counts, and starvation-clock consistency).
 //! * **Report invariants (end of run)** — all slots returned, every
 //!   completion ≥ its arrival, `makespan = max completion`, and
 //!   `events_processed = popped events + counted launches`.
@@ -167,6 +172,9 @@ impl InvariantState {
         self.batches_checked += 1;
         self.check_slots(engine, now);
         self.check_entries(engine, now);
+        // Stateful policies (notably the hierarchical pool tree) re-derive
+        // their own share accounting against the queue they scheduled from.
+        engine.policy.verify_invariants(&engine.jobq);
     }
 
     /// Slot conservation: `free + occupied + lost = configured` per kind;

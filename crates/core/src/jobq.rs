@@ -294,7 +294,12 @@ impl JobQueue {
 /// previous pass changed the job queue (or the policy's lifecycle hooks
 /// fired), `choose_next_*` is **not** re-consulted. A policy's choices must
 /// therefore be a pure function of the queue contents and its own state —
-/// in particular they must not depend on [`JobQueue::now`].
+/// in particular `choose_next_*` must not depend on [`JobQueue::now`].
+/// Time-based policies (min-share preemption timeouts) read `now` from the
+/// sanctioned hooks instead: [`Self::map_preemptions`] and
+/// [`Self::next_wakeup`], which the engine re-consults on every pass and
+/// backs with a timer event so a deadline expiring *between* queue events
+/// still fires at the right instant.
 /// [`JobQueue::entries`] is guaranteed sorted by `(arrival, id)`; policies
 /// may exploit that order (FIFO stops at the first schedulable entry) but
 /// must select by a total order over entry fields either way. All built-in
@@ -335,8 +340,29 @@ pub trait SchedulerPolicy {
     /// `victims` arrives empty and is a scratch buffer reused across
     /// rounds. The default (like stock Hadoop, and like every policy in
     /// the paper) never preempts — §V-B attributes the "bump" in Figure
-    /// 7(a) precisely to this.
+    /// 7(a) precisely to this. Unlike `choose_next_*`, this hook may read
+    /// [`JobQueue::now`] (preemption timeouts are time-based by nature).
     fn map_preemptions(&mut self, _jobq: &JobQueue, _victims: &mut Vec<JobId>) {}
+
+    /// The next instant the policy wants a scheduling pass even if no
+    /// queue event occurs before then — e.g. a min-share preemption
+    /// timeout expiring on an otherwise quiet cluster. Consulted at the
+    /// end of every scheduling pass; a returned time in the future is
+    /// backed by a timer event that re-runs the pass (and thus
+    /// [`Self::map_preemptions`]) at that instant. Return `None` (the
+    /// default) for purely event-driven policies. May read
+    /// [`JobQueue::now`].
+    fn next_wakeup(&mut self, _jobq: &JobQueue) -> Option<SimTime> {
+        None
+    }
+
+    /// Policy-side self-check, called by the engine's opt-in invariant
+    /// checker after every settled event batch. Implementations should
+    /// re-derive their bookkeeping (queue routing tables, share
+    /// accounting, starvation clocks) from the queue view and panic in
+    /// the checker's `engine invariant violated [name]: ...` format on a
+    /// mismatch. The default checks nothing.
+    fn verify_invariants(&self, _jobq: &JobQueue) {}
 }
 
 #[cfg(test)]

@@ -32,9 +32,11 @@
 //!
 //! * **Host failures** — a seeded [`FaultSpec`] (or an explicit
 //!   [`HostFailure`] plan via [`SimulatorEngine::with_fault_plan`])
-//!   permanently removes hosts: their slots leave the pools, running
-//!   attempts are killed and requeued, and completed map outputs stored
-//!   there are re-executed while the owning job's map stage is open.
+//!   removes hosts: their slots leave the pools, running attempts are
+//!   killed and requeued, and completed map outputs stored there are
+//!   re-executed while the owning job's map stage is open. An optional
+//!   seeded [`RecoverySpec`] brings each failed host back after an
+//!   exponential downtime (failures are otherwise permanent for the run).
 //! * **Speculative execution** — [`EngineConfig::with_speculation`] arms a
 //!   straggler timer per map attempt; an attempt outliving `factor ×` the
 //!   job's median map duration gets a duplicate, and the first finisher
@@ -100,7 +102,7 @@ mod invariants;
 pub mod jobq;
 pub mod queue;
 
-pub use config::{EngineConfig, FaultSpec, SlowdownSpec};
+pub use config::{EngineConfig, FaultSpec, RecoverySpec, SlowdownSpec};
 pub use engine::{HostFailure, SimulatorEngine};
 pub use event::{Event, EventKind};
 pub use jobq::{JobEntry, JobQueue, SchedulerPolicy};

@@ -13,7 +13,11 @@
 //! * [`FairSharePolicy`] — an HFS-flavoured extension: the job with the
 //!   smallest running-task share goes first;
 //! * [`CapacityPolicy`] — a Capacity-Scheduler-flavoured extension:
-//!   weighted queues with FIFO inside each queue.
+//!   weighted queues with FIFO inside each queue;
+//! * [`HierPolicy`] — hierarchical pool *trees* (Hadoop Fair/Capacity
+//!   style, the paper's refs. 2–3): nested pools with weights, min/max
+//!   shares per slot kind and min-share preemption timeouts, declared via
+//!   [`pool::PoolSpec`].
 //!
 //! All policies implement [`simmr_core::SchedulerPolicy`] and are
 //! deterministic: ties break on `(arrival, job id)`.
@@ -27,7 +31,14 @@
 //! fifo | maxedf | minedf | maxedf-p | minedf-p | fair
 //! capacity                       # two_tier() default queues
 //! capacity:prod=3,adhoc=1        # ordered weighted queues
+//! hier                           # two_tier() as a one-level tree
+//! hier:prod[w=3,min=4,timeout=30]{etl,serving},adhoc[w=1]
 //! ```
+//!
+//! The `hier` grammar (weights, per-kind min/max shares, preemption
+//! timeouts in seconds, nested `{}` children) is documented in
+//! [`pool`]; larger trees can be loaded from JSON with
+//! [`pool::pools_from_json`] (the CLI's `--pools FILE`).
 //!
 //! Parsing returns a [`PolicyParseError`] that names the valid policies,
 //! instead of the old `Option`-returning [`policy_by_name`] (kept as a
@@ -37,11 +48,15 @@ pub mod capacity;
 pub mod edf;
 pub mod fair;
 pub mod fifo;
+pub mod hier;
+pub mod pool;
 
 pub use capacity::{CapacityPolicy, QueueConfig};
 pub use edf::{MaxEdfPolicy, MinEdfPolicy};
 pub use fair::FairSharePolicy;
 pub use fifo::FifoPolicy;
+pub use hier::HierPolicy;
+pub use pool::{parse_pool_spec, pools_from_json, PoolSpec};
 
 use simmr_core::SchedulerPolicy;
 use std::fmt;
@@ -49,7 +64,7 @@ use std::str::FromStr;
 
 /// The valid policy names, in the order error messages list them.
 pub const POLICY_NAMES: &[&str] =
-    &["fifo", "maxedf", "minedf", "maxedf-p", "minedf-p", "fair", "capacity"];
+    &["fifo", "maxedf", "minedf", "maxedf-p", "minedf-p", "fair", "capacity", "hier"];
 
 /// A parsed policy spec: which built-in policy to run, with parameters.
 ///
@@ -78,6 +93,12 @@ pub enum PolicySpec {
     Capacity {
         /// Ordered `(queue name, weight)` pairs.
         queues: Vec<(String, f64)>,
+    },
+    /// Hierarchical pool tree with min/max shares and min-share
+    /// preemption. Empty means [`HierPolicy::two_tier`].
+    Hier {
+        /// Top-level pools, in routing order.
+        pools: Vec<PoolSpec>,
     },
 }
 
@@ -134,6 +155,15 @@ impl FromStr for PolicySpec {
                     Some(p) => parse_capacity_queues(p)?,
                 };
                 return Ok(PolicySpec::Capacity { queues });
+            }
+            "hier" => {
+                let pools = match params {
+                    None => Vec::new(),
+                    Some(p) => parse_pool_spec(p).map_err(|reason| {
+                        PolicyParseError::InvalidParams { policy: "hier", reason }
+                    })?,
+                };
+                return Ok(PolicySpec::Hier { pools });
             }
             _ => return Err(PolicyParseError::UnknownPolicy { given: name.to_string() }),
         };
@@ -198,6 +228,8 @@ impl PolicySpec {
                     .map(|(name, weight)| QueueConfig { name: name.clone(), weight: *weight })
                     .collect(),
             )),
+            PolicySpec::Hier { pools } if pools.is_empty() => Box::new(HierPolicy::two_tier()),
+            PolicySpec::Hier { pools } => Box::new(HierPolicy::new(pools.clone())),
         }
     }
 }
@@ -233,7 +265,7 @@ mod tests {
 
     #[test]
     fn parse_and_build_all_plain_names() {
-        for name in ["fifo", "maxedf", "minedf", "fair", "capacity"] {
+        for name in ["fifo", "maxedf", "minedf", "fair", "capacity", "hier"] {
             let p = parse_policy(name).unwrap();
             assert_eq!(p.name(), name);
         }
@@ -279,6 +311,30 @@ mod tests {
             let err = bad.parse::<PolicySpec>().unwrap_err();
             assert!(
                 matches!(err, PolicyParseError::InvalidParams { policy: "capacity", .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn hier_params_parse_issue_example() {
+        let spec: PolicySpec =
+            "hier:prod[w=3,min=4,timeout=30]{etl,serving},adhoc[w=1]".parse().unwrap();
+        let PolicySpec::Hier { pools } = &spec else { panic!("not hier: {spec:?}") };
+        assert_eq!(pools.len(), 2);
+        assert_eq!(pools[0].min_maps, Some(4));
+        assert_eq!(pools[0].preemption_timeout, Some(30_000));
+        assert_eq!(spec.build().name(), "hier");
+        // bare name: the two_tier default tree
+        assert_eq!("hier".parse::<PolicySpec>().unwrap(), PolicySpec::Hier { pools: vec![] });
+    }
+
+    #[test]
+    fn hier_param_errors() {
+        for bad in ["hier:", "hier:p[w=0]", "hier:p[oops=1]", "hier:p{q", "hier:p,p"] {
+            let err = bad.parse::<PolicySpec>().unwrap_err();
+            assert!(
+                matches!(err, PolicyParseError::InvalidParams { policy: "hier", .. }),
                 "{bad}: {err}"
             );
         }

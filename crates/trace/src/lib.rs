@@ -27,4 +27,4 @@ pub use db::TraceDatabase;
 pub use mrprofiler::{profile_history, trace_from_history, ProfiledJob};
 pub use rumen::{RumenJob, RumenTask, RumenTrace};
 pub use scaling::scale_template;
-pub use synthetic::{FacebookWorkload, SyntheticJobSpec, SyntheticWorkload};
+pub use synthetic::{FacebookWorkload, MultiTenantWorkload, SyntheticJobSpec, SyntheticWorkload};

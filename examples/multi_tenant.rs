@@ -1,0 +1,84 @@
+//! Multi-tenant hierarchical scheduling walkthrough.
+//!
+//! Three tenants share one cluster: two production groups (`prod-etl`,
+//! `prod-serving`) under a common `prod` pool with a guaranteed minimum
+//! share, and a noisy `adhoc` tenant submitting half of all jobs. The
+//! hierarchical pool-tree policy routes jobs by name prefix, splits slots
+//! by weight at each tree level, and — when `prod` has sat below its
+//! minimum share longer than its preemption timeout — kills the youngest
+//! `adhoc` map tasks to restore the guarantee.
+//!
+//! ```sh
+//! cargo run --release -p simmr-examples --bin multi_tenant
+//! ```
+
+use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_sched::parse_policy;
+use simmr_trace::MultiTenantWorkload;
+use simmr_types::{SimulationReport, WorkloadTrace};
+
+/// The ISSUE's 3-tenant tree: `prod` holds 3/4 of the weight, a 4-slot
+/// minimum share and a 30 s preemption timeout; `adhoc` takes the rest.
+const POOLS: &str = "hier:prod[w=3,min=4,timeout=30]{etl,serving},adhoc[w=1]";
+
+fn replay(trace: &WorkloadTrace, policy: &str) -> SimulationReport {
+    SimulatorEngine::new(
+        EngineConfig::new(16, 8).with_invariants(),
+        trace,
+        parse_policy(policy).expect("policy spec parses"),
+    )
+    .run()
+}
+
+/// Mean job duration in seconds per tenant prefix.
+fn per_tenant(report: &SimulationReport, tenants: &[&str]) -> Vec<(usize, f64)> {
+    tenants
+        .iter()
+        .map(|t| {
+            let durs: Vec<f64> = report
+                .jobs
+                .iter()
+                .filter(|j| j.name.starts_with(t))
+                .map(|j| j.duration() as f64 / 1000.0)
+                .collect();
+            (durs.len(), durs.iter().sum::<f64>() / durs.len().max(1) as f64)
+        })
+        .collect()
+}
+
+fn main() {
+    let workload = MultiTenantWorkload::three_tenant(20_000.0);
+    let trace = workload.generate(150, 11);
+    println!(
+        "workload: {} jobs from {} tenants, {} tasks\n",
+        trace.len(),
+        workload.tenants.len(),
+        trace.total_tasks()
+    );
+
+    let tenants: Vec<&str> = workload.tenants.iter().map(|(t, _)| t.as_str()).collect();
+    println!("policy comparison on 16 map + 8 reduce slots:");
+    println!("{:<44} {:>10}  per-tenant mean job duration", "policy", "makespan_s");
+    for policy in ["fifo", "fair", POOLS] {
+        let report = replay(&trace, policy);
+        let stats = per_tenant(&report, &tenants);
+        let detail = tenants
+            .iter()
+            .zip(&stats)
+            .map(|(t, (n, mean))| format!("{t}: {mean:.0}s ({n} jobs)"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{:<44} {:>10.0}  {detail}", policy, report.makespan.as_secs_f64());
+    }
+
+    // Same-seed reruns are byte-identical — preemption decisions included.
+    let a = replay(&trace, POOLS);
+    let b = replay(&trace, POOLS);
+    assert_eq!(a, b, "hierarchical replay must be deterministic");
+
+    println!(
+        "\nthe pool tree `{}`\nguarantees prod 4 map slots: after 30 s below that share the \
+         youngest adhoc\ntasks are preempted (killed and requeued) until the guarantee holds.",
+        &POOLS[5..]
+    );
+}

@@ -4,11 +4,12 @@
 //! * single-job traces must land inside the ARIA bounds model of eq. 1
 //!   across randomized templates and slot counts, with every batch
 //!   invariant armed;
-//! * random preemption-heavy traces sweep all six policies with the
-//!   checker on — any slot leak, counter drift, phantom timeline bar or
-//!   uncovered queue mutation panics inside the engine;
+//! * random preemption-heavy traces sweep all seven policies (the
+//!   hierarchical pool tree included) with the checker on — any slot
+//!   leak, counter drift, phantom timeline bar, uncovered queue mutation
+//!   or per-pool share-accounting drift panics inside the engine;
 //! * random traces under the full failure model (host failures,
-//!   speculation, per-slot slowdowns) sweep all six policies with the
+//!   speculation, per-slot slowdowns) sweep all seven policies with the
 //!   checker on, and every run must replay byte-identically;
 //! * a deterministic preemption scenario is cross-checked against the
 //!   snapshot oracle. With the two preemption fixes reverted
@@ -17,13 +18,21 @@
 //!   that bug class.
 
 use proptest::prelude::*;
-use simmr_core::{EngineConfig, FaultSpec, HostFailure, SimulatorEngine};
+use simmr_core::{EngineConfig, FaultSpec, HostFailure, RecoverySpec, SimulatorEngine};
 use simmr_model::{estimate_completion, JobProfileSummary};
 use simmr_sched::parse_policy;
 use simmr_stats::Dist;
 use simmr_types::{HostId, JobSpec, JobTemplate, SimTime, TimelinePhase, WorkloadTrace};
 
-const POLICIES: [&str; 6] = ["fifo", "maxedf", "minedf", "fair", "maxedf-p", "capacity"];
+const POLICIES: [&str; 7] = [
+    "fifo",
+    "maxedf",
+    "minedf",
+    "fair",
+    "maxedf-p",
+    "capacity",
+    "hier:j[w=2,min=1,timeout=0.5],spare[w=1]",
+];
 
 /// The paper's §V validation error band (~10–15%) covers the engine
 /// nuances the bounds model ignores (slowstart overlap, first-shuffle
@@ -85,7 +94,7 @@ proptest! {
 
     /// (b) Preemption-heavy sweep: contended slots, staggered arrivals and
     /// ever-tighter deadlines force `maxedf-p` through repeated
-    /// kill/requeue/relaunch cycles; all five policies replay the same
+    /// kill/requeue/relaunch cycles; all seven policies replay the same
     /// trace with the checker armed.
     #[test]
     fn preemption_heavy_sweep_all_policies(
@@ -125,8 +134,8 @@ proptest! {
     }
 
     /// (c) Failure-model sweep: host failures, speculative re-execution and
-    /// per-slot slowdowns together, across all six policies, invariants and
-    /// timeline armed — and every configuration must replay
+    /// per-slot slowdowns together, across all seven policies, invariants
+    /// and timeline armed — and every configuration must replay
     /// byte-identically from the same seeds.
     #[test]
     fn failure_model_sweep_all_policies(
@@ -224,6 +233,46 @@ fn host_failure_reruns_completed_maps_and_balances() {
     }
     // deterministic replay
     assert_eq!(failed, run(true));
+}
+
+/// Deterministic host-recovery scenario through the public crate API:
+/// a seeded fault plan with the recovery model armed restores dead hosts
+/// after an exponential repair delay. The run completes, replays
+/// byte-identically, and cannot be slower than leaving the hosts dead.
+#[test]
+fn host_recovery_restores_capacity_end_to_end() {
+    let mut trace = WorkloadTrace::new("host-recovery", "invariant-harness");
+    for i in 0..4u64 {
+        trace
+            .push(JobSpec::new(uniform_template(8, 1, 200, 20, 30), SimTime::from_millis(i * 100)));
+    }
+    let base = EngineConfig::new(6, 2)
+        .with_hosts(3)
+        .with_faults(FaultSpec { seed: 7, count: 2, mean_interval_ms: 400 })
+        .with_timeline()
+        .with_invariants();
+    let run = |recovery: Option<RecoverySpec>| {
+        let config = match recovery {
+            Some(r) => base.with_recovery(r),
+            None => base,
+        };
+        SimulatorEngine::new(config, &trace, parse_policy("fifo").unwrap()).run()
+    };
+    let permanent = run(None);
+    let rec = RecoverySpec { seed: 3, mean_ms: 500 };
+    let recovered = run(Some(rec));
+    assert_eq!(recovered.jobs.len(), 4);
+    assert!(
+        recovered.makespan <= permanent.makespan,
+        "repaired hosts made the run slower: {} vs {}",
+        recovered.makespan,
+        permanent.makespan
+    );
+    // byte-identical replay, repair delays included
+    assert_eq!(recovered, run(Some(rec)));
+    // a different repair seed is a different (but still complete) schedule
+    let reseeded = run(Some(RecoverySpec { seed: 99, mean_ms: 500 }));
+    assert_eq!(reseeded.jobs.len(), 4);
 }
 
 /// Deterministic kill-and-requeue scenario cross-checked against the

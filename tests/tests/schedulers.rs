@@ -6,7 +6,7 @@ use simmr_bench::workloads::assign_deadlines;
 use simmr_core::{EngineConfig, SimulatorEngine};
 use simmr_sched::parse_policy;
 use simmr_stats::SeededRng;
-use simmr_trace::FacebookWorkload;
+use simmr_trace::{FacebookWorkload, MultiTenantWorkload};
 use simmr_types::{JobSpec, JobTemplate, SimTime, WorkloadTrace};
 
 fn run(trace: &WorkloadTrace, policy: &str, slots: usize) -> simmr_types::SimulationReport {
@@ -129,6 +129,151 @@ fn fifo_is_deadline_blind() {
     assert_eq!(completions(&a), completions(&b));
 }
 
+// ---- hierarchical pool-tree policy ----------------------------------------
+
+/// A map-only job with one tenant-prefixed name.
+fn tenant_job(name: &str, maps: usize, map_ms: u64, arrival_ms: u64) -> JobSpec {
+    JobSpec::new(
+        JobTemplate::new(name, vec![map_ms; maps], vec![], vec![], vec![]).unwrap(),
+        SimTime::from_millis(arrival_ms),
+    )
+}
+
+fn run_invariant_checked(
+    trace: &WorkloadTrace,
+    policy: &str,
+    slots: usize,
+) -> simmr_types::SimulationReport {
+    SimulatorEngine::new(
+        EngineConfig::new(slots, 2).with_invariants(),
+        trace,
+        parse_policy(policy).expect("known policy"),
+    )
+    .run()
+}
+
+/// The ISSUE acceptance scenario: three tenants under
+/// `hier:prod[w=3,min=4,timeout=30]{etl,serving},adhoc[w=1]`. An adhoc job
+/// hogs all 8 map slots; prod jobs arrive and sit below prod's 4-slot
+/// minimum share; 30 s later the min-share preemption pass kills the
+/// youngest adhoc tasks — exactly enough to restore the guarantee — and
+/// the whole run replays byte-identically with the extended invariant
+/// checker (per-pool share accounting) armed.
+#[test]
+fn hier_three_tenant_preemption_restores_min_share() {
+    let mut trace = WorkloadTrace::new("three-tenant", "hier-acceptance");
+    trace.push(tenant_job("adhoc-hog", 8, 120_000, 0));
+    trace.push(tenant_job("prod-etl-urgent", 4, 10_000, 5_000));
+    trace.push(tenant_job("prod-serving-urgent", 2, 10_000, 6_000));
+    let spec = "hier:prod[w=3,min=4,timeout=30]{etl,serving},adhoc[w=1]";
+
+    let report = run_invariant_checked(&trace, spec, 8);
+    // prod starves from t=5s; the wakeup fires at t=35s and four adhoc
+    // tasks die: etl gets 2 slots (waves at 45s and 55s), serving 2 (45s)
+    assert_eq!(report.jobs[1].completion, SimTime::from_millis(55_000));
+    assert_eq!(report.jobs[2].completion, SimTime::from_millis(45_000));
+    // adhoc's 4 surviving tasks still finish at 120s; the 4 killed ones
+    // relaunch only after prod drains (2 at 45s, 2 at 55s)
+    assert_eq!(report.jobs[0].completion, SimTime::from_millis(175_000));
+
+    // byte-identical same-seed rerun, preemption decisions included
+    assert_eq!(report, run_invariant_checked(&trace, spec, 8));
+
+    // without the timeout the same tree never preempts: prod waits for
+    // the hog to finish at 120s
+    let no_timeout =
+        run_invariant_checked(&trace, "hier:prod[w=3,min=4]{etl,serving},adhoc[w=1]", 8);
+    assert_eq!(no_timeout.jobs[1].completion, SimTime::from_millis(130_000));
+    assert_eq!(no_timeout.jobs[0].completion, SimTime::from_millis(120_000));
+}
+
+/// A flat `hier:` tree (leaves only, no mins/timeouts) is the capacity
+/// scheduler: same weights, same prefix routing, byte-identical reports —
+/// the snapshot oracle for the `capacity:` spec stays unchanged.
+#[test]
+fn flat_hier_tree_matches_capacity_byte_identically() {
+    let trace = MultiTenantWorkload::three_tenant(8_000.0).generate(40, 17);
+    for (hier, capacity) in [
+        (
+            "hier:prod-etl[w=2],prod-serving,adhoc[w=3]",
+            "capacity:prod-etl=2,prod-serving=1,adhoc=3",
+        ),
+        // single leaf degenerates to one queue holding everything
+        ("hier:only", "capacity:only=1"),
+    ] {
+        let h = run_invariant_checked(&trace, hier, 6);
+        let c = run_invariant_checked(&trace, capacity, 6);
+        assert_eq!(h, c, "{hier} diverged from {capacity}");
+    }
+}
+
+/// A min share larger than the whole cluster cannot over-kill: preemption
+/// stops as soon as the starved pool has no pending work left, so the
+/// number of kills is bounded by the pool's own demand.
+#[test]
+fn hier_min_share_beyond_cluster_capacity_is_bounded_by_demand() {
+    let mut trace = WorkloadTrace::new("min-overcommit", "hier-edge");
+    trace.push(tenant_job("other-hog", 4, 10_000, 0));
+    trace.push(tenant_job("greedy-small", 2, 1_000, 200));
+    let spec = "hier:greedy[w=1,min=100,timeout=0.1],other";
+    let report = run_invariant_checked(&trace, spec, 4);
+    // due at t=300: exactly 2 kills (greedy only has 2 tasks), both
+    // relaunched immediately -> greedy completes at 1300
+    assert_eq!(report.jobs[1].completion, SimTime::from_millis(1_300));
+    // the 2 killed hog tasks restart at 1200/1300 after greedy drains
+    assert_eq!(report.jobs[0].completion, SimTime::from_millis(11_300));
+    assert_eq!(report, run_invariant_checked(&trace, spec, 4));
+}
+
+/// A preemption timeout of zero fires in the very scheduling pass that
+/// sees the deficit — the starved pool claims its min share instantly.
+#[test]
+fn hier_zero_timeout_preempts_in_the_arrival_pass() {
+    let mut trace = WorkloadTrace::new("timeout-zero", "hier-edge");
+    trace.push(tenant_job("bg-hog", 4, 50_000, 0));
+    trace.push(tenant_job("fg-urgent", 2, 1_000, 500));
+    let report = run_invariant_checked(&trace, "hier:fg[w=1,min=2,timeout=0],bg", 4);
+    assert_eq!(report.jobs[1].completion, SimTime::from_millis(1_500));
+}
+
+/// A pool that never receives a job is inert: it draws no share, its
+/// min-share clock never starts (no pending work), and the schedule is
+/// identical to the tree without it.
+#[test]
+fn hier_empty_pool_is_inert() {
+    let mut trace = WorkloadTrace::new("empty-pool", "hier-edge");
+    for i in 0..6u64 {
+        trace.push(tenant_job(&format!("busy-{i}"), 3, 2_000, i * 700));
+    }
+    let with_idle = run_invariant_checked(&trace, "hier:idle[w=5,min=2,timeout=0.1],busy", 3);
+    let without = run_invariant_checked(&trace, "hier:busy", 3);
+    assert_eq!(with_idle, without);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same-seed determinism / rerun-stability sweep for the hierarchical
+    /// policy over randomized multi-tenant workloads and cluster widths,
+    /// with the extended invariant checker armed on every run.
+    #[test]
+    fn hier_replay_deterministic_across_reruns(
+        seed in 0u64..30,
+        slots in 2usize..10,
+        jobs in 8usize..30,
+    ) {
+        let trace = MultiTenantWorkload::three_tenant(3_000.0).generate(jobs, seed);
+        let spec = "hier:prod[w=3,min=2,timeout=1]{etl,serving},adhoc[w=1]";
+        let run = || run_invariant_checked(&trace, spec, slots);
+        let report = run();
+        prop_assert_eq!(report.jobs.len(), jobs);
+        for job in &report.jobs {
+            prop_assert!(job.completion >= job.arrival);
+        }
+        prop_assert_eq!(report, run());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -142,9 +287,15 @@ proptest! {
             1..12,
         ),
         slots in 1usize..8,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..5,
     ) {
-        let policy = ["fifo", "maxedf", "minedf", "fair"][policy_idx];
+        let policy = [
+            "fifo",
+            "maxedf",
+            "minedf",
+            "fair",
+            "hier:x[w=3],p[w=1,min=1,timeout=0.2]",
+        ][policy_idx];
         let mut trace = WorkloadTrace::new("prop", "test");
         for (maps, reduces, dur, arrival) in jobs {
             let template = JobTemplate::new(

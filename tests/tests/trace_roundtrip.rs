@@ -1,12 +1,18 @@
-//! Trace persistence and transformation round-trips.
+//! Trace persistence and transformation round-trips, plus a structured
+//! fuzzer over the JSON trace schema: randomized traces with boundary
+//! durations (0, 1, `u64::MAX`) and escape-heavy names must survive a
+//! serialize → parse round-trip byte-exactly; truncated documents and
+//! trailing garbage must error (never panic); duplicate object keys
+//! resolve first-wins, matching the vendored `serde_json`'s `Value::get`.
 
+use proptest::prelude::*;
 use simmr_bench::pipeline::run_testbed;
 use simmr_cluster::{ClusterConfig, ClusterPolicy};
 use simmr_core::{EngineConfig, SimulatorEngine};
 use simmr_integration::small_job;
 use simmr_sched::FifoPolicy;
 use simmr_trace::{scale_template, trace_from_history, TraceDatabase};
-use simmr_types::{parse_history, SimTime, WorkloadTrace};
+use simmr_types::{parse_history, JobSpec, JobTemplate, SimTime, WorkloadTrace};
 
 fn testbed_trace(seed: u64) -> WorkloadTrace {
     let run = run_testbed(
@@ -103,4 +109,132 @@ fn profiled_trace_serializes_compactly_and_validates() {
     let back: WorkloadTrace = serde_json::from_str(&json).unwrap();
     back.validate().unwrap();
     assert_eq!(trace, back);
+}
+
+// ---- structured JSON-schema fuzzer ----------------------------------------
+
+/// Boundary durations/instants the fuzzer injects: zero-length tasks,
+/// 1 ms tasks, an ordinary value and the saturating extreme.
+const BOUNDARY_MS: [u64; 4] = [0, 1, 5_000, u64::MAX];
+
+/// Names stressing JSON string escaping: quotes, backslashes, control
+/// characters, multi-byte UTF-8 and the empty string.
+const NAMES: [&str; 4] = ["plain-job", "es\"cape\\me\n\t", "uni-é-☃-日本", ""];
+
+/// Builds one fuzzed job from index picks into the boundary tables.
+fn fuzz_job(
+    maps: usize,
+    reduces: usize,
+    dur_pick: usize,
+    arr_pick: usize,
+    name_pick: usize,
+) -> JobSpec {
+    let d = BOUNDARY_MS[dur_pick];
+    let template = JobTemplate::new(
+        NAMES[name_pick],
+        vec![d; maps],
+        if reduces > 0 { vec![d] } else { vec![] },
+        if reduces > 0 { vec![d; reduces] } else { vec![] },
+        vec![d; reduces],
+    )
+    .expect("fuzzed template is structurally valid");
+    let mut spec = JobSpec::new(template, SimTime::from_millis(BOUNDARY_MS[arr_pick]));
+    if arr_pick % 2 == 1 {
+        spec = spec.with_deadline(SimTime::from_millis(BOUNDARY_MS[3 - arr_pick]));
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fuzzed traces — boundary durations, escape-heavy names, optional
+    /// deadlines, empty job lists — survive compact and pretty
+    /// serialization round-trips exactly, and still validate.
+    #[test]
+    fn fuzz_trace_json_round_trip(
+        jobs in proptest::collection::vec(
+            // (maps, reduces, dur_pick, arr_pick, name_pick)
+            (1usize..5, 0usize..3, 0usize..4, 0usize..4, 0usize..4),
+            0..8,
+        ),
+        seed_pick in 0usize..4,
+    ) {
+        let mut trace = WorkloadTrace::new("fuzzed trace \"with\" escapes", "fuzzer");
+        trace.meta.seed = [None, Some(0), Some(1), Some(u64::MAX)][seed_pick];
+        for &(maps, reduces, dur_pick, arr_pick, name_pick) in &jobs {
+            trace.push(fuzz_job(maps, reduces, dur_pick, arr_pick, name_pick));
+        }
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: WorkloadTrace = serde_json::from_str(&json).unwrap();
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(&back, &trace);
+        let pretty = serde_json::to_string_pretty(&trace).unwrap();
+        prop_assert_eq!(serde_json::from_str::<WorkloadTrace>(&pretty).unwrap(), trace);
+    }
+
+    /// Every proper prefix of a serialized trace is a parse error — never
+    /// a panic, never a silent partial success — and so is a document with
+    /// trailing garbage.
+    #[test]
+    fn fuzz_truncated_and_garbage_documents_error(
+        jobs in proptest::collection::vec(
+            (1usize..3, 0usize..2, 0usize..4, 0usize..4, 0usize..4),
+            0..3,
+        ),
+    ) {
+        let mut trace = WorkloadTrace::new("truncation fuzz", "fuzzer");
+        for &(maps, reduces, dur_pick, arr_pick, name_pick) in &jobs {
+            trace.push(fuzz_job(maps, reduces, dur_pick, arr_pick, name_pick));
+        }
+        let json = serde_json::to_string(&trace).unwrap();
+        for cut in 0..json.len() {
+            if !json.is_char_boundary(cut) {
+                continue;
+            }
+            prop_assert!(
+                serde_json::from_str::<WorkloadTrace>(&json[..cut]).is_err(),
+                "prefix of {cut}/{} bytes parsed successfully", json.len()
+            );
+        }
+        for garbage in ["x", "{}", " null", ",", "]"] {
+            prop_assert!(
+                serde_json::from_str::<WorkloadTrace>(&format!("{json}{garbage}")).is_err(),
+                "trailing {garbage:?} accepted"
+            );
+        }
+    }
+}
+
+/// Duplicate object keys resolve first-wins (the vendored `serde_json`
+/// keeps every pair and `Value::get` returns the first match); unknown
+/// keys are ignored; a schema-violating field type still errors.
+#[test]
+fn duplicate_keys_resolve_first_wins() {
+    let json = r#"{
+        "meta": {"description": "first", "description": "second",
+                 "source": "fuzz", "seed": 7, "seed": 8, "unknown": [1, 2]},
+        "jobs": [{
+            "template": {"name": "dup", "name": "loser",
+                         "num_maps": 1, "num_maps": 99,
+                         "num_reduces": 0,
+                         "map_durations": [5], "map_durations": [1, 2, 3],
+                         "first_shuffle_durations": [],
+                         "typical_shuffle_durations": [],
+                         "reduce_durations": []},
+            "arrival": 10, "arrival": 20, "deadline": null
+        }]
+    }"#;
+    let trace: WorkloadTrace = serde_json::from_str(json).unwrap();
+    assert_eq!(trace.meta.description, "first");
+    assert_eq!(trace.meta.seed, Some(7));
+    assert_eq!(&*trace.jobs[0].template.name, "dup");
+    assert_eq!(trace.jobs[0].template.num_maps, 1);
+    assert_eq!(trace.jobs[0].template.map_durations, vec![5]);
+    assert_eq!(trace.jobs[0].arrival, SimTime::from_millis(10));
+    trace.validate().unwrap();
+
+    // wrong field type is a hard error, not a default
+    let bad = r#"{"meta": {"description": 3, "source": "s", "seed": null}, "jobs": []}"#;
+    assert!(serde_json::from_str::<WorkloadTrace>(bad).is_err());
 }
