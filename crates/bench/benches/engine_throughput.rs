@@ -31,6 +31,21 @@ fn bench_engine_throughput(c: &mut Criterion) {
                     .run()
             })
         });
+        if jobs == 2_000 {
+            // the incremental share view must keep the tree walk flat in
+            // the backlog depth too, not just the fifo queue scan
+            group.bench_with_input(BenchmarkId::new("hier", jobs), &trace, |b, trace| {
+                b.iter(|| {
+                    SimulatorEngine::new(
+                        EngineConfig::new(64, 64),
+                        trace,
+                        parse_policy("hier:prod[w=3,min=4]{etl,serving},adhoc[w=1]")
+                            .expect("policy"),
+                    )
+                    .run()
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -14,10 +14,12 @@
 //! With `SIMMR_BENCH_ASSERT=1` the binary turns into a regression gate
 //! (used by CI to verify the invariant checker costs nothing when
 //! disabled): it exits nonzero unless the paper's claim and the scaling
-//! bound hold *and* FIFO throughput stays within a noise band of the
-//! committed `BENCH_engine.json` baseline (default ≥ 50% of it, for noisy
-//! shared runners; tune with `SIMMR_BENCH_NOISE_FRAC`). The baseline is
-//! read before the file is overwritten.
+//! bound hold *and* FIFO and `hier` 1k-job throughput stay within a noise
+//! band of the committed `BENCH_engine.json` baseline (default ≥ 50% of
+//! it, for noisy shared runners; tune with `SIMMR_BENCH_NOISE_FRAC`). The
+//! `hier` floor keeps the incremental share view's ~2-orders-of-magnitude
+//! speedup from silently regressing to the full-queue re-aggregation
+//! cost. The baseline is read before the file is overwritten.
 
 use simmr_bench::csvout::workspace_root;
 use simmr_core::{EngineConfig, SimulatorEngine};
@@ -28,14 +30,14 @@ use std::time::Instant;
 
 const SIZES: [usize; 3] = [100, 1_000, 10_000];
 /// (JSON label, parse spec, largest size measured). The regression gates
-/// only read the `fifo` rows; the others track relative scheduler cost
-/// across commits. `hier` re-aggregates the whole queue per slot
-/// assignment (no incremental share view yet — see ROADMAP), so the
-/// deep-backlog 10k point would take minutes per rep and is skipped.
+/// read the `fifo` and `hier` rows; `maxedf` tracks relative scheduler
+/// cost across commits. The incremental share view keeps `hier`'s
+/// per-event cost flat in the backlog depth, so it runs the full 10k
+/// point like everyone else.
 const POLICIES: [(&str, &str, usize); 3] = [
     ("fifo", "fifo", 10_000),
     ("maxedf", "maxedf", 10_000),
-    ("hier", "hier:prod[w=3,min=4]{etl,serving},adhoc[w=1]", 1_000),
+    ("hier", "hier:prod[w=3,min=4]{etl,serving},adhoc[w=1]", 10_000),
 ];
 
 fn min_secs() -> f64 {
@@ -50,9 +52,9 @@ fn noise_frac() -> f64 {
     std::env::var("SIMMR_BENCH_NOISE_FRAC").ok().and_then(|v| v.parse().ok()).unwrap_or(0.5)
 }
 
-/// FIFO events/sec at `jobs` scale from a previously written
+/// `policy` events/sec at `jobs` scale from a previously written
 /// `BENCH_engine.json`, if one exists and parses.
-fn baseline_rate(path: &std::path::Path, jobs: u64) -> Option<f64> {
+fn baseline_rate(path: &std::path::Path, policy: &str, jobs: u64) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     let doc: serde_json::Value = serde_json::from_str(&text).ok()?;
     let serde_json::Value::Array(rows) = doc.get("results")? else {
@@ -61,7 +63,7 @@ fn baseline_rate(path: &std::path::Path, jobs: u64) -> Option<f64> {
     rows.iter()
         .find(|r| {
             r.get("jobs") == Some(&serde_json::Value::U64(jobs))
-                && r.get("policy") == Some(&serde_json::Value::Str("fifo".to_owned()))
+                && r.get("policy") == Some(&serde_json::Value::Str(policy.to_owned()))
         })
         .and_then(|r| match r.get("events_per_sec") {
             Some(serde_json::Value::F64(v)) => Some(*v),
@@ -127,8 +129,9 @@ fn measure(
 fn main() {
     let min_secs = min_secs();
     let out_path = workspace_root().join("BENCH_engine.json");
-    // read the committed baseline before this run overwrites the file
-    let baseline_1k = baseline_rate(&out_path, 1_000);
+    // read the committed baselines before this run overwrites the file
+    let baseline_fifo_1k = baseline_rate(&out_path, "fifo", 1_000);
+    let baseline_hier_1k = baseline_rate(&out_path, "hier", 1_000);
     eprintln!("[bench_engine] >= {min_secs} s per point; set SIMMR_BENCH_SECS to change");
     println!(
         "{:>8} {:>8} {:>12} {:>6} {:>12} {:>14}",
@@ -220,28 +223,34 @@ fn main() {
                 fifo_1k / 1e6
             ));
         }
-        match baseline_1k {
+        let mut noise_gate = |policy: &str, measured: f64, baseline: Option<f64>| match baseline {
             Some(base) => {
                 let floor = base * noise_frac();
-                if fifo_1k < floor {
+                if measured < floor {
                     failures.push(format!(
-                        "fifo 1k throughput {:.2} M/s fell below the noise floor {:.2} M/s \
+                        "{policy} 1k throughput {:.2} M/s fell below the noise floor {:.2} M/s \
                          ({}% of the baseline {:.2} M/s)",
-                        fifo_1k / 1e6,
+                        measured / 1e6,
                         floor / 1e6,
                         (noise_frac() * 100.0) as u32,
                         base / 1e6
                     ));
                 } else {
                     eprintln!(
-                        "[bench_engine] fifo 1k {:.2} M/s within noise of baseline {:.2} M/s",
-                        fifo_1k / 1e6,
+                        "[bench_engine] {policy} 1k {:.2} M/s within noise of baseline {:.2} M/s",
+                        measured / 1e6,
                         base / 1e6
                     );
                 }
             }
-            None => eprintln!("[bench_engine] no baseline BENCH_engine.json; skipping noise gate"),
-        }
+            None => eprintln!(
+                "[bench_engine] no {policy} baseline in BENCH_engine.json; skipping noise gate"
+            ),
+        };
+        noise_gate("fifo", fifo_1k, baseline_fifo_1k);
+        // keeps the incremental share view's speedup: a regression to the
+        // old full-reaggregation cost sits ~100x under this floor
+        noise_gate("hier", rate(1_000, "hier"), baseline_hier_1k);
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("[bench_engine] ASSERT FAILED: {f}");

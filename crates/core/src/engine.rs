@@ -548,6 +548,9 @@ impl<'a> SimulatorEngine<'a> {
             spec.relative_deadline(),
             self.config.cluster,
         );
+        // after on_job_arrival so routing-table state (pool assignment)
+        // exists before the entry's counters are credited
+        self.policy.on_job_queued(&entry);
         self.note_mutation("on_job_arrival");
     }
 
@@ -595,6 +598,7 @@ impl<'a> SimulatorEngine<'a> {
             self.free_map_slots.push(l.slot);
         }
         let entry = self.entry_mut(job);
+        let before = *entry;
         entry.running_maps -= 1 + losers.len();
         entry.completed_maps += 1;
         if spec_cancelled {
@@ -602,6 +606,8 @@ impl<'a> SimulatorEngine<'a> {
         }
         let flipped_eligible = !entry.reduce_eligible && completed >= threshold;
         entry.reduce_eligible = completed >= threshold;
+        let after = *entry;
+        self.policy.on_entry_mutated(&before, &after);
         if flipped_eligible {
             self.jobq.reset_reduce_hint();
         }
@@ -663,10 +669,13 @@ impl<'a> SimulatorEngine<'a> {
         }
         self.free_map_slots.push(victim.slot);
         let entry = self.entry_mut(job);
+        let before = *entry;
         entry.running_maps -= 1;
         if requeued {
             entry.pending_maps += 1;
         }
+        let after = *entry;
+        self.policy.on_entry_mutated(&before, &after);
         self.jobq.reset_map_hint();
         // The kill changed the policy-visible queue and freed a slot: the
         // next scheduling pass must not no-op behind a clean flag (a pass
@@ -746,8 +755,11 @@ impl<'a> SimulatorEngine<'a> {
             && state.maps_completed == state.maps_total;
         self.free_reduce_slots.push(done.slot);
         let entry = self.entry_mut(job);
+        let before = *entry;
         entry.running_reduces -= 1;
         entry.completed_reduces += 1;
+        let after = *entry;
+        self.policy.on_entry_mutated(&before, &after);
         self.jobq_dirty = true;
         if self.config.record_timeline {
             self.record_bar(TimelineEntry {
@@ -778,7 +790,11 @@ impl<'a> SimulatorEngine<'a> {
         }
         state.departed = true;
         state.active = false;
-        self.jobq.remove(job);
+        if let Some(removed) = self.jobq.remove(job) {
+            // before on_job_departure, which may drop routing state the
+            // policy needs to release the entry's counter contribution
+            self.policy.on_job_dequeued(&removed);
+        }
         self.jobq_dirty = true;
         let spec = &self.trace.jobs[job.index()];
         self.results[job.index()] = Some(JobResult {
@@ -891,7 +907,10 @@ impl<'a> SimulatorEngine<'a> {
             // reruns, eligibility may flip back off); re-derive the policy
             // view wholesale from the mutated job state instead.
             let rebuilt = self.entry_of(job);
-            *self.entry_mut(job) = rebuilt;
+            let entry = self.entry_mut(job);
+            let before = *entry;
+            *entry = rebuilt;
+            self.policy.on_entry_mutated(&before, &rebuilt);
             if self.config.record_timeline {
                 for m in &map_bars {
                     self.record_bar(TimelineEntry {
@@ -995,7 +1014,10 @@ impl<'a> SimulatorEngine<'a> {
         state.speculated[idx] = true;
         state.spec_pending.push(task_index);
         let entry = self.entry_mut(job);
+        let before = *entry;
         entry.pending_maps += 1;
+        let after = *entry;
+        self.policy.on_entry_mutated(&before, &after);
         self.jobq.reset_map_hint();
         self.jobq_dirty = true;
         self.note_mutation("on_speculation_due");
@@ -1154,8 +1176,11 @@ impl<'a> SimulatorEngine<'a> {
         let spec_threshold = state.spec_threshold;
         let already_speculated = state.speculated[idx as usize];
         let entry = self.entry_mut(job);
+        let before = *entry;
         entry.pending_maps -= 1;
         entry.running_maps += 1;
+        let after = *entry;
+        self.policy.on_entry_mutated(&before, &after);
         let base = self.trace.jobs[job.index()].template.map_duration(idx as usize);
         let duration = match self.map_slowdown.get(slot as usize) {
             Some(&f) => scaled(base, f),
@@ -1192,8 +1217,11 @@ impl<'a> SimulatorEngine<'a> {
         state.reduce_gen[idx as usize] += 1;
         let attempt = state.reduce_gen[idx as usize];
         let entry = self.entry_mut(job);
+        let before = *entry;
         entry.pending_reduces -= 1;
         entry.running_reduces += 1;
+        let after = *entry;
+        self.policy.on_entry_mutated(&before, &after);
         let shuffle_end = if maps_done {
             // later-wave reduce: typical shuffle + reduce phase
             let template = &self.trace.jobs[job.index()].template;

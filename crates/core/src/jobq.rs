@@ -325,6 +325,28 @@ pub trait SchedulerPolicy {
     /// Called when a job departs, letting policies drop per-job state.
     fn on_job_departure(&mut self, _id: JobId) {}
 
+    /// Called right after a job's entry joins the queue view (on arrival,
+    /// after [`Self::on_job_arrival`]), with the entry exactly as the
+    /// policy will first observe it. Policies that keep incremental
+    /// aggregates over the queue (per-pool share counters) seed them here;
+    /// the default keeps no such state.
+    fn on_job_queued(&mut self, _entry: &JobEntry) {}
+
+    /// Called right after the engine mutates a job's entry in place —
+    /// task launch, task completion, preemption kill, host-failure
+    /// kill/re-run, speculative duplicate — with the entry state `before`
+    /// and `after` the mutation. Fired for *every* counter change,
+    /// including launches made mid-pass by the engine's own scheduling
+    /// loop, so incremental aggregates stay exact between two
+    /// `choose_next_*` calls of the same pass. The default ignores it.
+    fn on_entry_mutated(&mut self, _before: &JobEntry, _after: &JobEntry) {}
+
+    /// Called right after a job's entry leaves the queue view (on
+    /// departure, before [`Self::on_job_departure`]), with its final
+    /// state so incremental aggregates can release whatever the entry
+    /// still contributed. The default ignores it.
+    fn on_job_dequeued(&mut self, _entry: &JobEntry) {}
+
     /// Returns the job whose next **map** task should be launched, or
     /// `None` to leave remaining map slots idle this round.
     fn choose_next_map_task(&mut self, jobq: &JobQueue) -> Option<JobId>;

@@ -27,14 +27,37 @@
 //!   semantics — until the deficit clears. Timeout 0 preempts in the same
 //!   scheduling pass the pool starves in; the starvation clocks advance
 //!   on simulated time via [`SchedulerPolicy::next_wakeup`], so a timeout
-//!   expiring between queue events still fires on time.
+//!   expiring between queue events still fires on time. A kill is only
+//!   taken when the simulated relaunch of the freed slot lands inside
+//!   the starved subtree — a kill whose slot would bounce to a third
+//!   pool would repeat at every pass forever without ever clearing the
+//!   deficit.
+//!
+//! # Incremental share view
+//!
+//! Per-pool running/pending counts are *maintained*, not recomputed: the
+//! engine reports every entry mutation through the
+//! [`SchedulerPolicy::on_job_queued`] / [`on_entry_mutated`] /
+//! [`on_job_dequeued`] hooks, and each delta walks the leaf's ancestor
+//! chain in O(depth), keeping subtree sums exact between any two
+//! `choose` calls. The final-leaf pick reads a per-leaf FIFO index —
+//! job ids in `(arrival, id)` order with an amortized-O(1) per-kind
+//! cursor, mirroring the [`JobQueue`] hint design (the cursor rewinds
+//! whenever a job's schedulable-pending count goes 0 → >0). A retained
+//! full-reaggregation path ([`HierPolicy::with_full_reaggregation`])
+//! reproduces the pre-incremental behaviour for differential testing,
+//! and `verify_invariants` cross-checks the maintained counters against
+//! that full re-aggregation oracle.
+//!
+//! [`on_entry_mutated`]: SchedulerPolicy::on_entry_mutated
+//! [`on_job_dequeued`]: SchedulerPolicy::on_job_dequeued
 //!
 //! Determinism: choices are a pure function of queue contents plus the
 //! assignment map; starvation clocks only read [`JobQueue::now`] inside
 //! the sanctioned `map_preemptions` / `next_wakeup` hooks.
 
 use crate::pool::{join_prefix, validate_pools, PoolSpec};
-use simmr_core::{JobQueue, SchedulerPolicy};
+use simmr_core::{JobEntry, JobQueue, SchedulerPolicy};
 use simmr_types::{DurationMs, JobId, JobTemplate, SimTime, TaskKind};
 use std::collections::HashMap;
 
@@ -72,16 +95,30 @@ pub struct HierPolicy {
     leaves: Vec<usize>,
     /// Active job → leaf node index.
     assignment: HashMap<JobId, usize>,
-    /// Per-leaf active-job counts, kept incrementally and cross-checked
-    /// against a recount by the invariant hook.
-    leaf_jobs: Vec<usize>,
     /// When each pool dropped below its map min share (with pending
     /// work), or `None` while satisfied.
     starved_since: Vec<Option<SimTime>>,
-    /// Scratch: per-node running tasks / schedulable pending tasks of the
-    /// current kind, subtree-aggregated.
-    running: Vec<usize>,
-    pending: Vec<usize>,
+    /// Maintained per-node subtree sums, indexed `[ki(kind)][node]`:
+    /// running tasks and *schedulable* pending tasks (reduce pending
+    /// counts 0 until the job turns reduce-eligible). Updated O(depth)
+    /// per entry mutation by the engine hooks; never rebuilt from the
+    /// queue outside the reference mode and the invariant oracle.
+    run: [Vec<usize>; 2],
+    pend: [Vec<usize>; 2],
+    /// Per-leaf active job ids in `(arrival, id)` order — the FIFO index
+    /// the final-leaf pick scans instead of the whole queue.
+    leaf_fifo: Vec<Vec<JobId>>,
+    /// Per-leaf, per-kind cursor into `leaf_fifo`: no schedulable job of
+    /// that kind sits strictly before it. Rewound to 0 whenever a job in
+    /// the leaf goes schedulable-pending 0 → >0.
+    leaf_hint: Vec<[usize; 2]>,
+    /// Use the pre-incremental full-reaggregation paths (reference mode
+    /// for differential tests); the maintained state is still updated.
+    reference: bool,
+    /// Scratch: per-node counts of the current kind rebuilt from the
+    /// queue — reference mode and the invariant oracle only.
+    scratch_run: Vec<usize>,
+    scratch_pend: Vec<usize>,
     /// Scratch: subtree has schedulable work and is under every max cap.
     eligible: Vec<bool>,
 }
@@ -109,19 +146,36 @@ impl HierPolicy {
             }],
             leaves: Vec::new(),
             assignment: HashMap::new(),
-            leaf_jobs: Vec::new(),
             starved_since: Vec::new(),
-            running: Vec::new(),
-            pending: Vec::new(),
+            run: [Vec::new(), Vec::new()],
+            pend: [Vec::new(), Vec::new()],
+            leaf_fifo: Vec::new(),
+            leaf_hint: Vec::new(),
+            reference: false,
+            scratch_run: Vec::new(),
+            scratch_pend: Vec::new(),
             eligible: Vec::new(),
         };
         for pool in &pools {
             policy.add_subtree(pool, 0, "");
         }
         let n = policy.nodes.len();
-        policy.leaf_jobs = vec![0; n];
         policy.starved_since = vec![None; n];
+        policy.run = [vec![0; n], vec![0; n]];
+        policy.pend = [vec![0; n], vec![0; n]];
+        policy.leaf_fifo = vec![Vec::new(); n];
+        policy.leaf_hint = vec![[0, 0]; n];
         policy
+    }
+
+    /// Switches to the retained full-reaggregation reference mode: every
+    /// `choose`/starvation pass rebuilds per-pool counts from the whole
+    /// queue and scans it for the leaf pick, exactly as before the
+    /// incremental share view. Schedules are identical by construction —
+    /// the differential proptest in `tests/` holds both modes to that.
+    pub fn with_full_reaggregation(mut self) -> Self {
+        self.reference = true;
+        self
     }
 
     /// The `CapacityPolicy::two_tier` shape as a one-level tree: `prod`
@@ -212,51 +266,85 @@ impl HierPolicy {
         }
     }
 
+    /// Reference mode: rebuilds the scratch per-node counts of `kind`
+    /// from the whole queue.
     fn aggregate(&mut self, jobq: &JobQueue, kind: TaskKind) {
-        let mut running = std::mem::take(&mut self.running);
-        let mut pending = std::mem::take(&mut self.pending);
+        let mut running = std::mem::take(&mut self.scratch_run);
+        let mut pending = std::mem::take(&mut self.scratch_pend);
         self.aggregate_into(jobq, kind, &mut running, &mut pending);
-        self.running = running;
-        self.pending = pending;
+        self.scratch_run = running;
+        self.scratch_pend = pending;
+    }
+
+    /// Applies one entry's counter delta for slot kind `k` along the
+    /// leaf's ancestor chain, root inclusive — the O(depth) hook body.
+    fn apply_delta(&mut self, leaf: usize, k: usize, d_run: isize, d_pend: isize) {
+        if d_run == 0 && d_pend == 0 {
+            return;
+        }
+        let mut node = leaf;
+        loop {
+            debug_assert!(self.run[k][node] as isize + d_run >= 0, "running underflow");
+            debug_assert!(self.pend[k][node] as isize + d_pend >= 0, "pending underflow");
+            self.run[k][node] = (self.run[k][node] as isize + d_run) as usize;
+            self.pend[k][node] = (self.pend[k][node] as isize + d_pend) as usize;
+            if node == 0 {
+                break;
+            }
+            node = self.nodes[node].parent;
+        }
+    }
+
+    /// Per-node map running/pending shares for the preemption machinery:
+    /// maintained sums normally, the scratch rebuild in reference mode
+    /// (which `refresh_starvation` fills first, as before).
+    fn map_shares(&self, node: usize) -> (usize, usize) {
+        if self.reference {
+            (self.scratch_run[node], self.scratch_pend[node])
+        } else {
+            (self.run[0][node], self.pend[0][node])
+        }
     }
 
     /// Marks each node whose subtree can accept a launch: schedulable
     /// work below it and `running < max` at every level. Children are
     /// computed before parents (reverse arena order).
-    fn mark_eligible(&mut self, kind: TaskKind) {
-        let k = ki(kind);
-        let n = self.nodes.len();
-        self.eligible.clear();
-        self.eligible.resize(n, false);
+    fn mark_eligible_into(
+        nodes: &[Node],
+        k: usize,
+        running: &[usize],
+        pending: &[usize],
+        eligible: &mut Vec<bool>,
+    ) {
+        let n = nodes.len();
+        eligible.clear();
+        eligible.resize(n, false);
         for i in (0..n).rev() {
-            let node = &self.nodes[i];
+            let node = &nodes[i];
             let has_work = if node.children.is_empty() {
-                self.pending[i] > 0
+                pending[i] > 0
             } else {
-                node.children.iter().any(|&c| self.eligible[c])
+                node.children.iter().any(|&c| eligible[c])
             };
-            self.eligible[i] = has_work && node.max[k].is_none_or(|m| self.running[i] < m);
+            eligible[i] = has_work && node.max[k].is_none_or(|m| running[i] < m);
         }
     }
 
-    /// The tree walk: from the root, descend into the most under-served
-    /// eligible child (min-share deficit group first, then
-    /// running/weight), and pick FIFO within the final leaf.
-    fn choose(&mut self, jobq: &JobQueue, kind: TaskKind) -> Option<JobId> {
-        self.aggregate(jobq, kind);
-        self.mark_eligible(kind);
-        if !self.eligible[0] {
+    /// The root-to-leaf descent over precomputed eligibility: at every
+    /// level the most under-served eligible child (min-share deficit
+    /// group first, then running/weight; ties on listed order).
+    fn descend(nodes: &[Node], k: usize, running: &[usize], eligible: &[bool]) -> Option<usize> {
+        if !eligible[0] {
             return None;
         }
-        let k = ki(kind);
         let mut node = 0;
-        while !self.nodes[node].children.is_empty() {
+        while !nodes[node].children.is_empty() {
             let mut best: Option<(f64, usize)> = None;
             // pass 1: children below their min share, by running/min
-            for &c in &self.nodes[node].children {
-                let min = self.nodes[c].min[k];
-                if self.eligible[c] && min > 0 && self.running[c] < min {
-                    let ratio = self.running[c] as f64 / min as f64;
+            for &c in &nodes[node].children {
+                let min = nodes[c].min[k];
+                if eligible[c] && min > 0 && running[c] < min {
+                    let ratio = running[c] as f64 / min as f64;
                     if best.is_none_or(|(b, _)| ratio < b) {
                         best = Some((ratio, c));
                     }
@@ -264,41 +352,95 @@ impl HierPolicy {
             }
             // pass 2: all eligible children, by running/weight
             if best.is_none() {
-                for &c in &self.nodes[node].children {
-                    if !self.eligible[c] {
+                for &c in &nodes[node].children {
+                    if !eligible[c] {
                         continue;
                     }
-                    let ratio = self.running[c] as f64 / self.nodes[c].weight;
+                    let ratio = running[c] as f64 / nodes[c].weight;
                     if best.is_none_or(|(b, _)| ratio < b) {
                         best = Some((ratio, c));
                     }
                 }
             }
+            // an eligible internal node always has an eligible child
             node = best?.1;
         }
-        jobq.entries()
-            .iter()
-            .filter(|e| {
-                self.assignment.get(&e.id) == Some(&node)
-                    && match kind {
-                        TaskKind::Map => e.has_schedulable_map(),
-                        TaskKind::Reduce => e.has_schedulable_reduce(),
-                    }
-            })
-            .min_by_key(|e| (e.arrival, e.id))
-            .map(|e| e.id)
+        Some(node)
     }
 
-    /// Updates the per-pool starvation clocks from the current queue
+    /// The tree walk: from the root, descend into the most under-served
+    /// eligible child, and pick FIFO within the final leaf.
+    fn choose(&mut self, jobq: &JobQueue, kind: TaskKind) -> Option<JobId> {
+        let k = ki(kind);
+        if self.reference {
+            self.aggregate(jobq, kind);
+        }
+        let mut eligible = std::mem::take(&mut self.eligible);
+        let picked = {
+            let running: &[usize] = if self.reference { &self.scratch_run } else { &self.run[k] };
+            let pending: &[usize] = if self.reference { &self.scratch_pend } else { &self.pend[k] };
+            Self::mark_eligible_into(&self.nodes, k, running, pending, &mut eligible);
+            Self::descend(&self.nodes, k, running, &eligible)
+        };
+        self.eligible = eligible;
+        let leaf = picked?;
+        if self.reference {
+            jobq.entries()
+                .iter()
+                .filter(|e| {
+                    self.assignment.get(&e.id) == Some(&leaf)
+                        && match kind {
+                            TaskKind::Map => e.has_schedulable_map(),
+                            TaskKind::Reduce => e.has_schedulable_reduce(),
+                        }
+                })
+                .min_by_key(|e| (e.arrival, e.id))
+                .map(|e| e.id)
+        } else {
+            self.pick_from_leaf(jobq, leaf, kind)
+        }
+    }
+
+    /// FIFO pick within a leaf: resume the per-kind cursor and return the
+    /// first schedulable job at or after it. Entries the cursor passes
+    /// are non-schedulable *now* and stay skipped until a 0 → >0
+    /// transition rewinds the cursor, so successive picks are amortized
+    /// O(1) — the `JobQueue` hint discipline on a per-leaf list.
+    fn pick_from_leaf(&mut self, jobq: &JobQueue, leaf: usize, kind: TaskKind) -> Option<JobId> {
+        let k = ki(kind);
+        let fifo = &self.leaf_fifo[leaf];
+        let mut i = self.leaf_hint[leaf][k].min(fifo.len());
+        while i < fifo.len() {
+            if let Some(e) = jobq.get(fifo[i]) {
+                let schedulable = match kind {
+                    TaskKind::Map => e.has_schedulable_map(),
+                    TaskKind::Reduce => e.has_schedulable_reduce(),
+                };
+                if schedulable {
+                    self.leaf_hint[leaf][k] = i;
+                    return Some(e.id);
+                }
+            }
+            i += 1;
+        }
+        self.leaf_hint[leaf][k] = i;
+        None
+    }
+
+    /// Updates the per-pool starvation clocks from the current share
     /// state: a pool is starved while `running < min_maps` with pending
     /// map work in its subtree. Reads `jobq.now`, so it only runs from
-    /// the time-sanctioned hooks. Leaves the map aggregates in scratch.
+    /// the time-sanctioned hooks. The maintained sums make this O(nodes)
+    /// with no queue walk (reference mode re-aggregates, as before).
     fn refresh_starvation(&mut self, jobq: &JobQueue) {
-        self.aggregate(jobq, TaskKind::Map);
+        if self.reference {
+            self.aggregate(jobq, TaskKind::Map);
+        }
         let now = jobq.now;
         for i in 0..self.nodes.len() {
             let min = self.nodes[i].min[0];
-            if min > 0 && self.running[i] < min && self.pending[i] > 0 {
+            let (running, pending) = self.map_shares(i);
+            if min > 0 && running < min && pending > 0 {
                 self.starved_since[i].get_or_insert(now);
             } else {
                 self.starved_since[i] = None;
@@ -333,7 +475,7 @@ impl HierPolicy {
             }
             let mut n = leaf;
             loop {
-                if !self.in_subtree(starved, n) && self.running[n] <= self.nodes[n].min[0] {
+                if !self.in_subtree(starved, n) && self.map_shares(n).0 <= self.nodes[n].min[0] {
                     continue 'leaves;
                 }
                 if n == 0 {
@@ -341,7 +483,7 @@ impl HierPolicy {
                 }
                 n = self.nodes[n].parent;
             }
-            let surplus = self.running[leaf] - self.nodes[leaf].min[0];
+            let surplus = self.map_shares(leaf).0 - self.nodes[leaf].min[0];
             if best.is_none_or(|(s, _)| surplus > s) {
                 best = Some((surplus, leaf));
             }
@@ -364,12 +506,56 @@ impl SchedulerPolicy for HierPolicy {
     ) {
         let leaf = self.route(&template.name);
         self.assignment.insert(id, leaf);
-        self.leaf_jobs[leaf] += 1;
     }
 
     fn on_job_departure(&mut self, id: JobId) {
-        if let Some(leaf) = self.assignment.remove(&id) {
-            self.leaf_jobs[leaf] -= 1;
+        self.assignment.remove(&id);
+    }
+
+    fn on_job_queued(&mut self, entry: &JobEntry) {
+        let leaf = *self.assignment.get(&entry.id).expect("job routed before it is queued");
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            let (r, p) = Self::entry_counts(entry, kind);
+            self.apply_delta(leaf, ki(kind), r as isize, p as isize);
+        }
+        // Arrivals come in (arrival, id) order — the queue asserts it —
+        // so appending keeps the leaf FIFO sorted. The new tail sits at
+        // or after every cursor, so no rewind is needed.
+        self.leaf_fifo[leaf].push(entry.id);
+    }
+
+    fn on_entry_mutated(&mut self, before: &JobEntry, after: &JobEntry) {
+        let Some(&leaf) = self.assignment.get(&after.id) else { return };
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            let k = ki(kind);
+            let (r0, p0) = Self::entry_counts(before, kind);
+            let (r1, p1) = Self::entry_counts(after, kind);
+            self.apply_delta(leaf, k, r1 as isize - r0 as isize, p1 as isize - p0 as isize);
+            // A job turning schedulable again (preemption requeue,
+            // failure rerun, speculative duplicate, reduce-eligibility
+            // flip) may sit before the cursor: rewind it.
+            if p0 == 0 && p1 > 0 {
+                self.leaf_hint[leaf][k] = 0;
+            }
+        }
+    }
+
+    fn on_job_dequeued(&mut self, entry: &JobEntry) {
+        let Some(&leaf) = self.assignment.get(&entry.id) else { return };
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            let (r, p) = Self::entry_counts(entry, kind);
+            self.apply_delta(leaf, ki(kind), -(r as isize), -(p as isize));
+        }
+        let fifo = &mut self.leaf_fifo[leaf];
+        let pos = fifo
+            .iter()
+            .position(|&id| id == entry.id)
+            .expect("dequeued job present in its leaf FIFO");
+        fifo.remove(pos);
+        for hint in &mut self.leaf_hint[leaf] {
+            if pos < *hint {
+                *hint -= 1;
+            }
         }
     }
 
@@ -397,21 +583,59 @@ impl SchedulerPolicy for HierPolicy {
             if now.since(since) < timeout {
                 continue;
             }
-            let ratio = self.running[i] as f64 / self.nodes[i].min[0] as f64;
+            let ratio = self.map_shares(i).0 as f64 / self.nodes[i].min[0] as f64;
             if starved.is_none_or(|(b, _)| ratio < b) {
                 starved = Some((ratio, i));
             }
         }
         let Some((_, starved_node)) = starved else { return };
         let Some(leaf) = self.victim_leaf(starved_node) else { return };
+        // Gate the kill on where the freed slot actually goes: simulate
+        // the post-kill state and require the relaunch walk to land
+        // inside the starved subtree. Without this, a kill whose slot
+        // bounces to a third pool (the root-level weight comparison can
+        // outrank a deficit buried deeper in the tree) repeats at every
+        // pass forever — the killed task never completes and the deficit
+        // never clears. Preemption exists to feed the starved pool, so a
+        // kill that cannot do that is not taken at all.
+        let k = ki(TaskKind::Map);
+        let (mut sim_run, mut sim_pend) = if self.reference {
+            (self.scratch_run.clone(), self.scratch_pend.clone())
+        } else {
+            (self.run[k].clone(), self.pend[k].clone())
+        };
+        let mut n = leaf;
+        loop {
+            sim_run[n] -= 1;
+            sim_pend[n] += 1; // the killed task requeues as pending
+            if n == 0 {
+                break;
+            }
+            n = self.nodes[n].parent;
+        }
+        let mut eligible = Vec::new();
+        Self::mark_eligible_into(&self.nodes, k, &sim_run, &sim_pend, &mut eligible);
+        let dest = Self::descend(&self.nodes, k, &sim_run, &eligible);
+        if !dest.is_some_and(|d| self.in_subtree(d, starved_node)) {
+            return;
+        }
         // youngest job of the victim pool: its most recently launched
         // running map is what the engine will kill
-        let victim = jobq
-            .entries()
-            .iter()
-            .filter(|e| self.assignment.get(&e.id) == Some(&leaf) && e.running_maps > 0)
-            .max_by_key(|e| (e.arrival, e.id))
-            .map(|e| e.id);
+        let victim = if self.reference {
+            jobq.entries()
+                .iter()
+                .filter(|e| self.assignment.get(&e.id) == Some(&leaf) && e.running_maps > 0)
+                .max_by_key(|e| (e.arrival, e.id))
+                .map(|e| e.id)
+        } else {
+            // the leaf FIFO is (arrival, id)-sorted: first hit from the
+            // back is the youngest job with a running map
+            self.leaf_fifo[leaf]
+                .iter()
+                .rev()
+                .copied()
+                .find(|&id| jobq.get(id).is_some_and(|e| e.running_maps > 0))
+        };
         if let Some(id) = victim {
             victims.push(id);
         }
@@ -445,10 +669,13 @@ impl SchedulerPolicy for HierPolicy {
                 jobq.len()
             );
         }
-        let mut recount = vec![0usize; self.nodes.len()];
+        // (2) every leaf FIFO holds exactly its assigned active jobs, in
+        // (arrival, id) order — queue entries come out in that order, so
+        // splitting them by leaf rebuilds the expected lists
+        let mut expect_fifo: Vec<Vec<JobId>> = vec![Vec::new(); self.nodes.len()];
         for e in jobq.entries() {
             match self.assignment.get(&e.id) {
-                Some(&leaf) if self.leaves.contains(&leaf) => recount[leaf] += 1,
+                Some(&leaf) if self.leaves.contains(&leaf) => expect_fifo[leaf].push(e.id),
                 got => panic!(
                     "engine invariant violated [pool-routing]: job {} assigned to {:?}, \
                      not a leaf pool",
@@ -456,16 +683,48 @@ impl SchedulerPolicy for HierPolicy {
                 ),
             }
         }
-        // (2) incremental per-leaf job counts match a recount
-        if recount != self.leaf_jobs {
+        if expect_fifo != self.leaf_fifo {
             panic!(
-                "engine invariant violated [pool-job-accounting]: leaf job counts {:?} != \
-                 recount {:?}",
-                self.leaf_jobs, recount
+                "engine invariant violated [pool-fifo]: leaf FIFOs {:?} != expected {:?}",
+                self.leaf_fifo, expect_fifo
             );
         }
-        // (3) starvation clocks agree with freshly derived share state
+        // (3) maintained subtree counters match the full re-aggregation
+        // oracle for both slot kinds — any missed or double-counted
+        // mutation hook shows up here
         let (mut running, mut pending) = (Vec::new(), Vec::new());
+        for kind in [TaskKind::Map, TaskKind::Reduce] {
+            let k = ki(kind);
+            self.aggregate_into(jobq, kind, &mut running, &mut pending);
+            if running != self.run[k] || pending != self.pend[k] {
+                panic!(
+                    "engine invariant violated [pool-share-accounting]: maintained {kind:?} \
+                     counters run={:?} pend={:?} != oracle run={running:?} pend={pending:?}",
+                    self.run[k], self.pend[k]
+                );
+            }
+            // (4) cursor invariant: no schedulable job strictly before a
+            // leaf's per-kind hint
+            for &leaf in &self.leaves {
+                let hint = self.leaf_hint[leaf][k];
+                for &id in self.leaf_fifo[leaf].iter().take(hint) {
+                    let Some(e) = jobq.get(id) else { continue };
+                    let schedulable = match kind {
+                        TaskKind::Map => e.has_schedulable_map(),
+                        TaskKind::Reduce => e.has_schedulable_reduce(),
+                    };
+                    if schedulable {
+                        panic!(
+                            "engine invariant violated [pool-fifo-cursor]: job {id} in pool \
+                             {:?} is {kind:?}-schedulable before the cursor (hint {hint})",
+                            self.nodes[leaf].prefix
+                        );
+                    }
+                }
+            }
+        }
+        // (5) starvation clocks agree with freshly derived share state
+        // (`running`/`pending` still hold the Reduce oracle; rebuild Map)
         self.aggregate_into(jobq, TaskKind::Map, &mut running, &mut pending);
         for (i, node) in self.nodes.iter().enumerate() {
             let starved = node.min[0] > 0 && running[i] < node.min[0] && pending[i] > 0;

@@ -40,9 +40,9 @@
 //! [`pool`]; larger trees can be loaded from JSON with
 //! [`pool::pools_from_json`] (the CLI's `--pools FILE`).
 //!
-//! Parsing returns a [`PolicyParseError`] that names the valid policies,
-//! instead of the old `Option`-returning [`policy_by_name`] (kept as a
-//! deprecated shim).
+//! Parsing returns a [`PolicyParseError`] that names the valid policies.
+//! (The old `Option`-returning `policy_by_name` shim, deprecated since
+//! the spec grammar landed, is gone — call [`parse_policy`] instead.)
 
 pub mod capacity;
 pub mod edf;
@@ -246,19 +246,6 @@ pub fn parse_policy(spec: &str) -> Result<Box<dyn SchedulerPolicy>, PolicyParseE
     Ok(spec.parse::<PolicySpec>()?.build())
 }
 
-/// The built-in policies by name, for CLIs and experiment harnesses.
-///
-/// Returns `None` for an unknown name. Valid names: `fifo`, `maxedf`,
-/// `minedf`, `fair`, and the preemptive variants `maxedf-p` / `minedf-p`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `parse_policy` (or `PolicySpec::from_str`), which \
-    reports *why* a spec is invalid and supports parameterized policies"
-)]
-pub fn policy_by_name(name: &str) -> Option<Box<dyn SchedulerPolicy>> {
-    parse_policy(name).ok()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,11 +336,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_resolves_all_names() {
+    fn parse_policy_resolves_all_shim_era_names() {
+        // the names the removed policy_by_name shim used to accept
         for name in ["fifo", "maxedf", "minedf", "maxedf-p", "minedf-p", "fair"] {
-            assert!(policy_by_name(name).is_some(), "{name}");
+            assert!(parse_policy(name).is_ok(), "{name}");
         }
-        assert!(policy_by_name("nope").is_none());
+        assert!(parse_policy("nope").is_err());
     }
 }
