@@ -46,6 +46,22 @@ fn bench_engine_throughput(c: &mut Criterion) {
                 })
             });
         }
+        if jobs == 2_000 || jobs == 10_000 {
+            // the incremental deadline index must keep EDF picks flat in
+            // the backlog depth (the full-scan versions were O(n) here)
+            for policy in ["maxedf", "minedf"] {
+                group.bench_with_input(BenchmarkId::new(policy, jobs), &trace, |b, trace| {
+                    b.iter(|| {
+                        SimulatorEngine::new(
+                            EngineConfig::new(64, 64),
+                            trace,
+                            parse_policy(policy).expect("policy"),
+                        )
+                        .run()
+                    })
+                });
+            }
+        }
     }
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! Engine throughput check: the §I claim that *"SimMR can process over one
 //! million events per second"* — measured at 100-, 1 000- and 10 000-job
-//! scale on the synthetic Facebook workload, under FIFO, MaxEDF and the
-//! hierarchical pool tree (`hier`, the heaviest scheduler: every slot
-//! assignment walks the tree and the min-share clocks).
+//! scale on the synthetic Facebook workload, under FIFO, MaxEDF, MinEDF
+//! and the hierarchical pool tree (`hier`, the heaviest scheduler: every
+//! slot assignment walks the tree and the min-share clocks).
 //!
 //! For each trace size the binary runs the simulation repeatedly for at
 //! least `SIMMR_BENCH_SECS` seconds (default 2) per policy, reports the
@@ -14,12 +14,15 @@
 //! With `SIMMR_BENCH_ASSERT=1` the binary turns into a regression gate
 //! (used by CI to verify the invariant checker costs nothing when
 //! disabled): it exits nonzero unless the paper's claim and the scaling
-//! bound hold *and* FIFO and `hier` 1k-job throughput stay within a noise
-//! band of the committed `BENCH_engine.json` baseline (default ≥ 50% of
-//! it, for noisy shared runners; tune with `SIMMR_BENCH_NOISE_FRAC`). The
-//! `hier` floor keeps the incremental share view's ~2-orders-of-magnitude
-//! speedup from silently regressing to the full-queue re-aggregation
-//! cost. The baseline is read before the file is overwritten.
+//! bound hold *and* FIFO/`hier`/`minedf` 1k-job and `maxedf` 10k-job
+//! throughput stay within a noise band of the committed
+//! `BENCH_engine.json` baseline (default ≥ 50% of it, for noisy shared
+//! runners; tune with `SIMMR_BENCH_NOISE_FRAC`). The `hier` floor keeps
+//! the incremental share view's ~2-orders-of-magnitude speedup from
+//! silently regressing to the full-queue re-aggregation cost; the EDF
+//! floors do the same for the incremental deadline index (the old
+//! full-scan `maxedf` ran 10k jobs ~85x slower). The baseline is read
+//! before the file is overwritten.
 
 use simmr_bench::csvout::workspace_root;
 use simmr_core::{EngineConfig, SimulatorEngine};
@@ -30,13 +33,13 @@ use std::time::Instant;
 
 const SIZES: [usize; 3] = [100, 1_000, 10_000];
 /// (JSON label, parse spec, largest size measured). The regression gates
-/// read the `fifo` and `hier` rows; `maxedf` tracks relative scheduler
-/// cost across commits. The incremental share view keeps `hier`'s
-/// per-event cost flat in the backlog depth, so it runs the full 10k
-/// point like everyone else.
-const POLICIES: [(&str, &str, usize); 3] = [
+/// read the `fifo`, `hier`, `maxedf` and `minedf` rows. The incremental
+/// share view and deadline index keep every policy's per-event cost flat
+/// in the backlog depth, so all run the full 10k point.
+const POLICIES: [(&str, &str, usize); 4] = [
     ("fifo", "fifo", 10_000),
     ("maxedf", "maxedf", 10_000),
+    ("minedf", "minedf", 10_000),
     ("hier", "hier:prod[w=3,min=4]{etl,serving},adhoc[w=1]", 10_000),
 ];
 
@@ -132,6 +135,8 @@ fn main() {
     // read the committed baselines before this run overwrites the file
     let baseline_fifo_1k = baseline_rate(&out_path, "fifo", 1_000);
     let baseline_hier_1k = baseline_rate(&out_path, "hier", 1_000);
+    let baseline_maxedf_10k = baseline_rate(&out_path, "maxedf", 10_000);
+    let baseline_minedf_1k = baseline_rate(&out_path, "minedf", 1_000);
     eprintln!("[bench_engine] >= {min_secs} s per point; set SIMMR_BENCH_SECS to change");
     println!(
         "{:>8} {:>8} {:>12} {:>6} {:>12} {:>14}",
@@ -223,34 +228,40 @@ fn main() {
                 fifo_1k / 1e6
             ));
         }
-        let mut noise_gate = |policy: &str, measured: f64, baseline: Option<f64>| match baseline {
-            Some(base) => {
-                let floor = base * noise_frac();
-                if measured < floor {
-                    failures.push(format!(
-                        "{policy} 1k throughput {:.2} M/s fell below the noise floor {:.2} M/s \
-                         ({}% of the baseline {:.2} M/s)",
-                        measured / 1e6,
-                        floor / 1e6,
-                        (noise_frac() * 100.0) as u32,
-                        base / 1e6
-                    ));
-                } else {
-                    eprintln!(
-                        "[bench_engine] {policy} 1k {:.2} M/s within noise of baseline {:.2} M/s",
-                        measured / 1e6,
-                        base / 1e6
-                    );
+        let mut noise_gate =
+            |policy: &str, at: &str, measured: f64, baseline: Option<f64>| match baseline {
+                Some(base) => {
+                    let floor = base * noise_frac();
+                    if measured < floor {
+                        failures.push(format!(
+                            "{policy} {at} throughput {:.2} M/s fell below the noise floor \
+                             {:.2} M/s ({}% of the baseline {:.2} M/s)",
+                            measured / 1e6,
+                            floor / 1e6,
+                            (noise_frac() * 100.0) as u32,
+                            base / 1e6
+                        ));
+                    } else {
+                        eprintln!(
+                            "[bench_engine] {policy} {at} {:.2} M/s within noise of baseline \
+                             {:.2} M/s",
+                            measured / 1e6,
+                            base / 1e6
+                        );
+                    }
                 }
-            }
-            None => eprintln!(
-                "[bench_engine] no {policy} baseline in BENCH_engine.json; skipping noise gate"
-            ),
-        };
-        noise_gate("fifo", fifo_1k, baseline_fifo_1k);
+                None => eprintln!(
+                    "[bench_engine] no {policy} baseline in BENCH_engine.json; skipping noise gate"
+                ),
+            };
+        noise_gate("fifo", "1k", fifo_1k, baseline_fifo_1k);
         // keeps the incremental share view's speedup: a regression to the
         // old full-reaggregation cost sits ~100x under this floor
-        noise_gate("hier", rate(1_000, "hier"), baseline_hier_1k);
+        noise_gate("hier", "1k", rate(1_000, "hier"), baseline_hier_1k);
+        // likewise for the incremental deadline index: the old full-scan
+        // maxedf sat ~85x under its 10k floor
+        noise_gate("maxedf", "10k", rate(10_000, "maxedf"), baseline_maxedf_10k);
+        noise_gate("minedf", "1k", rate(1_000, "minedf"), baseline_minedf_1k);
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("[bench_engine] ASSERT FAILED: {f}");

@@ -328,8 +328,17 @@ pub trait SchedulerPolicy {
     /// Called right after a job's entry joins the queue view (on arrival,
     /// after [`Self::on_job_arrival`]), with the entry exactly as the
     /// policy will first observe it. Policies that keep incremental
-    /// aggregates over the queue (per-pool share counters) seed them here;
-    /// the default keeps no such state.
+    /// aggregates over the queue (per-pool share counters, the EDF
+    /// policies' deadline index) seed them here; the default keeps no
+    /// such state.
+    ///
+    /// Together, this hook, [`Self::on_entry_mutated`] and
+    /// [`Self::on_job_dequeued`] cover **every** entry mutation the
+    /// engine performs, in order — incremental policy state may rely on
+    /// observing each predicate change over an entry as an edge in this
+    /// stream. (The debug-only snapshot oracle's queue rebuild is the
+    /// one deliberate exception: it changes the queue's representation,
+    /// never an entry's contents.)
     fn on_job_queued(&mut self, _entry: &JobEntry) {}
 
     /// Called right after the engine mutates a job's entry in place —

@@ -11,22 +11,58 @@
 //!   ARIA bounds model predicts will meet the job's deadline, and caps the
 //!   job's concurrently running tasks at that amount, leaving spare slots
 //!   for later arrivals.
+//!
+//! # Incremental deadline index
+//!
+//! Every pick and preemption check used to scan the whole queue with
+//! `min_by_key(edf_key)` — the last O(n)-per-decision policy family.
+//! Both policies now schedule from a [`DeadlineIndex`]: keyed
+//! lazy-deletion heaps (see [`crate::edf_index`]) maintained O(log n)
+//! per queue mutation from the `on_job_queued` / `on_entry_mutated` /
+//! `on_job_dequeued` hooks. MinEDF layers its under-`wanted`-cap filter
+//! into the predicates it indexes and validates with, so its views hold
+//! exactly the jobs it may launch. The pre-index full-scan paths are
+//! retained behind [`MaxEdfPolicy::with_full_scan`] /
+//! [`MinEdfPolicy::with_full_scan`] as a differential reference (the
+//! index is still maintained there, so `verify_invariants` cross-checks
+//! it in both modes), and the
+//! `edf_incremental_matches_full_scan_reference` proptest in `tests/`
+//! pins both modes to byte-identical schedules under faults,
+//! speculation and preemption.
 
-use simmr_core::{JobQueue, SchedulerPolicy};
+use crate::edf_index::{DeadlineIndex, EdfKey};
+use simmr_core::{JobEntry, JobQueue, SchedulerPolicy};
 use simmr_model::{min_slots_for_deadline, JobProfileSummary, SlotAllocation};
 use simmr_types::{DurationMs, JobId, JobTemplate};
 use std::collections::HashMap;
 
+/// Shared EDF preemption rule, full-scan reference path: kill one map of
+/// the latest-deadline running job, provided it sorts strictly after the
+/// given urgent (waiting) job. The urgent choice is policy-specific —
+/// MaxEDF passes its global EDF minimum, MinEDF its under-cap minimum —
+/// so the freed slot always lands on the job named here.
+fn full_scan_victim(jobq: &JobQueue, urgent: EdfKey) -> Option<JobId> {
+    jobq.entries()
+        .iter()
+        .filter(|e| e.running_maps > 0 && e.edf_key() > urgent)
+        .max_by_key(|e| e.edf_key())
+        .map(|e| e.id)
+}
+
 /// EDF ordering with maximum resource allocation.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub struct MaxEdfPolicy {
     preemptive: bool,
+    /// Use the pre-index full-scan selection paths (differential
+    /// reference mode); the index is still maintained.
+    full_scan: bool,
+    index: DeadlineIndex,
 }
 
 impl MaxEdfPolicy {
     /// Creates the (non-preemptive) policy, as evaluated in the paper.
     pub fn new() -> Self {
-        MaxEdfPolicy { preemptive: false }
+        MaxEdfPolicy::default()
     }
 
     /// Creates a **preemptive** variant: when a job with an earlier
@@ -36,25 +72,16 @@ impl MaxEdfPolicy {
     /// in Figure 7(a) to the lack of exactly this; the
     /// `ablation_preemption` binary quantifies it.
     pub fn preemptive() -> Self {
-        MaxEdfPolicy { preemptive: true }
+        MaxEdfPolicy { preemptive: true, ..MaxEdfPolicy::default() }
     }
-}
 
-/// Shared EDF preemption rule: kill one map of the latest-deadline running
-/// job, provided a strictly more urgent job is waiting for a map slot.
-fn edf_map_preemptions(jobq: &JobQueue, victims: &mut Vec<JobId>) {
-    let Some(urgent) =
-        jobq.entries().iter().filter(|e| e.has_schedulable_map()).min_by_key(|e| e.edf_key())
-    else {
-        return;
-    };
-    if let Some(victim) = jobq
-        .entries()
-        .iter()
-        .filter(|e| e.id != urgent.id && e.running_maps > 0 && e.edf_key() > urgent.edf_key())
-        .max_by_key(|e| e.edf_key())
-    {
-        victims.push(victim.id);
+    /// Switches to the retained full-scan reference mode: every pick and
+    /// preemption check scans `jobq.entries()` exactly as before the
+    /// deadline index. Schedules are identical by construction — the
+    /// differential proptest in `tests/` holds both modes to that.
+    pub fn with_full_scan(mut self) -> Self {
+        self.full_scan = true;
+        self
     }
 }
 
@@ -63,38 +90,102 @@ impl SchedulerPolicy for MaxEdfPolicy {
         "maxedf"
     }
 
+    fn on_job_queued(&mut self, entry: &JobEntry) {
+        self.index.apply(
+            entry.edf_key(),
+            (false, entry.has_schedulable_map()),
+            (false, entry.has_schedulable_reduce()),
+            (false, entry.running_maps > 0),
+        );
+    }
+
+    fn on_entry_mutated(&mut self, before: &JobEntry, after: &JobEntry) {
+        self.index.apply(
+            after.edf_key(),
+            (before.has_schedulable_map(), after.has_schedulable_map()),
+            (before.has_schedulable_reduce(), after.has_schedulable_reduce()),
+            (before.running_maps > 0, after.running_maps > 0),
+        );
+    }
+
     fn choose_next_map_task(&mut self, jobq: &JobQueue) -> Option<JobId> {
-        jobq.entries()
-            .iter()
-            .filter(|e| e.has_schedulable_map())
-            .min_by_key(|e| e.edf_key())
-            .map(|e| e.id)
+        if self.full_scan {
+            return jobq
+                .entries()
+                .iter()
+                .filter(|e| e.has_schedulable_map())
+                .min_by_key(|e| e.edf_key())
+                .map(|e| e.id);
+        }
+        self.index
+            .maps
+            .peek_valid(|id| jobq.get(id).is_some_and(|e| e.has_schedulable_map()))
+            .map(|key| key.2)
     }
 
     fn choose_next_reduce_task(&mut self, jobq: &JobQueue) -> Option<JobId> {
-        jobq.entries()
-            .iter()
-            .filter(|e| e.has_schedulable_reduce())
-            .min_by_key(|e| e.edf_key())
-            .map(|e| e.id)
+        if self.full_scan {
+            return jobq
+                .entries()
+                .iter()
+                .filter(|e| e.has_schedulable_reduce())
+                .min_by_key(|e| e.edf_key())
+                .map(|e| e.id);
+        }
+        self.index
+            .reduces
+            .peek_valid(|id| jobq.get(id).is_some_and(|e| e.has_schedulable_reduce()))
+            .map(|key| key.2)
     }
 
     fn map_preemptions(&mut self, jobq: &JobQueue, victims: &mut Vec<JobId>) {
-        if self.preemptive {
-            edf_map_preemptions(jobq, victims);
+        if !self.preemptive {
+            return;
         }
+        // the urgent job is exactly the one choose_next_map_task would
+        // launch once the kill frees a slot
+        let Some(urgent) = self
+            .choose_next_map_task(jobq)
+            .map(|id| jobq.get(id).expect("urgent job is in the queue").edf_key())
+        else {
+            return;
+        };
+        let victim = if self.full_scan {
+            full_scan_victim(jobq, urgent)
+        } else {
+            self.index
+                .preemption_victim(urgent, |id| jobq.get(id).is_some_and(|e| e.running_maps > 0))
+        };
+        if let Some(id) = victim {
+            victims.push(id);
+        }
+    }
+
+    fn verify_invariants(&self, jobq: &JobQueue) {
+        self.index.verify_against(
+            jobq.entries().iter().map(|e| (e, e.has_schedulable_map(), e.has_schedulable_reduce())),
+            "maxedf",
+        );
     }
 }
 
 /// EDF ordering with model-derived minimal resource allocation.
 #[derive(Debug, Default)]
 pub struct MinEdfPolicy {
-    /// Per-job wanted slot counts, computed on arrival.
-    wanted: HashMap<JobId, SlotAllocation>,
+    /// Per-job wanted slot counts, computed on arrival. Dense, indexed
+    /// by job id — the hot paths (per-pick cap filters, per-mutation
+    /// index edges) do O(1) slot reads instead of hashing.
+    wanted: Vec<Option<SlotAllocation>>,
     /// Allocations supplied up front (e.g. from a shared ARIA profile
     /// database) that take precedence over the model computation.
+    /// Consulted once per arrival, so a map is fine here.
     presets: HashMap<JobId, SlotAllocation>,
     preemptive: bool,
+    /// Use the pre-index full-scan selection paths (differential
+    /// reference mode); the index is still maintained.
+    full_scan: bool,
+    /// Deadline views over the *under-cap* schedulable predicates.
+    index: DeadlineIndex,
 }
 
 impl MinEdfPolicy {
@@ -116,9 +207,28 @@ impl MinEdfPolicy {
         MinEdfPolicy { preemptive: true, ..MinEdfPolicy::default() }
     }
 
+    /// Switches to the retained full-scan reference mode (see
+    /// [`MaxEdfPolicy::with_full_scan`]).
+    pub fn with_full_scan(mut self) -> Self {
+        self.full_scan = true;
+        self
+    }
+
     /// The wanted allocation for a job (visible for tests/diagnostics).
     pub fn wanted(&self, id: JobId) -> Option<SlotAllocation> {
-        self.wanted.get(&id).copied()
+        self.wanted.get(id.index()).copied().flatten()
+    }
+
+    /// A map launch for this job stays within its wanted cap (jobs
+    /// without a computed allocation are uncapped, like MaxEDF).
+    fn under_map_cap(&self, e: &JobEntry) -> bool {
+        e.has_schedulable_map() && self.wanted(e.id).is_none_or(|w| e.running_maps < w.maps)
+    }
+
+    /// A reduce launch for this job stays within its wanted cap.
+    fn under_reduce_cap(&self, e: &JobEntry) -> bool {
+        e.has_schedulable_reduce()
+            && self.wanted(e.id).is_none_or(|w| e.running_reduces < w.reduces)
     }
 }
 
@@ -135,62 +245,146 @@ impl SchedulerPolicy for MinEdfPolicy {
         cluster: simmr_types::ClusterSpec,
     ) {
         let (max_maps, max_reduces) = (cluster.map_slots, cluster.reduce_slots);
-        if let Some(&preset) = self.presets.get(&id) {
-            self.wanted.insert(id, preset);
-            return;
-        }
-        let alloc = match relative_deadline {
-            Some(deadline) => {
-                let profile = JobProfileSummary::from_template(template);
-                min_slots_for_deadline(&profile, deadline, max_maps, max_reduces)
+        let alloc = if let Some(&preset) = self.presets.get(&id) {
+            preset
+        } else {
+            match relative_deadline {
+                Some(deadline) => {
+                    let profile = JobProfileSummary::from_template(template);
+                    min_slots_for_deadline(&profile, deadline, max_maps, max_reduces)
+                }
+                // no deadline: behave like MaxEDF for this job
+                None => SlotAllocation {
+                    maps: max_maps.min(template.num_maps),
+                    reduces: max_reduces.min(template.num_reduces),
+                },
             }
-            // no deadline: behave like MaxEDF for this job
-            None => SlotAllocation {
-                maps: max_maps.min(template.num_maps),
-                reduces: max_reduces.min(template.num_reduces),
-            },
         };
-        self.wanted.insert(id, alloc);
+        if id.index() >= self.wanted.len() {
+            self.wanted.resize(id.index() + 1, None);
+        }
+        self.wanted[id.index()] = Some(alloc);
     }
 
     fn on_job_departure(&mut self, id: JobId) {
-        self.wanted.remove(&id);
+        if let Some(slot) = self.wanted.get_mut(id.index()) {
+            *slot = None;
+        }
+    }
+
+    fn on_job_queued(&mut self, entry: &JobEntry) {
+        // on_job_arrival has already run: the cap exists before the
+        // entry's first predicate edge is recorded
+        self.index.apply(
+            entry.edf_key(),
+            (false, self.under_map_cap(entry)),
+            (false, self.under_reduce_cap(entry)),
+            (false, entry.running_maps > 0),
+        );
+    }
+
+    fn on_entry_mutated(&mut self, before: &JobEntry, after: &JobEntry) {
+        self.index.apply(
+            after.edf_key(),
+            (self.under_map_cap(before), self.under_map_cap(after)),
+            (self.under_reduce_cap(before), self.under_reduce_cap(after)),
+            (before.running_maps > 0, after.running_maps > 0),
+        );
     }
 
     fn choose_next_map_task(&mut self, jobq: &JobQueue) -> Option<JobId> {
-        jobq.entries()
-            .iter()
-            .filter(|e| {
-                e.has_schedulable_map()
-                    && self.wanted.get(&e.id).is_none_or(|w| e.running_maps < w.maps)
+        if self.full_scan {
+            return jobq
+                .entries()
+                .iter()
+                .filter(|e| self.under_map_cap(e))
+                .min_by_key(|e| e.edf_key())
+                .map(|e| e.id);
+        }
+        // the closure re-checks the cap against the live entry, so a job
+        // that filled its cap since being offered is evicted, not picked
+        let wanted = &self.wanted;
+        self.index
+            .maps
+            .peek_valid(|id| {
+                jobq.get(id).is_some_and(|e| {
+                    e.has_schedulable_map()
+                        && wanted
+                            .get(id.index())
+                            .copied()
+                            .flatten()
+                            .is_none_or(|w| e.running_maps < w.maps)
+                })
             })
-            .min_by_key(|e| e.edf_key())
-            .map(|e| e.id)
+            .map(|key| key.2)
     }
 
     fn choose_next_reduce_task(&mut self, jobq: &JobQueue) -> Option<JobId> {
-        jobq.entries()
-            .iter()
-            .filter(|e| {
-                e.has_schedulable_reduce()
-                    && self.wanted.get(&e.id).is_none_or(|w| e.running_reduces < w.reduces)
+        if self.full_scan {
+            return jobq
+                .entries()
+                .iter()
+                .filter(|e| self.under_reduce_cap(e))
+                .min_by_key(|e| e.edf_key())
+                .map(|e| e.id);
+        }
+        let wanted = &self.wanted;
+        self.index
+            .reduces
+            .peek_valid(|id| {
+                jobq.get(id).is_some_and(|e| {
+                    e.has_schedulable_reduce()
+                        && wanted
+                            .get(id.index())
+                            .copied()
+                            .flatten()
+                            .is_none_or(|w| e.running_reduces < w.reduces)
+                })
             })
-            .min_by_key(|e| e.edf_key())
-            .map(|e| e.id)
+            .map(|key| key.2)
     }
 
     fn map_preemptions(&mut self, jobq: &JobQueue, victims: &mut Vec<JobId>) {
         if !self.preemptive {
             return;
         }
-        // only preempt on behalf of a job still under its wanted cap
-        let urgent_exists = jobq.entries().iter().any(|e| {
-            e.has_schedulable_map()
-                && self.wanted.get(&e.id).is_none_or(|w| e.running_maps < w.maps)
-        });
-        if urgent_exists {
-            edf_map_preemptions(jobq, victims);
+        // The urgent job is the one choose_next_map_task would launch
+        // once the kill frees a slot — the under-cap EDF minimum. Using
+        // the *global* EDF minimum here (as an earlier version did)
+        // could name an at-cap job as urgent and kill a victim with an
+        // earlier deadline than the job the slot actually goes to; see
+        // `minedf_preemption_gate_respects_wanted_caps`.
+        let Some(urgent) = self
+            .choose_next_map_task(jobq)
+            .map(|id| jobq.get(id).expect("urgent job is in the queue").edf_key())
+        else {
+            return;
+        };
+        let victim = if self.full_scan {
+            full_scan_victim(jobq, urgent)
+        } else {
+            self.index
+                .preemption_victim(urgent, |id| jobq.get(id).is_some_and(|e| e.running_maps > 0))
+        };
+        if let Some(id) = victim {
+            victims.push(id);
         }
+    }
+
+    fn verify_invariants(&self, jobq: &JobQueue) {
+        for e in jobq.entries() {
+            if self.wanted(e.id).is_none() {
+                panic!(
+                    "engine invariant violated [minedf-wanted]: active job {} has no wanted \
+                     allocation",
+                    e.id
+                );
+            }
+        }
+        self.index.verify_against(
+            jobq.entries().iter().map(|e| (e, self.under_map_cap(e), self.under_reduce_cap(e))),
+            "minedf",
+        );
     }
 }
 
@@ -376,5 +570,59 @@ mod tests {
             SimulatorEngine::new(EngineConfig::new(4, 4), &trace, Box::new(MaxEdfPolicy::new()))
                 .run();
         assert_eq!(min_r.jobs[0].completion, max_r.jobs[0].completion);
+    }
+
+    /// Regression test for the preemption gate mismatch: the earliest-
+    /// deadline job is *at its wanted cap*, a mid-deadline job is running
+    /// with nothing pending, and a late-deadline under-cap job is
+    /// waiting. The old gate named the capped job as urgent and killed
+    /// the mid-deadline job's map — freeing a slot the capped job could
+    /// not use, which then went to the *later*-deadline waiter: a
+    /// deadline inversion. The fixed gate takes the under-cap EDF
+    /// minimum as urgent, finds no running job with a strictly later
+    /// deadline, and kills nothing.
+    #[test]
+    fn minedf_preemption_gate_respects_wanted_caps() {
+        let mut presets = HashMap::new();
+        presets.insert(JobId(0), SlotAllocation { maps: 1, reduces: 1 });
+        let mut trace = WorkloadTrace::new("t", "test");
+        // job 0: earliest deadline, 2 maps, capped at 1 running => at cap
+        // with one pending map from t=0
+        trace.push(map_job(2, 10_000, 0, 20_000));
+        // job 1: mid deadline, occupies the second slot, nothing pending
+        trace.push(map_job(1, 10_000, 0, 30_000));
+        // job 2: latest deadline, arrives once all slots are busy
+        trace.push(map_job(1, 1_000, 500, 60_000));
+        let run = |policy: Box<dyn SchedulerPolicy>| {
+            SimulatorEngine::new(EngineConfig::new(2, 2).with_timeline(), &trace, policy).run()
+        };
+        let preemptive = run(Box::new(MinEdfPolicy {
+            preemptive: true,
+            ..MinEdfPolicy::with_presets(presets.clone())
+        }));
+        let plain = run(Box::new(MinEdfPolicy::with_presets(presets)));
+        // no kill on behalf of a job that cannot use the slot: the
+        // preemptive run matches the non-preemptive one task for task
+        assert_eq!(preemptive, plain);
+        // and job 1's map ran exactly once, uninterrupted
+        assert_eq!(preemptive.jobs[1].completion, SimTime::from_millis(10_000));
+    }
+
+    /// The fixed gate still preempts when the under-cap urgent job has
+    /// the earlier deadline: the latest-deadline running job loses a map.
+    #[test]
+    fn minedf_preemption_still_fires_for_under_cap_urgent() {
+        let mut trace = WorkloadTrace::new("t", "test");
+        trace.push(map_job(4, 10_000, 0, 60_000));
+        trace.push(map_job(1, 1_000, 2_000, 4_000)); // urgent, under cap
+        let report = SimulatorEngine::new(
+            EngineConfig::new(2, 2),
+            &trace,
+            Box::new(MinEdfPolicy::preemptive()),
+        )
+        .run();
+        // job 1 preempts at arrival and meets its deadline
+        assert_eq!(report.jobs[1].completion, SimTime::from_millis(3_000));
+        assert!(report.jobs[1].met_deadline());
     }
 }

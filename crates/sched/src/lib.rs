@@ -22,6 +22,13 @@
 //! All policies implement [`simmr_core::SchedulerPolicy`] and are
 //! deterministic: ties break on `(arrival, job id)`.
 //!
+//! The EDF policies schedule from an incremental lazy-deletion deadline
+//! index ([`edf_index::DeadlineIndex`]) maintained from the engine's
+//! queue-mutation hooks — amortized O(log n) per decision instead of a
+//! full queue scan; the hierarchical policy keeps incremental share
+//! aggregates the same way. Both retain their full-scan reference modes
+//! for differential testing.
+//!
 //! ## Policy specs
 //!
 //! CLIs and experiment harnesses name policies with a **spec string**,
@@ -46,6 +53,7 @@
 
 pub mod capacity;
 pub mod edf;
+pub mod edf_index;
 pub mod fair;
 pub mod fifo;
 pub mod hier;
@@ -53,6 +61,7 @@ pub mod pool;
 
 pub use capacity::{CapacityPolicy, QueueConfig};
 pub use edf::{MaxEdfPolicy, MinEdfPolicy};
+pub use edf_index::{DeadlineIndex, EdfHeap, EdfKey};
 pub use fair::FairSharePolicy;
 pub use fifo::FifoPolicy;
 pub use hier::HierPolicy;

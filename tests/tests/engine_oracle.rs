@@ -13,9 +13,10 @@ use simmr_core::{EngineConfig, SimulatorEngine};
 use simmr_sched::parse_policy;
 use simmr_types::{JobSpec, JobTemplate, SimTime, SimulationReport, WorkloadTrace};
 
-/// Preemptive MaxEDF included: preemption exercises the trickiest
-/// incremental updates (kill, requeue, relaunch within one pass).
-const POLICIES: [&str; 5] = ["fifo", "maxedf", "minedf", "fair", "maxedf-p"];
+/// Both preemptive EDF variants included: preemption exercises the
+/// trickiest incremental updates (kill, requeue, relaunch within one
+/// pass), and MinEDF layers its wanted-cap filter on top.
+const POLICIES: [&str; 6] = ["fifo", "maxedf", "minedf", "fair", "maxedf-p", "minedf-p"];
 
 type JobParams = (usize, usize, u64, u64, u64, u64, u64, u64);
 

@@ -4,12 +4,13 @@
 //! * single-job traces must land inside the ARIA bounds model of eq. 1
 //!   across randomized templates and slot counts, with every batch
 //!   invariant armed;
-//! * random preemption-heavy traces sweep all seven policies (the
-//!   hierarchical pool tree included) with the checker on — any slot
-//!   leak, counter drift, phantom timeline bar, uncovered queue mutation
-//!   or per-pool share-accounting drift panics inside the engine;
+//! * random preemption-heavy traces sweep all eight policies (both
+//!   preemptive EDF variants and the hierarchical pool tree included)
+//!   with the checker on — any slot leak, counter drift, phantom
+//!   timeline bar, uncovered queue mutation or per-pool share-accounting
+//!   drift panics inside the engine;
 //! * random traces under the full failure model (host failures,
-//!   speculation, per-slot slowdowns) sweep all seven policies with the
+//!   speculation, per-slot slowdowns) sweep all eight policies with the
 //!   checker on, and every run must replay byte-identically;
 //! * random pool trees replay random multi-tenant workloads under both
 //!   the incremental `hier` share view and its retained
@@ -17,6 +18,11 @@
 //!   included) must match byte for byte while the checker cross-checks
 //!   the maintained per-pool counters against the re-aggregation oracle
 //!   after every batch;
+//! * random deadline-heavy traces (faults, speculation and preemption
+//!   included) replay under the EDF policies' incremental deadline index
+//!   and their retained full-scan reference modes — byte-identical
+//!   reports required, with the checker cross-checking the index against
+//!   the live queue after every batch;
 //! * a deterministic preemption scenario is cross-checked against the
 //!   snapshot oracle. With the two preemption fixes reverted
 //!   (`preempt_map` not setting `jobq_dirty`; map bars recorded at launch
@@ -24,19 +30,21 @@
 //!   that bug class.
 
 use proptest::prelude::*;
+use simmr_core::SchedulerPolicy;
 use simmr_core::{EngineConfig, FaultSpec, HostFailure, RecoverySpec, SimulatorEngine};
 use simmr_model::{estimate_completion, JobProfileSummary};
-use simmr_sched::{parse_policy, parse_pool_spec, HierPolicy};
+use simmr_sched::{parse_policy, parse_pool_spec, HierPolicy, MaxEdfPolicy, MinEdfPolicy};
 use simmr_stats::Dist;
 use simmr_trace::MultiTenantWorkload;
 use simmr_types::{HostId, JobSpec, JobTemplate, SimTime, TimelinePhase, WorkloadTrace};
 
-const POLICIES: [&str; 7] = [
+const POLICIES: [&str; 8] = [
     "fifo",
     "maxedf",
     "minedf",
     "fair",
     "maxedf-p",
+    "minedf-p",
     "capacity",
     "hier:j[w=2,min=1,timeout=0.5],spare[w=1]",
 ];
@@ -100,9 +108,9 @@ proptest! {
     }
 
     /// (b) Preemption-heavy sweep: contended slots, staggered arrivals and
-    /// ever-tighter deadlines force `maxedf-p` through repeated
-    /// kill/requeue/relaunch cycles; all seven policies replay the same
-    /// trace with the checker armed.
+    /// ever-tighter deadlines force the preemptive EDF variants through
+    /// repeated kill/requeue/relaunch cycles; all eight policies replay
+    /// the same trace with the checker armed.
     #[test]
     fn preemption_heavy_sweep_all_policies(
         jobs in proptest::collection::vec(
@@ -141,7 +149,7 @@ proptest! {
     }
 
     /// (c) Failure-model sweep: host failures, speculative re-execution and
-    /// per-slot slowdowns together, across all seven policies, invariants
+    /// per-slot slowdowns together, across all eight policies, invariants
     /// and timeline armed — and every configuration must replay
     /// byte-identically from the same seeds.
     #[test]
@@ -262,6 +270,71 @@ proptest! {
         )
         .run();
         prop_assert_eq!(incremental, reference, "incremental hier diverged on {}", spec);
+    }
+
+    /// (e) Differential oracle for the incremental deadline index: random
+    /// deadline-heavy traces (a mix of tight, relaxed and absent
+    /// deadlines) replay under every EDF variant — plain and preemptive,
+    /// MaxEDF and MinEDF — once scheduling from the lazy-deletion
+    /// deadline index and once in the retained `with_full_scan()`
+    /// reference mode, with host failures and speculation in play.
+    /// Reports (event timelines included) must match byte for byte, and
+    /// the armed invariant checker cross-checks index membership against
+    /// the live queue after every settled batch on both sides.
+    #[test]
+    fn edf_incremental_matches_full_scan_reference(
+        jobs in proptest::collection::vec(
+            // (maps, reduces, map_ms, sh_ms, red_ms, arrival, deadline_rel, has_deadline)
+            (1usize..7, 0usize..4, 50u64..600, 1u64..60, 1u64..80,
+             0u64..1_200, 50u64..3_000, proptest::bool::ANY),
+            2..16,
+        ),
+        map_slots in 1usize..6,
+        reduce_slots in 1usize..4,
+        hosts in 2usize..4,
+        fault_count in 0u32..3,
+        seed in 0u64..1_000,
+        speculation_on in proptest::bool::ANY,
+    ) {
+        let mut trace = WorkloadTrace::new("edf-diff", "invariant-harness");
+        for &(maps, reduces, map_ms, sh_ms, red_ms, arrival, deadline_rel, has_deadline) in &jobs {
+            let mut spec = JobSpec::new(
+                uniform_template(maps, reduces, map_ms, sh_ms, red_ms),
+                SimTime::from_millis(arrival),
+            );
+            if has_deadline {
+                spec = spec.with_deadline(SimTime::from_millis(arrival + deadline_rel));
+            }
+            trace.push(spec);
+        }
+        let mut config = EngineConfig::new(map_slots, reduce_slots)
+            .with_hosts(hosts)
+            .with_faults(FaultSpec { seed, count: fault_count, mean_interval_ms: 900 })
+            .with_timeline()
+            .with_invariants();
+        if speculation_on {
+            config = config.with_speculation(1.5);
+        }
+        let build = |variant: &str, full_scan: bool| -> Box<dyn SchedulerPolicy> {
+            match (variant, full_scan) {
+                ("maxedf", false) => Box::new(MaxEdfPolicy::new()),
+                ("maxedf", true) => Box::new(MaxEdfPolicy::new().with_full_scan()),
+                ("maxedf-p", false) => Box::new(MaxEdfPolicy::preemptive()),
+                ("maxedf-p", true) => Box::new(MaxEdfPolicy::preemptive().with_full_scan()),
+                ("minedf", false) => Box::new(MinEdfPolicy::new()),
+                ("minedf", true) => Box::new(MinEdfPolicy::new().with_full_scan()),
+                ("minedf-p", false) => Box::new(MinEdfPolicy::preemptive()),
+                ("minedf-p", true) => Box::new(MinEdfPolicy::preemptive().with_full_scan()),
+                _ => unreachable!("unknown EDF variant {variant}"),
+            }
+        };
+        for variant in ["maxedf", "maxedf-p", "minedf", "minedf-p"] {
+            let incremental =
+                SimulatorEngine::new(config, &trace, build(variant, false)).run();
+            let reference =
+                SimulatorEngine::new(config, &trace, build(variant, true)).run();
+            prop_assert_eq!(incremental, reference, "incremental {} diverged", variant);
+        }
     }
 }
 
