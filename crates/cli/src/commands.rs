@@ -1,20 +1,104 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use crate::{attach_deadlines, load_trace, run_replay, run_replay_with, save_trace};
+use crate::{
+    attach_deadlines, load_trace, run_replay, run_replay_source, run_replay_with, save_trace,
+};
 use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
 use simmr_stats::fit_best;
-use simmr_trace::{trace_from_history, FacebookWorkload};
+use simmr_trace::{
+    encode_trace, trace_from_history, BinTraceSource, FacebookWorkload, TraceDatabase, TraceFormat,
+    TraceStatus,
+};
 use simmr_types::SimTime;
 
-/// `simmr generate`: synthetic Facebook-like trace to JSON.
+/// Resolves a `--format json|bin` flag; `None` when absent.
+fn format_flag(args: &Args, flag: &str) -> Result<Option<TraceFormat>, String> {
+    match args.get(flag) {
+        None => Ok(None),
+        Some("json") => Ok(Some(TraceFormat::Json)),
+        Some("bin") => Ok(Some(TraceFormat::Bin)),
+        Some(other) => Err(format!("flag --{flag}: expected `json` or `bin`, got `{other}`")),
+    }
+}
+
+/// Infers a trace format from a file extension (`.bin` means binary).
+fn format_from_extension(path: &str) -> Option<TraceFormat> {
+    if path.ends_with(".bin") {
+        Some(TraceFormat::Bin)
+    } else if path.ends_with(".json") {
+        Some(TraceFormat::Json)
+    } else {
+        None
+    }
+}
+
+/// Sniffs a trace file's on-disk format by its magic bytes.
+fn sniff_format(path: &str) -> Result<TraceFormat, String> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut magic = [0u8; 8];
+    let mut filled = 0;
+    while filled < magic.len() {
+        match file.read(&mut magic[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) => return Err(format!("cannot read `{path}`: {e}")),
+        }
+    }
+    Ok(if simmr_trace::is_binary_trace(&magic[..filled]) {
+        TraceFormat::Bin
+    } else {
+        TraceFormat::Json
+    })
+}
+
+/// `simmr generate`: synthetic Facebook-like trace to JSON or binary.
 pub fn generate(args: &Args) -> Result<(), String> {
     let jobs: usize = args.parse_or("jobs", 100)?;
     let mean_ia: f64 = args.parse_or("mean-ia-ms", 60_000.0)?;
     let seed: u64 = args.parse_or("seed", 1)?;
     let out = args.require("out")?;
-    let trace = FacebookWorkload { mean_interarrival_ms: mean_ia }.generate(jobs, seed);
-    save_trace(out, &trace)?;
+    let format = match format_flag(args, "format")? {
+        Some(f) => f,
+        None => format_from_extension(out).unwrap_or(TraceFormat::Json),
+    };
+    let variants: Option<usize> = match args.get("variants") {
+        None => None,
+        Some(v) => {
+            let v: usize = v.parse().map_err(|_| format!("flag --variants: cannot parse `{v}`"))?;
+            if v == 0 {
+                return Err("--variants must be at least 1".into());
+            }
+            Some(v)
+        }
+    };
+    let workload = FacebookWorkload { mean_interarrival_ms: mean_ia };
+
+    // The pooled + binary combination streams straight to disk with
+    // O(pool) memory — the million-job path.
+    if let (TraceFormat::Bin, Some(v)) = (format, variants) {
+        let file = std::fs::File::create(out).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        let writer = workload
+            .write_bin(jobs, v, seed, std::io::BufWriter::new(file))
+            .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        // into_inner flushes the buffered tail
+        writer.into_inner().map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        println!("generated {jobs} pooled jobs ({v} variants/class, streamed) -> {out}");
+        return Ok(());
+    }
+
+    let trace = match variants {
+        Some(v) => workload.generate_pooled(jobs, v, seed),
+        None => workload.generate(jobs, seed),
+    };
+    match format {
+        TraceFormat::Json => save_trace(out, &trace)?,
+        TraceFormat::Bin => {
+            let bytes = encode_trace(&trace).map_err(|e| e.to_string())?;
+            std::fs::write(out, bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        }
+    }
     println!(
         "generated {} jobs ({} tasks, {:.1}h serial work) -> {out}",
         trace.len(),
@@ -70,18 +154,29 @@ pub fn profile(args: &Args) -> Result<(), String> {
 }
 
 /// `simmr replay`: trace -> SimMR engine -> per-job report.
+///
+/// JSON traces are materialized; binary traces (`--format bin`, or sniffed
+/// from the file's magic bytes) stream through the engine one arrival at a
+/// time.
 pub fn replay(args: &Args) -> Result<(), String> {
-    let path = args.positional(0).ok_or("usage: simmr replay TRACE.json [flags]")?;
-    let mut trace = load_trace(path)?;
+    let path = args.positional(0).ok_or("usage: simmr replay TRACE.{json,bin} [flags]")?;
+    let format = match args.get("format") {
+        None | Some("auto") => sniff_format(path)?,
+        _ => format_flag(args, "format")?.expect("checked above"),
+    };
     let policy = args.get("policy").unwrap_or("fifo").to_string();
     let map_slots: usize = args.parse_or("map-slots", 64)?;
     let reduce_slots: usize = args.parse_or("reduce-slots", 64)?;
     let seed: u64 = args.parse_or("seed", 1)?;
-    if let Some(df) = args.get("deadline-factor") {
-        let df: f64 = df.parse().map_err(|e| format!("--deadline-factor: {e}"))?;
-        attach_deadlines(&mut trace, df, map_slots, reduce_slots, seed);
+    if args.has("deadline-factor") && format == TraceFormat::Bin {
+        return Err("--deadline-factor rewrites the trace and needs the materialized JSON form; \
+             run `simmr trace convert` first"
+            .into());
     }
     let mut config = simmr_core::EngineConfig::new(map_slots, reduce_slots);
+    if args.has("aggregate") {
+        config = config.without_job_results();
+    }
     if args.has("timeline") {
         config = config.with_timeline();
     }
@@ -129,25 +224,45 @@ pub fn replay(args: &Args) -> Result<(), String> {
         let dist = simmr_stats::Dist::LogNormal { mu: -sigma * sigma / 2.0, sigma };
         config = config.with_slowdown(dist, seed);
     }
-    let report = if let Some(pools_path) = args.get("pools") {
-        match args.get("policy") {
-            None | Some("hier") => {}
-            Some(other) => {
-                return Err(format!(
-                    "--pools picks the hierarchical policy; drop --policy or set it to \
+    let policy_box: Box<dyn simmr_core::SchedulerPolicy> =
+        if let Some(pools_path) = args.get("pools") {
+            match args.get("policy") {
+                None | Some("hier") => {}
+                Some(other) => {
+                    return Err(format!(
+                        "--pools picks the hierarchical policy; drop --policy or set it to \
                      `hier` (got `{other}`)"
-                ));
+                    ));
+                }
             }
+            let text = std::fs::read_to_string(pools_path)
+                .map_err(|e| format!("cannot read `{pools_path}`: {e}"))?;
+            let pools =
+                simmr_sched::pools_from_json(&text).map_err(|e| format!("`{pools_path}`: {e}"))?;
+            Box::new(simmr_sched::HierPolicy::new(pools))
+        } else {
+            simmr_sched::parse_policy(&policy).map_err(|e| e.to_string())?
+        };
+    let report = match format {
+        TraceFormat::Bin => {
+            let source = BinTraceSource::open(path).map_err(|e| format!("`{path}`: {e}"))?;
+            run_replay_source(Box::new(source), policy_box, config)?
         }
-        let text = std::fs::read_to_string(pools_path)
-            .map_err(|e| format!("cannot read `{pools_path}`: {e}"))?;
-        let pools =
-            simmr_sched::pools_from_json(&text).map_err(|e| format!("`{pools_path}`: {e}"))?;
-        run_replay_with(&trace, Box::new(simmr_sched::HierPolicy::new(pools)), config)?
-    } else {
-        run_replay(&trace, &policy, config)?
+        TraceFormat::Json => {
+            let mut trace = load_trace(path)?;
+            if let Some(df) = args.get("deadline-factor") {
+                let df: f64 = df.parse().map_err(|e| format!("--deadline-factor: {e}"))?;
+                attach_deadlines(&mut trace, df, map_slots, reduce_slots, seed);
+            }
+            run_replay_with(&trace, policy_box, config)?
+        }
     };
-    println!("{:<24} {:>10} {:>10} {:>10} {:>8}", "job", "arrival_s", "finish_s", "dur_s", "met?");
+    if !report.jobs.is_empty() {
+        println!(
+            "{:<24} {:>10} {:>10} {:>10} {:>8}",
+            "job", "arrival_s", "finish_s", "dur_s", "met?"
+        );
+    }
     for job in &report.jobs {
         println!(
             "{:<24} {:>10.1} {:>10.1} {:>10.1} {:>8}",
@@ -204,6 +319,100 @@ pub fn compare(args: &Args) -> Result<(), String> {
             report.mean_duration_ms() / 1000.0
         );
     }
+    Ok(())
+}
+
+const TRACE_USAGE: &str = "usage: simmr trace convert IN OUT [--format json|bin]
+       simmr trace store NAME FILE --db DIR [--format json|bin]
+       simmr trace list --db DIR
+       simmr trace remove NAME --db DIR";
+
+/// `simmr trace`: trace-database housekeeping and format conversion.
+pub fn trace(args: &Args) -> Result<(), String> {
+    match args.positional(0) {
+        Some("convert") => trace_convert(args),
+        Some("store") => trace_store(args),
+        Some("list") => trace_list(args),
+        Some("remove") => trace_remove(args),
+        Some(other) => Err(format!("unknown trace subcommand `{other}`\n{TRACE_USAGE}")),
+        None => Err(TRACE_USAGE.into()),
+    }
+}
+
+/// `simmr trace convert`: JSON <-> binary. The output format comes from
+/// `--format`, else the output extension, else the opposite of the input.
+fn trace_convert(args: &Args) -> Result<(), String> {
+    let input = args.positional(1).ok_or(TRACE_USAGE)?;
+    let out = args.positional(2).ok_or(TRACE_USAGE)?;
+    let input_format = sniff_format(input)?;
+    let out_format = match format_flag(args, "format")? {
+        Some(f) => f,
+        None => format_from_extension(out).unwrap_or(match input_format {
+            TraceFormat::Json => TraceFormat::Bin,
+            TraceFormat::Bin => TraceFormat::Json,
+        }),
+    };
+    let trace = load_trace(input)?;
+    let bytes = match out_format {
+        TraceFormat::Json => {
+            let mut json = serde_json::to_string_pretty(&trace).map_err(|e| e.to_string())?;
+            json.push('\n');
+            json.into_bytes()
+        }
+        TraceFormat::Bin => encode_trace(&trace).map_err(|e| e.to_string())?,
+    };
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "converted {} jobs: {input} ({input_format}) -> {out} ({out_format}, {} bytes)",
+        trace.len(),
+        bytes.len()
+    );
+    Ok(())
+}
+
+/// `simmr trace store`: file -> named entry in a trace database.
+fn trace_store(args: &Args) -> Result<(), String> {
+    let name = args.positional(1).ok_or(TRACE_USAGE)?;
+    let file = args.positional(2).ok_or(TRACE_USAGE)?;
+    let db = TraceDatabase::open(args.require("db")?).map_err(|e| e.to_string())?;
+    let trace = load_trace(file)?;
+    let format = format_flag(args, "format")?.unwrap_or(TraceFormat::Json);
+    match format {
+        TraceFormat::Json => db.store(name, &trace).map_err(|e| e.to_string())?,
+        TraceFormat::Bin => db.store_bin(name, &trace).map_err(|e| e.to_string())?,
+    }
+    println!("stored `{name}` ({format}, {} jobs)", trace.len());
+    Ok(())
+}
+
+/// `simmr trace list`: one row per stored trace, corruption surfaced.
+fn trace_list(args: &Args) -> Result<(), String> {
+    let db = TraceDatabase::open(args.require("db")?).map_err(|e| e.to_string())?;
+    let listing = db.list().map_err(|e| e.to_string())?;
+    if listing.is_empty() {
+        println!("(empty database)");
+        return Ok(());
+    }
+    println!("{:<24} {:<6} {:>8}", "name", "format", "jobs");
+    for (name, status) in &listing {
+        match status {
+            TraceStatus::Ok { format, jobs } => {
+                println!("{name:<24} {format:<6} {jobs:>8}");
+            }
+            TraceStatus::Corrupt { format, error } => {
+                println!("{name:<24} {format:<6}  CORRUPT: {error}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `simmr trace remove`: drop a stored trace (all formats).
+fn trace_remove(args: &Args) -> Result<(), String> {
+    let name = args.positional(1).ok_or(TRACE_USAGE)?;
+    let db = TraceDatabase::open(args.require("db")?).map_err(|e| e.to_string())?;
+    db.remove(name).map_err(|e| e.to_string())?;
+    println!("removed `{name}`");
     Ok(())
 }
 

@@ -7,9 +7,12 @@
 //! * `testbed`  — run the §IV-C application suite on the fine-grained
 //!   testbed simulator and save the JobTracker-style history log;
 //! * `profile`  — MRProfiler: history log → replayable trace JSON;
-//! * `replay`   — replay a trace in the SimMR engine under a policy;
+//! * `replay`   — replay a trace in the SimMR engine under a policy
+//!   (binary traces stream through the engine without materializing);
 //! * `compare`  — replay a trace under several policies and print the
 //!   deadline-utility comparison (the §V case study);
+//! * `trace`    — trace-database housekeeping: `convert` between JSON and
+//!   the compact binary format, `store`/`list`/`remove` in a database dir;
 //! * `scale`    — trace scaling (§VII future work): grow/shrink a trace;
 //! * `fit`      — fit candidate distributions to a sample file and rank by
 //!   the Kolmogorov–Smirnov statistic (§V-C methodology).
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         "profile" => commands::profile(&args),
         "replay" => commands::replay(&args),
         "compare" => commands::compare(&args),
+        "trace" => commands::trace(&args),
         "scale" => commands::scale(&args),
         "stats" => commands::stats(&args),
         "fit" => commands::fit(&args),
@@ -60,19 +64,33 @@ const USAGE: &str = "\
 simmr — trace-driven MapReduce simulation (SimMR-RS)
 
 USAGE:
-  simmr generate --jobs N [--mean-ia-ms MS] [--seed S] --out TRACE.json
+  simmr generate --jobs N [--mean-ia-ms MS] [--seed S] [--variants V]
+                 [--format json|bin] --out TRACE.{json,bin}
   simmr testbed  [--policy fifo|maxedf|minedf] [--datasets 0,1,2] [--seed S] --out HISTORY.log
   simmr profile  HISTORY.log --out TRACE.json
-  simmr replay   TRACE.json [--policy NAME] [--pools POOLS.json] [--map-slots N]
+  simmr replay   TRACE.{json,bin} [--policy NAME] [--pools POOLS.json]
+                 [--format auto|json|bin] [--aggregate] [--map-slots N]
                  [--reduce-slots N] [--deadline-factor F --seed S] [--timeline]
                  [--check-invariants] [--hosts N] [--failures N]
                  [--failure-mtbf-s S] [--failure-recovery-s S]
                  [--speculation F] [--slowdown SIGMA]
   simmr compare  TRACE.json [--policies fifo,maxedf,minedf] [--map-slots N]
                  [--reduce-slots N] [--deadline-factor F] [--seed S]
+  simmr trace    convert IN OUT [--format json|bin]
+  simmr trace    store NAME FILE --db DIR [--format json|bin]
+  simmr trace    list --db DIR
+  simmr trace    remove NAME --db DIR
   simmr scale    TRACE.json --factor F --out SCALED.json
   simmr stats    TRACE.json         (workload characterization)
   simmr fit      SAMPLES.txt        (one duration per line)
+
+Traces: JSON (`.json`) is human-readable; the compact binary format
+(`.bin`, SIMMRBIN) interns templates and stores tens of bytes per job.
+`replay` sniffs the format and *streams* binary traces through the engine
+without materializing them (`--aggregate` skips per-job results, keeping
+memory flat for million-job traces). `generate --variants V` draws jobs
+from a bounded template pool of V variants per class, which is what makes
+binary interning effective.
 
 Policies: fifo, maxedf, minedf, fair, maxedf-p, minedf-p (preemptive),
 capacity[:q1=w1,q2=w2,...] (weighted queues routed by job-name prefix), and
@@ -88,11 +106,17 @@ each failed host back after a seeded exponential downtime of mean S seconds;
 duration; --slowdown SIGMA gives each slot a LogNormal(-SIGMA^2/2, SIGMA)
 execution slowdown (mean 1).";
 
-/// Loads a trace from JSON, with a helpful error.
+/// Loads a trace from JSON or the binary format (sniffed by magic), with a
+/// helpful error.
 pub(crate) fn load_trace(path: &str) -> Result<WorkloadTrace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let trace: WorkloadTrace =
-        serde_json::from_str(&text).map_err(|e| format!("`{path}` is not a trace: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let trace: WorkloadTrace = if simmr_trace::is_binary_trace(&bytes) {
+        simmr_trace::decode_trace(&bytes)
+            .map_err(|e| format!("`{path}` is not a valid binary trace: {e}"))?
+    } else {
+        let text = std::str::from_utf8(&bytes).map_err(|_| format!("`{path}` is not a trace"))?;
+        serde_json::from_str(text).map_err(|e| format!("`{path}` is not a trace: {e}"))?
+    };
     trace.validate().map_err(|e| format!("`{path}` contains an invalid job: {e}"))?;
     Ok(trace)
 }
@@ -126,6 +150,29 @@ pub(crate) fn run_replay_with(
     eprintln!(
         "[simmr] {} jobs, {} events in {:.3}s ({:.2}M events/s)",
         report.jobs.len(),
+        report.events_processed,
+        wall.as_secs_f64(),
+        report.events_processed as f64 / wall.as_secs_f64().max(1e-9) / 1e6
+    );
+    Ok(report)
+}
+
+/// Streaming replay: pulls jobs from a [`simmr_core::JobSource`] instead of
+/// a materialized trace, so resident memory stays O(active jobs).
+pub(crate) fn run_replay_source(
+    source: Box<dyn simmr_core::JobSource>,
+    policy: Box<dyn simmr_core::SchedulerPolicy>,
+    config: EngineConfig,
+) -> Result<simmr_types::SimulationReport, String> {
+    let jobs = source.job_count();
+    let start = std::time::Instant::now();
+    let report = SimulatorEngine::from_source(config, source, policy)
+        .try_run()
+        .map_err(|e| e.to_string())?;
+    let wall = start.elapsed();
+    eprintln!(
+        "[simmr] streamed {} jobs, {} events in {:.3}s ({:.2}M events/s)",
+        jobs,
         report.events_processed,
         wall.as_secs_f64(),
         report.events_processed as f64 / wall.as_secs_f64().max(1e-9) / 1e6

@@ -87,6 +87,11 @@ pub struct EngineConfig {
     pub speculation_factor: Option<f64>,
     /// Per-slot execution slowdown; `None` runs every slot at nominal speed.
     pub slowdown: Option<SlowdownSpec>,
+    /// Collect a per-job [`simmr_types::JobResult`] (on by default). Turn
+    /// off for aggregate-only runs at extreme trace scale: the report's
+    /// `jobs` vector stays empty and the engine allocates nothing
+    /// proportional to the job count for results.
+    pub collect_job_results: bool,
 }
 
 impl EngineConfig {
@@ -102,6 +107,7 @@ impl EngineConfig {
             recovery: None,
             speculation_factor: None,
             slowdown: None,
+            collect_job_results: true,
         }
     }
 
@@ -161,6 +167,12 @@ impl EngineConfig {
         self
     }
 
+    /// Skips per-job result collection (see [`Self::collect_job_results`]).
+    pub fn without_job_results(mut self) -> Self {
+        self.collect_job_results = false;
+        self
+    }
+
     /// True when this run must check invariants: the config flag, or the
     /// crate-wide `check-invariants` feature.
     pub fn invariants_enabled(&self) -> bool {
@@ -193,6 +205,8 @@ mod tests {
         assert!(c.recovery.is_none());
         assert!(c.speculation_factor.is_none());
         assert!(c.slowdown.is_none());
+        assert!(c.collect_job_results);
+        assert!(!c.without_job_results().collect_job_results);
     }
 
     #[test]

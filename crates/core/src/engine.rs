@@ -46,11 +46,14 @@ use crate::event::EventKind;
 use crate::invariants::InvariantState;
 use crate::jobq::{JobEntry, JobQueue, SchedulerPolicy};
 use crate::queue::EventQueue;
+use crate::source::{JobSource, SourceError};
 use simmr_stats::{Dist, Distribution, SeededRng};
 use simmr_types::{
-    DurationMs, HostId, JobId, JobResult, SimTime, SimulationReport, TimelineEntry, TimelinePhase,
-    WorkloadTrace,
+    DurationMs, HostId, JobId, JobResult, JobTemplate, SimTime, SimulationReport, TimelineEntry,
+    TimelinePhase, WorkloadTrace,
 };
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One planned host failure: `host` is lost at time `at` (permanently,
 /// unless the run arms [`crate::RecoverySpec`]).
@@ -93,6 +96,9 @@ pub(crate) struct RunningReduce {
 /// view from first principles.
 #[derive(Debug)]
 pub(crate) struct JobState {
+    /// The job's replayable profile. Shared (not cloned) with a streaming
+    /// source's interned template table.
+    pub(crate) template: Arc<JobTemplate>,
     pub(crate) arrival: SimTime,
     pub(crate) deadline: Option<SimTime>,
     pub(crate) maps_total: usize,
@@ -127,7 +133,6 @@ pub(crate) struct JobState {
     /// Map tasks completed before reduces become schedulable.
     pub(crate) reduce_threshold: usize,
     pub(crate) active: bool,
-    pub(crate) departed: bool,
     pub(crate) first_map_start: Option<SimTime>,
     pub(crate) maps_finished: Option<SimTime>,
     /// Straggler threshold in ms (`speculation_factor ×` the job's median
@@ -142,6 +147,53 @@ pub(crate) struct JobState {
 }
 
 impl JobState {
+    /// Fresh (pre-arrival) runtime state for one job.
+    fn new(
+        template: Arc<JobTemplate>,
+        arrival: SimTime,
+        deadline: Option<SimTime>,
+        config: &EngineConfig,
+    ) -> Self {
+        let spec_threshold = match config.speculation_factor {
+            Some(factor) if template.num_maps > 0 => {
+                let mut ds: Vec<DurationMs> =
+                    (0..template.num_maps).map(|i| template.map_duration(i)).collect();
+                ds.sort_unstable();
+                // upper median; clamped ≥ 1ms so zero-duration maps never
+                // trigger a duplicate
+                ((ds[ds.len() / 2] as f64 * factor).round() as u64).max(1)
+            }
+            _ => 0,
+        };
+        let (num_maps, num_reduces) = (template.num_maps, template.num_reduces);
+        JobState {
+            arrival,
+            deadline,
+            maps_total: num_maps,
+            reduces_total: num_reduces,
+            fresh_maps: 0,
+            requeued_maps: Vec::new(),
+            running_map_list: Vec::new(),
+            map_gen: vec![0; num_maps],
+            map_done: vec![false; num_maps],
+            map_done_slot: vec![0; num_maps],
+            maps_completed: 0,
+            fresh_reduces: 0,
+            requeued_reduces: Vec::new(),
+            running_reduce_list: Vec::new(),
+            reduce_gen: vec![0; num_reduces],
+            reduces_completed: 0,
+            reduce_threshold: config.reduce_start_threshold(num_maps),
+            active: false,
+            first_map_start: None,
+            maps_finished: None,
+            spec_threshold,
+            speculated: vec![false; num_maps],
+            spec_pending: Vec::new(),
+            template,
+        }
+    }
+
     /// Map launches the policy may still request: fresh or requeued tasks
     /// plus pending speculative duplicates.
     fn pending_maps(&self) -> usize {
@@ -151,6 +203,75 @@ impl JobState {
     /// Reduce tasks not yet launched (fresh or requeued by a host failure).
     fn pending_reduces(&self) -> usize {
         (self.reduces_total - self.fresh_reduces) + self.requeued_reduces.len()
+    }
+}
+
+/// The engine's job-state table, addressed by [`JobId`].
+///
+/// Jobs are appended in id order and **retired** on departure: a retired
+/// slot drops its boxed state immediately and the window compacts from
+/// the front, so resident memory tracks the span between the oldest live
+/// job and the newest admission — not the trace length. A retired id
+/// resolves to `None`, which is what makes stale in-flight events of
+/// departed jobs (duplicate departures, straggler timers, killed-attempt
+/// departures) cheap no-ops. Ids are never reused.
+#[derive(Debug, Default)]
+pub(crate) struct JobTable {
+    /// Live window; index `i` holds the state of `JobId(base + i)`.
+    slots: VecDeque<Option<Box<JobState>>>,
+    /// Id of the oldest slot still in the window.
+    base: usize,
+}
+
+impl JobTable {
+    fn with_capacity(n: usize) -> Self {
+        JobTable { slots: VecDeque::with_capacity(n), base: 0 }
+    }
+
+    /// Jobs ever admitted (also the next id to be assigned).
+    pub(crate) fn total(&self) -> usize {
+        self.base + self.slots.len()
+    }
+
+    /// The id window `[lo, hi)` that may hold live jobs.
+    pub(crate) fn id_range(&self) -> (usize, usize) {
+        (self.base, self.base + self.slots.len())
+    }
+
+    /// Admits a job, assigning the next id.
+    fn push(&mut self, state: Box<JobState>) -> JobId {
+        let id = self.total();
+        self.slots.push_back(Some(state));
+        JobId(id as u32)
+    }
+
+    pub(crate) fn get(&self, job: JobId) -> Option<&JobState> {
+        self.slots.get(job.index().checked_sub(self.base)?)?.as_deref()
+    }
+
+    fn get_mut(&mut self, job: JobId) -> Option<&mut JobState> {
+        self.slots.get_mut(job.index().checked_sub(self.base)?)?.as_deref_mut()
+    }
+
+    /// Drops a departed job's state and compacts the window front.
+    fn retire(&mut self, job: JobId) {
+        if let Some(i) = job.index().checked_sub(self.base) {
+            if let Some(slot) = self.slots.get_mut(i) {
+                *slot = None;
+            }
+        }
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Iterates the live jobs in id order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (JobId, &JobState)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|state| (JobId((self.base + i) as u32), state)))
     }
 }
 
@@ -178,7 +299,12 @@ const RECOVERY_STREAM: u64 = 3;
 /// end-to-end example.
 pub struct SimulatorEngine<'a> {
     pub(crate) config: EngineConfig,
-    trace: &'a WorkloadTrace,
+    /// Streaming job feed ([`Self::from_source`]); `None` for engines built
+    /// from a materialized trace, whose arrivals are all pushed up front.
+    source: Option<Box<dyn JobSource + 'a>>,
+    /// Arrival of the most recently pulled job, for enforcing the source's
+    /// ordering contract.
+    last_pulled_arrival: SimTime,
     /// Visible to the invariant checker, which runs the policy's own
     /// `verify_invariants` hook against the settled queue view.
     pub(crate) policy: Box<dyn SchedulerPolicy + 'a>,
@@ -200,7 +326,7 @@ pub struct SimulatorEngine<'a> {
     map_slowdown: Vec<f64>,
     /// Per-reduce-slot duration multipliers (shuffle and reduce phases).
     reduce_slowdown: Vec<f64>,
-    pub(crate) jobs: Vec<JobState>,
+    pub(crate) jobs: JobTable,
     /// Persistent active-job view handed to the policy; kept in sync
     /// incrementally by every state transition.
     pub(crate) jobq: JobQueue,
@@ -241,60 +367,63 @@ impl<'a> SimulatorEngine<'a> {
         policy: Box<dyn SchedulerPolicy + 'a>,
     ) -> Self {
         trace.validate().expect("workload trace contains an invalid job template");
-        let cluster = config.cluster;
-        let jobs: Vec<JobState> = trace
-            .jobs
-            .iter()
-            .map(|spec| {
-                let spec_threshold = match config.speculation_factor {
-                    Some(factor) if spec.template.num_maps > 0 => {
-                        let mut ds: Vec<DurationMs> = (0..spec.template.num_maps)
-                            .map(|i| spec.template.map_duration(i))
-                            .collect();
-                        ds.sort_unstable();
-                        // upper median; clamped ≥ 1ms so zero-duration maps
-                        // never trigger a duplicate
-                        ((ds[ds.len() / 2] as f64 * factor).round() as u64).max(1)
-                    }
-                    _ => 0,
-                };
-                JobState {
-                    arrival: spec.arrival,
-                    deadline: spec.deadline,
-                    maps_total: spec.template.num_maps,
-                    reduces_total: spec.template.num_reduces,
-                    fresh_maps: 0,
-                    requeued_maps: Vec::new(),
-                    running_map_list: Vec::new(),
-                    map_gen: vec![0; spec.template.num_maps],
-                    map_done: vec![false; spec.template.num_maps],
-                    map_done_slot: vec![0; spec.template.num_maps],
-                    maps_completed: 0,
-                    fresh_reduces: 0,
-                    requeued_reduces: Vec::new(),
-                    running_reduce_list: Vec::new(),
-                    reduce_gen: vec![0; spec.template.num_reduces],
-                    reduces_completed: 0,
-                    reduce_threshold: config.reduce_start_threshold(spec.template.num_maps),
-                    active: false,
-                    departed: false,
-                    first_map_start: None,
-                    maps_finished: None,
-                    spec_threshold,
-                    speculated: vec![false; spec.template.num_maps],
-                    spec_pending: Vec::new(),
-                }
-            })
-            .collect();
-        let timeline = if config.record_timeline {
+        let mut jobs = JobTable::with_capacity(trace.jobs.len());
+        for spec in &trace.jobs {
+            jobs.push(Box::new(JobState::new(
+                Arc::new(spec.template.clone()),
+                spec.arrival,
+                spec.deadline,
+                &config,
+            )));
+        }
+        let timeline_bars = if config.record_timeline {
             // one bar per map attempt (preemptions may add more) plus a
             // shuffle and a reduce bar per reduce task
-            let bars: usize =
-                trace.jobs.iter().map(|s| s.template.num_maps + 2 * s.template.num_reduces).sum();
-            Vec::with_capacity(bars)
+            trace.jobs.iter().map(|s| s.template.num_maps + 2 * s.template.num_reduces).sum()
         } else {
-            Vec::new()
+            0
         };
+        // in-flight events: per-job arrival/departure bookkeeping plus
+        // at most one departure per occupied slot and the fault plan
+        let queue_capacity = trace.jobs.len()
+            + config.cluster.map_slots
+            + config.cluster.reduce_slots
+            + config.faults.map_or(0, |f| f.count as usize)
+            + 8;
+        Self::with_parts(config, None, policy, jobs, queue_capacity, timeline_bars)
+    }
+
+    /// Builds an engine fed by a streaming [`JobSource`] instead of a
+    /// materialized trace.
+    ///
+    /// Exactly one arrival of lookahead is held in the event queue: the
+    /// next job is pulled when the current arrival event pops, and a
+    /// departed job's state is dropped immediately, so resident memory
+    /// tracks the *active* job span rather than the source's job count.
+    /// Source failures (I/O, decode, an out-of-order arrival) surface
+    /// through [`Self::try_run`].
+    pub fn from_source(
+        config: EngineConfig,
+        source: Box<dyn JobSource + 'a>,
+        policy: Box<dyn SchedulerPolicy + 'a>,
+    ) -> Self {
+        // nothing here is sized by the source's job count
+        let queue_capacity = config.cluster.map_slots
+            + config.cluster.reduce_slots
+            + config.faults.map_or(0, |f| f.count as usize)
+            + 16;
+        Self::with_parts(config, Some(source), policy, JobTable::default(), queue_capacity, 0)
+    }
+
+    fn with_parts(
+        config: EngineConfig,
+        source: Option<Box<dyn JobSource + 'a>>,
+        policy: Box<dyn SchedulerPolicy + 'a>,
+        jobs: JobTable,
+        queue_capacity: usize,
+        timeline_bars: usize,
+    ) -> Self {
+        let cluster = config.cluster;
         let (map_slowdown, reduce_slowdown) = match config.slowdown {
             Some(sd) => {
                 let mut rng = SeededRng::new(sd.seed).fork(SLOWDOWN_STREAM);
@@ -322,15 +451,14 @@ impl<'a> SimulatorEngine<'a> {
             }
             _ => Vec::new(),
         };
+        let results =
+            if config.collect_job_results { vec![None; jobs.total()] } else { Vec::new() };
         SimulatorEngine {
             config,
-            trace,
+            source,
+            last_pulled_arrival: SimTime::ZERO,
             policy,
-            // in-flight events: per-job arrival/departure bookkeeping plus
-            // at most one departure per occupied slot and the fault plan
-            queue: EventQueue::with_capacity(
-                trace.jobs.len() + cluster.map_slots + cluster.reduce_slots + fault_plan.len() + 8,
-            ),
+            queue: EventQueue::with_capacity(queue_capacity),
             free_map_slots: (0..cluster.map_slots as u32).rev().collect(),
             free_reduce_slots: (0..cluster.reduce_slots as u32).rev().collect(),
             dead_hosts: vec![false; cluster.hosts],
@@ -339,14 +467,14 @@ impl<'a> SimulatorEngine<'a> {
             fault_plan,
             map_slowdown,
             reduce_slowdown,
-            jobq: JobQueue::with_capacity(jobs.len()),
+            jobq: JobQueue::with_capacity(jobs.total().min(1024)),
             jobq_dirty: false,
             victims: Vec::new(),
             policy_wakeup_at: None,
             jobs,
             events_processed: 0,
-            timeline,
-            results: vec![None; trace.jobs.len()],
+            timeline: Vec::with_capacity(timeline_bars),
+            results,
             makespan: SimTime::ZERO,
             invariants: config.invariants_enabled().then(|| Box::new(InvariantState::new(&config))),
             #[cfg(any(test, debug_assertions))]
@@ -379,9 +507,59 @@ impl<'a> SimulatorEngine<'a> {
     }
 
     /// Runs the simulation to completion and returns the report.
-    pub fn run(mut self) -> SimulationReport {
-        for (i, spec) in self.trace.jobs.iter().enumerate() {
-            self.queue.push(spec.arrival, EventKind::JobArrival, JobId(i as u32), 0);
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job source fails mid-run (impossible for engines built
+    /// with [`Self::new`]); streaming callers who want the failure as a
+    /// value use [`Self::try_run`].
+    pub fn run(self) -> SimulationReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Pulls one job from the streaming source (if any) into the job table
+    /// and schedules its arrival — the engine's one-event lookahead.
+    fn pull_next_arrival(&mut self) -> Result<(), SourceError> {
+        let Some(src) = self.source.as_deref_mut() else {
+            return Ok(());
+        };
+        let Some(job) = src.next_job()? else {
+            return Ok(());
+        };
+        if job.arrival < self.last_pulled_arrival {
+            return Err(SourceError::new(format!(
+                "out-of-order arrival {} after {} (sources must yield jobs in arrival order)",
+                job.arrival.as_millis(),
+                self.last_pulled_arrival.as_millis(),
+            )));
+        }
+        job.template.validate().map_err(|e| SourceError::new(e.to_string()))?;
+        self.last_pulled_arrival = job.arrival;
+        let state = JobState::new(job.template, job.arrival, job.deadline, &self.config);
+        let id = self.jobs.push(Box::new(state));
+        if self.config.collect_job_results {
+            self.results.push(None);
+        }
+        self.queue.push(job.arrival, EventKind::JobArrival, id, 0);
+        Ok(())
+    }
+
+    /// Runs the simulation to completion, surfacing streaming-source
+    /// failures (I/O, decode, ordering violations) as errors.
+    pub fn try_run(mut self) -> Result<SimulationReport, SourceError> {
+        // Seed the arrivals. Materialized engines push every arrival up
+        // front (ids in trace order, preserving the exact historical event
+        // sequence); streaming engines hold one arrival of lookahead and
+        // pull the next each time an arrival pops.
+        if self.source.is_some() {
+            self.pull_next_arrival()?;
+        } else {
+            let (lo, hi) = self.jobs.id_range();
+            for i in lo..hi {
+                let id = JobId(i as u32);
+                let arrival = self.jobs.get(id).expect("fresh job table has no holes").arrival;
+                self.queue.push(arrival, EventKind::JobArrival, id, 0);
+            }
         }
         for i in 0..self.fault_plan.len() {
             let f = self.fault_plan[i];
@@ -414,7 +592,13 @@ impl<'a> SimulatorEngine<'a> {
                 inv.on_event(now);
             }
             match event.kind {
-                EventKind::JobArrival => self.on_job_arrival(job, now),
+                EventKind::JobArrival => {
+                    self.on_job_arrival(job, now);
+                    // Refill the lookahead before the batching check below:
+                    // a same-instant next arrival must join this batch so
+                    // the policy sees every job submitted at the instant.
+                    self.pull_next_arrival()?;
+                }
                 EventKind::MapTaskArrival | EventKind::ReduceTaskArrival => {
                     // task placements are counted at launch time and no
                     // longer travel through the priority queue; nothing
@@ -468,12 +652,15 @@ impl<'a> SimulatorEngine<'a> {
         let (free_maps, free_reduces) = (self.free_map_slots.len(), self.free_reduce_slots.len());
         let lost_maps = self.dead_map_slots.iter().filter(|&&d| d).count();
         let lost_reduces = self.dead_reduce_slots.iter().filter(|&&d| d).count();
-        let jobs = self
-            .results
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never departed")))
-            .collect();
+        let jobs = if self.config.collect_job_results {
+            self.results
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| r.unwrap_or_else(|| panic!("job {i} never departed")))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let report = SimulationReport {
             jobs,
             makespan: self.makespan,
@@ -483,11 +670,7 @@ impl<'a> SimulatorEngine<'a> {
         if let Some(inv) = invariants {
             inv.check_report(&report, free_maps, free_reduces, lost_maps, lost_reduces);
         }
-        report
-    }
-
-    fn template(&self, job: JobId) -> &simmr_types::JobTemplate {
-        &self.trace.jobs[job.index()].template
+        Ok(report)
     }
 
     /// Asserts (when checking) that the dirty flag covers the queue
@@ -514,7 +697,7 @@ impl<'a> SimulatorEngine<'a> {
 
     /// The policy-visible entry equivalent to a job's current state.
     pub(crate) fn entry_of(&self, job: JobId) -> JobEntry {
-        let s = &self.jobs[job.index()];
+        let s = self.jobs.get(job).expect("entry_of on a retired job");
         JobEntry {
             id: job,
             arrival: s.arrival,
@@ -537,17 +720,14 @@ impl<'a> SimulatorEngine<'a> {
     }
 
     fn on_job_arrival(&mut self, job: JobId, _now: SimTime) {
-        let spec = &self.trace.jobs[job.index()];
-        self.jobs[job.index()].active = true;
+        let state = self.jobs.get_mut(job).expect("arrival of a retired job");
+        state.active = true;
+        let template = Arc::clone(&state.template);
+        let relative_deadline = state.deadline.map(|d| d.since(state.arrival));
         let entry = self.entry_of(job);
         self.jobq.insert(entry);
         self.jobq_dirty = true;
-        self.policy.on_job_arrival(
-            job,
-            &spec.template,
-            spec.relative_deadline(),
-            self.config.cluster,
-        );
+        self.policy.on_job_arrival(job, &template, relative_deadline, self.config.cluster);
         // after on_job_arrival so routing-table state (pool assignment)
         // exists before the entry's counters are credited
         self.policy.on_job_queued(&entry);
@@ -556,7 +736,11 @@ impl<'a> SimulatorEngine<'a> {
 
     fn on_map_departure(&mut self, job: JobId, task_index: u32, attempt: u32, now: SimTime) {
         let speculation = self.config.speculation_factor.is_some();
-        let state = &mut self.jobs[job.index()];
+        let Some(state) = self.jobs.get_mut(job) else {
+            // the job already departed and was retired; the attempt this
+            // event named was accounted for then
+            return;
+        };
         let Some(pos) =
             state.running_map_list.iter().position(|r| r.idx == task_index && r.attempt == attempt)
         else {
@@ -646,7 +830,9 @@ impl<'a> SimulatorEngine<'a> {
     /// or pending, in which case the survivor covers it. Returns false when
     /// the job had no running map.
     fn preempt_map(&mut self, job: JobId, now: SimTime) -> bool {
-        let state = &mut self.jobs[job.index()];
+        let Some(state) = self.jobs.get_mut(job) else {
+            return false;
+        };
         let Some(victim) = state.running_map_list.pop() else {
             return false;
         };
@@ -702,7 +888,9 @@ impl<'a> SimulatorEngine<'a> {
         // AllMapsFinished later: only the first event of a truly closed
         // stage resolves the fillers.
         {
-            let state = &mut self.jobs[job.index()];
+            let Some(state) = self.jobs.get_mut(job) else {
+                return;
+            };
             if state.maps_completed != state.maps_total || state.maps_finished.is_some() {
                 return;
             }
@@ -712,35 +900,39 @@ impl<'a> SimulatorEngine<'a> {
         // (non-overlapping first shuffle) + (reduce phase), per §III-B.
         // Resolving fillers changes neither the job queue nor the free
         // slots, so this handler leaves the dirty flag untouched.
-        let n = self.jobs[job.index()].running_reduce_list.len();
+        let n = self.jobs.get(job).expect("state fetched above").running_reduce_list.len();
         for i in 0..n {
-            let r = self.jobs[job.index()].running_reduce_list[i];
+            let state = self.jobs.get(job).expect("state fetched above");
+            let r = state.running_reduce_list[i];
             if !r.shuffle_end.is_infinite() {
                 // later-wave reduce already fully scheduled at launch
                 continue;
             }
-            let template = self.template(job);
-            let mut shuffle = template.first_shuffle_duration(r.idx as usize);
-            let mut reduce = template.reduce_duration(r.idx as usize);
+            let mut shuffle = state.template.first_shuffle_duration(r.idx as usize);
+            let mut reduce = state.template.reduce_duration(r.idx as usize);
             if let Some(&f) = self.reduce_slowdown.get(r.slot as usize) {
                 shuffle = scaled(shuffle, f);
                 reduce = scaled(reduce, f);
             }
             let shuffle_end = now + shuffle;
             let finish = shuffle_end + reduce;
-            self.jobs[job.index()].running_reduce_list[i].shuffle_end = shuffle_end;
+            self.jobs.get_mut(job).expect("state fetched above").running_reduce_list[i]
+                .shuffle_end = shuffle_end;
             self.queue.push_attempt(finish, EventKind::ReduceTaskDeparture, job, r.idx, r.attempt);
             // No bars yet: reduce bars are recorded at departure (or kill)
             // so a host failure can truncate them at the true extent.
         }
-        let state = &self.jobs[job.index()];
+        let state = self.jobs.get(job).expect("state fetched above");
         if state.reduces_total == 0 {
             self.queue.push(now, EventKind::JobDeparture, job, 0);
         }
     }
 
     fn on_reduce_departure(&mut self, job: JobId, task_index: u32, attempt: u32, now: SimTime) {
-        let state = &mut self.jobs[job.index()];
+        let Some(state) = self.jobs.get_mut(job) else {
+            // the job already departed and was retired
+            return;
+        };
         let Some(pos) = state
             .running_reduce_list
             .iter()
@@ -784,11 +976,10 @@ impl<'a> SimulatorEngine<'a> {
     }
 
     fn on_job_departure(&mut self, job: JobId, now: SimTime) {
-        let state = &mut self.jobs[job.index()];
-        if state.departed {
+        let Some(state) = self.jobs.get_mut(job) else {
+            // duplicate departure of an already-retired job
             return;
-        }
-        state.departed = true;
+        };
         state.active = false;
         if let Some(removed) = self.jobq.remove(job) {
             // before on_job_departure, which may drop routing state the
@@ -796,18 +987,24 @@ impl<'a> SimulatorEngine<'a> {
             self.policy.on_job_dequeued(&removed);
         }
         self.jobq_dirty = true;
-        let spec = &self.trace.jobs[job.index()];
-        self.results[job.index()] = Some(JobResult {
-            job,
-            name: spec.template.name.clone(),
-            arrival: state.arrival,
-            first_map_start: state.first_map_start,
-            maps_finished: state.maps_finished,
-            completion: now,
-            deadline: state.deadline,
-            num_maps: state.maps_total,
-            num_reduces: state.reduces_total,
-        });
+        if self.config.collect_job_results {
+            let state = self.jobs.get(job).expect("state fetched above");
+            self.results[job.index()] = Some(JobResult {
+                job,
+                name: state.template.name.clone(),
+                arrival: state.arrival,
+                first_map_start: state.first_map_start,
+                maps_finished: state.maps_finished,
+                completion: now,
+                deadline: state.deadline,
+                num_maps: state.maps_total,
+                num_reduces: state.reduces_total,
+            });
+        }
+        // Retire the state: later in-flight events naming this job (stale
+        // attempt departures, straggler timers) resolve to `None` and
+        // no-op, and the table's window compacts past it.
+        self.jobs.retire(job);
         self.policy.on_job_departure(job);
         self.note_mutation("on_job_departure");
     }
@@ -841,9 +1038,12 @@ impl<'a> SimulatorEngine<'a> {
         let dead_reduces = &self.dead_reduce_slots;
         self.free_reduce_slots.retain(|&s| !dead_reduces[s as usize]);
 
-        for j in 0..self.jobs.len() {
+        let (lo, hi) = self.jobs.id_range();
+        for j in lo..hi {
             let job = JobId(j as u32);
-            let state = &mut self.jobs[j];
+            let Some(state) = self.jobs.get_mut(job) else {
+                continue;
+            };
             if !state.active {
                 continue;
             }
@@ -1003,9 +1203,12 @@ impl<'a> SimulatorEngine<'a> {
     /// event is stale (ignored) when the attempt already finished or was
     /// killed; a task is speculated at most once per primary attempt.
     fn on_speculation_due(&mut self, job: JobId, task_index: u32, attempt: u32) {
-        let state = &mut self.jobs[job.index()];
+        let Some(state) = self.jobs.get_mut(job) else {
+            // the job departed (and was retired) before its timer fired
+            return;
+        };
         let idx = task_index as usize;
-        if state.departed || state.map_done[idx] || state.speculated[idx] {
+        if state.map_done[idx] || state.speculated[idx] {
             return;
         }
         if !state.running_map_list.iter().any(|r| r.idx == task_index && r.attempt == attempt) {
@@ -1027,10 +1230,8 @@ impl<'a> SimulatorEngine<'a> {
     /// in the same `(arrival, id)` order the incremental queue guarantees.
     #[cfg(any(test, debug_assertions))]
     fn rebuild_jobq(&mut self) {
-        let mut entries: Vec<crate::JobEntry> = (0..self.jobs.len())
-            .filter(|&i| self.jobs[i].active)
-            .map(|i| self.entry_of(JobId(i as u32)))
-            .collect();
+        let mut entries: Vec<crate::JobEntry> =
+            self.jobs.iter().filter(|(_, s)| s.active).map(|(id, _)| self.entry_of(id)).collect();
         entries.sort_by_key(|e| (e.arrival, e.id));
         self.jobq.clear();
         for entry in entries {
@@ -1153,7 +1354,7 @@ impl<'a> SimulatorEngine<'a> {
 
     fn launch_map(&mut self, job: JobId, now: SimTime) {
         let slot = self.free_map_slots.pop().expect("launch_map called with no free map slot");
-        let state = &mut self.jobs[job.index()];
+        let state = self.jobs.get_mut(job).expect("launch_map on a retired job");
         // Requeued tasks (kills, failure reruns) go first, then fresh tasks,
         // then speculative duplicates of running stragglers.
         let (idx, primary) = if let Some(idx) = state.requeued_maps.pop() {
@@ -1175,13 +1376,13 @@ impl<'a> SimulatorEngine<'a> {
         state.first_map_start.get_or_insert(now);
         let spec_threshold = state.spec_threshold;
         let already_speculated = state.speculated[idx as usize];
+        let base = state.template.map_duration(idx as usize);
         let entry = self.entry_mut(job);
         let before = *entry;
         entry.pending_maps -= 1;
         entry.running_maps += 1;
         let after = *entry;
         self.policy.on_entry_mutated(&before, &after);
-        let base = self.trace.jobs[job.index()].template.map_duration(idx as usize);
         let duration = match self.map_slowdown.get(slot as usize) {
             Some(&f) => scaled(base, f),
             None => base,
@@ -1207,7 +1408,7 @@ impl<'a> SimulatorEngine<'a> {
     fn launch_reduce(&mut self, job: JobId, now: SimTime) {
         let slot =
             self.free_reduce_slots.pop().expect("launch_reduce called with no free reduce slot");
-        let state = &mut self.jobs[job.index()];
+        let state = self.jobs.get_mut(job).expect("launch_reduce on a retired job");
         let maps_done = state.maps_finished.is_some();
         let idx = state.requeued_reduces.pop().unwrap_or_else(|| {
             let fresh = state.fresh_reduces as u32;
@@ -1216,6 +1417,10 @@ impl<'a> SimulatorEngine<'a> {
         });
         state.reduce_gen[idx as usize] += 1;
         let attempt = state.reduce_gen[idx as usize];
+        // later-wave reduce: typical shuffle + reduce phase (unused for a
+        // first-wave filler, whose duration is resolved by AllMapsFinished)
+        let base_shuffle = state.template.typical_shuffle_duration(idx as usize);
+        let base_reduce = state.template.reduce_duration(idx as usize);
         let entry = self.entry_mut(job);
         let before = *entry;
         entry.pending_reduces -= 1;
@@ -1223,10 +1428,7 @@ impl<'a> SimulatorEngine<'a> {
         let after = *entry;
         self.policy.on_entry_mutated(&before, &after);
         let shuffle_end = if maps_done {
-            // later-wave reduce: typical shuffle + reduce phase
-            let template = &self.trace.jobs[job.index()].template;
-            let mut shuffle = template.typical_shuffle_duration(idx as usize);
-            let mut reduce = template.reduce_duration(idx as usize);
+            let (mut shuffle, mut reduce) = (base_shuffle, base_reduce);
             if let Some(&f) = self.reduce_slowdown.get(slot as usize) {
                 shuffle = scaled(shuffle, f);
                 reduce = scaled(reduce, f);
@@ -1245,13 +1447,11 @@ impl<'a> SimulatorEngine<'a> {
             // AllMapsFinished
             SimTime::INFINITY
         };
-        self.jobs[job.index()].running_reduce_list.push(RunningReduce {
-            idx,
-            attempt,
-            start: now,
-            slot,
-            shuffle_end,
-        });
+        self.jobs
+            .get_mut(job)
+            .expect("state fetched above")
+            .running_reduce_list
+            .push(RunningReduce { idx, attempt, start: now, slot, shuffle_end });
         // No timeline bars yet: reduce bars are recorded at departure (or
         // kill) so a host failure can truncate them at the true extent.
     }

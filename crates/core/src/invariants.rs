@@ -51,7 +51,7 @@
 use crate::engine::SimulatorEngine;
 use crate::jobq::JobEntry;
 use crate::EngineConfig;
-use simmr_types::{JobId, SimTime, SimulationReport, TimelineEntry, TimelinePhase};
+use simmr_types::{SimTime, SimulationReport, TimelineEntry, TimelinePhase};
 
 /// Mutable state of the runtime invariant checker, owned by the engine.
 #[derive(Debug)]
@@ -227,7 +227,7 @@ impl InvariantState {
         }
         let mut running_maps = 0usize;
         let mut running_reduces = 0usize;
-        for (i, state) in engine.jobs.iter().enumerate() {
+        for (i, state) in engine.jobs.iter() {
             running_maps += state.running_map_list.len();
             running_reduces += state.running_reduce_list.len();
             for r in &state.running_map_list {
@@ -305,8 +305,7 @@ impl InvariantState {
     fn check_entries(&self, engine: &SimulatorEngine<'_>, now: SimTime) {
         let mut active = 0usize;
         let speculation = engine.config.speculation_factor.is_some();
-        for (i, state) in engine.jobs.iter().enumerate() {
-            let id = JobId(i as u32);
+        for (id, state) in engine.jobs.iter() {
             // internal task accounting before the view comparison: a task
             // may have up to two live attempts under speculation, so the
             // conservation law counts *distinct* running task indices
@@ -532,6 +531,7 @@ fn diff_entries(expected: &JobEntry, actual: &JobEntry) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simmr_types::JobId;
 
     fn checker(maps: usize, reduces: usize) -> InvariantState {
         InvariantState::new(&EngineConfig::new(maps, reduces))

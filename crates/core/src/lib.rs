@@ -101,9 +101,11 @@ pub mod event;
 mod invariants;
 pub mod jobq;
 pub mod queue;
+pub mod source;
 
 pub use config::{EngineConfig, FaultSpec, RecoverySpec, SlowdownSpec};
 pub use engine::{HostFailure, SimulatorEngine};
 pub use event::{Event, EventKind};
 pub use jobq::{JobEntry, JobQueue, SchedulerPolicy};
 pub use queue::EventQueue;
+pub use source::{JobSource, SourceError, SourcedJob, TraceJobSource};

@@ -9,12 +9,17 @@
 //!   records the Mumak baseline replays;
 //! * [`synthetic`] — Synthetic TraceGen: parametric workloads, including
 //!   the Facebook-like LogNormal workload of §V-C;
-//! * [`db`] — the persistent Trace Database (JSON files on disk);
+//! * [`binfmt`] — the compact binary trace format (`SIMMRBIN`): interned
+//!   template tables, fixed-stride per-job records, a CRC-32 checksum, a
+//!   zero-copy reader and a streaming [`simmr_core::JobSource`];
+//! * [`db`] — the persistent Trace Database (JSON and binary files on
+//!   disk, with atomic writes and corruption surfaced in listings);
 //! * [`scaling`] — the paper's *future work* trace-scaling technique:
 //!   derive the trace of a larger-dataset run from a small-dataset run;
 //! * [`mod@characterize`] — workload characterization (§V-C methodology):
 //!   job-size mix, per-phase statistics, best-fit distributions.
 
+pub mod binfmt;
 pub mod characterize;
 pub mod db;
 pub mod mrprofiler;
@@ -22,8 +27,12 @@ pub mod rumen;
 pub mod scaling;
 pub mod synthetic;
 
+pub use binfmt::{
+    decode_trace, encode_trace, is_binary_trace, BinError, BinTraceReader, BinTraceSource,
+    BinTraceWriter,
+};
 pub use characterize::{characterize, WorkloadProfile};
-pub use db::TraceDatabase;
+pub use db::{DbError, TraceDatabase, TraceFormat, TraceStatus};
 pub use mrprofiler::{profile_history, trace_from_history, ProfiledJob};
 pub use rumen::{RumenJob, RumenTask, RumenTrace};
 pub use scaling::scale_template;

@@ -13,8 +13,12 @@
 //!   `LN(12.375, 1.6262)` ms), with job sizes drawn from a binned
 //!   approximation of their Table 3 job-size mix.
 
+use std::io;
+
 use simmr_stats::{Dist, Distribution, SeededRng};
 use simmr_types::{JobSpec, JobTemplate, SimTime, TraceMeta, WorkloadTrace};
+
+use crate::binfmt::{BinError, BinTraceWriter};
 
 /// Shape of one synthetic job class.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,29 +73,8 @@ impl SyntheticWorkload {
         let mut clock = SimTime::ZERO;
         for i in 0..num_jobs {
             let class = &self.classes[rng.weighted_index(&weights)];
-            let map_durations: Vec<u64> = (0..class.num_maps.max(1))
-                .map(|_| self.map_ms.sample(&mut rng).max(1.0) as u64)
-                .collect();
-            let mut typical = Vec::with_capacity(class.num_reduces);
-            let mut first = Vec::with_capacity(class.num_reduces);
-            let mut reduce = Vec::with_capacity(class.num_reduces);
-            for _ in 0..class.num_reduces {
-                let total = self.reduce_ms.sample(&mut rng).max(1.0);
-                let shuffle = (total * frac).round() as u64;
-                typical.push(shuffle.max(1));
-                // first-wave non-overlapping shuffle: roughly half of the
-                // typical shuffle remains after the map stage ends
-                first.push((shuffle / 2).max(1));
-                reduce.push((total as u64).saturating_sub(shuffle).max(1));
-            }
-            let template = JobTemplate::new(
-                format!("{}-{:04}", class.name, i),
-                map_durations,
-                first,
-                typical,
-                reduce,
-            )
-            .expect("generated template is structurally valid");
+            let template =
+                self.sample_template(class, format!("{}-{:04}", class.name, i), frac, &mut rng);
             trace.push(JobSpec::new(template, clock));
             if self.mean_interarrival_ms > 0.0 {
                 clock += arrival_dist.sample(&mut rng).max(0.0) as u64;
@@ -99,7 +82,162 @@ impl SyntheticWorkload {
         }
         trace
     }
+
+    /// Samples one concrete template for `class` from the duration
+    /// distributions.
+    fn sample_template(
+        &self,
+        class: &SyntheticJobSpec,
+        name: String,
+        shuffle_fraction: f64,
+        rng: &mut SeededRng,
+    ) -> JobTemplate {
+        let map_durations: Vec<u64> =
+            (0..class.num_maps.max(1)).map(|_| self.map_ms.sample(rng).max(1.0) as u64).collect();
+        let mut typical = Vec::with_capacity(class.num_reduces);
+        let mut first = Vec::with_capacity(class.num_reduces);
+        let mut reduce = Vec::with_capacity(class.num_reduces);
+        for _ in 0..class.num_reduces {
+            let total = self.reduce_ms.sample(rng).max(1.0);
+            let shuffle = (total * shuffle_fraction).round() as u64;
+            typical.push(shuffle.max(1));
+            // first-wave non-overlapping shuffle: roughly half of the
+            // typical shuffle remains after the map stage ends
+            first.push((shuffle / 2).max(1));
+            reduce.push((total as u64).saturating_sub(shuffle).max(1));
+        }
+        JobTemplate::new(name, map_durations, first, typical, reduce)
+            .expect("generated template is structurally valid")
+    }
+
+    /// Builds the pooled template table: `variants_per_class` concrete
+    /// templates sampled per class, named `{class}-v{variant:02}`.
+    ///
+    /// Unlike [`Self::generate`] — which samples a fresh template for every
+    /// job and therefore defeats the binary format's template interning —
+    /// a pool bounds the number of distinct templates regardless of trace
+    /// length, so a million-job binary trace stores each class variant once
+    /// and every job record is a fixed-stride few-dozen-byte row.
+    ///
+    /// The pool is drawn from a dedicated RNG stream, so re-generating a
+    /// trace with a different job count reuses the identical pool.
+    pub fn template_pool(&self, variants_per_class: usize, seed: u64) -> Vec<JobTemplate> {
+        assert!(!self.classes.is_empty(), "workload needs at least one job class");
+        assert!(variants_per_class > 0, "pool needs at least one variant per class");
+        let mut rng = SeededRng::new(seed).fork(POOL_STREAM);
+        let frac = self.shuffle_fraction.clamp(0.0, 1.0);
+        let mut pool = Vec::with_capacity(self.classes.len() * variants_per_class);
+        for class in &self.classes {
+            for v in 0..variants_per_class {
+                pool.push(self.sample_template(
+                    class,
+                    format!("{}-v{:02}", class.name, v),
+                    frac,
+                    &mut rng,
+                ));
+            }
+        }
+        pool
+    }
+
+    /// Drives the pooled job schedule: for each job, picks a class by mix
+    /// weight and a variant uniformly, and advances the exponential arrival
+    /// clock. Shared by [`Self::generate_pooled`] and [`Self::write_bin`]
+    /// so the materialized and streamed forms of a seed are identical.
+    fn each_pooled_job(
+        &self,
+        num_jobs: usize,
+        variants_per_class: usize,
+        seed: u64,
+        mut emit: impl FnMut(usize, SimTime),
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
+        let arrival_dist = Dist::Exponential { mean: self.mean_interarrival_ms.max(0.0) };
+        let mut clock = SimTime::ZERO;
+        for _ in 0..num_jobs {
+            let class = rng.weighted_index(&weights);
+            let variant = rng.index(variants_per_class);
+            emit(class * variants_per_class + variant, clock);
+            if self.mean_interarrival_ms > 0.0 {
+                clock += arrival_dist.sample(&mut rng).max(0.0) as u64;
+            }
+        }
+    }
+
+    /// Default metadata for pooled generation.
+    fn pooled_meta(&self, variants_per_class: usize, seed: u64) -> TraceMeta {
+        TraceMeta {
+            description: format!(
+                "pooled synthetic workload ({} classes x {variants_per_class} variants, \
+                 mean inter-arrival {} ms)",
+                self.classes.len(),
+                self.mean_interarrival_ms
+            ),
+            source: "synthetic-pooled".into(),
+            seed: Some(seed),
+        }
+    }
+
+    /// Generates `num_jobs` jobs drawn from a bounded template pool,
+    /// materialized as a [`WorkloadTrace`].
+    ///
+    /// Byte-for-byte equivalent to decoding the output of
+    /// [`Self::write_bin`] with the same arguments.
+    pub fn generate_pooled(
+        &self,
+        num_jobs: usize,
+        variants_per_class: usize,
+        seed: u64,
+    ) -> WorkloadTrace {
+        let pool = self.template_pool(variants_per_class, seed);
+        let mut trace = WorkloadTrace {
+            meta: self.pooled_meta(variants_per_class, seed),
+            jobs: Vec::with_capacity(num_jobs),
+        };
+        self.each_pooled_job(num_jobs, variants_per_class, seed, |idx, arrival| {
+            trace.push(JobSpec::new(pool[idx].clone(), arrival));
+        });
+        trace
+    }
+
+    /// Streams `num_jobs` pooled jobs straight into the binary trace format
+    /// without ever materializing the trace: memory use is O(pool), not
+    /// O(jobs), which is what makes million-job trace generation cheap.
+    ///
+    /// Pass `meta: None` for the default pooled metadata. Returns the
+    /// writer's output (positioned after the trailing record).
+    pub fn write_bin<W: io::Write + io::Seek>(
+        &self,
+        num_jobs: usize,
+        variants_per_class: usize,
+        seed: u64,
+        meta: Option<&TraceMeta>,
+        out: W,
+    ) -> Result<W, BinError> {
+        let pool = self.template_pool(variants_per_class, seed);
+        let default_meta = self.pooled_meta(variants_per_class, seed);
+        let mut writer = BinTraceWriter::new(out, meta.unwrap_or(&default_meta));
+        let ids: Vec<u32> =
+            pool.iter().map(|t| writer.intern_template(t)).collect::<Result<_, BinError>>()?;
+        let mut failed = None;
+        self.each_pooled_job(num_jobs, variants_per_class, seed, |idx, arrival| {
+            if failed.is_none() {
+                if let Err(e) = writer.push_job(ids[idx], arrival, None) {
+                    failed = Some(e);
+                }
+            }
+        });
+        match failed {
+            Some(e) => Err(e),
+            None => writer.finish(),
+        }
+    }
 }
+
+/// Dedicated RNG stream for sampling the template pool, so the pool is
+/// independent of the per-job schedule stream.
+const POOL_STREAM: u64 = 2;
 
 /// The §V-C Facebook-like workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,6 +291,51 @@ impl FacebookWorkload {
         );
         trace.meta.source = "synthetic-facebook".into();
         trace
+    }
+
+    /// Metadata shared by [`Self::generate_pooled`] and [`Self::write_bin`].
+    pub fn pooled_meta(&self, variants_per_class: usize, seed: u64) -> TraceMeta {
+        TraceMeta {
+            description: format!(
+                "pooled Facebook-like LogNormal workload \
+                 ({variants_per_class} variants/class, mean inter-arrival {} ms)",
+                self.mean_interarrival_ms
+            ),
+            source: "synthetic-facebook-pooled".into(),
+            seed: Some(seed),
+        }
+    }
+
+    /// Generates `num_jobs` Facebook-like jobs from a bounded template pool
+    /// (see [`SyntheticWorkload::template_pool`]).
+    pub fn generate_pooled(
+        &self,
+        num_jobs: usize,
+        variants_per_class: usize,
+        seed: u64,
+    ) -> WorkloadTrace {
+        let mut trace = self.workload().generate_pooled(num_jobs, variants_per_class, seed);
+        trace.meta = self.pooled_meta(variants_per_class, seed);
+        trace
+    }
+
+    /// Streams `num_jobs` pooled Facebook-like jobs into the binary trace
+    /// format with O(pool) memory. Decodes to exactly the trace
+    /// [`Self::generate_pooled`] materializes.
+    pub fn write_bin<W: io::Write + io::Seek>(
+        &self,
+        num_jobs: usize,
+        variants_per_class: usize,
+        seed: u64,
+        out: W,
+    ) -> Result<W, BinError> {
+        self.workload().write_bin(
+            num_jobs,
+            variants_per_class,
+            seed,
+            Some(&self.pooled_meta(variants_per_class, seed)),
+            out,
+        )
     }
 }
 
@@ -335,6 +518,46 @@ mod tests {
             assert_eq!(t.template.map_durations, p.template.map_durations);
             assert!(t.template.name.ends_with(&*p.template.name));
         }
+    }
+
+    #[test]
+    fn pooled_generation_bounds_distinct_templates() {
+        let w = FacebookWorkload { mean_interarrival_ms: 1000.0 };
+        let trace = w.generate_pooled(500, 4, 11);
+        assert_eq!(trace.len(), 500);
+        trace.validate().unwrap();
+        let distinct: std::collections::BTreeSet<&str> =
+            trace.jobs.iter().map(|j| &*j.template.name).collect();
+        assert!(
+            distinct.len() <= FacebookWorkload::JOB_MIX.len() * 4,
+            "{} distinct templates",
+            distinct.len()
+        );
+        assert!(distinct.len() > FacebookWorkload::JOB_MIX.len(), "variants are used");
+    }
+
+    #[test]
+    fn pooled_generation_deterministic_per_seed() {
+        let w = FacebookWorkload { mean_interarrival_ms: 700.0 };
+        assert_eq!(w.generate_pooled(80, 3, 5), w.generate_pooled(80, 3, 5));
+        assert_ne!(w.generate_pooled(80, 3, 5), w.generate_pooled(80, 3, 6));
+    }
+
+    #[test]
+    fn streamed_bin_decodes_to_the_materialized_pooled_trace() {
+        let w = FacebookWorkload { mean_interarrival_ms: 400.0 };
+        let cursor = w.write_bin(250, 4, 13, std::io::Cursor::new(Vec::new())).unwrap();
+        let decoded = crate::binfmt::decode_trace(&cursor.into_inner()).unwrap();
+        assert_eq!(decoded, w.generate_pooled(250, 4, 13));
+    }
+
+    #[test]
+    fn pool_is_independent_of_job_count() {
+        let w = FacebookWorkload { mean_interarrival_ms: 300.0 }.workload();
+        assert_eq!(w.template_pool(3, 21), w.template_pool(3, 21));
+        let short = w.generate_pooled(20, 3, 21);
+        let long = w.generate_pooled(60, 3, 21);
+        assert_eq!(&long.jobs[..20], &short.jobs[..]);
     }
 
     #[test]

@@ -79,10 +79,21 @@ impl WorkloadTrace {
 
     /// Returns a copy limited to the first `n` jobs in arrival order
     /// (used by the Figure 6 performance sweep).
+    ///
+    /// Only the selected prefix is cloned: the jobs are ranked through an
+    /// index of `(arrival, original position)` keys — selection is O(n),
+    /// ordering the survivors O(n log n) in the *prefix* length — so taking
+    /// a small head of a million-job trace never copies the million jobs.
+    /// Ties on arrival keep the original trace order.
     pub fn prefix_by_arrival(&self, n: usize) -> WorkloadTrace {
-        let mut jobs = self.jobs.clone();
-        jobs.sort_by_key(|j| j.arrival);
-        jobs.truncate(n);
+        let mut keys: Vec<(SimTime, usize)> =
+            self.jobs.iter().enumerate().map(|(i, j)| (j.arrival, i)).collect();
+        if n < keys.len() {
+            keys.select_nth_unstable(n);
+            keys.truncate(n);
+        }
+        keys.sort_unstable();
+        let jobs = keys.into_iter().map(|(_, i)| self.jobs[i].clone()).collect();
         WorkloadTrace { meta: self.meta.clone(), jobs }
     }
 
@@ -137,6 +148,27 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.jobs[0].arrival, SimTime::from_secs(2));
         assert_eq!(p.jobs[1].arrival, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn prefix_ties_keep_original_order() {
+        // four jobs sharing one arrival, distinguished by map count
+        let mut tr = WorkloadTrace::new("unit", "test");
+        for maps in [1usize, 2, 3, 4] {
+            tr.push(JobSpec::new(
+                JobTemplate::new("t", vec![100; maps], vec![], vec![], vec![]).unwrap(),
+                SimTime::from_secs(7),
+            ));
+        }
+        tr.push(job(1)); // earlier arrival, appended last
+        let p = tr.prefix_by_arrival(3);
+        assert_eq!(p.jobs[0].arrival, SimTime::from_secs(1));
+        // ties broken by original position: maps=1 then maps=2
+        assert_eq!(p.jobs[1].template.num_maps, 1);
+        assert_eq!(p.jobs[2].template.num_maps, 2);
+        // n >= len returns the whole trace, sorted
+        assert_eq!(tr.prefix_by_arrival(99).len(), 5);
+        assert_eq!(tr.prefix_by_arrival(99).jobs[0].arrival, SimTime::from_secs(1));
     }
 
     #[test]

@@ -4,14 +4,24 @@
 //! serialize → parse round-trip byte-exactly; truncated documents and
 //! trailing garbage must error (never panic); duplicate object keys
 //! resolve first-wins, matching the vendored `serde_json`'s `Value::get`.
+//!
+//! The same fuzzed traces also exercise the binary codec: JSON → binary →
+//! JSON must reproduce every job byte-identically (modulo the format's
+//! arrival-order canonicalization); truncations, bit flips, bad magic and
+//! unknown versions must surface as typed [`simmr_trace::BinError`]s,
+//! never panics. A replay of the same trace through the materialized JSON
+//! path and the streaming binary path must produce identical reports.
 
 use proptest::prelude::*;
 use simmr_bench::pipeline::run_testbed;
 use simmr_cluster::{ClusterConfig, ClusterPolicy};
-use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_core::{EngineConfig, JobSource, SimulatorEngine};
 use simmr_integration::small_job;
 use simmr_sched::FifoPolicy;
-use simmr_trace::{scale_template, trace_from_history, TraceDatabase};
+use simmr_trace::{
+    decode_trace, encode_trace, scale_template, trace_from_history, BinError, BinTraceSource,
+    FacebookWorkload, TraceDatabase,
+};
 use simmr_types::{parse_history, JobSpec, JobTemplate, SimTime, WorkloadTrace};
 
 fn testbed_trace(seed: u64) -> WorkloadTrace {
@@ -204,6 +214,163 @@ proptest! {
             );
         }
     }
+
+    /// JSON → binary → JSON reproduces every job byte-identically. The
+    /// binary format canonicalizes job order to (arrival, original index),
+    /// so the expectation is the stable arrival sort of the input.
+    #[test]
+    fn fuzz_trace_binary_round_trip(
+        jobs in proptest::collection::vec(
+            (1usize..5, 0usize..3, 0usize..4, 0usize..4, 0usize..4),
+            0..8,
+        ),
+        seed_pick in 0usize..4,
+    ) {
+        let mut trace = WorkloadTrace::new("binary fuzz \"with\" escapes", "fuzzer");
+        trace.meta.seed = [None, Some(0), Some(1), Some(u64::MAX)][seed_pick];
+        for &(maps, reduces, dur_pick, arr_pick, name_pick) in &jobs {
+            trace.push(fuzz_job(maps, reduces, dur_pick, arr_pick, name_pick));
+        }
+        let mut expected = trace.clone();
+        expected.jobs.sort_by_key(|j| j.arrival); // stable: ties keep input order
+        let decoded = decode_trace(&encode_trace(&trace).unwrap()).unwrap();
+        prop_assert!(decoded.validate().is_ok());
+        prop_assert_eq!(decoded.jobs.len(), expected.jobs.len());
+        for (d, e) in decoded.jobs.iter().zip(&expected.jobs) {
+            prop_assert_eq!(
+                serde_json::to_string(d).unwrap(),
+                serde_json::to_string(e).unwrap()
+            );
+        }
+        prop_assert_eq!(decoded.meta, expected.meta);
+    }
+
+    /// Every proper prefix of a binary trace is a typed error — never a
+    /// panic — and so is any single-byte corruption of the
+    /// checksum-covered body.
+    #[test]
+    fn fuzz_binary_corruption_is_a_typed_error(
+        jobs in proptest::collection::vec(
+            (1usize..3, 0usize..2, 0usize..4, 0usize..4, 0usize..4),
+            1..4,
+        ),
+        flip_pick in 0usize..997,
+    ) {
+        let mut trace = WorkloadTrace::new("binary corruption fuzz", "fuzzer");
+        for &(maps, reduces, dur_pick, arr_pick, name_pick) in &jobs {
+            trace.push(fuzz_job(maps, reduces, dur_pick, arr_pick, name_pick));
+        }
+        let bytes = encode_trace(&trace).unwrap();
+
+        // truncation at every prefix
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_trace(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded successfully", bytes.len()
+            );
+        }
+
+        // a bit flip in the body (everything past the header is
+        // checksummed) is a checksum mismatch
+        let body = bytes.len() - 48;
+        let at = 48 + flip_pick % body;
+        let mut flipped = bytes.clone();
+        flipped[at] ^= 0x40;
+        prop_assert!(
+            matches!(decode_trace(&flipped), Err(BinError::ChecksumMismatch { .. })),
+            "flip at {at} not a checksum mismatch"
+        );
+
+        // wrong magic and unknown version are their own errors
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        prop_assert!(matches!(decode_trace(&bad_magic), Err(BinError::BadMagic)));
+        let mut bad_version = bytes;
+        bad_version[8] = 0xEE;
+        bad_version[9] = 0xEE;
+        prop_assert!(matches!(decode_trace(&bad_version), Err(BinError::BadVersion(_))));
+    }
+}
+
+/// The same trace replayed through the materialized JSON path and the
+/// streaming binary path produces identical reports — per-job rows,
+/// makespan and event count.
+#[test]
+fn json_and_binary_replays_are_byte_identical() {
+    let workload = FacebookWorkload { mean_interarrival_ms: 30_000.0 };
+    let trace = workload.generate_pooled(300, 4, 0xD0);
+
+    let dir = std::env::temp_dir().join(format!("simmr-it-binrep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin_path = dir.join("t.trace.bin");
+    std::fs::write(&bin_path, encode_trace(&trace).unwrap()).unwrap();
+
+    // materialized: JSON round-trip, then the borrowing constructor
+    let json = serde_json::to_string(&trace).unwrap();
+    let materialized: WorkloadTrace = serde_json::from_str(&json).unwrap();
+    let report_json =
+        SimulatorEngine::new(EngineConfig::new(16, 16), &materialized, Box::new(FifoPolicy::new()))
+            .run();
+
+    // streaming: pulled from the binary file one arrival at a time
+    let source = BinTraceSource::open(&bin_path).unwrap();
+    let report_bin = SimulatorEngine::from_source(
+        EngineConfig::new(16, 16),
+        Box::new(source),
+        Box::new(FifoPolicy::new()),
+    )
+    .try_run()
+    .unwrap();
+
+    assert_eq!(report_json, report_bin);
+    assert_eq!(
+        serde_json::to_string(&report_json).unwrap(),
+        serde_json::to_string(&report_bin).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// 100k-job streaming smoke replay, gated for CI: set
+/// `SIMMR_STREAM_SMOKE=1` to run. Generates a pooled binary trace on
+/// disk, streams it through the engine in aggregate mode and checks the
+/// event volume.
+#[test]
+fn stream_smoke_100k() {
+    if std::env::var("SIMMR_STREAM_SMOKE").map(|v| v == "1") != Ok(true) {
+        return;
+    }
+    let jobs = 100_000;
+    let mut workload = FacebookWorkload { mean_interarrival_ms: 20_000.0 }.workload();
+    workload.classes.truncate(3); // small-job head of the mix: bounded backlog
+    let dir = std::env::temp_dir().join(format!("simmr-it-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("smoke.trace.bin");
+    let file = std::fs::File::create(&path).unwrap();
+    workload
+        .write_bin(jobs, 8, 0xBE, None, std::io::BufWriter::new(file))
+        .unwrap()
+        .into_inner()
+        .unwrap();
+
+    let source = BinTraceSource::open(&path).unwrap();
+    assert_eq!(source.job_count(), jobs);
+    let report = SimulatorEngine::from_source(
+        EngineConfig::new(64, 64).without_job_results(),
+        Box::new(source),
+        Box::new(FifoPolicy::new()),
+    )
+    .try_run()
+    .unwrap();
+    assert!(report.jobs.is_empty(), "aggregate mode collects no per-job rows");
+    assert!(
+        report.events_processed > jobs as u64 * 2,
+        "only {} events for {jobs} jobs",
+        report.events_processed
+    );
+    assert!(report.makespan > SimTime::ZERO);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Duplicate object keys resolve first-wins (the vendored `serde_json`
