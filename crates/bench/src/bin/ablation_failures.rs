@@ -2,41 +2,42 @@
 //!
 //! The paper's validation cluster was healthy; a practical what-if a SimMR
 //! user asks is *how much slack do deadlines need on flaky hardware?* This
-//! sweep drives the engine's own seeded failure model (`FaultSpec`): slots
-//! are striped over worker hosts, a fail-stop plan with the given per-plan
-//! MTBF kills hosts mid-run (re-executing lost map output, Hadoop-style),
-//! and we report the Facebook-mix completion-time inflation. A second
-//! column arms the recovery model (`RecoverySpec`, 60 s mean repair) and
-//! measures how much of the inflation repaired hosts claw back.
+//! sweep drives the engine's seeded failure model through `ScenarioSpec`s
+//! run by the `simmr-serve` facade (the same scenarios the what-if service
+//! answers): slots are striped over worker hosts, a fail-stop plan with the
+//! given per-plan MTBF kills hosts mid-run (re-executing lost map output,
+//! Hadoop-style), and we report the Facebook-mix completion-time inflation.
+//! A second column arms the recovery model (60 s mean repair) and measures
+//! how much of the inflation repaired hosts claw back.
 
 use simmr_bench::csvout::write_csv;
-use simmr_core::{EngineConfig, FaultSpec, RecoverySpec, SimulatorEngine};
-use simmr_sched::parse_policy;
-use simmr_types::{SimulationReport, WorkloadTrace};
+use simmr_sched::PolicySpec;
+use simmr_serve::{ScenarioSpec, SimFacade, TraceRef};
+use simmr_types::{ClusterSpec, WorkloadTrace};
 
 const SEED: u64 = 0xFA11;
 const HOSTS: usize = 16;
-const RECOVERY_MEAN_MS: u64 = 60_000;
+const RECOVERY_MEAN_S: f64 = 60.0;
 
-fn replay(
-    trace: &WorkloadTrace,
-    faults: Option<FaultSpec>,
-    recovery: Option<RecoverySpec>,
-) -> SimulationReport {
-    let mut config = EngineConfig::new(64, 32).with_hosts(HOSTS);
-    if let Some(f) = faults {
-        config = config.with_faults(f);
+fn scenario(trace: &WorkloadTrace, mtbf_s: f64, count: u32, recovery: bool) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(TraceRef::Inline(trace.clone()), PolicySpec::Fifo);
+    spec.cluster = ClusterSpec::new(64, 32).with_hosts(HOSTS);
+    spec.seed = SEED;
+    if count > 0 {
+        spec.failures = Some(count);
+        spec.failure_mtbf_s = mtbf_s;
+        if recovery {
+            spec.failure_recovery_s = Some(RECOVERY_MEAN_S);
+        }
     }
-    if let Some(r) = recovery {
-        config = config.with_recovery(r);
-    }
-    SimulatorEngine::new(config, trace, parse_policy("fifo").expect("fifo exists")).run()
+    spec
 }
 
 fn main() {
     println!("== Ablation: engine-level host failures (MTBF sweep, Facebook mix) ==");
     let trace = simmr_trace::FacebookWorkload { mean_interarrival_ms: 30_000.0 }.generate(80, SEED);
-    let healthy = replay(&trace, None, None);
+    let facade = SimFacade::new();
+    let healthy = facade.run(&scenario(&trace, 0.0, 0, false)).expect("healthy run").report;
     let healthy_mean = healthy.mean_duration_ms();
     let span_s = healthy.makespan.as_secs_f64();
     println!(
@@ -49,18 +50,16 @@ fn main() {
         let (mean, rec_mean) = if mtbf == 0.0 {
             (healthy_mean, healthy_mean)
         } else {
-            let faults = FaultSpec {
-                seed: SEED,
-                count: (span_s / mtbf).ceil() as u32,
-                mean_interval_ms: (mtbf * 1000.0) as u64,
-            };
-            let failed = replay(&trace, Some(faults), None);
-            let recovered = replay(
-                &trace,
-                Some(faults),
-                Some(RecoverySpec { seed: SEED, mean_ms: RECOVERY_MEAN_MS }),
-            );
-            (failed.mean_duration_ms(), recovered.mean_duration_ms())
+            let count = (span_s / mtbf).ceil() as u32;
+            let mut runs = facade
+                .run_batch(&[
+                    scenario(&trace, mtbf, count, false),
+                    scenario(&trace, mtbf, count, true),
+                ])
+                .into_iter();
+            let failed = runs.next().unwrap().expect("failure run");
+            let recovered = runs.next().unwrap().expect("recovery run");
+            (failed.report.mean_duration_ms(), recovered.report.mean_duration_ms())
         };
         let inflation = (mean / healthy_mean - 1.0) * 100.0;
         let rec_inflation = (rec_mean / healthy_mean - 1.0) * 100.0;

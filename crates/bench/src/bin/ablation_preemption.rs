@@ -10,8 +10,7 @@
 use simmr_bench::csvout::write_csv;
 use simmr_bench::workloads::{assign_deadlines, permute_with_exponential_arrivals};
 use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
-use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::parse_policy;
+use simmr_serve::{ScenarioSpec, SimFacade, TraceRef};
 use simmr_stats::SeededRng;
 use simmr_trace::profile_history;
 use simmr_types::{JobSpec, JobTemplate, SimTime, WorkloadTrace};
@@ -40,13 +39,9 @@ fn one_run(templates: &[JobTemplate], mean_ia_ms: f64, policy: &str, seed: u64) 
     }
     permute_with_exponential_arrivals(&mut trace, mean_ia_ms, &mut rng);
     assign_deadlines(&mut trace, 1.0, 64, 64, &mut rng);
-    SimulatorEngine::new(
-        EngineConfig::new(64, 64),
-        &trace,
-        parse_policy(policy).expect("policy exists"),
-    )
-    .run()
-    .total_relative_deadline_exceeded()
+    // deadlines are stamped above, so the spec carries no deadline_factor
+    let spec = ScenarioSpec::new(TraceRef::Inline(trace), policy.parse().expect("policy exists"));
+    SimFacade::new().run(&spec).expect("scenario runs").report.total_relative_deadline_exceeded()
 }
 
 fn average(templates: &[JobTemplate], mean_ia_ms: f64, policy: &str, reps: usize) -> f64 {

@@ -2,16 +2,16 @@
 //! model, like Mumak does? (§IV-A: "The main difference between Mumak and
 //! SimMR is that Mumak omits modeling the shuffle/sort phase.")
 //!
-//! We replay the same testbed history twice: once with the full profile
-//! and once with both shuffle arrays zeroed. The degraded replay should
-//! reproduce Mumak-class underestimation — directly validating the paper's
-//! diagnosis.
+//! We replay the same testbed history twice through the `simmr-serve`
+//! facade: once with the full profile and once with both shuffle arrays
+//! zeroed. The degraded replay should reproduce Mumak-class
+//! underestimation — directly validating the paper's diagnosis.
 
 use simmr_bench::csvout::write_csv;
 use simmr_bench::pipeline::{accuracy_rows, mean_abs_error, run_testbed};
 use simmr_cluster::{ClusterConfig, ClusterPolicy};
-use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::FifoPolicy;
+use simmr_sched::PolicySpec;
+use simmr_serve::{ScenarioSpec, SimFacade, TraceRef};
 use simmr_trace::trace_from_history;
 use simmr_types::SimTime;
 
@@ -36,8 +36,10 @@ fn main() {
         }
     }
 
+    let facade = SimFacade::new();
     let replay = |trace: &simmr_types::WorkloadTrace| {
-        SimulatorEngine::new(EngineConfig::new(64, 64), trace, Box::new(FifoPolicy::new())).run()
+        let spec = ScenarioSpec::new(TraceRef::Inline(trace.clone()), PolicySpec::Fifo);
+        facade.run(&spec).expect("replay scenario runs").report
     };
     let full = accuracy_rows(&run, &replay(&full_trace));
     let degraded = accuracy_rows(&run, &replay(&no_shuffle));

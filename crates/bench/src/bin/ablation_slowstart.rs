@@ -2,20 +2,35 @@
 //! slowstart parameter, §III-B). Early reduce launch holds reduce slots as
 //! first-wave fillers (hurting concurrent jobs) but hides the first
 //! shuffle inside the map stage (helping the job itself).
+//!
+//! The sweep is a batch of `ScenarioSpec`s run through the `simmr-serve`
+//! facade — the same code path the CLI and the what-if service use.
 
 use simmr_bench::csvout::write_csv;
-use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::FifoPolicy;
+use simmr_sched::PolicySpec;
+use simmr_serve::{ScenarioSpec, SimFacade, TraceRef};
 use simmr_trace::FacebookWorkload;
+use simmr_types::ClusterSpec;
+
+const SLOWSTARTS: [f64; 5] = [0.0, 0.05, 0.25, 0.5, 1.0];
 
 fn main() {
     let trace = FacebookWorkload { mean_interarrival_ms: 20_000.0 }.generate(120, 0x510);
     println!("== Ablation: slowstart (minMapPercentCompleted) ==");
     println!("{:>10} {:>14} {:>16} {:>12}", "slowstart", "makespan_s", "mean_job_dur_s", "events");
+    let specs: Vec<ScenarioSpec> = SLOWSTARTS
+        .iter()
+        .map(|&slowstart| {
+            let mut spec = ScenarioSpec::new(TraceRef::Inline(trace.clone()), PolicySpec::Fifo);
+            spec.cluster = ClusterSpec::new(32, 32);
+            spec.slowstart = Some(slowstart);
+            spec
+        })
+        .collect();
+    let runs = SimFacade::new().run_batch(&specs);
     let mut rows = Vec::new();
-    for slowstart in [0.0, 0.05, 0.25, 0.5, 1.0] {
-        let config = EngineConfig::new(32, 32).with_slowstart(slowstart);
-        let report = SimulatorEngine::new(config, &trace, Box::new(FifoPolicy::new())).run();
+    for (slowstart, run) in SLOWSTARTS.iter().zip(runs) {
+        let report = run.expect("slowstart scenario runs").report;
         println!(
             "{:>10.2} {:>14.1} {:>16.1} {:>12}",
             slowstart,

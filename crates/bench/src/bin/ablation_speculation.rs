@@ -2,35 +2,37 @@
 //!
 //! §IV-B of the paper: *"We disabled speculation as it did not lead to any
 //! significant improvements."* This checks the claim against the engine's
-//! own speculation model: per-slot LogNormal slowdowns (`SlowdownSpec`)
-//! create stragglers, and `with_speculation(F)` duplicates a map attempt
+//! own speculation model, driven as `ScenarioSpec`s through the
+//! `simmr-serve` facade: per-slot LogNormal slowdowns (`slowdown_sigma`)
+//! create stragglers, and `speculation: F` duplicates a map attempt
 //! outliving `F ×` its job's median map duration (first finisher wins).
 //! With a mild, calibrated slowdown spread speculation should barely move
 //! the numbers — and on a pathological straggler-heavy cluster it should
 //! recover the map-stage tail.
 
 use simmr_bench::csvout::write_csv;
-use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::parse_policy;
-use simmr_stats::Dist;
-use simmr_types::{SimulationReport, WorkloadTrace};
+use simmr_sched::PolicySpec;
+use simmr_serve::{ScenarioSpec, SimFacade, TraceRef};
+use simmr_types::{ClusterSpec, WorkloadTrace};
 
 const SEED: u64 = 0x57EC;
 
-fn replay(trace: &WorkloadTrace, sigma: f64, speculation: Option<f64>) -> SimulationReport {
-    // mean-1 LogNormal: perturbs per-slot speed without shifting the average
-    let mut config = EngineConfig::new(32, 16)
-        .with_hosts(8)
-        .with_slowdown(Dist::LogNormal { mu: -sigma * sigma / 2.0, sigma }, SEED);
-    if let Some(factor) = speculation {
-        config = config.with_speculation(factor);
-    }
-    SimulatorEngine::new(config, trace, parse_policy("fifo").expect("fifo exists")).run()
+fn scenario(trace: &WorkloadTrace, sigma: f64, speculation: Option<f64>) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(TraceRef::Inline(trace.clone()), PolicySpec::Fifo);
+    spec.cluster = ClusterSpec::new(32, 16).with_hosts(8);
+    spec.seed = SEED;
+    // the facade builds the mean-1 LogNormal(-sigma^2/2, sigma) slowdown
+    spec.slowdown_sigma = Some(sigma);
+    spec.speculation = speculation;
+    spec
 }
 
 fn compare(label: &str, trace: &WorkloadTrace, sigma: f64, rows: &mut Vec<String>) {
-    let off = replay(trace, sigma, None);
-    let on = replay(trace, sigma, Some(1.5));
+    let mut runs = SimFacade::new()
+        .run_batch(&[scenario(trace, sigma, None), scenario(trace, sigma, Some(1.5))])
+        .into_iter();
+    let off = runs.next().unwrap().expect("spec-off run").report;
+    let on = runs.next().unwrap().expect("spec-on run").report;
     println!("\n-- {label} --");
     println!("{:<18} {:>12} {:>12} {:>9}", "metric", "spec_off_s", "spec_on_s", "delta%");
     for (metric, base, spec) in [

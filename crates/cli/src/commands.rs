@@ -1,16 +1,14 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use crate::{
-    attach_deadlines, load_trace, run_replay, run_replay_source, run_replay_with, save_trace,
-};
+use crate::{load_trace, print_run_timing, save_trace};
 use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
+use simmr_serve::{ScenarioSpec, ServeConfig, Server, SimFacade, TraceRef};
 use simmr_stats::fit_best;
 use simmr_trace::{
-    encode_trace, trace_from_history, BinTraceSource, FacebookWorkload, TraceDatabase, TraceFormat,
-    TraceStatus,
+    encode_trace, trace_from_history, FacebookWorkload, TraceDatabase, TraceFormat, TraceStatus,
 };
-use simmr_types::SimTime;
+use simmr_types::{ClusterSpec, SimTime};
 
 /// Resolves a `--format json|bin` flag; `None` when absent.
 fn format_flag(args: &Args, flag: &str) -> Result<Option<TraceFormat>, String> {
@@ -153,7 +151,78 @@ pub fn profile(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `simmr replay`: trace -> SimMR engine -> per-job report.
+/// Builds the [`ScenarioSpec`] the replay flags describe, with the CLI's
+/// historical validation messages.
+fn scenario_from_args(args: &Args, trace: TraceRef) -> Result<ScenarioSpec, String> {
+    let policy: simmr_sched::PolicySpec = if let Some(pools_path) = args.get("pools") {
+        match args.get("policy") {
+            None | Some("hier") => {}
+            Some(other) => {
+                return Err(format!(
+                    "--pools picks the hierarchical policy; drop --policy or set it to \
+                     `hier` (got `{other}`)"
+                ));
+            }
+        }
+        let text = std::fs::read_to_string(pools_path)
+            .map_err(|e| format!("cannot read `{pools_path}`: {e}"))?;
+        let pools =
+            simmr_sched::pools_from_json(&text).map_err(|e| format!("`{pools_path}`: {e}"))?;
+        simmr_sched::PolicySpec::Hier { pools }
+    } else {
+        args.get("policy")
+            .unwrap_or("fifo")
+            .parse()
+            .map_err(|e: simmr_sched::PolicyParseError| e.to_string())?
+    };
+    let mut spec = ScenarioSpec::new(trace, policy);
+    let map_slots: usize = args.parse_or("map-slots", 64)?;
+    let reduce_slots: usize = args.parse_or("reduce-slots", 64)?;
+    let hosts: usize = args.parse_or("hosts", 1)?;
+    spec.cluster = ClusterSpec::new(map_slots, reduce_slots).with_hosts(hosts);
+    spec.seed = args.parse_or("seed", 1)?;
+    spec.aggregate = args.has("aggregate");
+    spec.timeline = args.has("timeline");
+    spec.check_invariants = args.has("check-invariants");
+    if let Some(failures) = args.get("failures") {
+        let count: u32 = failures.parse().map_err(|e| format!("--failures: {e}"))?;
+        if hosts < 2 {
+            return Err("--failures needs --hosts of at least 2 (host 0 never fails)".into());
+        }
+        let mtbf_s: f64 = args.parse_or("failure-mtbf-s", 3600.0)?;
+        if !(mtbf_s.is_finite() && mtbf_s > 0.0) {
+            return Err("--failure-mtbf-s must be positive".into());
+        }
+        spec.failures = Some(count);
+        spec.failure_mtbf_s = mtbf_s;
+    }
+    if let Some(rec_s) = args.get("failure-recovery-s") {
+        if spec.failures.is_none() {
+            return Err("--failure-recovery-s needs --failures".into());
+        }
+        let rec_s: f64 = rec_s.parse().map_err(|e| format!("--failure-recovery-s: {e}"))?;
+        if !(rec_s.is_finite() && rec_s > 0.0) {
+            return Err("--failure-recovery-s must be positive".into());
+        }
+        spec.failure_recovery_s = Some(rec_s);
+    }
+    if let Some(factor) = args.get("speculation") {
+        spec.speculation = Some(factor.parse().map_err(|e| format!("--speculation: {e}"))?);
+    }
+    if let Some(sigma) = args.get("slowdown") {
+        let sigma: f64 = sigma.parse().map_err(|e| format!("--slowdown: {e}"))?;
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err("--slowdown must be positive".into());
+        }
+        spec.slowdown_sigma = Some(sigma);
+    }
+    if let Some(df) = args.get("deadline-factor") {
+        spec.deadline_factor = Some(df.parse().map_err(|e| format!("--deadline-factor: {e}"))?);
+    }
+    Ok(spec)
+}
+
+/// `simmr replay`: trace -> scenario spec -> facade -> per-job report.
 ///
 /// JSON traces are materialized; binary traces (`--format bin`, or sniffed
 /// from the file's magic bytes) stream through the engine one arrival at a
@@ -164,99 +233,25 @@ pub fn replay(args: &Args) -> Result<(), String> {
         None | Some("auto") => sniff_format(path)?,
         _ => format_flag(args, "format")?.expect("checked above"),
     };
-    let policy = args.get("policy").unwrap_or("fifo").to_string();
-    let map_slots: usize = args.parse_or("map-slots", 64)?;
-    let reduce_slots: usize = args.parse_or("reduce-slots", 64)?;
-    let seed: u64 = args.parse_or("seed", 1)?;
     if args.has("deadline-factor") && format == TraceFormat::Bin {
         return Err("--deadline-factor rewrites the trace and needs the materialized JSON form; \
              run `simmr trace convert` first"
             .into());
     }
-    let mut config = simmr_core::EngineConfig::new(map_slots, reduce_slots);
-    if args.has("aggregate") {
-        config = config.without_job_results();
-    }
-    if args.has("timeline") {
-        config = config.with_timeline();
-    }
-    if args.has("check-invariants") {
-        config = config.with_invariants();
-    }
-    let hosts: usize = args.parse_or("hosts", 1)?;
-    config = config.with_hosts(hosts);
-    if let Some(failures) = args.get("failures") {
-        let count: u32 = failures.parse().map_err(|e| format!("--failures: {e}"))?;
-        if hosts < 2 {
-            return Err("--failures needs --hosts of at least 2 (host 0 never fails)".into());
+    // an explicit --format json forces materialization even for a file
+    // whose magic says binary; `auto` lets the facade stream it
+    let trace_ref = match format {
+        TraceFormat::Json if args.get("format").is_some_and(|f| f != "auto") => {
+            TraceRef::Inline(load_trace(path)?)
         }
-        let mtbf_s: f64 = args.parse_or("failure-mtbf-s", 3600.0)?;
-        if !(mtbf_s.is_finite() && mtbf_s > 0.0) {
-            return Err("--failure-mtbf-s must be positive".into());
-        }
-        config = config.with_faults(simmr_core::FaultSpec {
-            seed,
-            count,
-            mean_interval_ms: (mtbf_s * 1000.0) as u64,
-        });
-    }
-    if let Some(rec_s) = args.get("failure-recovery-s") {
-        if config.faults.is_none() {
-            return Err("--failure-recovery-s needs --failures".into());
-        }
-        let rec_s: f64 = rec_s.parse().map_err(|e| format!("--failure-recovery-s: {e}"))?;
-        if !(rec_s.is_finite() && rec_s > 0.0) {
-            return Err("--failure-recovery-s must be positive".into());
-        }
-        config = config
-            .with_recovery(simmr_core::RecoverySpec { seed, mean_ms: (rec_s * 1000.0) as u64 });
-    }
-    if let Some(factor) = args.get("speculation") {
-        let factor: f64 = factor.parse().map_err(|e| format!("--speculation: {e}"))?;
-        config = config.with_speculation(factor);
-    }
-    if let Some(sigma) = args.get("slowdown") {
-        let sigma: f64 = sigma.parse().map_err(|e| format!("--slowdown: {e}"))?;
-        if !(sigma.is_finite() && sigma > 0.0) {
-            return Err("--slowdown must be positive".into());
-        }
-        // mean-1 LogNormal: perturbs without shifting the average
-        let dist = simmr_stats::Dist::LogNormal { mu: -sigma * sigma / 2.0, sigma };
-        config = config.with_slowdown(dist, seed);
-    }
-    let policy_box: Box<dyn simmr_core::SchedulerPolicy> =
-        if let Some(pools_path) = args.get("pools") {
-            match args.get("policy") {
-                None | Some("hier") => {}
-                Some(other) => {
-                    return Err(format!(
-                        "--pools picks the hierarchical policy; drop --policy or set it to \
-                     `hier` (got `{other}`)"
-                    ));
-                }
-            }
-            let text = std::fs::read_to_string(pools_path)
-                .map_err(|e| format!("cannot read `{pools_path}`: {e}"))?;
-            let pools =
-                simmr_sched::pools_from_json(&text).map_err(|e| format!("`{pools_path}`: {e}"))?;
-            Box::new(simmr_sched::HierPolicy::new(pools))
-        } else {
-            simmr_sched::parse_policy(&policy).map_err(|e| e.to_string())?
-        };
-    let report = match format {
-        TraceFormat::Bin => {
-            let source = BinTraceSource::open(path).map_err(|e| format!("`{path}`: {e}"))?;
-            run_replay_source(Box::new(source), policy_box, config)?
-        }
-        TraceFormat::Json => {
-            let mut trace = load_trace(path)?;
-            if let Some(df) = args.get("deadline-factor") {
-                let df: f64 = df.parse().map_err(|e| format!("--deadline-factor: {e}"))?;
-                attach_deadlines(&mut trace, df, map_slots, reduce_slots, seed);
-            }
-            run_replay_with(&trace, policy_box, config)?
-        }
+        _ => TraceRef::Path(path.to_owned()),
     };
+    let spec = scenario_from_args(args, trace_ref)?;
+    let facade = SimFacade::new();
+    let start = std::time::Instant::now();
+    let run = facade.run(&spec).map_err(|e| e.message().to_string())?;
+    print_run_timing(&run, start.elapsed());
+    let report = run.report;
     if !report.jobs.is_empty() {
         println!(
             "{:<24} {:>10} {:>10} {:>10} {:>8}",
@@ -293,25 +288,45 @@ pub fn replay(args: &Args) -> Result<(), String> {
 }
 
 /// `simmr compare`: one trace, several policies, the §V utility metric.
+///
+/// All policies go through the facade as one batch: the trace is loaded
+/// and deadline-stamped once, and the runs fan out across cores.
 pub fn compare(args: &Args) -> Result<(), String> {
     let path = args.positional(0).ok_or("usage: simmr compare TRACE.json [flags]")?;
-    let mut trace = load_trace(path)?;
     let map_slots: usize = args.parse_or("map-slots", 64)?;
     let reduce_slots: usize = args.parse_or("reduce-slots", 64)?;
     let df: f64 = args.parse_or("deadline-factor", 1.5)?;
     let seed: u64 = args.parse_or("seed", 1)?;
-    attach_deadlines(&mut trace, df, map_slots, reduce_slots, seed);
-    let policies = args.get("policies").unwrap_or("fifo,maxedf,minedf");
+    let policies: Vec<&str> =
+        args.get("policies").unwrap_or("fifo,maxedf,minedf").split(',').map(str::trim).collect();
+    let specs: Vec<ScenarioSpec> = policies
+        .iter()
+        .map(|name| {
+            let policy = name.parse().map_err(|e: simmr_sched::PolicyParseError| e.to_string())?;
+            let mut spec = ScenarioSpec::new(TraceRef::Path(path.to_owned()), policy);
+            spec.cluster = ClusterSpec::new(map_slots, reduce_slots);
+            spec.seed = seed;
+            spec.deadline_factor = Some(df);
+            Ok(spec)
+        })
+        .collect::<Result<_, String>>()?;
+    let facade = SimFacade::new();
+    let start = std::time::Instant::now();
+    let runs = facade.run_batch(&specs);
+    eprintln!(
+        "[simmr] compared {} policies in {:.3}s",
+        policies.len(),
+        start.elapsed().as_secs_f64()
+    );
     println!(
         "{:<10} {:>12} {:>10} {:>14} {:>12}",
         "policy", "makespan_s", "missed", "rel_exceeded", "mean_dur_s"
     );
-    for policy in policies.split(',') {
-        let config = simmr_core::EngineConfig::new(map_slots, reduce_slots);
-        let report = run_replay(&trace, policy.trim(), config)?;
+    for (policy, run) in policies.iter().zip(runs) {
+        let report = run.map_err(|e| e.message().to_string())?.report;
         println!(
             "{:<10} {:>12.1} {:>7}/{:<2} {:>14.2} {:>12.1}",
-            policy.trim(),
+            policy,
             report.makespan.as_secs_f64(),
             report.missed_deadlines(),
             report.jobs.len(),
@@ -320,6 +335,23 @@ pub fn compare(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `simmr serve`: the long-running what-if HTTP service.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:4601").to_owned(),
+        workers: args.parse_or("workers", 0)?,
+        db_dir: args.get("db").map(str::to_owned),
+        cache_shard_cap: args.parse_or("cache-cap", 256)?,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config)?;
+    eprintln!(
+        "[simmr serve] listening on http://{} (POST /v1/run, /v1/sweep, /v1/shutdown)",
+        server.local_addr()
+    );
+    server.run()
 }
 
 const TRACE_USAGE: &str = "usage: simmr trace convert IN OUT [--format json|bin]
@@ -393,11 +425,11 @@ fn trace_list(args: &Args) -> Result<(), String> {
         println!("(empty database)");
         return Ok(());
     }
-    println!("{:<24} {:<6} {:>8}", "name", "format", "jobs");
+    println!("{:<24} {:<6} {:>8}  {:<16}", "name", "format", "jobs", "digest");
     for (name, status) in &listing {
         match status {
-            TraceStatus::Ok { format, jobs } => {
-                println!("{name:<24} {format:<6} {jobs:>8}");
+            TraceStatus::Ok { format, jobs, digest } => {
+                println!("{name:<24} {format:<6} {jobs:>8}  {digest}");
             }
             TraceStatus::Corrupt { format, error } => {
                 println!("{name:<24} {format:<6}  CORRUPT: {error}");

@@ -11,16 +11,15 @@
 //!   (binary traces stream through the engine without materializing);
 //! * `compare`  — replay a trace under several policies and print the
 //!   deadline-utility comparison (the §V case study);
+//! * `serve`    — the long-running what-if HTTP service: cached, batched
+//!   scenario queries against a trace database (`simmr-serve`);
 //! * `trace`    — trace-database housekeeping: `convert` between JSON and
 //!   the compact binary format, `store`/`list`/`remove` in a database dir;
 //! * `scale`    — trace scaling (§VII future work): grow/shrink a trace;
 //! * `fit`      — fit candidate distributions to a sample file and rank by
 //!   the Kolmogorov–Smirnov statistic (§V-C methodology).
 
-use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::parse_policy;
-use simmr_stats::SeededRng;
-use simmr_types::{SimTime, WorkloadTrace};
+use simmr_types::WorkloadTrace;
 use std::process::ExitCode;
 
 mod args;
@@ -41,6 +40,7 @@ fn main() -> ExitCode {
         "profile" => commands::profile(&args),
         "replay" => commands::replay(&args),
         "compare" => commands::compare(&args),
+        "serve" => commands::serve(&args),
         "trace" => commands::trace(&args),
         "scale" => commands::scale(&args),
         "stats" => commands::stats(&args),
@@ -76,6 +76,7 @@ USAGE:
                  [--speculation F] [--slowdown SIGMA]
   simmr compare  TRACE.json [--policies fifo,maxedf,minedf] [--map-slots N]
                  [--reduce-slots N] [--deadline-factor F] [--seed S]
+  simmr serve    [--addr HOST:PORT] [--db DIR] [--workers N] [--cache-cap N]
   simmr trace    convert IN OUT [--format json|bin]
   simmr trace    store NAME FILE --db DIR [--format json|bin]
   simmr trace    list --db DIR
@@ -104,21 +105,19 @@ Failure model (replay): --hosts stripes the slot pools over N workers;
 each failed host back after a seeded exponential downtime of mean S seconds;
 --speculation F re-executes map stragglers past F x the job's median map
 duration; --slowdown SIGMA gives each slot a LogNormal(-SIGMA^2/2, SIGMA)
-execution slowdown (mean 1).";
+execution slowdown (mean 1).
+
+Serve: `simmr serve --db DIR` answers what-if scenario queries over
+HTTP/JSON (POST /v1/run, POST /v1/sweep[?stream=1], GET /v1/traces,
+GET /healthz, POST /v1/shutdown). Repeated queries hit a memo cache
+keyed on (trace digest, normalized scenario) and return byte-identical
+reports; the `x-simmr-cache` header says `hit` or `miss`.";
 
 /// Loads a trace from JSON or the binary format (sniffed by magic), with a
-/// helpful error.
+/// helpful error. Thin wrapper over the facade's loader keeping the CLI's
+/// error strings.
 pub(crate) fn load_trace(path: &str) -> Result<WorkloadTrace, String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let trace: WorkloadTrace = if simmr_trace::is_binary_trace(&bytes) {
-        simmr_trace::decode_trace(&bytes)
-            .map_err(|e| format!("`{path}` is not a valid binary trace: {e}"))?
-    } else {
-        let text = std::str::from_utf8(&bytes).map_err(|_| format!("`{path}` is not a trace"))?;
-        serde_json::from_str(text).map_err(|e| format!("`{path}` is not a trace: {e}"))?
-    };
-    trace.validate().map_err(|e| format!("`{path}` contains an invalid job: {e}"))?;
-    Ok(trace)
+    simmr_serve::load_trace_file(path).map_err(|e| e.message().to_string())
 }
 
 /// Saves a trace as JSON.
@@ -127,79 +126,14 @@ pub(crate) fn save_trace(path: &str, trace: &WorkloadTrace) -> Result<(), String
     std::fs::write(path, json).map_err(|e| format!("cannot write `{path}`: {e}"))
 }
 
-/// Runs one replay and prints the per-job table plus summary.
-pub(crate) fn run_replay(
-    trace: &WorkloadTrace,
-    policy_name: &str,
-    config: EngineConfig,
-) -> Result<simmr_types::SimulationReport, String> {
-    let policy = parse_policy(policy_name).map_err(|e| e.to_string())?;
-    run_replay_with(trace, policy, config)
-}
-
-/// [`run_replay`] with an already-built policy (the `--pools FILE` path
-/// constructs its [`simmr_sched::HierPolicy`] from JSON, not a spec string).
-pub(crate) fn run_replay_with(
-    trace: &WorkloadTrace,
-    policy: Box<dyn simmr_core::SchedulerPolicy>,
-    config: EngineConfig,
-) -> Result<simmr_types::SimulationReport, String> {
-    let start = std::time::Instant::now();
-    let report = SimulatorEngine::new(config, trace, policy).run();
-    let wall = start.elapsed();
+/// Prints the `[simmr]` replay timing line for a facade run.
+pub(crate) fn print_run_timing(run: &simmr_serve::FacadeRun, wall: std::time::Duration) {
     eprintln!(
-        "[simmr] {} jobs, {} events in {:.3}s ({:.2}M events/s)",
-        report.jobs.len(),
-        report.events_processed,
+        "[simmr] {}{} jobs, {} events in {:.3}s ({:.2}M events/s)",
+        if run.streamed { "streamed " } else { "" },
+        run.jobs,
+        run.report.events_processed,
         wall.as_secs_f64(),
-        report.events_processed as f64 / wall.as_secs_f64().max(1e-9) / 1e6
+        run.report.events_processed as f64 / wall.as_secs_f64().max(1e-9) / 1e6
     );
-    Ok(report)
-}
-
-/// Streaming replay: pulls jobs from a [`simmr_core::JobSource`] instead of
-/// a materialized trace, so resident memory stays O(active jobs).
-pub(crate) fn run_replay_source(
-    source: Box<dyn simmr_core::JobSource>,
-    policy: Box<dyn simmr_core::SchedulerPolicy>,
-    config: EngineConfig,
-) -> Result<simmr_types::SimulationReport, String> {
-    let jobs = source.job_count();
-    let start = std::time::Instant::now();
-    let report = SimulatorEngine::from_source(config, source, policy)
-        .try_run()
-        .map_err(|e| e.to_string())?;
-    let wall = start.elapsed();
-    eprintln!(
-        "[simmr] streamed {} jobs, {} events in {:.3}s ({:.2}M events/s)",
-        jobs,
-        report.events_processed,
-        wall.as_secs_f64(),
-        report.events_processed as f64 / wall.as_secs_f64().max(1e-9) / 1e6
-    );
-    Ok(report)
-}
-
-/// Attaches §V-B-style deadlines to every job of a trace.
-pub(crate) fn attach_deadlines(
-    trace: &mut WorkloadTrace,
-    factor: f64,
-    map_slots: usize,
-    reduce_slots: usize,
-    seed: u64,
-) {
-    let mut rng = SeededRng::new(seed);
-    for job in trace.jobs.iter_mut() {
-        let mut single = WorkloadTrace::new("standalone", "cli");
-        single.push(simmr_types::JobSpec::new(job.template.clone(), SimTime::ZERO));
-        let report = SimulatorEngine::new(
-            EngineConfig::new(map_slots, reduce_slots),
-            &single,
-            parse_policy("fifo").expect("fifo exists"),
-        )
-        .run();
-        let t_j = report.jobs[0].duration() as f64;
-        let rel = rng.uniform(t_j, factor.max(1.0) * t_j);
-        job.deadline = Some(job.arrival + rel as u64);
-    }
 }

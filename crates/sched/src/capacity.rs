@@ -6,10 +6,15 @@
 //! running-tasks/weight ratio) and, inside a queue, to the
 //! earliest-arrived job.
 //!
-//! Queue routing uses the job's template name: a job is routed to the first
-//! queue whose name is a prefix of the job name (e.g. queue `prod` captures
-//! `prod-wordcount`), falling back to the last queue otherwise — so
-//! configure a catch-all (e.g. `""`) last.
+//! Queue routing uses the job's template name: a job is routed to the
+//! queue with the **longest** name that is a prefix of the job name (e.g.
+//! queue `prod` captures `prod-wordcount`; with both `prod` and
+//! `prod-etl` configured, `prod-etl-daily` lands in `prod-etl`), falling
+//! back to the last queue when no name matches. An empty-named queue is a
+//! prefix of everything and therefore a catch-all. Longest-prefix routing
+//! makes the listed queue *order* carry no routing semantics, which is
+//! what lets `capacity:` spec strings normalize their parameter order
+//! into a canonical cache-key form (see [`crate::PolicySpec`]).
 
 use simmr_core::{JobQueue, SchedulerPolicy};
 use simmr_types::{DurationMs, JobId, JobTemplate, TaskKind};
@@ -51,11 +56,16 @@ impl CapacityPolicy {
         ])
     }
 
-    /// Queue index a job name routes to.
+    /// Queue index a job name routes to: longest matching prefix, ties
+    /// (only possible between distinctly-named queues of equal length
+    /// where at most one can match) broken toward the earlier queue.
     fn route(&self, job_name: &str) -> usize {
         self.queues
             .iter()
-            .position(|q| job_name.starts_with(&q.name))
+            .enumerate()
+            .filter(|(_, q)| job_name.starts_with(&q.name))
+            .max_by_key(|(i, q)| (q.name.len(), std::cmp::Reverse(*i)))
+            .map(|(i, _)| i)
             .unwrap_or(self.queues.len() - 1)
     }
 

@@ -37,10 +37,22 @@
 //! ```text
 //! fifo | maxedf | minedf | maxedf-p | minedf-p | fair
 //! capacity                       # two_tier() default queues
-//! capacity:prod=3,adhoc=1        # ordered weighted queues
+//! capacity:prod=3,adhoc=1        # weighted queues (normalized to name order)
 //! hier                           # two_tier() as a one-level tree
 //! hier:prod[w=3,min=4,timeout=30]{etl,serving},adhoc[w=1]
 //! ```
+//!
+//! Specs round-trip **canonically**: parsing normalizes parameter
+//! ordering (`capacity:adhoc=1,prod=3` ≡ `capacity:prod=3,adhoc=1` —
+//! queues are sorted by name; routing is longest-prefix, so the listed
+//! order carries no semantics), and [`PolicySpec`] implements
+//! [`Display`](fmt::Display) emitting the canonical string, so
+//! `spec.to_string().parse()` is the identity. `hier` pool order *is*
+//! routing order (first matching leaf wins) and is preserved verbatim.
+//! The canonical string is also the serde representation
+//! ([`serde::Serialize`]/[`serde::Deserialize`] as a JSON string), which
+//! makes policy specs stable cache-key components that can travel in
+//! JSON requests.
 //!
 //! The `hier` grammar (weights, per-kind min/max shares, preemption
 //! timeouts in seconds, nested `{}` children) is documented in
@@ -65,7 +77,7 @@ pub use edf_index::{DeadlineIndex, EdfHeap, EdfKey};
 pub use fair::FairSharePolicy;
 pub use fifo::FifoPolicy;
 pub use hier::HierPolicy;
-pub use pool::{parse_pool_spec, pools_from_json, PoolSpec};
+pub use pool::{parse_pool_spec, pools_from_json, render_pool_specs, PoolSpec};
 
 use simmr_core::SchedulerPolicy;
 use std::fmt;
@@ -161,7 +173,14 @@ impl FromStr for PolicySpec {
             "capacity" => {
                 let queues = match params {
                     None => Vec::new(),
-                    Some(p) => parse_capacity_queues(p)?,
+                    Some(p) => {
+                        let mut queues = parse_capacity_queues(p)?;
+                        // canonical ordering: queue order carries no
+                        // semantics (routing is longest-prefix), so two
+                        // spellings of the same queue set parse equal
+                        queues.sort_by(|a, b| a.0.cmp(&b.0));
+                        queues
+                    }
                 };
                 return Ok(PolicySpec::Capacity { queues });
             }
@@ -190,6 +209,58 @@ impl FromStr for PolicySpec {
             });
         }
         Ok(spec)
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    /// Renders the canonical spec string: `spec.to_string().parse()` is
+    /// the identity, and any two specs that parse equal render equal.
+    /// Capacity queues appear in name order (the parse-time
+    /// normalization); hier pools in routing order via
+    /// [`pool::render_pool_specs`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicySpec::Fifo => f.write_str("fifo"),
+            PolicySpec::MaxEdf { preemptive: false } => f.write_str("maxedf"),
+            PolicySpec::MaxEdf { preemptive: true } => f.write_str("maxedf-p"),
+            PolicySpec::MinEdf { preemptive: false } => f.write_str("minedf"),
+            PolicySpec::MinEdf { preemptive: true } => f.write_str("minedf-p"),
+            PolicySpec::Fair => f.write_str("fair"),
+            PolicySpec::Capacity { queues } if queues.is_empty() => f.write_str("capacity"),
+            PolicySpec::Capacity { queues } => {
+                f.write_str("capacity:")?;
+                for (i, (name, weight)) in queues.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{name}={weight}")?;
+                }
+                Ok(())
+            }
+            PolicySpec::Hier { pools } if pools.is_empty() => f.write_str("hier"),
+            PolicySpec::Hier { pools } => {
+                write!(f, "hier:{}", pool::render_pool_specs(pools))
+            }
+        }
+    }
+}
+
+impl serde::Serialize for PolicySpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for PolicySpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => {
+                s.parse().map_err(|e: PolicyParseError| serde::DeError::new(e.to_string()))
+            }
+            other => {
+                Err(serde::DeError::new(format!("expected policy spec string, got {other:?}")))
+            }
+        }
     }
 }
 
@@ -279,18 +350,61 @@ mod tests {
     }
 
     #[test]
-    fn capacity_params_parse_in_order() {
+    fn capacity_params_normalize_to_name_order() {
         let spec: PolicySpec = "capacity:prod=3,adhoc=1.5".parse().unwrap();
         assert_eq!(
             spec,
-            PolicySpec::Capacity { queues: vec![("prod".into(), 3.0), ("adhoc".into(), 1.5)] }
+            PolicySpec::Capacity { queues: vec![("adhoc".into(), 1.5), ("prod".into(), 3.0)] }
         );
         assert_eq!(spec.build().name(), "capacity");
+        // the two orderings of the issue's example parse equal and render
+        // one canonical string
+        let a: PolicySpec = "capacity:adhoc=1,prod=3".parse().unwrap();
+        let b: PolicySpec = "capacity:prod=3,adhoc=1".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "capacity:adhoc=1,prod=3");
+        assert_eq!(b.to_string(), "capacity:adhoc=1,prod=3");
         // bare name: the two_tier default
         assert_eq!(
             "capacity".parse::<PolicySpec>().unwrap(),
             PolicySpec::Capacity { queues: vec![] }
         );
+    }
+
+    #[test]
+    fn display_round_trips_canonically() {
+        for spec in [
+            "fifo",
+            "maxedf",
+            "minedf",
+            "maxedf-p",
+            "minedf-p",
+            "fair",
+            "capacity",
+            "capacity:adhoc=1.5,prod=3",
+            "hier",
+            "hier:prod[w=3,min=4,timeout=30]{etl,serving},adhoc",
+            "hier:a[w=2,min=1,max=8,rmin=2,rmax=4,timeout=1.5]{b,c[w=0.5]},d",
+        ] {
+            let parsed: PolicySpec = spec.parse().unwrap();
+            assert_eq!(parsed.to_string(), spec, "canonical form should be stable");
+            let reparsed: PolicySpec = parsed.to_string().parse().unwrap();
+            assert_eq!(reparsed, parsed, "{spec}: display must invert parse");
+        }
+        // non-canonical inputs render the canonical spelling
+        let p: PolicySpec = "hier:adhoc[w=1],prod[w=1]".parse().unwrap();
+        assert_eq!(p.to_string(), "hier:adhoc,prod");
+    }
+
+    #[test]
+    fn policy_spec_serde_is_the_canonical_string() {
+        let spec: PolicySpec = "capacity:prod=3,adhoc=1".parse().unwrap();
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(json, "\"capacity:adhoc=1,prod=3\"");
+        let back: PolicySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert!(serde_json::from_str::<PolicySpec>("\"nope\"").is_err());
+        assert!(serde_json::from_str::<PolicySpec>("7").is_err());
     }
 
     #[test]

@@ -225,6 +225,68 @@ fn apply_attr(pool: &mut PoolSpec, key: &str, value: &str) -> Result<(), String>
     Ok(())
 }
 
+/// Renders a pool list back into the spec-string grammar, inverting
+/// [`parse_pool_spec`]: `parse_pool_spec(&render_pool_specs(&pools))`
+/// yields `pools` again. Attributes appear in the fixed order `w, min,
+/// max, rmin, rmax, timeout` (weight omitted at its default of 1), so
+/// the rendering is canonical: equal pool trees render equal strings.
+/// Pool order is preserved — for `hier` it is routing order and carries
+/// semantics.
+pub fn render_pool_specs(pools: &[PoolSpec]) -> String {
+    let mut out = String::new();
+    for (i, pool) in pools.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_pool(pool, &mut out);
+    }
+    out
+}
+
+fn render_pool(pool: &PoolSpec, out: &mut String) {
+    use std::fmt::Write;
+    out.push_str(&pool.name);
+    let mut attrs = String::new();
+    if pool.weight != 1.0 {
+        let _ = write!(attrs, "w={}", pool.weight);
+    }
+    for (key, value) in [
+        ("min", pool.min_maps),
+        ("max", pool.max_maps),
+        ("rmin", pool.min_reduces),
+        ("rmax", pool.max_reduces),
+    ] {
+        if let Some(n) = value {
+            if !attrs.is_empty() {
+                attrs.push(',');
+            }
+            let _ = write!(attrs, "{key}={n}");
+        }
+    }
+    if let Some(ms) = pool.preemption_timeout {
+        if !attrs.is_empty() {
+            attrs.push(',');
+        }
+        // the grammar takes (possibly fractional) seconds
+        let _ = write!(attrs, "timeout={}", ms as f64 / 1000.0);
+    }
+    if !attrs.is_empty() {
+        out.push('[');
+        out.push_str(&attrs);
+        out.push(']');
+    }
+    if !pool.children.is_empty() {
+        out.push('{');
+        for (i, child) in pool.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_pool(child, out);
+        }
+        out.push('}');
+    }
+}
+
 /// Structural validation shared by the spec-string and JSON loaders.
 pub fn validate_pools(pools: &[PoolSpec]) -> Result<(), String> {
     if pools.is_empty() {

@@ -1,0 +1,753 @@
+//! The request-scoped engine facade: [`ScenarioSpec`] in,
+//! [`simmr_types::SimulationReport`] out.
+//!
+//! A scenario is *everything* a simulation run depends on, as one plain
+//! serializable value — where the CLI used to thread a dozen
+//! `EngineConfig` builder calls per call site. The facade resolves the
+//! scenario's [`TraceRef`] (against a [`TraceDatabase`] when one is
+//! configured), stamps deadlines when asked, builds the policy and the
+//! engine config, and runs. Because the engine is deterministic, the
+//! normalized spec plus the trace's content digest — the
+//! [`ScenarioSpec::canonical_key`] — fully determines the report byte
+//! for byte, which is what makes the serve layer's memo cache sound.
+
+use simmr_core::{EngineConfig, FaultSpec, JobSource, RecoverySpec, SimulatorEngine};
+use simmr_sched::PolicySpec;
+use simmr_stats::parallel_sweep;
+use simmr_stats::{Dist, SeededRng};
+use simmr_trace::{digest_trace, BinTraceSource, TraceDatabase, TraceDigest};
+use simmr_types::{ClusterSpec, JobSpec, SimTime, SimulationReport, WorkloadTrace};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which trace a scenario runs: a reference the facade resolves.
+///
+/// Serialized as an object with exactly one key — `{"name": N}`,
+/// `{"digest": D}`, `{"path": P}` or `{"inline": TRACE}` — or, as a
+/// shorthand, a bare string meaning a database name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRef {
+    /// A named entry in the configured trace database.
+    Name(String),
+    /// Whatever database entry has this content digest.
+    Digest(TraceDigest),
+    /// A trace file on the server's filesystem (JSON or SIMMRBIN).
+    Path(String),
+    /// The trace itself, shipped in the request.
+    Inline(WorkloadTrace),
+}
+
+impl serde::Serialize for TraceRef {
+    fn to_value(&self) -> serde::Value {
+        let (key, v) = match self {
+            TraceRef::Name(n) => ("name", serde::Value::Str(n.clone())),
+            TraceRef::Digest(d) => ("digest", serde::Value::Str(d.to_string())),
+            TraceRef::Path(p) => ("path", serde::Value::Str(p.clone())),
+            TraceRef::Inline(t) => ("inline", t.to_value()),
+        };
+        serde::Value::Object(vec![(key.to_owned(), v)])
+    }
+}
+
+impl serde::Deserialize for TraceRef {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(name) => Ok(TraceRef::Name(name.clone())),
+            serde::Value::Object(pairs) => {
+                if pairs.len() != 1 {
+                    return Err(serde::DeError::new(
+                        "trace ref must have exactly one of `name`, `digest`, `path`, `inline`",
+                    ));
+                }
+                let (key, val) = &pairs[0];
+                match key.as_str() {
+                    "name" => String::from_value(val).map(TraceRef::Name),
+                    "digest" => TraceDigest::from_value(val).map(TraceRef::Digest),
+                    "path" => String::from_value(val).map(TraceRef::Path),
+                    "inline" => WorkloadTrace::from_value(val).map(TraceRef::Inline),
+                    other => Err(serde::DeError::new(format!("unknown trace ref kind `{other}`"))),
+                }
+            }
+            other => Err(serde::DeError::new(format!(
+                "expected trace ref object or name string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The complete, serializable description of one simulation run.
+///
+/// Construct with [`ScenarioSpec::new`] (which fills the CLI's defaults)
+/// and set the public fields, or deserialize from a request body — only
+/// `trace` and `policy` are required there; every other field defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The trace to replay.
+    pub trace: TraceRef,
+    /// The scheduling policy (canonical string form over the wire).
+    pub policy: PolicySpec,
+    /// Cluster shape: slot pools and the host count they stripe over.
+    pub cluster: ClusterSpec,
+    /// Seed shared by the deadline, fault, recovery and slowdown streams
+    /// (mirroring the CLI's single `--seed`).
+    pub seed: u64,
+    /// Stamp §V-B deadlines: uniform in `[T_j, factor × T_j]` past each
+    /// arrival, where `T_j` is the job's standalone duration.
+    pub deadline_factor: Option<f64>,
+    /// Number of planned fail-stop host losses; needs `cluster.hosts ≥ 2`.
+    pub failures: Option<u32>,
+    /// Mean inter-failure interval in seconds (used only with `failures`).
+    pub failure_mtbf_s: f64,
+    /// Mean host downtime in seconds; failures are permanent when absent.
+    pub failure_recovery_s: Option<f64>,
+    /// Speculative re-execution threshold (× median map duration).
+    pub speculation: Option<f64>,
+    /// Per-slot mean-1 LogNormal slowdown with this sigma.
+    pub slowdown_sigma: Option<f64>,
+    /// Slowstart override (fraction of maps before reduces start);
+    /// `None` keeps the engine default.
+    pub slowstart: Option<f64>,
+    /// Skip per-job results (aggregate-only report).
+    pub aggregate: bool,
+    /// Record the per-task timeline in the report.
+    pub timeline: bool,
+    /// Run the engine's runtime invariant checker.
+    pub check_invariants: bool,
+}
+
+impl ScenarioSpec {
+    /// A scenario with the CLI's defaults: 64×64 single-host cluster,
+    /// seed 1, no deadlines, failures, speculation or slowdown.
+    pub fn new(trace: TraceRef, policy: PolicySpec) -> Self {
+        ScenarioSpec {
+            trace,
+            policy,
+            cluster: ClusterSpec::new(64, 64),
+            seed: 1,
+            deadline_factor: None,
+            failures: None,
+            failure_mtbf_s: 3600.0,
+            failure_recovery_s: None,
+            speculation: None,
+            slowdown_sigma: None,
+            slowstart: None,
+            aggregate: false,
+            timeline: false,
+            check_invariants: false,
+        }
+    }
+
+    /// Rewrites the spec to its canonical form: every knob clamped the
+    /// way the engine would clamp it, parameters that cannot affect the
+    /// run reset to defaults, capacity queues in name order. Equivalent
+    /// specs normalize identically, so they share a cache key.
+    pub fn normalize(&mut self) {
+        self.cluster.hosts = self.cluster.hosts.max(1);
+        if let PolicySpec::Capacity { queues } = &mut self.policy {
+            // FromStr already sorts; programmatic construction may not
+            queues.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        if self.failures.is_none() {
+            // without failures the MTBF and recovery knobs are inert
+            self.failure_mtbf_s = 3600.0;
+            self.failure_recovery_s = None;
+        }
+        if let Some(df) = &mut self.deadline_factor {
+            // attach_deadlines draws from [T_j, max(1, factor) × T_j]
+            *df = df.max(1.0);
+        }
+        if let Some(f) = &mut self.speculation {
+            // the engine clamps to ≥ 1 (duplicating non-stragglers is senseless)
+            *f = f.max(1.0);
+        }
+        if let Some(s) = &mut self.slowstart {
+            *s = s.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Rejects inconsistent specs with the CLI's rules.
+    pub fn validate(&self) -> Result<(), FacadeError> {
+        let bad = |msg: &str| Err(FacadeError::BadSpec(msg.into()));
+        if self.failures.is_some() {
+            if self.cluster.hosts < 2 {
+                return bad("failures need a cluster of at least 2 hosts (host 0 never fails)");
+            }
+            if !(self.failure_mtbf_s.is_finite() && self.failure_mtbf_s > 0.0) {
+                return bad("failure_mtbf_s must be positive");
+            }
+        }
+        if let Some(rec) = self.failure_recovery_s {
+            if self.failures.is_none() {
+                return bad("failure_recovery_s needs failures");
+            }
+            if !(rec.is_finite() && rec > 0.0) {
+                return bad("failure_recovery_s must be positive");
+            }
+        }
+        if let Some(sigma) = self.slowdown_sigma {
+            if !(sigma.is_finite() && sigma > 0.0) {
+                return bad("slowdown_sigma must be positive");
+            }
+        }
+        if let Some(df) = self.deadline_factor {
+            if !df.is_finite() {
+                return bad("deadline_factor must be finite");
+            }
+        }
+        Ok(())
+    }
+
+    /// The scenario's cache identity: compact JSON of the normalized
+    /// spec with the trace reference replaced by the resolved content
+    /// `digest`. Two specs with equal keys produce byte-identical
+    /// reports (the engine is deterministic in everything the key pins).
+    pub fn canonical_key(&self, digest: TraceDigest) -> String {
+        let mut spec = self.clone();
+        spec.normalize();
+        let mut v = serde::Serialize::to_value(&spec);
+        if let serde::Value::Object(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "trace" {
+                    *val = serde::Value::Object(vec![(
+                        "digest".to_owned(),
+                        serde::Value::Str(digest.to_string()),
+                    )]);
+                }
+            }
+        }
+        serde_json::to_string(&v).expect("value serialization is infallible")
+    }
+
+    /// The engine configuration this spec describes (trace-independent).
+    fn engine_config(&self) -> EngineConfig {
+        let mut config = EngineConfig::new(self.cluster.map_slots, self.cluster.reduce_slots)
+            .with_cluster(self.cluster);
+        if self.aggregate {
+            config = config.without_job_results();
+        }
+        if self.timeline {
+            config = config.with_timeline();
+        }
+        if self.check_invariants {
+            config = config.with_invariants();
+        }
+        if let Some(count) = self.failures {
+            config = config.with_faults(FaultSpec {
+                seed: self.seed,
+                count,
+                mean_interval_ms: (self.failure_mtbf_s * 1000.0) as u64,
+            });
+        }
+        if let Some(rec_s) = self.failure_recovery_s {
+            config = config
+                .with_recovery(RecoverySpec { seed: self.seed, mean_ms: (rec_s * 1000.0) as u64 });
+        }
+        if let Some(factor) = self.speculation {
+            config = config.with_speculation(factor);
+        }
+        if let Some(sigma) = self.slowdown_sigma {
+            // mean-1 LogNormal: perturbs without shifting the average
+            let dist = Dist::LogNormal { mu: -sigma * sigma / 2.0, sigma };
+            config = config.with_slowdown(dist, self.seed);
+        }
+        if let Some(fraction) = self.slowstart {
+            config = config.with_slowstart(fraction);
+        }
+        config
+    }
+}
+
+impl serde::Serialize for ScenarioSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("trace".to_owned(), self.trace.to_value()),
+            ("policy".to_owned(), self.policy.to_value()),
+            ("cluster".to_owned(), self.cluster.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("deadline_factor".to_owned(), self.deadline_factor.to_value()),
+            ("failures".to_owned(), self.failures.to_value()),
+            ("failure_mtbf_s".to_owned(), self.failure_mtbf_s.to_value()),
+            ("failure_recovery_s".to_owned(), self.failure_recovery_s.to_value()),
+            ("speculation".to_owned(), self.speculation.to_value()),
+            ("slowdown_sigma".to_owned(), self.slowdown_sigma.to_value()),
+            ("slowstart".to_owned(), self.slowstart.to_value()),
+            ("aggregate".to_owned(), self.aggregate.to_value()),
+            ("timeline".to_owned(), self.timeline.to_value()),
+            ("check_invariants".to_owned(), self.check_invariants.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for ScenarioSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::DeError::new("expected object for ScenarioSpec"));
+        }
+        fn field<T: serde::Deserialize>(v: &serde::Value, name: &str) -> Result<T, serde::DeError> {
+            match v.get(name) {
+                Some(fv) => T::from_value(fv)
+                    .map_err(|e| serde::DeError::new(format!("ScenarioSpec.{name}: {e}"))),
+                None => T::from_missing(name),
+            }
+        }
+        fn field_or<T: serde::Deserialize>(
+            v: &serde::Value,
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::DeError> {
+            match v.get(name) {
+                Some(serde::Value::Null) | None => Ok(default),
+                Some(fv) => T::from_value(fv)
+                    .map_err(|e| serde::DeError::new(format!("ScenarioSpec.{name}: {e}"))),
+            }
+        }
+        let defaults = ScenarioSpec::new(TraceRef::Name(String::new()), PolicySpec::Fifo);
+        Ok(ScenarioSpec {
+            trace: field(v, "trace")?,
+            policy: field(v, "policy")?,
+            cluster: field_or(v, "cluster", defaults.cluster)?,
+            seed: field_or(v, "seed", defaults.seed)?,
+            deadline_factor: field(v, "deadline_factor")?,
+            failures: field(v, "failures")?,
+            failure_mtbf_s: field_or(v, "failure_mtbf_s", defaults.failure_mtbf_s)?,
+            failure_recovery_s: field(v, "failure_recovery_s")?,
+            speculation: field(v, "speculation")?,
+            slowdown_sigma: field(v, "slowdown_sigma")?,
+            slowstart: field(v, "slowstart")?,
+            aggregate: field_or(v, "aggregate", false)?,
+            timeline: field_or(v, "timeline", false)?,
+            check_invariants: field_or(v, "check_invariants", false)?,
+        })
+    }
+}
+
+/// Why the facade rejected or failed a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FacadeError {
+    /// The spec itself is malformed or inconsistent.
+    BadSpec(String),
+    /// The trace reference could not be resolved or loaded.
+    Trace(String),
+}
+
+impl FacadeError {
+    /// The bare message, without the kind prefix [`fmt::Display`] adds —
+    /// what the CLI surfaces, matching its pre-facade error strings.
+    pub fn message(&self) -> &str {
+        match self {
+            FacadeError::BadSpec(msg) | FacadeError::Trace(msg) => msg,
+        }
+    }
+}
+
+impl fmt::Display for FacadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FacadeError::BadSpec(msg) => write!(f, "bad scenario: {msg}"),
+            FacadeError::Trace(msg) => write!(f, "trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FacadeError {}
+
+/// A scenario after trace resolution: normalized spec, the materialized
+/// (and deadline-stamped, when asked) trace, its content digest and the
+/// canonical cache key. Ready to run on any thread.
+#[derive(Debug, Clone)]
+pub struct ResolvedScenario {
+    /// The normalized spec.
+    pub spec: ScenarioSpec,
+    /// The trace the engine will replay (deadlines already attached).
+    pub trace: Arc<WorkloadTrace>,
+    /// Content digest of the *stored* trace (pre-deadline-stamping, the
+    /// same digest `trace list` prints).
+    pub digest: TraceDigest,
+    /// The scenario's canonical cache key.
+    pub key: String,
+}
+
+impl ResolvedScenario {
+    /// Runs the scenario. Deterministic: equal `key` ⇒ byte-identical
+    /// report.
+    pub fn run(&self) -> FacadeRun {
+        let report =
+            SimulatorEngine::new(self.spec.engine_config(), &self.trace, self.spec.policy.build())
+                .run();
+        FacadeRun {
+            jobs: report.jobs.len(),
+            report,
+            digest: Some(self.digest),
+            key: Some(self.key.clone()),
+            streamed: false,
+        }
+    }
+}
+
+/// The outcome of one facade run.
+#[derive(Debug, Clone)]
+pub struct FacadeRun {
+    /// The engine's report.
+    pub report: SimulationReport,
+    /// Jobs replayed. For streamed runs this is the source's job count
+    /// (the report's `jobs` vector may be empty under `aggregate`).
+    pub jobs: usize,
+    /// Content digest of the resolved trace; `None` for streamed binary
+    /// files (digesting would defeat the O(active jobs) memory bound).
+    pub digest: Option<TraceDigest>,
+    /// Canonical cache key; `None` exactly when `digest` is.
+    pub key: Option<String>,
+    /// Whether the trace streamed through the engine unmaterialized.
+    pub streamed: bool,
+}
+
+/// Loads and validates a trace file, sniffing JSON vs SIMMRBIN by magic.
+pub fn load_trace_file(path: &str) -> Result<WorkloadTrace, FacadeError> {
+    let err = |msg: String| FacadeError::Trace(msg);
+    let bytes = std::fs::read(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    let trace: WorkloadTrace = if simmr_trace::is_binary_trace(&bytes) {
+        simmr_trace::decode_trace(&bytes)
+            .map_err(|e| err(format!("`{path}` is not a valid binary trace: {e}")))?
+    } else {
+        let text =
+            std::str::from_utf8(&bytes).map_err(|_| err(format!("`{path}` is not a trace")))?;
+        serde_json::from_str(text).map_err(|e| err(format!("`{path}` is not a trace: {e}")))?
+    };
+    trace.validate().map_err(|e| err(format!("`{path}` contains an invalid job: {e}")))?;
+    Ok(trace)
+}
+
+/// Attaches §V-B-style deadlines to every job of a trace: each job's
+/// relative deadline is uniform in `[T_j, max(1, factor) × T_j]`, where
+/// `T_j` is its standalone FIFO duration on the given slot pools.
+pub fn attach_deadlines(
+    trace: &mut WorkloadTrace,
+    factor: f64,
+    map_slots: usize,
+    reduce_slots: usize,
+    seed: u64,
+) {
+    let mut rng = SeededRng::new(seed);
+    for job in trace.jobs.iter_mut() {
+        let mut single = WorkloadTrace::new("standalone", "cli");
+        single.push(JobSpec::new(job.template.clone(), SimTime::ZERO));
+        let report = SimulatorEngine::new(
+            EngineConfig::new(map_slots, reduce_slots),
+            &single,
+            PolicySpec::Fifo.build(),
+        )
+        .run();
+        let t_j = report.jobs[0].duration() as f64;
+        let rel = rng.uniform(t_j, factor.max(1.0) * t_j);
+        job.deadline = Some(job.arrival + rel as u64);
+    }
+}
+
+/// The request-scoped engine facade: resolves [`ScenarioSpec`]s and runs
+/// them. Holds no mutable state — an optional trace database handle is
+/// all there is — so one facade serves any number of threads.
+pub struct SimFacade {
+    db: Option<TraceDatabase>,
+}
+
+impl SimFacade {
+    /// A facade without a trace database: only `path` and `inline` trace
+    /// refs resolve.
+    pub fn new() -> Self {
+        SimFacade { db: None }
+    }
+
+    /// A facade over the trace database at `dir` (created if absent).
+    pub fn with_db(dir: impl AsRef<std::path::Path>) -> Result<Self, FacadeError> {
+        let db = TraceDatabase::open(dir).map_err(|e| FacadeError::Trace(e.to_string()))?;
+        Ok(SimFacade { db: Some(db) })
+    }
+
+    /// The underlying trace database, when configured.
+    pub fn db(&self) -> Option<&TraceDatabase> {
+        self.db.as_ref()
+    }
+
+    /// Resolves one scenario: normalizes and validates the spec,
+    /// materializes the trace, stamps deadlines, computes digest and key.
+    pub fn resolve(&self, spec: &ScenarioSpec) -> Result<ResolvedScenario, FacadeError> {
+        self.resolve_many(std::slice::from_ref(spec)).pop().expect("one spec in, one result out")
+    }
+
+    /// Resolves a batch, loading and deadline-stamping each distinct
+    /// trace exactly once however many scenarios share it. Per-scenario
+    /// results: one bad spec does not fail its neighbours.
+    pub fn resolve_many(
+        &self,
+        specs: &[ScenarioSpec],
+    ) -> Vec<Result<ResolvedScenario, FacadeError>> {
+        // materialized base traces by trace-ref identity, then
+        // deadline-stamped variants by (ref, factor, slots, seed)
+        let mut loaded: HashMap<String, Result<(Arc<WorkloadTrace>, TraceDigest), FacadeError>> =
+            HashMap::new();
+        let mut stamped: HashMap<String, Arc<WorkloadTrace>> = HashMap::new();
+        specs
+            .iter()
+            .map(|spec| {
+                let mut spec = spec.clone();
+                spec.normalize();
+                spec.validate()?;
+                let ident = self.ref_ident(&spec.trace)?;
+                let (base, digest) = loaded
+                    .entry(ident.clone())
+                    .or_insert_with(|| self.materialize(&spec.trace))
+                    .clone()?;
+                let trace = match spec.deadline_factor {
+                    None => base,
+                    Some(df) => {
+                        let stamp_key = format!(
+                            "{ident}|df={df}|m={}|r={}|s={}",
+                            spec.cluster.map_slots, spec.cluster.reduce_slots, spec.seed
+                        );
+                        stamped
+                            .entry(stamp_key)
+                            .or_insert_with(|| {
+                                let mut t = (*base).clone();
+                                attach_deadlines(
+                                    &mut t,
+                                    df,
+                                    spec.cluster.map_slots,
+                                    spec.cluster.reduce_slots,
+                                    spec.seed,
+                                );
+                                Arc::new(t)
+                            })
+                            .clone()
+                    }
+                };
+                let key = spec.canonical_key(digest);
+                Ok(ResolvedScenario { spec, trace, digest, key })
+            })
+            .collect()
+    }
+
+    /// Runs one scenario.
+    ///
+    /// Binary trace files referenced by `path` (without deadline
+    /// stamping) keep the CLI's streaming path: the engine pulls jobs
+    /// from the file one arrival at a time and the run yields no digest
+    /// or cache key.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<FacadeRun, FacadeError> {
+        if let TraceRef::Path(path) = &spec.trace {
+            if spec.deadline_factor.is_none() && file_is_binary_trace(path) {
+                let mut spec = spec.clone();
+                spec.normalize();
+                spec.validate()?;
+                let source = BinTraceSource::open(path)
+                    .map_err(|e| FacadeError::Trace(format!("`{path}`: {e}")))?;
+                let jobs = source.job_count();
+                let report = SimulatorEngine::from_source(
+                    spec.engine_config(),
+                    Box::new(source),
+                    spec.policy.build(),
+                )
+                .try_run()
+                .map_err(|e| FacadeError::Trace(e.to_string()))?;
+                return Ok(FacadeRun { report, jobs, digest: None, key: None, streamed: true });
+            }
+        }
+        Ok(self.resolve(spec)?.run())
+    }
+
+    /// Runs a batch of scenarios across all cores with one
+    /// [`parallel_sweep`] after batched resolution. Results stay in
+    /// request order; each scenario fails independently.
+    pub fn run_batch(&self, specs: &[ScenarioSpec]) -> Vec<Result<FacadeRun, FacadeError>> {
+        let resolved = self.resolve_many(specs);
+        let runnable: Vec<&ResolvedScenario> =
+            resolved.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let mut runs = parallel_sweep(runnable.len(), |i| runnable[i].run()).into_iter();
+        resolved
+            .iter()
+            .map(|r| match r {
+                Ok(_) => Ok(runs.next().expect("one run per resolved scenario")),
+                Err(e) => Err(e.clone()),
+            })
+            .collect()
+    }
+
+    /// A stable identity for memoizing trace loads within one batch.
+    fn ref_ident(&self, r: &TraceRef) -> Result<String, FacadeError> {
+        Ok(match r {
+            TraceRef::Name(n) => format!("name:{n}"),
+            TraceRef::Digest(d) => format!("digest:{d}"),
+            TraceRef::Path(p) => format!("path:{p}"),
+            TraceRef::Inline(t) => format!(
+                "inline:{}",
+                digest_trace(t).map_err(|e| FacadeError::Trace(e.to_string()))?
+            ),
+        })
+    }
+
+    /// Materializes a trace reference into a validated trace + digest.
+    fn materialize(&self, r: &TraceRef) -> Result<(Arc<WorkloadTrace>, TraceDigest), FacadeError> {
+        let trace = match r {
+            TraceRef::Name(name) => {
+                self.require_db()?.load(name).map_err(|e| FacadeError::Trace(e.to_string()))?
+            }
+            TraceRef::Digest(digest) => {
+                let db = self.require_db()?;
+                let name = db
+                    .find_by_digest(*digest)
+                    .map_err(|e| FacadeError::Trace(e.to_string()))?
+                    .ok_or_else(|| {
+                        FacadeError::Trace(format!("no stored trace has digest {digest}"))
+                    })?;
+                db.load(&name).map_err(|e| FacadeError::Trace(e.to_string()))?
+            }
+            TraceRef::Path(path) => load_trace_file(path)?,
+            TraceRef::Inline(trace) => {
+                trace.validate().map_err(|e| {
+                    FacadeError::Trace(format!("inline trace has an invalid job: {e}"))
+                })?;
+                trace.clone()
+            }
+        };
+        let digest = digest_trace(&trace).map_err(|e| FacadeError::Trace(e.to_string()))?;
+        Ok((Arc::new(trace), digest))
+    }
+
+    fn require_db(&self) -> Result<&TraceDatabase, FacadeError> {
+        self.db.as_ref().ok_or_else(|| {
+            FacadeError::Trace("named trace refs need a trace database (serve --db DIR)".into())
+        })
+    }
+}
+
+impl Default for SimFacade {
+    fn default() -> Self {
+        SimFacade::new()
+    }
+}
+
+/// Sniffs whether the file at `path` starts with the SIMMRBIN magic.
+fn file_is_binary_trace(path: &str) -> bool {
+    use std::io::Read;
+    let Ok(mut file) = std::fs::File::open(path) else { return false };
+    let mut magic = [0u8; 8];
+    let mut filled = 0;
+    while filled < magic.len() {
+        match file.read(&mut magic[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(_) => return false,
+        }
+    }
+    simmr_trace::is_binary_trace(&magic[..filled])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmr_types::JobTemplate;
+
+    fn tiny_trace() -> WorkloadTrace {
+        let mut t = WorkloadTrace::new("facade test", "unit");
+        for (name, arrival) in [("prod-a", 0u64), ("adhoc-b", 1_000)] {
+            t.push(JobSpec::new(
+                JobTemplate::new(name, vec![500, 700], vec![300], vec![250], vec![200]).unwrap(),
+                SimTime::from_millis(arrival),
+            ));
+        }
+        t
+    }
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::new(TraceRef::Inline(tiny_trace()), PolicySpec::Fifo)
+    }
+
+    #[test]
+    fn spec_serde_round_trip_with_defaults() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // minimal request: only trace and policy
+        let minimal: ScenarioSpec =
+            serde_json::from_str(r#"{"trace": "nightly", "policy": "maxedf"}"#).unwrap();
+        assert_eq!(minimal.trace, TraceRef::Name("nightly".into()));
+        assert_eq!(minimal.policy.to_string(), "maxedf");
+        assert_eq!(minimal.cluster, ClusterSpec::new(64, 64));
+        assert_eq!(minimal.seed, 1);
+        assert!(!minimal.aggregate);
+    }
+
+    #[test]
+    fn canonical_key_unifies_equivalent_specs() {
+        let digest = digest_trace(&tiny_trace()).unwrap();
+        let mut a = spec();
+        a.policy = "capacity:prod=3,adhoc=1".parse().unwrap();
+        let mut b = spec();
+        b.policy = "capacity:adhoc=1,prod=3".parse().unwrap();
+        // knob clamping also normalizes into the key
+        a.speculation = Some(0.5);
+        b.speculation = Some(1.0);
+        assert_eq!(a.canonical_key(digest), b.canonical_key(digest));
+        // ...but a real difference separates keys
+        b.seed = 2;
+        assert_ne!(a.canonical_key(digest), b.canonical_key(digest));
+    }
+
+    #[test]
+    fn key_is_trace_ref_spelling_independent() {
+        let digest = digest_trace(&tiny_trace()).unwrap();
+        let inline = spec();
+        let named = ScenarioSpec::new(TraceRef::Name("whatever".into()), PolicySpec::Fifo);
+        assert_eq!(inline.canonical_key(digest), named.canonical_key(digest));
+    }
+
+    #[test]
+    fn validation_mirrors_the_cli() {
+        let mut s = spec();
+        s.failures = Some(1);
+        assert!(matches!(s.validate(), Err(FacadeError::BadSpec(_))));
+        s.cluster = s.cluster.with_hosts(4);
+        assert!(s.validate().is_ok());
+        s.failure_recovery_s = Some(-1.0);
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.failure_recovery_s = Some(30.0);
+        assert!(s.validate().is_err(), "recovery without failures");
+    }
+
+    #[test]
+    fn run_and_batch_agree() {
+        let facade = SimFacade::new();
+        let one = facade.run(&spec()).unwrap();
+        assert!(!one.streamed);
+        assert_eq!(one.report.jobs.len(), 2);
+        let batch = facade.run_batch(&[spec(), spec()]);
+        let reports: Vec<_> = batch.into_iter().map(|r| r.unwrap().report).collect();
+        assert_eq!(reports[0], one.report);
+        assert_eq!(reports[1], one.report);
+    }
+
+    #[test]
+    fn batch_failures_are_per_scenario() {
+        let facade = SimFacade::new();
+        let bad = ScenarioSpec::new(TraceRef::Name("nope".into()), PolicySpec::Fifo);
+        let out = facade.run_batch(&[spec(), bad]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(FacadeError::Trace(_))));
+    }
+
+    #[test]
+    fn deadline_stamping_matches_manual_attachment() {
+        let mut manual = tiny_trace();
+        attach_deadlines(&mut manual, 2.0, 64, 64, 7);
+        let mut s = spec();
+        s.deadline_factor = Some(2.0);
+        s.seed = 7;
+        let resolved = SimFacade::new().resolve(&s).unwrap();
+        assert_eq!(resolved.trace.jobs[0].deadline, manual.jobs[0].deadline);
+        assert_eq!(resolved.trace.jobs[1].deadline, manual.jobs[1].deadline);
+        // the digest is of the stored trace, not the stamped one
+        assert_eq!(resolved.digest, digest_trace(&tiny_trace()).unwrap());
+    }
+}

@@ -1,0 +1,331 @@
+//! A deliberately small HTTP/1.1 layer for `simmr serve`.
+//!
+//! The build environment vendors every dependency, so rather than gate
+//! the server behind a missing hyper/axum stack this module implements
+//! the sliver of HTTP the service needs: parse one request (line +
+//! headers + `Content-Length` body), write one response, optionally as
+//! a chunked transfer for streaming sweep results. Connections are
+//! `Connection: close` — one request each — which keeps the server loop
+//! trivial and is plenty for a what-if query service.
+//!
+//! Out of scope on purpose: percent-decoding (paths and query values are
+//! matched literally), request pipelining, chunked *request* bodies,
+//! TLS.
+
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Largest accepted request body (inline traces can be sizeable).
+pub const MAX_BODY: usize = 64 << 20;
+/// Largest accepted request/header line.
+const MAX_LINE: usize = 16 << 10;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The bytes were not the HTTP this module speaks.
+    Malformed(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> HttpError {
+    HttpError::Malformed(msg.into())
+}
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path, query string stripped.
+    pub path: String,
+    /// Query parameters in order; flags without `=` get an empty value.
+    pub query: Vec<(String, String)>,
+    /// Headers in order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads one request. `Ok(None)` means the peer closed the
+    /// connection before sending a request line (a clean no-op, e.g.
+    /// the server's own shutdown wake-up connection).
+    pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+        let Some(line) = read_line(reader)? else { return Ok(None) };
+        let mut parts = line.split_whitespace();
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) => (m, t, v),
+                _ => return Err(malformed(format!("bad request line {line:?}"))),
+            };
+        if !version.starts_with("HTTP/1.") {
+            return Err(malformed(format!("unsupported version {version:?}")));
+        }
+        let (path, query) = parse_target(target);
+
+        let mut headers = Vec::new();
+        loop {
+            let line =
+                read_line(reader)?.ok_or_else(|| malformed("connection closed inside headers"))?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= MAX_HEADERS {
+                return Err(malformed("too many headers"));
+            }
+            let (name, value) =
+                line.split_once(':').ok_or_else(|| malformed(format!("bad header {line:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+
+        let mut request =
+            Request { method: method.to_ascii_uppercase(), path, query, headers, body: Vec::new() };
+        if request.header("transfer-encoding").is_some() {
+            return Err(malformed("chunked request bodies are not supported"));
+        }
+        if let Some(len) = request.header("content-length") {
+            let len: usize =
+                len.parse().map_err(|_| malformed(format!("bad content-length {len:?}")))?;
+            if len > MAX_BODY {
+                return Err(malformed(format!("body of {len} bytes exceeds {MAX_BODY}")));
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            request.body = body;
+        }
+        Ok(Some(request))
+    }
+
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with this name.
+    pub fn query(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| malformed("body is not UTF-8"))
+    }
+}
+
+/// Splits a request target into path and parsed query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_owned(), v.to_owned()),
+            None => (pair.to_owned(), String::new()),
+        })
+        .collect();
+    (path.to_owned(), query)
+}
+
+/// Reads one CRLF- (or LF-) terminated line; `None` on immediate EOF.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        let n = match reader.read(&mut byte) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        };
+        if n == 0 {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(malformed("connection closed mid-line"))
+            };
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let text =
+                String::from_utf8(line).map_err(|_| malformed("request line is not UTF-8"))?;
+            return Ok(Some(text));
+        }
+        if line.len() >= MAX_LINE {
+            return Err(malformed("request line too long"));
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// One HTTP response, written in full.
+#[derive(Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Extra headers (content type, length and connection are added on
+    /// write).
+    pub headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, headers: Vec::new(), body: body.into() }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Writes status line, headers and body.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        write!(w, "content-type: application/json\r\n")?;
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(w, "connection: close\r\n")?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// A chunked `application/x-ndjson` response: the head goes out
+/// immediately, then one chunk per [`ChunkedWriter::line`], so sweep
+/// clients see each scenario's report the moment it completes.
+pub struct ChunkedWriter<'w, W: Write> {
+    w: &'w mut W,
+}
+
+impl<'w, W: Write> ChunkedWriter<'w, W> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn start(w: &'w mut W, status: u16, headers: &[(String, String)]) -> std::io::Result<Self> {
+        write!(w, "HTTP/1.1 {} {}\r\n", status, reason(status))?;
+        write!(w, "content-type: application/x-ndjson\r\n")?;
+        write!(w, "transfer-encoding: chunked\r\n")?;
+        write!(w, "connection: close\r\n")?;
+        for (name, value) in headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Sends one NDJSON line as its own flushed chunk.
+    pub fn line(&mut self, json: &str) -> std::io::Result<()> {
+        write!(self.w, "{:x}\r\n", json.len() + 1)?;
+        self.w.write_all(json.as_bytes())?;
+        self.w.write_all(b"\n\r\n")?;
+        self.w.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// The reason phrases the server actually emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        Request::read_from(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/run?stream=1&x=2 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody";
+        let r = parse(raw).unwrap().unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/v1/run");
+        assert_eq!(r.query("stream"), Some("1"));
+        assert_eq!(r.query("x"), Some("2"));
+        assert_eq!(r.header("host"), Some("h"));
+        assert_eq!(r.body_str().unwrap(), "body");
+    }
+
+    #[test]
+    fn eof_before_request_is_a_clean_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(parse(b"nonsense\r\n\r\n").is_err());
+        assert!(parse(b"GET / SPDY/9\r\n\r\n").is_err());
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(parse(huge.as_bytes()).is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{}").with_header("x-simmr-cache", "hit").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("x-simmr-cache: hit\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn chunked_wire_format() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::start(&mut out, 200, &[]).unwrap();
+        w.line("{\"a\":1}").unwrap();
+        w.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

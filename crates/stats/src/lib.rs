@@ -17,13 +17,16 @@
 //! All of these live here, self-contained on top of `rand`: samplers
 //! ([`dist`]), empirical CDFs ([`cdf`]), histogram-based symmetric KL
 //! ([`kl`]), K-S statistics ([`ks`]), maximum-likelihood/method-of-moments
-//! fitting ([`fit`]), and scalar summaries ([`summary`]).
+//! fitting ([`fit`]), and scalar summaries ([`summary`]). The
+//! scoped-thread sweep fan-out ([`par`]) also lives here so both the
+//! experiment harness and the serve layer can share it.
 
 pub mod cdf;
 pub mod dist;
 pub mod fit;
 pub mod kl;
 pub mod ks;
+pub mod par;
 pub mod rng;
 pub mod summary;
 
@@ -32,5 +35,6 @@ pub use dist::{Dist, Distribution};
 pub use fit::{fit_best, fit_exponential, fit_lognormal, fit_normal, FitReport};
 pub use kl::{symmetric_kl, KlOptions};
 pub use ks::{ks_two_sample, ks_vs_dist};
+pub use par::{parallel_mean, parallel_sweep};
 pub use rng::SeededRng;
 pub use summary::{percentile, Summary};

@@ -1,10 +1,13 @@
-//! Thread fan-out for embarrassingly parallel experiment sweeps.
+//! Thread fan-out for embarrassingly parallel sweeps.
 //!
-//! Every figure harness repeats a simulation hundreds of times with
-//! different seeds and aggregates the results. [`parallel_sweep`] is the
-//! one shared implementation of that pattern (it used to be hand-rolled
-//! per binary): repetitions are split into contiguous chunks, one per
-//! available core, and executed on scoped threads.
+//! The figure harnesses repeat a simulation hundreds of times with
+//! different seeds, and the serve layer fans batched scenario queries out
+//! over all cores. [`parallel_sweep`] is the one shared implementation of
+//! that pattern (it used to be hand-rolled per binary): repetitions are
+//! split into contiguous chunks, one per available core, and executed on
+//! scoped threads. It lives here, below both `simmr-bench` and
+//! `simmr-serve`, so either side can use it without depending on the
+//! other.
 
 use std::thread;
 

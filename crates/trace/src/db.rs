@@ -15,6 +15,7 @@
 //! instead of silently dropping them.
 
 use crate::binfmt::{self, BinError};
+use crate::digest::{digest_trace, TraceDigest};
 use simmr_types::WorkloadTrace;
 use std::collections::BTreeMap;
 use std::io;
@@ -100,6 +101,9 @@ pub enum TraceStatus {
         format: TraceFormat,
         /// Number of jobs in the trace.
         jobs: usize,
+        /// Stable content digest (see [`crate::digest`]) — the
+        /// serve-layer cache key component for this trace.
+        digest: TraceDigest,
     },
     /// The file exists but does not parse — surfaced, not hidden, so a
     /// corrupted store is visible in listings.
@@ -263,13 +267,33 @@ impl TraceDatabase {
             if format == TraceFormat::Json && self.path_of(name, TraceFormat::Bin).exists() {
                 continue;
             }
-            let status = match self.load(name) {
-                Ok(trace) => TraceStatus::Ok { format, jobs: trace.len() },
+            let status = match self.load(name).and_then(|trace| {
+                let digest = digest_trace(&trace)?;
+                Ok((trace, digest))
+            }) {
+                Ok((trace, digest)) => TraceStatus::Ok { format, jobs: trace.len(), digest },
                 Err(e) => TraceStatus::Corrupt { format, error: e.to_string() },
             };
             out.insert(name.to_string(), status);
         }
         Ok(out)
+    }
+
+    /// Content digest of the trace stored under `name`.
+    pub fn digest_of(&self, name: &str) -> Result<TraceDigest, DbError> {
+        Ok(digest_trace(&self.load(name)?)?)
+    }
+
+    /// Finds a stored trace by content digest (the serve layer's
+    /// digest-addressed trace refs). Scans the store; corrupt entries
+    /// are skipped. Returns the first matching name in listing order.
+    pub fn find_by_digest(&self, digest: TraceDigest) -> Result<Option<String>, DbError> {
+        for (name, status) in self.list()? {
+            if matches!(status, TraceStatus::Ok { digest: d, .. } if d == digest) {
+                return Ok(Some(name));
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -322,8 +346,19 @@ mod tests {
         db.store("a", &sample_trace(1)).unwrap();
         db.store_bin("b", &sample_trace(2)).unwrap();
         let listing = db.list().unwrap();
-        assert_eq!(listing.get("a"), Some(&TraceStatus::Ok { format: TraceFormat::Json, jobs: 1 }));
-        assert_eq!(listing.get("b"), Some(&TraceStatus::Ok { format: TraceFormat::Bin, jobs: 2 }));
+        let digest_of = |n| digest_trace(&sample_trace(n)).unwrap();
+        assert_eq!(
+            listing.get("a"),
+            Some(&TraceStatus::Ok { format: TraceFormat::Json, jobs: 1, digest: digest_of(1) })
+        );
+        assert_eq!(
+            listing.get("b"),
+            Some(&TraceStatus::Ok { format: TraceFormat::Bin, jobs: 2, digest: digest_of(2) })
+        );
+        // digests are queryable directly and addressable in reverse
+        assert_eq!(db.digest_of("a").unwrap(), digest_of(1));
+        assert_eq!(db.find_by_digest(digest_of(2)).unwrap(), Some("b".into()));
+        assert_eq!(db.find_by_digest(TraceDigest(0xdead_beef)).unwrap(), None);
         assert!(db.remove("a").unwrap());
         assert!(!db.remove("a").unwrap());
         assert!(db.remove("b").unwrap());
@@ -368,7 +403,11 @@ mod tests {
         assert_eq!(db.load("t").unwrap(), v1, "temp file must not shadow the stored trace");
         assert_eq!(
             db.list().unwrap().get("t"),
-            Some(&TraceStatus::Ok { format: TraceFormat::Json, jobs: 4 })
+            Some(&TraceStatus::Ok {
+                format: TraceFormat::Json,
+                jobs: 4,
+                digest: digest_trace(&v1).unwrap()
+            })
         );
         assert!(tmp.exists(), "simulated leftover should still be on disk for this test");
     }
@@ -385,7 +424,11 @@ mod tests {
         let listing = db.list().unwrap();
         assert_eq!(
             listing.get("good"),
-            Some(&TraceStatus::Ok { format: TraceFormat::Json, jobs: 2 })
+            Some(&TraceStatus::Ok {
+                format: TraceFormat::Json,
+                jobs: 2,
+                digest: digest_trace(&sample_trace(2)).unwrap()
+            })
         );
         assert!(
             matches!(

@@ -22,6 +22,7 @@
 pub mod binfmt;
 pub mod characterize;
 pub mod db;
+pub mod digest;
 pub mod mrprofiler;
 pub mod rumen;
 pub mod scaling;
@@ -33,6 +34,7 @@ pub use binfmt::{
 };
 pub use characterize::{characterize, WorkloadProfile};
 pub use db::{DbError, TraceDatabase, TraceFormat, TraceStatus};
+pub use digest::{digest_trace, Crc64, TraceDigest, TraceDigestExt};
 pub use mrprofiler::{profile_history, trace_from_history, ProfiledJob};
 pub use rumen::{RumenJob, RumenTask, RumenTrace};
 pub use scaling::scale_template;

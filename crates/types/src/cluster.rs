@@ -9,6 +9,7 @@
 //! slot-to-host striping.
 
 use crate::HostId;
+use serde::impl_serde_struct;
 
 /// The simulated cluster's shape: slot pools plus the worker-host count.
 ///
@@ -26,6 +27,8 @@ pub struct ClusterSpec {
     /// Number of worker hosts the slots are striped over (≥ 1).
     pub hosts: usize,
 }
+
+impl_serde_struct!(ClusterSpec { map_slots, reduce_slots, hosts });
 
 impl ClusterSpec {
     /// A single-host cluster with the given slot pools — the paper's

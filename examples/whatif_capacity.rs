@@ -4,23 +4,27 @@
 //! to evaluate whether additional resources are required." This example
 //! profiles a production-like job mix once, then replays it at several
 //! hypothetical cluster sizes in milliseconds of wall-clock time — the
-//! kind of question that would take days on a real testbed.
+//! kind of question that would take days on a real testbed. The what-ifs
+//! are phrased as `ScenarioSpec`s and run as one batch through the
+//! `simmr-serve` facade — exactly what `simmr serve` does for a
+//! `POST /v1/sweep` request.
 //!
 //! ```sh
 //! cargo run --release -p simmr-examples --bin whatif_capacity
 //! ```
 
-use simmr_core::{EngineConfig, SimulatorEngine};
-use simmr_sched::FifoPolicy;
+use simmr_sched::PolicySpec;
+use simmr_serve::{ScenarioSpec, SimFacade, TraceRef};
 use simmr_stats::SeededRng;
 use simmr_trace::FacebookWorkload;
-use simmr_types::WorkloadTrace;
+use simmr_types::{ClusterSpec, WorkloadTrace};
 
-fn replay(trace: &WorkloadTrace, slots: usize) -> (f64, f64) {
-    let report =
-        SimulatorEngine::new(EngineConfig::new(slots, slots), trace, Box::new(FifoPolicy::new()))
-            .run();
-    (report.makespan.as_secs_f64(), report.mean_duration_ms() / 1000.0)
+const SLOT_SIZES: [usize; 5] = [16, 32, 64, 128, 256];
+
+fn scenario(trace: &WorkloadTrace, slots: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(TraceRef::Inline(trace.clone()), PolicySpec::Fifo);
+    spec.cluster = ClusterSpec::new(slots, slots);
+    spec
 }
 
 fn main() {
@@ -33,10 +37,15 @@ fn main() {
         trace.total_serial_work_ms() as f64 / 3.6e6
     );
 
+    let facade = SimFacade::new();
+    let specs: Vec<ScenarioSpec> = SLOT_SIZES.iter().map(|&s| scenario(&trace, s)).collect();
+    let runs = facade.run_batch(&specs);
+
     println!("{:>7} {:>14} {:>16}", "slots", "makespan_h", "mean_job_dur_s");
     let mut prev: Option<f64> = None;
-    for slots in [16, 32, 64, 128, 256] {
-        let (makespan_s, mean_dur) = replay(&trace, slots);
+    for (slots, run) in SLOT_SIZES.iter().zip(runs) {
+        let report = run.expect("capacity scenario runs").report;
+        let makespan_s = report.makespan.as_secs_f64();
         let delta = prev
             .map(|p| format!("  ({:+.0}% vs previous)", (makespan_s / p - 1.0) * 100.0))
             .unwrap_or_default();
@@ -45,7 +54,7 @@ fn main() {
             slots,
             slots,
             makespan_s / 3600.0,
-            mean_dur
+            report.mean_duration_ms() / 1000.0
         );
         prev = Some(makespan_s);
     }
@@ -58,11 +67,11 @@ fn main() {
         let f = rng.uniform(1.8, 2.2);
         job.template = simmr_trace::scale_template(&job.template, f);
     }
-    let (makespan_s, mean_dur) = replay(&trace, 64);
+    let report = facade.run(&scenario(&trace, 64)).expect("scaled scenario runs").report;
     println!(
         "\nafter ~2x data growth on 64x64 slots: makespan {:.2} h, mean job {:.1}s",
-        makespan_s / 3600.0,
-        mean_dur
+        report.makespan.as_secs_f64() / 3600.0,
+        report.mean_duration_ms() / 1000.0
     );
     println!("=> decide whether to buy nodes before the data arrives, not after.");
 }

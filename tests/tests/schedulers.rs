@@ -194,8 +194,11 @@ fn hier_three_tenant_preemption_restores_min_share() {
 fn flat_hier_tree_matches_capacity_byte_identically() {
     let trace = MultiTenantWorkload::three_tenant(8_000.0).generate(40, 17);
     for (hier, capacity) in [
+        // the hier leaves are listed in name order because `capacity:`
+        // params normalize to name order at parse time (PolicySpec
+        // canonicalization) — equal orders keep tie-breaking identical
         (
-            "hier:prod-etl[w=2],prod-serving,adhoc[w=3]",
+            "hier:adhoc[w=3],prod-etl[w=2],prod-serving",
             "capacity:prod-etl=2,prod-serving=1,adhoc=3",
         ),
         // single leaf degenerates to one queue holding everything
