@@ -29,12 +29,20 @@
 //! floors do the same for the incremental deadline index (the old
 //! full-scan `maxedf` ran 10k jobs ~85x slower). The baseline is read
 //! before the file is overwritten.
+//!
+//! A fork-sweep section measures the time-travel checkpoint claim: ten
+//! what-if variants diverging at 90% of the makespan, replayed from
+//! scratch (`fork-cold`) vs warm-started from one shared prefix
+//! checkpoint (`fork-warm`, capture included). Both loops are serial so
+//! the speedup is machine-independent; under `SIMMR_BENCH_ASSERT=1` the
+//! warm sweep must run at least 2x faster than the cold one, and every
+//! warm report is asserted equal to its cold counterpart first.
 
 use simmr_bench::csvout::workspace_root;
-use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_core::{Divergence, EngineConfig, ForkSpec, SimulatorEngine};
 use simmr_sched::parse_policy;
 use simmr_trace::{BinTraceSource, FacebookWorkload, SyntheticWorkload};
-use simmr_types::WorkloadTrace;
+use simmr_types::{SimTime, WorkloadTrace};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -190,6 +198,101 @@ fn measure_stream(path: &Path, jobs: usize, min_secs: f64) -> Measurement {
     }
 }
 
+/// Fork-sweep scale: enough jobs that the 90% prefix dominates a full
+/// replay, small enough to keep the gate fast.
+const FORK_JOBS: usize = 1_000;
+const FORK_VARIANTS: usize = 10;
+
+/// The `i`-th what-if variant of the fork sweep: a capacity-growth
+/// divergence (the cheapest kind to apply, so the measurement isolates
+/// prefix replay vs resume cost rather than divergence cost).
+fn fork_of(at: SimTime, i: usize) -> ForkSpec {
+    ForkSpec::new(at, vec![Divergence::AddSlots { map_slots: i + 1, reduce_slots: i % 3 + 1 }])
+}
+
+/// Measures the fork sweep both ways — every variant replayed from
+/// scratch vs all variants warm-started from one shared checkpoint
+/// (capture included in the warm time) — and returns the two rows plus
+/// the warm-start speedup. Asserts warm == cold byte-for-byte first.
+fn measure_fork_sweep(min_secs: f64) -> (Measurement, Measurement, f64) {
+    let trace = trace_of(FORK_JOBS);
+    let config = EngineConfig::new(64, 64);
+    let policy = || parse_policy("fifo").expect("policy exists");
+    let base = SimulatorEngine::new(config, &trace, policy()).run();
+    let at = SimTime::from_millis(base.makespan.as_millis() / 10 * 9);
+    let one_cold = || -> u64 {
+        (0..FORK_VARIANTS)
+            .map(|i| {
+                SimulatorEngine::new(config, &trace, policy())
+                    .run_forked(fork_of(at, i))
+                    .expect("cold fork runs")
+                    .events_processed
+            })
+            .sum()
+    };
+    let one_warm = || -> u64 {
+        let ckpt = SimulatorEngine::new(config, &trace, policy())
+            .checkpoint_at(at)
+            .expect("prefix checkpoints");
+        (0..FORK_VARIANTS)
+            .map(|i| {
+                let mut engine = SimulatorEngine::resume_materialized(config, &ckpt, policy())
+                    .expect("checkpoint resumes");
+                engine.apply_fork(fork_of(at, i)).expect("divergence applies");
+                engine.try_run().expect("warm fork runs").events_processed
+            })
+            .sum()
+    };
+    // correctness before speed: the warm path must be byte-identical
+    let ckpt =
+        SimulatorEngine::new(config, &trace, policy()).checkpoint_at(at).expect("checkpoint");
+    for i in 0..FORK_VARIANTS {
+        let cold = SimulatorEngine::new(config, &trace, policy())
+            .run_forked(fork_of(at, i))
+            .expect("cold fork runs");
+        let mut engine = SimulatorEngine::resume_materialized(config, &ckpt, policy())
+            .expect("checkpoint resumes");
+        engine.apply_fork(fork_of(at, i)).expect("divergence applies");
+        let warm = engine.try_run().expect("warm fork runs");
+        assert_eq!(warm, cold, "warm fork diverged from cold replay (variant {i})");
+    }
+    let cold = measure_fn(FORK_JOBS, "fork-cold", min_secs, one_cold);
+    let warm = measure_fn(FORK_JOBS, "fork-warm", min_secs, one_warm);
+    let speedup = cold.median_secs / warm.median_secs;
+    (cold, warm, speedup)
+}
+
+/// [`measure`] for an arbitrary runner returning its event count.
+fn measure_fn(
+    jobs: usize,
+    label: &'static str,
+    min_secs: f64,
+    run: impl Fn() -> u64,
+) -> Measurement {
+    let events = run(); // warm-up + event count
+    let mut samples = Vec::new();
+    let mut total = 0.0;
+    while total < min_secs || samples.len() < 3 {
+        let start = Instant::now();
+        let n = run();
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(n, events, "simulation is not deterministic");
+        samples.push(secs);
+        total += secs;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median_secs = samples[samples.len() / 2];
+    Measurement {
+        jobs,
+        policy: label,
+        events,
+        reps: samples.len(),
+        median_secs,
+        events_per_sec: events as f64 / median_secs,
+        peak_rss_kb: None,
+    }
+}
+
 fn one_run(trace: &WorkloadTrace, policy: &str) -> u64 {
     SimulatorEngine::new(
         EngineConfig::new(64, 64),
@@ -296,6 +399,25 @@ fn main() {
         }
     }
 
+    // Fork sweep: ten late-diverging what-if variants, cold vs warm.
+    let (fork_cold, fork_warm, fork_speedup) = measure_fork_sweep(min_secs);
+    for m in [&fork_cold, &fork_warm] {
+        println!(
+            "{:>8} {:>9} {:>12} {:>6} {:>12.3} {:>14.0}",
+            m.jobs,
+            m.policy,
+            m.events,
+            m.reps,
+            m.median_secs * 1e3,
+            m.events_per_sec
+        );
+    }
+    println!(
+        "fork warm-start speedup ({FORK_VARIANTS} variants at 90% of makespan): {fork_speedup:.2}x"
+    );
+    rows.push(fork_cold);
+    rows.push(fork_warm);
+
     // The paper's claim, checked at 1k-job scale, plus the scaling bound:
     // 10k jobs may cost at most 2x the per-event time of 1k jobs.
     let rate = |jobs: usize, policy: &str| {
@@ -342,6 +464,7 @@ fn main() {
         ("cluster".to_owned(), serde_json::Value::Str("64x64".to_owned())),
         ("claim_1m_events_per_sec_fifo_1k".to_owned(), serde_json::Value::Bool(claim_met)),
         ("scaling_10k_within_2x_of_1k".to_owned(), serde_json::Value::Bool(scaling_ok)),
+        ("fork_warm_speedup".to_owned(), serde_json::Value::F64(fork_speedup)),
         ("results".to_owned(), serde_json::Value::Array(json_rows)),
     ]);
     let text = serde_json::to_string_pretty(&doc).expect("report serializes") + "\n";
@@ -392,6 +515,25 @@ fn main() {
                      jobs vs {big_kb} KiB at {big_jobs} jobs ({ratio:.2}x)"
                 );
             }
+        }
+        // the time-travel claim: warm-starting a late-divergence sweep
+        // from one shared checkpoint must clearly beat replaying every
+        // variant from scratch. Both loops are serial, so the ratio is
+        // machine-independent; the ideal here is ~5x (prefix 0.9 of the
+        // work, run once instead of ten times), 2x leaves room for
+        // resume/capture overhead on noisy runners.
+        if fork_speedup < 2.0 {
+            let median_ms = |label: &str| {
+                rows.iter().find(|m| m.policy == label).map(|m| m.median_secs * 1e3).unwrap_or(0.0)
+            };
+            failures.push(format!(
+                "fork warm-start speedup {fork_speedup:.2}x below the 2x floor \
+                 (cold {:.1} ms vs warm {:.1} ms for {FORK_VARIANTS} variants)",
+                median_ms("fork-cold"),
+                median_ms("fork-warm")
+            ));
+        } else {
+            eprintln!("[bench_engine] fork warm-start speedup {fork_speedup:.2}x (floor 2x)");
         }
         let mut noise_gate =
             |policy: &str, at: &str, measured: f64, baseline: Option<f64>| match baseline {

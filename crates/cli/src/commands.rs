@@ -3,7 +3,7 @@
 use crate::args::Args;
 use crate::{load_trace, print_run_timing, save_trace};
 use simmr_cluster::{ClusterConfig, ClusterPolicy, ClusterSim};
-use simmr_serve::{ScenarioSpec, ServeConfig, Server, SimFacade, TraceRef};
+use simmr_serve::{DivergenceSpec, ScenarioSpec, ServeConfig, Server, SimFacade, TraceRef};
 use simmr_stats::fit_best;
 use simmr_trace::{
     encode_trace, trace_from_history, FacebookWorkload, TraceDatabase, TraceFormat, TraceStatus,
@@ -219,6 +219,34 @@ fn scenario_from_args(args: &Args, trace: TraceRef) -> Result<ScenarioSpec, Stri
     if let Some(df) = args.get("deadline-factor") {
         spec.deadline_factor = Some(df.parse().map_err(|e| format!("--deadline-factor: {e}"))?);
     }
+    if let Some(at) = args.get("fork-at") {
+        spec.fork_at = Some(at.parse().map_err(|e| format!("--fork-at: {e}"))?);
+    }
+    if let Some(policy) = args.get("fork-policy") {
+        spec.divergences.push(DivergenceSpec::Policy(
+            policy.parse().map_err(|e: simmr_sched::PolicyParseError| e.to_string())?,
+        ));
+    }
+    let add_maps: usize = args.parse_or("fork-add-map-slots", 0)?;
+    let add_reduces: usize = args.parse_or("fork-add-reduce-slots", 0)?;
+    if add_maps > 0 || add_reduces > 0 {
+        spec.divergences
+            .push(DivergenceSpec::AddSlots { map_slots: add_maps, reduce_slots: add_reduces });
+    }
+    if let Some(fault) = args.get("fork-fault") {
+        let (host, at_ms) = match fault.split_once('@') {
+            Some((h, t)) => (h, t.parse().map_err(|e| format!("--fork-fault: bad instant: {e}"))?),
+            None => (fault, 0),
+        };
+        let host: u32 = host.parse().map_err(|e| format!("--fork-fault: bad host: {e}"))?;
+        spec.divergences.push(DivergenceSpec::Fault { host, at_ms });
+    }
+    if let Some(path) = args.get("fork-surge") {
+        spec.divergences.push(DivergenceSpec::Surge(load_trace(path)?.jobs));
+    }
+    if !spec.divergences.is_empty() && spec.fork_at.is_none() {
+        return Err("fork divergence flags need --fork-at MS (the fork instant)".into());
+    }
     Ok(spec)
 }
 
@@ -284,6 +312,58 @@ pub fn replay(args: &Args) -> Result<(), String> {
     if args.has("timeline") {
         println!("timeline entries: {}", report.timeline.len());
     }
+    Ok(())
+}
+
+/// `simmr checkpoint`: capture an engine checkpoint at a settled batch
+/// boundary, or decode and summarize an existing checkpoint file.
+///
+/// The captured file feeds `simmr replay --fork-at` experiments and the
+/// serve layer's warm-start cache; `--info` prints the header of a file
+/// without running anything.
+pub fn checkpoint(args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("info") {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let ckpt = simmr_core::EngineCheckpoint::decode(&bytes).map_err(|e| e.to_string())?;
+        println!(
+            "checkpoint @ {} (settled boundary {}): policy {}, {} jobs admitted, \
+             {} pending events, {} events processed, digest {:016x}",
+            ckpt.at(),
+            ckpt.boundary(),
+            ckpt.policy_name(),
+            ckpt.jobs_admitted(),
+            ckpt.pending_events(),
+            ckpt.events_processed(),
+            ckpt.digest()
+        );
+        return Ok(());
+    }
+    let path = args.positional(0).ok_or(
+        "usage: simmr checkpoint TRACE.{json,bin} --at MS --out C.ckpt [engine flags]\n       \
+         simmr checkpoint --info C.ckpt",
+    )?;
+    let at: u64 = args.require("at")?.parse().map_err(|e| format!("--at: {e}"))?;
+    let out = args.require("out")?;
+    let spec = scenario_from_args(args, TraceRef::Inline(load_trace(path)?))?;
+    if spec.fork_at.is_some() {
+        return Err("`simmr checkpoint` captures the shared prefix; fork flags belong to \
+             `simmr replay --fork-at`"
+            .into());
+    }
+    let resolved = SimFacade::new().resolve(&spec).map_err(|e| e.message().to_string())?;
+    let ckpt = resolved.checkpoint(SimTime::from_millis(at));
+    let bytes = ckpt.encode();
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "checkpoint @ {} (settled boundary {}): {} jobs admitted, {} pending events, \
+         {} bytes, digest {:016x} -> {out}",
+        ckpt.at(),
+        ckpt.boundary(),
+        ckpt.jobs_admitted(),
+        ckpt.pending_events(),
+        bytes.len(),
+        ckpt.digest()
+    );
     Ok(())
 }
 
@@ -425,11 +505,17 @@ fn trace_list(args: &Args) -> Result<(), String> {
         println!("(empty database)");
         return Ok(());
     }
-    println!("{:<24} {:<6} {:>8}  {:<16}", "name", "format", "jobs", "digest");
+    println!("{:<24} {:<6} {:>8}  {:<19} {:<16}", "name", "format", "jobs", "arrivals", "digest");
     for (name, status) in &listing {
         match status {
-            TraceStatus::Ok { format, jobs, digest } => {
-                println!("{name:<24} {format:<6} {jobs:>8}  {digest}");
+            TraceStatus::Ok { format, jobs, span, digest } => {
+                let arrivals = match span {
+                    Some((first, last)) => {
+                        format!("{:.1}s..{:.1}s", first.as_secs_f64(), last.as_secs_f64())
+                    }
+                    None => "-".to_owned(),
+                };
+                println!("{name:<24} {format:<6} {jobs:>8}  {arrivals:<19} {digest}");
             }
             TraceStatus::Corrupt { format, error } => {
                 println!("{name:<24} {format:<6}  CORRUPT: {error}");

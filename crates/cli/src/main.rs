@@ -9,6 +9,8 @@
 //! * `profile`  — MRProfiler: history log → replayable trace JSON;
 //! * `replay`   — replay a trace in the SimMR engine under a policy
 //!   (binary traces stream through the engine without materializing);
+//! * `checkpoint` — capture (or inspect) a serialized engine checkpoint
+//!   at a settled batch boundary, the seed for time-travel forks;
 //! * `compare`  — replay a trace under several policies and print the
 //!   deadline-utility comparison (the §V case study);
 //! * `serve`    — the long-running what-if HTTP service: cached, batched
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         "testbed" => commands::testbed(&args),
         "profile" => commands::profile(&args),
         "replay" => commands::replay(&args),
+        "checkpoint" => commands::checkpoint(&args),
         "compare" => commands::compare(&args),
         "serve" => commands::serve(&args),
         "trace" => commands::trace(&args),
@@ -74,6 +77,11 @@ USAGE:
                  [--check-invariants] [--hosts N] [--failures N]
                  [--failure-mtbf-s S] [--failure-recovery-s S]
                  [--speculation F] [--slowdown SIGMA]
+                 [--fork-at MS] [--fork-policy SPEC] [--fork-add-map-slots N]
+                 [--fork-add-reduce-slots N] [--fork-fault HOST[@MS]]
+                 [--fork-surge TRACE.json]
+  simmr checkpoint TRACE.{json,bin} --at MS --out C.ckpt [replay engine flags]
+  simmr checkpoint --info C.ckpt
   simmr compare  TRACE.json [--policies fifo,maxedf,minedf] [--map-slots N]
                  [--reduce-slots N] [--deadline-factor F] [--seed S]
   simmr serve    [--addr HOST:PORT] [--db DIR] [--workers N] [--cache-cap N]
@@ -111,7 +119,18 @@ Serve: `simmr serve --db DIR` answers what-if scenario queries over
 HTTP/JSON (POST /v1/run, POST /v1/sweep[?stream=1], GET /v1/traces,
 GET /healthz, POST /v1/shutdown). Repeated queries hit a memo cache
 keyed on (trace digest, normalized scenario) and return byte-identical
-reports; the `x-simmr-cache` header says `hit` or `miss`.";
+reports; the `x-simmr-cache` header says `hit` or `miss`.
+
+Time travel (replay / checkpoint / serve): --fork-at MS replays the shared
+prefix once, then diverges at the first settled batch boundary at or after
+MS with any mix of --fork-policy (swap the scheduler mid-run),
+--fork-add-map-slots/--fork-add-reduce-slots (capacity growth),
+--fork-fault HOST[@MS] (inject a fail-stop loss) and --fork-surge FILE
+(splice extra arrivals). A forked run is byte-identical to running the
+changed scenario from scratch. `simmr checkpoint` snapshots the prefix to
+a .ckpt file (SIMMRCKP, CRC-64 sealed); the serve layer keeps the same
+snapshots in a warm-start cache so a /v1/sweep over divergences runs the
+prefix once (the `x-simmr-ckpt` header says `hit` or `miss`).";
 
 /// Loads a trace from JSON or the binary format (sniffed by magic), with a
 /// helpful error. Thin wrapper over the facade's loader keeping the CLI's

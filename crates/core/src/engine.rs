@@ -93,8 +93,9 @@ pub(crate) struct RunningReduce {
 
 /// Runtime state of one job inside the engine. Fields are crate-visible so
 /// the invariant checker (`crate::invariants`) can re-derive the policy
-/// view from first principles.
-#[derive(Debug)]
+/// view from first principles, and so checkpoints (`crate::checkpoint`)
+/// can serialize jobs field by field.
+#[derive(Debug, Clone)]
 pub(crate) struct JobState {
     /// The job's replayable profile. Shared (not cloned) with a streaming
     /// source's interned template table.
@@ -273,6 +274,16 @@ impl JobTable {
             .enumerate()
             .filter_map(|(i, s)| s.as_deref().map(|state| (JobId((self.base + i) as u32), state)))
     }
+
+    /// The raw window slots (including retired holes), for checkpointing.
+    pub(crate) fn raw_slots(&self) -> impl Iterator<Item = Option<&JobState>> {
+        self.slots.iter().map(|s| s.as_deref())
+    }
+
+    /// Reassembles a table from a checkpoint's `(base, slots)` capture.
+    pub(crate) fn from_parts(base: usize, slots: Vec<Option<Box<JobState>>>) -> Self {
+        JobTable { slots: slots.into(), base }
+    }
 }
 
 /// Applies a per-slot slowdown factor to a base duration.
@@ -339,6 +350,14 @@ pub struct SimulatorEngine<'a> {
     /// deduplicated against it, and a popped timer that does not match is
     /// stale (superseded by an earlier one) and ignored.
     policy_wakeup_at: Option<SimTime>,
+    /// Time of the most recently popped event — the engine clock. After a
+    /// settled batch this is the batch instant, which is what a checkpoint
+    /// records as its boundary.
+    clock: SimTime,
+    /// Set once the initial events (arrivals, fault plan, recoveries) have
+    /// been seeded; a resumed engine starts seeded (its event heap came
+    /// from the checkpoint).
+    seeded: bool,
     events_processed: u64,
     timeline: Vec<TimelineEntry>,
     results: Vec<Option<JobResult>>,
@@ -471,6 +490,8 @@ impl<'a> SimulatorEngine<'a> {
             jobq_dirty: false,
             victims: Vec::new(),
             policy_wakeup_at: None,
+            clock: SimTime::ZERO,
+            seeded: false,
             jobs,
             events_processed: 0,
             timeline: Vec::with_capacity(timeline_bars),
@@ -547,10 +568,45 @@ impl<'a> SimulatorEngine<'a> {
     /// Runs the simulation to completion, surfacing streaming-source
     /// failures (I/O, decode, ordering violations) as errors.
     pub fn try_run(mut self) -> Result<SimulationReport, SourceError> {
-        // Seed the arrivals. Materialized engines push every arrival up
-        // front (ids in trace order, preserving the exact historical event
-        // sequence); streaming engines hold one arrival of lookahead and
-        // pull the next each time an arrival pops.
+        self.seed()?;
+        self.run_loop(None)?;
+        Ok(self.finish())
+    }
+
+    /// Runs the shared prefix to the last settled batch at or before `t`
+    /// and captures it as a checkpoint. The returned snapshot, resumed
+    /// through [`Self::resume_materialized`] / [`Self::resume_with_source`],
+    /// continues the run byte-identically to never having stopped.
+    pub fn checkpoint_at(mut self, t: SimTime) -> Result<crate::EngineCheckpoint, SourceError> {
+        self.seed()?;
+        self.run_loop(Some(t))?;
+        Ok(self.capture(t))
+    }
+
+    /// Runs the engine to completion with `fork`'s divergences applied at
+    /// the last settled batch at or before `fork.at` — the from-scratch
+    /// reference a resumed-and-forked run must match byte for byte. Both
+    /// paths go through the same [`Self::apply_fork`], so divergence
+    /// semantics cannot drift between them.
+    pub fn run_forked(mut self, fork: crate::ForkSpec) -> Result<SimulationReport, SourceError> {
+        self.seed()?;
+        self.run_loop(Some(fork.at))?;
+        self.apply_fork(fork).map_err(|e| SourceError::new(e.to_string()))?;
+        self.run_loop(None)?;
+        Ok(self.finish())
+    }
+
+    /// Seeds the initial events. Materialized engines push every arrival
+    /// up front (ids in trace order, preserving the exact historical event
+    /// sequence); streaming engines hold one arrival of lookahead and pull
+    /// the next each time an arrival pops. The fault plan and its
+    /// recoveries are seeded alongside. A no-op on resumed engines, whose
+    /// event heap already carries everything still pending.
+    fn seed(&mut self) -> Result<(), SourceError> {
+        if self.seeded {
+            return Ok(());
+        }
+        self.seeded = true;
         if self.source.is_some() {
             self.pull_next_arrival()?;
         } else {
@@ -577,7 +633,24 @@ impl<'a> SimulatorEngine<'a> {
                 self.queue.push(f.at + delay, EventKind::HostRecovery, JobId(0), f.host.0);
             }
         }
-        while let Some(event) = self.queue.pop() {
+        Ok(())
+    }
+
+    /// The event loop. With `stop_after` set, stops at the first settled
+    /// batch boundary past it: same-instant batching means the loop-top
+    /// check only ever fires between batches, so a stopped engine is
+    /// always in a checkpointable (fully settled) state.
+    fn run_loop(&mut self, stop_after: Option<SimTime>) -> Result<(), SourceError> {
+        loop {
+            if let Some(stop) = stop_after {
+                match self.queue.next_time() {
+                    Some(next) if next <= stop => {}
+                    _ => break,
+                }
+            }
+            let Some(event) = self.queue.pop() else {
+                break;
+            };
             self.events_processed += 1;
             // Makespan tracks job completions only: stale events (a killed
             // attempt's in-flight departure, a lost speculation race, a
@@ -587,6 +660,7 @@ impl<'a> SimulatorEngine<'a> {
                 self.makespan = event.time;
             }
             let now = event.time;
+            self.clock = now;
             let job = event.job;
             if let Some(inv) = self.invariants.as_deref_mut() {
                 inv.on_event(now);
@@ -644,10 +718,16 @@ impl<'a> SimulatorEngine<'a> {
             // every engine invariant must hold on the settled state.
             if self.invariants.is_some() && self.queue.next_time() != Some(now) {
                 let mut inv = self.invariants.take().expect("checked is_some");
-                inv.check_batch(&self, now);
+                inv.check_batch(self, now);
                 self.invariants = Some(inv);
             }
         }
+        Ok(())
+    }
+
+    /// Assembles the final report from a drained engine, running the
+    /// end-of-run invariant checks.
+    fn finish(mut self) -> SimulationReport {
         let invariants = self.invariants.take();
         let (free_maps, free_reduces) = (self.free_map_slots.len(), self.free_reduce_slots.len());
         let lost_maps = self.dead_map_slots.iter().filter(|&&d| d).count();
@@ -670,7 +750,7 @@ impl<'a> SimulatorEngine<'a> {
         if let Some(inv) = invariants {
             inv.check_report(&report, free_maps, free_reduces, lost_maps, lost_reduces);
         }
-        Ok(report)
+        report
     }
 
     /// Asserts (when checking) that the dirty flag covers the queue
@@ -1226,9 +1306,11 @@ impl<'a> SimulatorEngine<'a> {
         self.note_mutation("on_speculation_due");
     }
 
-    /// Rebuilds the policy view from scratch (the snapshot-oracle path),
-    /// in the same `(arrival, id)` order the incremental queue guarantees.
-    #[cfg(any(test, debug_assertions))]
+    /// Rebuilds the policy view from scratch, in the same `(arrival, id)`
+    /// order the incremental queue guarantees. Shared by the debug-only
+    /// snapshot oracle and the checkpoint-restore path, so the oracle's
+    /// differential tests exercise the exact rebuild `resume_from` relies
+    /// on.
     fn rebuild_jobq(&mut self) {
         let mut entries: Vec<crate::JobEntry> =
             self.jobs.iter().filter(|(_, s)| s.active).map(|(id, _)| self.entry_of(id)).collect();
@@ -1454,6 +1536,289 @@ impl<'a> SimulatorEngine<'a> {
             .push(RunningReduce { idx, attempt, start: now, slot, shuffle_end });
         // No timeline bars yet: reduce bars are recorded at departure (or
         // kill) so a host failure can truncate them at the true extent.
+    }
+
+    /// Snapshots the engine's full deterministic state at the current
+    /// settled boundary. `at` records the *requested* checkpoint instant;
+    /// the actual boundary is `clock` (the last settled batch at or
+    /// before `at`).
+    fn capture(&self, at: SimTime) -> crate::EngineCheckpoint {
+        let (events, next_seq, pushed) = self.queue.snapshot();
+        crate::EngineCheckpoint {
+            at,
+            clock: self.clock,
+            map_slots: self.config.cluster.map_slots,
+            reduce_slots: self.config.cluster.reduce_slots,
+            hosts: self.config.cluster.hosts,
+            streaming: self.source.is_some(),
+            collected: self.config.collect_job_results,
+            jobq_dirty: self.jobq_dirty,
+            events,
+            next_seq,
+            pushed,
+            last_pulled_arrival: self.last_pulled_arrival,
+            jobs_base: self.jobs.id_range().0,
+            jobs: self.jobs.raw_slots().map(|s| s.cloned()).collect(),
+            free_map_slots: self.free_map_slots.clone(),
+            free_reduce_slots: self.free_reduce_slots.clone(),
+            dead_hosts: self.dead_hosts.clone(),
+            dead_map_slots: self.dead_map_slots.clone(),
+            dead_reduce_slots: self.dead_reduce_slots.clone(),
+            fault_plan: self.fault_plan.clone(),
+            map_slowdown: self.map_slowdown.clone(),
+            reduce_slowdown: self.reduce_slowdown.clone(),
+            policy_wakeup_at: self.policy_wakeup_at,
+            events_processed: self.events_processed,
+            makespan: self.makespan,
+            timeline: self.timeline.clone(),
+            results: self.results.clone(),
+            policy_name: self.policy.name().to_string(),
+            policy_blob: self.policy.snapshot(),
+        }
+    }
+
+    /// Resumes a checkpoint captured from a materialized-trace engine.
+    ///
+    /// Materialized engines admit every trace job at construction, so the
+    /// checkpoint carries the whole job table and no trace is needed to
+    /// continue — which is what lets the serve layer replay suffixes from
+    /// a memoized checkpoint alone. `config` must be the configuration of
+    /// the original run (the cluster shape and result collection are
+    /// validated; behavioral knobs like speculation are the caller's
+    /// contract), and `policy` a fresh policy of the kind that captured
+    /// the checkpoint — divergences are applied afterwards via
+    /// [`Self::apply_fork`].
+    pub fn resume_materialized(
+        config: EngineConfig,
+        ckpt: &crate::EngineCheckpoint,
+        policy: Box<dyn SchedulerPolicy + 'a>,
+    ) -> Result<Self, crate::CkptError> {
+        if ckpt.streaming {
+            return Err(crate::CkptError::Mismatch(
+                "checkpoint was captured from a streaming engine; \
+                 resume it with resume_with_source"
+                    .into(),
+            ));
+        }
+        Self::resume_common(config, ckpt, policy, None)
+    }
+
+    /// Resumes a checkpoint captured from a streaming engine.
+    ///
+    /// The checkpoint records how many jobs the original run had admitted;
+    /// that many are pulled from the fresh `source` and discarded (their
+    /// state — including the one-arrival lookahead — lives in the
+    /// checkpoint), after which the source supplies the remaining jobs
+    /// exactly as the original run would have seen them.
+    pub fn resume_with_source(
+        config: EngineConfig,
+        ckpt: &crate::EngineCheckpoint,
+        mut source: Box<dyn JobSource + 'a>,
+        policy: Box<dyn SchedulerPolicy + 'a>,
+    ) -> Result<Self, crate::CkptError> {
+        if !ckpt.streaming {
+            return Err(crate::CkptError::Mismatch(
+                "checkpoint was captured from a materialized engine; \
+                 resume it with resume_materialized"
+                    .into(),
+            ));
+        }
+        let admitted = ckpt.jobs_base + ckpt.jobs.len();
+        for i in 0..admitted {
+            match source.next_job() {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    return Err(crate::CkptError::Mismatch(format!(
+                        "source ran dry after {i} jobs; the checkpoint had admitted {admitted}"
+                    )))
+                }
+                Err(e) => return Err(crate::CkptError::Mismatch(e.to_string())),
+            }
+        }
+        Self::resume_common(config, ckpt, policy, Some(source))
+    }
+
+    fn resume_common(
+        config: EngineConfig,
+        ckpt: &crate::EngineCheckpoint,
+        policy: Box<dyn SchedulerPolicy + 'a>,
+        source: Option<Box<dyn JobSource + 'a>>,
+    ) -> Result<Self, crate::CkptError> {
+        use crate::CkptError;
+        let c = config.cluster;
+        if (c.map_slots, c.reduce_slots, c.hosts) != (ckpt.map_slots, ckpt.reduce_slots, ckpt.hosts)
+        {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint cluster is {}m/{}r slots on {} hosts, resume config says {}m/{}r on {}",
+                ckpt.map_slots, ckpt.reduce_slots, ckpt.hosts, c.map_slots, c.reduce_slots, c.hosts
+            )));
+        }
+        if policy.name() != ckpt.policy_name {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint was captured under policy '{}', resume offers '{}'",
+                ckpt.policy_name,
+                policy.name()
+            )));
+        }
+        if config.collect_job_results != ckpt.collected {
+            return Err(CkptError::Mismatch(format!(
+                "checkpoint {} job results, resume config {} them",
+                if ckpt.collected { "collected" } else { "did not collect" },
+                if config.collect_job_results { "collects" } else { "does not collect" }
+            )));
+        }
+        let jobs = JobTable::from_parts(
+            ckpt.jobs_base,
+            ckpt.jobs.iter().map(|s| s.clone().map(Box::new)).collect(),
+        );
+        let boundary = (ckpt.events_processed > 0).then_some(ckpt.clock);
+        let mut engine = SimulatorEngine {
+            config,
+            source,
+            last_pulled_arrival: ckpt.last_pulled_arrival,
+            policy,
+            queue: EventQueue::from_snapshot(ckpt.events.clone(), ckpt.next_seq, ckpt.pushed),
+            free_map_slots: ckpt.free_map_slots.clone(),
+            free_reduce_slots: ckpt.free_reduce_slots.clone(),
+            dead_hosts: ckpt.dead_hosts.clone(),
+            dead_map_slots: ckpt.dead_map_slots.clone(),
+            dead_reduce_slots: ckpt.dead_reduce_slots.clone(),
+            fault_plan: ckpt.fault_plan.clone(),
+            map_slowdown: ckpt.map_slowdown.clone(),
+            reduce_slowdown: ckpt.reduce_slowdown.clone(),
+            jobq: JobQueue::with_capacity(jobs.total().min(1024)),
+            jobq_dirty: ckpt.jobq_dirty,
+            victims: Vec::new(),
+            policy_wakeup_at: ckpt.policy_wakeup_at,
+            clock: ckpt.clock,
+            seeded: true,
+            jobs,
+            events_processed: ckpt.events_processed,
+            timeline: ckpt.timeline.clone(),
+            results: ckpt.results.clone(),
+            makespan: ckpt.makespan,
+            invariants: config.invariants_enabled().then(|| {
+                Box::new(InvariantState::resume(
+                    &config,
+                    ckpt.events_processed,
+                    boundary,
+                    &ckpt.timeline,
+                ))
+            }),
+            #[cfg(any(test, debug_assertions))]
+            snapshot_oracle: false,
+        };
+        engine.jobq.now = ckpt.clock;
+        engine.rebuild_jobq();
+        engine.adopt_policy();
+        engine.policy.restore(&ckpt.policy_blob).map_err(CkptError::Mismatch)?;
+        Ok(engine)
+    }
+
+    /// Replays the arrival-side policy hooks for every live job, in the
+    /// `(arrival, id)` order the original run fired them, restricted to
+    /// still-active jobs — used when a fresh policy object takes over a
+    /// mid-run queue (checkpoint restore, the policy-swap divergence).
+    /// Derivable policy state (routing tables, wanted-slot caps,
+    /// deadline-index membership, share counters) is fully rebuilt by the
+    /// replay; only non-derivable state (starvation clocks) needs the
+    /// snapshot blob on top.
+    fn adopt_policy(&mut self) {
+        let entries: Vec<JobEntry> = self.jobq.entries().to_vec();
+        for e in &entries {
+            let state = self.jobs.get(e.id).expect("queued job must be live");
+            let template = Arc::clone(&state.template);
+            let relative_deadline = state.deadline.map(|d| d.since(state.arrival));
+            self.policy.on_job_arrival(e.id, &template, relative_deadline, self.config.cluster);
+        }
+        for e in &entries {
+            self.policy.on_job_queued(e);
+        }
+    }
+
+    /// Applies a fork's divergences at the current settled boundary.
+    /// Shared verbatim by the warm-start path (resume, then fork) and the
+    /// from-scratch reference ([`Self::run_forked`]), which is what makes
+    /// the two byte-identical by construction. Divergence-injected events
+    /// land strictly after the boundary batch, which has already settled.
+    pub fn apply_fork(&mut self, fork: crate::ForkSpec) -> Result<(), crate::CkptError> {
+        use crate::{CkptError, Divergence};
+        let horizon = if self.events_processed > 0 { self.clock + 1 } else { SimTime::ZERO };
+        for d in fork.divergences {
+            match d {
+                Divergence::PolicySwap(new_policy) => {
+                    // The incoming policy starts from scratch: it adopts
+                    // the live queue through the same hook replay a
+                    // restore uses, and owns scheduling from the next
+                    // event on.
+                    self.policy = new_policy;
+                    self.adopt_policy();
+                    self.jobq_dirty = true;
+                }
+                Divergence::AddSlots { map_slots, reduce_slots } => {
+                    // Grow-only: new slots join the free pools alive and
+                    // at nominal speed; the cluster never shrinks
+                    // mid-run (occupied slots cannot be revoked here —
+                    // that is what InjectFault models).
+                    let (old_m, old_r) =
+                        (self.config.cluster.map_slots, self.config.cluster.reduce_slots);
+                    self.config.cluster.map_slots += map_slots;
+                    self.config.cluster.reduce_slots += reduce_slots;
+                    let (new_m, new_r) =
+                        (self.config.cluster.map_slots, self.config.cluster.reduce_slots);
+                    for s in old_m..new_m {
+                        self.free_map_slots.push(s as u32);
+                    }
+                    for s in old_r..new_r {
+                        self.free_reduce_slots.push(s as u32);
+                    }
+                    self.dead_map_slots.resize(new_m, false);
+                    self.dead_reduce_slots.resize(new_r, false);
+                    if !self.map_slowdown.is_empty() {
+                        self.map_slowdown.resize(new_m, 1.0);
+                    }
+                    if !self.reduce_slowdown.is_empty() {
+                        self.reduce_slowdown.resize(new_r, 1.0);
+                    }
+                    if let Some(inv) = self.invariants.as_deref_mut() {
+                        inv.grow_cluster(new_m, new_r);
+                    }
+                    self.jobq_dirty = true;
+                }
+                Divergence::InjectFault { host, at } => {
+                    if host.0 == 0 || host.0 as usize >= self.config.cluster.hosts {
+                        return Err(CkptError::Mismatch(format!(
+                            "fork fault names host {} of a {}-host cluster \
+                             (host 0 never fails)",
+                            host.0, self.config.cluster.hosts
+                        )));
+                    }
+                    let t = at.max(horizon);
+                    self.fault_plan.push(HostFailure { host, at: t });
+                    self.queue.push(t, EventKind::HostFailure, JobId(0), host.0);
+                }
+                Divergence::ArrivalSurge(specs) => {
+                    for spec in specs {
+                        spec.template.validate().map_err(|e| {
+                            CkptError::Mismatch(format!("surge job template invalid: {e}"))
+                        })?;
+                        let arrival = spec.arrival.max(horizon);
+                        let state = JobState::new(
+                            Arc::new(spec.template),
+                            arrival,
+                            spec.deadline,
+                            &self.config,
+                        );
+                        let id = self.jobs.push(Box::new(state));
+                        if self.config.collect_job_results {
+                            self.results.push(None);
+                        }
+                        self.queue.push(arrival, EventKind::JobArrival, id, 0);
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 

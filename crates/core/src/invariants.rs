@@ -71,6 +71,11 @@ pub(crate) struct InvariantState {
     events_popped: u64,
     /// Task launches reported by the scheduling fixpoint loop.
     launches: u64,
+    /// Events the run had already accounted for before this checker
+    /// attached — zero for a from-scratch run, the checkpoint's event
+    /// count for a resumed one, so `check_report` can still reconcile the
+    /// report's total against an independent count.
+    baseline_events: u64,
     /// Settled batches verified (for diagnostics).
     batches_checked: u64,
 }
@@ -93,8 +98,47 @@ impl InvariantState {
             last_batch: None,
             events_popped: 0,
             launches: 0,
+            baseline_events: 0,
             batches_checked: 0,
         }
+    }
+
+    /// A checker attached to an engine resumed from a checkpoint: event
+    /// accounting starts from the checkpoint's count, time monotonicity
+    /// from its settled boundary (every post-resume event is strictly
+    /// later), and the per-slot bar high-water marks are re-derived from
+    /// the recorded timeline prefix — exactly the state the original
+    /// run's checker held at the boundary.
+    pub(crate) fn resume(
+        config: &EngineConfig,
+        baseline_events: u64,
+        boundary: Option<SimTime>,
+        timeline: &[TimelineEntry],
+    ) -> Self {
+        let mut state = InvariantState::new(config);
+        state.baseline_events = baseline_events;
+        state.last_event = boundary;
+        state.last_batch = boundary;
+        for bar in timeline {
+            let ends = match bar.phase {
+                TimelinePhase::Map => &mut state.map_bar_end,
+                TimelinePhase::Shuffle | TimelinePhase::Reduce => &mut state.reduce_bar_end,
+            };
+            if let Some(end) = ends.get_mut(bar.slot as usize) {
+                *end = (*end).max(bar.end);
+            }
+        }
+        state
+    }
+
+    /// The cluster grew mid-run (the fork AddSlots divergence): widen the
+    /// conservation counts and bar tables; new slots start free with no
+    /// bar history.
+    pub(crate) fn grow_cluster(&mut self, map_slots: usize, reduce_slots: usize) {
+        self.map_slots = map_slots;
+        self.reduce_slots = reduce_slots;
+        self.map_bar_end.resize(map_slots, SimTime::ZERO);
+        self.reduce_bar_end.resize(reduce_slots, SimTime::ZERO);
     }
 
     /// One event popped from the priority queue at `time`.
@@ -477,12 +521,14 @@ impl InvariantState {
                 report.makespan
             );
         }
-        let accounted = self.events_popped + self.launches;
+        let accounted = self.baseline_events + self.events_popped + self.launches;
         if report.events_processed != accounted {
             violation!(
                 "event-accounting",
-                "events_processed = {} but the checker counted {} popped + {} launched = {accounted}",
+                "events_processed = {} but the checker counted {} baseline + {} popped + {} \
+                 launched = {accounted}",
                 report.events_processed,
+                self.baseline_events,
                 self.events_popped,
                 self.launches
             );

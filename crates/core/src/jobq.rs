@@ -270,9 +270,9 @@ impl JobQueue {
         }
     }
 
-    /// Empties the queue, keeping its allocations. Only the snapshot
-    /// oracle rebuilds from scratch, so this is debug/test-only.
-    #[cfg(any(test, debug_assertions))]
+    /// Empties the queue, keeping its allocations. Used by the rebuild
+    /// paths that reconstruct the queue from scratch: the debug-only
+    /// snapshot oracle and checkpoint restore.
     pub(crate) fn clear(&mut self) {
         self.entries.clear();
         self.head = 0;
@@ -394,6 +394,45 @@ pub trait SchedulerPolicy {
     /// the checker's `engine invariant violated [name]: ...` format on a
     /// mismatch. The default checks nothing.
     fn verify_invariants(&self, _jobq: &JobQueue) {}
+
+    /// Serializes the policy's internal state for an engine checkpoint.
+    ///
+    /// Restore replays the arrival hook stream first (see
+    /// [`Self::restore`]), so the blob only needs state that replay
+    /// cannot reconstruct — e.g. the hierarchical policy's starvation
+    /// clocks, whose exact historical timestamps drive future preemption
+    /// timing. Policies whose state is fully derivable may still encode a
+    /// fingerprint of it here and cross-check on restore, turning a
+    /// capture/resume configuration mismatch into a typed error instead
+    /// of silent divergence. The default (stateless policy) returns an
+    /// empty blob.
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores internal state from a [`Self::snapshot`] blob.
+    ///
+    /// The engine calls this at the end of a checkpoint resume, after it
+    /// has replayed [`Self::on_job_arrival`] and then
+    /// [`Self::on_job_queued`] for every live job in `(arrival, id)`
+    /// order — exactly the order the original run fired them, restricted
+    /// to still-active jobs. Derivable state (routing tables, wanted-slot
+    /// caps, deadline-index membership, share counters) is therefore
+    /// already rebuilt when this runs; implementations overlay or verify
+    /// against it. Returns a human-readable error when the blob does not
+    /// match this policy's shape or configuration. The default accepts
+    /// only the empty blob a stateless policy produces.
+    fn restore(&mut self, blob: &[u8]) -> Result<(), String> {
+        if blob.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "policy '{}' keeps no snapshot state but the checkpoint carries a {}-byte blob",
+                self.name(),
+                blob.len()
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

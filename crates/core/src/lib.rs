@@ -95,6 +95,7 @@
 //! assert!(report.jobs[0].completion > SimTime::ZERO);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -103,6 +104,9 @@ pub mod jobq;
 pub mod queue;
 pub mod source;
 
+pub use checkpoint::{
+    fork_sweep, CkptError, Divergence, EngineCheckpoint, ForkSpec, CKPT_MAGIC, CKPT_VERSION,
+};
 pub use config::{EngineConfig, FaultSpec, RecoverySpec, SlowdownSpec};
 pub use engine::{HostFailure, SimulatorEngine};
 pub use event::{Event, EventKind};

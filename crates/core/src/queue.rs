@@ -70,6 +70,24 @@ impl EventQueue {
     pub fn total_pushed(&self) -> u64 {
         self.pushed
     }
+
+    /// The pending events in deterministic `(time, seq)` order, plus the
+    /// `(next_seq, pushed)` counters — everything a checkpoint needs to
+    /// reconstruct a queue that behaves identically to this one.
+    pub(crate) fn snapshot(&self) -> (Vec<Event>, u64, u64) {
+        let mut events: Vec<Event> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        events.sort_unstable();
+        (events, self.next_seq, self.pushed)
+    }
+
+    /// Rebuilds a queue from a [`Self::snapshot`]: every event keeps its
+    /// original sequence number, so same-time ties break exactly as they
+    /// would have in the run that produced the snapshot. The heap's
+    /// internal array layout may differ, but pop order is a total order
+    /// over `(time, seq)`, so the difference is unobservable.
+    pub(crate) fn from_snapshot(events: Vec<Event>, next_seq: u64, pushed: u64) -> Self {
+        EventQueue { heap: events.into_iter().map(Reverse).collect(), next_seq, pushed }
+    }
 }
 
 #[cfg(test)]

@@ -145,6 +145,48 @@ impl SchedulerPolicy for CapacityPolicy {
     fn choose_next_reduce_task(&mut self, jobq: &JobQueue) -> Option<JobId> {
         self.choose(jobq, TaskKind::Reduce)
     }
+
+    /// The whole assignment map is derivable (routing is a pure function
+    /// of the job name), so the blob is a cross-check fingerprint, sorted
+    /// by job id for deterministic bytes.
+    fn snapshot(&self) -> Vec<u8> {
+        let mut pairs: Vec<(JobId, usize)> =
+            self.assignment.iter().map(|(&j, &q)| (j, q)).collect();
+        pairs.sort_unstable();
+        let mut out = Vec::with_capacity(4 + pairs.len() * 8);
+        crate::snap::put_u32(&mut out, pairs.len() as u32);
+        for (job, queue) in pairs {
+            crate::snap::put_u32(&mut out, job.0);
+            crate::snap::put_u32(&mut out, queue as u32);
+        }
+        out
+    }
+
+    /// Verifies the assignment rebuilt by the arrival-hook replay against
+    /// the captured one — a resume under a different queue list parses
+    /// fine but routes differently, and this is what catches it.
+    fn restore(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut r = crate::snap::Reader::new(blob);
+        let n = r.u32()? as usize;
+        let mut captured = Vec::with_capacity(n);
+        for _ in 0..n {
+            let job = JobId(r.u32()?);
+            let queue = r.u32()? as usize;
+            captured.push((job, queue));
+        }
+        r.done()?;
+        let mut rebuilt: Vec<(JobId, usize)> =
+            self.assignment.iter().map(|(&j, &q)| (j, q)).collect();
+        rebuilt.sort_unstable();
+        if rebuilt != captured {
+            return Err(format!(
+                "capacity queue assignments diverged from the checkpoint (rebuilt {} \
+                 assignments, captured {n}) — was the policy built with the same queue list?",
+                rebuilt.len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,27 @@ impl SchedulerPolicy for MaxEdfPolicy {
             "maxedf",
         );
     }
+
+    /// The deadline index is rebuilt by the hook replay (a rebuilt index
+    /// has no lazy-deletion debt, which is behaviorally invisible), so
+    /// only the construction flags need cross-checking.
+    fn snapshot(&self) -> Vec<u8> {
+        vec![self.preemptive as u8, self.full_scan as u8]
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut r = crate::snap::Reader::new(blob);
+        let (preemptive, full_scan) = (r.u8()? != 0, r.u8()? != 0);
+        r.done()?;
+        if preemptive != self.preemptive || full_scan != self.full_scan {
+            return Err(format!(
+                "maxedf variant mismatch: checkpoint taken with preemptive={preemptive}, \
+                 full_scan={full_scan}; resuming policy has preemptive={}, full_scan={}",
+                self.preemptive, self.full_scan
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// EDF ordering with model-derived minimal resource allocation.
@@ -385,6 +406,55 @@ impl SchedulerPolicy for MinEdfPolicy {
             jobq.entries().iter().map(|e| (e, self.under_map_cap(e), self.under_reduce_cap(e))),
             "minedf",
         );
+    }
+
+    /// Variant flags plus the live wanted allocations, sorted by job id.
+    /// The allocations are derivable (the arrival replay recomputes them
+    /// from the bounds model), so the blob is a cross-check: a resume
+    /// with different presets routes every job through the same replay
+    /// but lands on different caps, and this is what catches it.
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = vec![self.preemptive as u8, self.full_scan as u8];
+        let live: Vec<(u32, SlotAllocation)> =
+            self.wanted.iter().enumerate().filter_map(|(i, w)| w.map(|w| (i as u32, w))).collect();
+        crate::snap::put_u32(&mut out, live.len() as u32);
+        for (job, w) in live {
+            crate::snap::put_u32(&mut out, job);
+            crate::snap::put_u32(&mut out, w.maps as u32);
+            crate::snap::put_u32(&mut out, w.reduces as u32);
+        }
+        out
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut r = crate::snap::Reader::new(blob);
+        let (preemptive, full_scan) = (r.u8()? != 0, r.u8()? != 0);
+        if preemptive != self.preemptive || full_scan != self.full_scan {
+            return Err(format!(
+                "minedf variant mismatch: checkpoint taken with preemptive={preemptive}, \
+                 full_scan={full_scan}; resuming policy has preemptive={}, full_scan={}",
+                self.preemptive, self.full_scan
+            ));
+        }
+        let n = r.u32()? as usize;
+        let mut captured = Vec::with_capacity(n);
+        for _ in 0..n {
+            let job = r.u32()?;
+            let maps = r.u32()? as usize;
+            let reduces = r.u32()? as usize;
+            captured.push((job, SlotAllocation { maps, reduces }));
+        }
+        r.done()?;
+        let rebuilt: Vec<(u32, SlotAllocation)> =
+            self.wanted.iter().enumerate().filter_map(|(i, w)| w.map(|w| (i as u32, w))).collect();
+        if rebuilt != captured {
+            return Err(format!(
+                "minedf wanted allocations diverged from the checkpoint (rebuilt {}, captured \
+                 {n}) — was the policy built with the same presets?",
+                rebuilt.len()
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -641,6 +641,64 @@ impl SchedulerPolicy for HierPolicy {
         }
     }
 
+    /// Almost everything is derivable from the hook replay (routing,
+    /// subtree counters, leaf FIFOs); the starvation clocks are not —
+    /// *when* a pool dropped below its min share drives preemption timing
+    /// — so they are captured, alongside an assignment fingerprint that
+    /// catches a resume under a different pool tree.
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        crate::snap::put_u32(&mut out, self.nodes.len() as u32);
+        for since in &self.starved_since {
+            crate::snap::put_opt_u64(&mut out, since.map(|t| t.as_millis()));
+        }
+        let mut pairs: Vec<(JobId, usize)> =
+            self.assignment.iter().map(|(&j, &l)| (j, l)).collect();
+        pairs.sort_unstable();
+        crate::snap::put_u32(&mut out, pairs.len() as u32);
+        for (job, leaf) in pairs {
+            crate::snap::put_u32(&mut out, job.0);
+            crate::snap::put_u32(&mut out, leaf as u32);
+        }
+        out
+    }
+
+    fn restore(&mut self, blob: &[u8]) -> Result<(), String> {
+        let mut r = crate::snap::Reader::new(blob);
+        let n_nodes = r.u32()? as usize;
+        if n_nodes != self.nodes.len() {
+            return Err(format!(
+                "hier pool tree has {} nodes but the checkpoint was taken with {n_nodes} — \
+                 was the policy built with the same pool spec?",
+                self.nodes.len()
+            ));
+        }
+        let mut starved = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            starved.push(r.opt_u64()?.map(SimTime::from_millis));
+        }
+        let n = r.u32()? as usize;
+        let mut captured = Vec::with_capacity(n);
+        for _ in 0..n {
+            let job = JobId(r.u32()?);
+            let leaf = r.u32()? as usize;
+            captured.push((job, leaf));
+        }
+        r.done()?;
+        let mut rebuilt: Vec<(JobId, usize)> =
+            self.assignment.iter().map(|(&j, &l)| (j, l)).collect();
+        rebuilt.sort_unstable();
+        if rebuilt != captured {
+            return Err(format!(
+                "hier pool assignments diverged from the checkpoint (rebuilt {} assignments, \
+                 captured {n}) — was the policy built with the same pool spec?",
+                rebuilt.len()
+            ));
+        }
+        self.starved_since = starved;
+        Ok(())
+    }
+
     fn next_wakeup(&mut self, jobq: &JobQueue) -> Option<SimTime> {
         self.refresh_starvation(jobq);
         let now = jobq.now;

@@ -70,6 +70,7 @@ pub mod fair;
 pub mod fifo;
 pub mod hier;
 pub mod pool;
+mod snap;
 
 pub use capacity::{CapacityPolicy, QueueConfig};
 pub use edf::{MaxEdfPolicy, MinEdfPolicy};
@@ -144,7 +145,13 @@ impl fmt::Display for PolicyParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PolicyParseError::UnknownPolicy { given } => {
-                write!(f, "unknown policy {given:?}; valid policies: {}", POLICY_NAMES.join(", "))
+                write!(
+                    f,
+                    "unknown policy {given:?}; valid policies: {}; the parameterized families \
+                     also take specs, e.g. \"capacity:prod=3,adhoc=1\" or \
+                     \"hier:prod[w=3,min=4,timeout=30]{{etl,serving}},adhoc\"",
+                    POLICY_NAMES.join(", ")
+                )
             }
             PolicyParseError::InvalidParams { policy, reason } => {
                 write!(f, "invalid parameters for policy {policy:?}: {reason}")
@@ -346,6 +353,14 @@ mod tests {
         let msg = err.to_string();
         for name in POLICY_NAMES {
             assert!(msg.contains(name), "{msg}");
+        }
+        // one worked example per parameterized family, and both examples
+        // must actually parse
+        for example in
+            ["capacity:prod=3,adhoc=1", "hier:prod[w=3,min=4,timeout=30]{etl,serving},adhoc"]
+        {
+            assert!(msg.contains(example), "{msg}");
+            assert!(parse_policy(example).is_ok(), "error message suggests a broken spec");
         }
     }
 

@@ -1,0 +1,84 @@
+//! Little-endian byte helpers shared by the policy `snapshot`/`restore`
+//! implementations (see [`simmr_core::SchedulerPolicy::snapshot`]).
+//!
+//! Policy blobs are tiny and embedded inside an `EngineCheckpoint`, which
+//! already carries the magic/version/CRC framing — these helpers only
+//! provide bounds-checked field access with `String` errors, matching the
+//! `restore` hook's error type.
+
+/// Appends a `u32` in little-endian order.
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an optional `u64` as a tag byte plus the value.
+pub(crate) fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+    }
+}
+
+/// Bounds-checked reader over a policy blob.
+pub(crate) struct Reader<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Reader<'b> {
+    pub(crate) fn new(buf: &'b [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(format!(
+                "policy snapshot blob is truncated ({} bytes, wanted {} more at offset {})",
+                self.buf.len(),
+                n,
+                self.pos
+            ));
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, String> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(format!("policy snapshot blob has an invalid option tag {t}")),
+        }
+    }
+
+    /// Asserts the blob was consumed exactly.
+    pub(crate) fn done(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!("policy snapshot blob has {} trailing bytes", self.buf.len() - self.pos))
+        }
+    }
+}

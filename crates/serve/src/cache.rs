@@ -1,13 +1,16 @@
-//! The serve layer's memo cache: canonical scenario key → serialized
-//! report.
+//! The serve layer's memo caches: canonical scenario key → serialized
+//! report, and prefix key → serialized engine checkpoint.
 //!
 //! The engine is deterministic, and [`crate::ScenarioSpec::canonical_key`]
 //! pins everything a run depends on, so caching the *serialized* report
 //! body is sound: a hit returns the exact bytes the first computation
 //! produced, which is the property the serve protocol promises (cache
-//! status travels in a response header, never in the body). Keys hash to
-//! one of a fixed set of shards, each its own mutex, so concurrent
-//! requests rarely contend.
+//! status travels in a response header, never in the body). The same
+//! argument covers checkpoints ([`CkptCache`]): a prefix key plus the
+//! checkpoint instant pins the encoded [`simmr_core::EngineCheckpoint`]
+//! byte for byte, so fork scenarios sharing a prefix warm-start from one
+//! memoized prefix run. Keys hash to one of a fixed set of shards, each
+//! its own mutex, so concurrent requests rarely contend.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,23 +30,30 @@ pub struct CacheStats {
 
 serde::impl_serde_struct!(CacheStats { entries, hits, misses });
 
-/// A sharded map from canonical scenario key to the serialized report.
+/// A sharded map from canonical key to an immutable memoized value.
 ///
-/// Values are `Arc<str>` so a hit is a pointer clone, not a body copy.
+/// Values are `Arc`s so a hit is a pointer clone, not a body copy.
 /// Each shard is capped; a shard that fills up is wholesale cleared (the
 /// cache is a pure memo — dropping entries only costs recomputation).
-pub struct ReportCache {
-    shards: Vec<Mutex<HashMap<String, Arc<str>>>>,
+pub struct MemoCache<V: Clone> {
+    shards: Vec<Mutex<HashMap<String, V>>>,
     shard_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl ReportCache {
+/// Canonical scenario key → serialized report body.
+pub type ReportCache = MemoCache<Arc<str>>;
+
+/// Prefix scenario key + checkpoint instant → encoded
+/// [`simmr_core::EngineCheckpoint`] bytes.
+pub type CkptCache = MemoCache<Arc<[u8]>>;
+
+impl<V: Clone> MemoCache<V> {
     /// A cache with `shards` independent shards of at most `shard_cap`
     /// entries each (both clamped to ≥ 1).
     pub fn new(shards: usize, shard_cap: usize) -> Self {
-        ReportCache {
+        MemoCache {
             shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
             shard_cap: shard_cap.max(1),
             hits: AtomicU64::new(0),
@@ -52,7 +62,7 @@ impl ReportCache {
     }
 
     /// Looks a key up, counting the hit or miss.
-    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+    pub fn get(&self, key: &str) -> Option<V> {
         let found = self.shard(key).lock().expect("cache shard poisoned").get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -61,8 +71,8 @@ impl ReportCache {
         found
     }
 
-    /// Stores a computed report body under its key.
-    pub fn insert(&self, key: String, body: Arc<str>) {
+    /// Stores a computed value under its key.
+    pub fn insert(&self, key: String, body: V) {
         let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
         if shard.len() >= self.shard_cap && !shard.contains_key(&key) {
             shard.clear();
@@ -89,7 +99,7 @@ impl ReportCache {
         }
     }
 
-    fn shard(&self, key: &str) -> &Mutex<HashMap<String, Arc<str>>> {
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, V>> {
         // FNV-1a: cheap, stable, good enough to spread canonical keys
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in key.bytes() {

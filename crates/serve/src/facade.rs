@@ -11,12 +11,16 @@
 //! [`ScenarioSpec::canonical_key`] — fully determines the report byte
 //! for byte, which is what makes the serve layer's memo cache sound.
 
-use simmr_core::{EngineConfig, FaultSpec, JobSource, RecoverySpec, SimulatorEngine};
+use crate::cache::CkptCache;
+use simmr_core::{
+    Divergence, EngineCheckpoint, EngineConfig, FaultSpec, ForkSpec, JobSource, RecoverySpec,
+    SimulatorEngine,
+};
 use simmr_sched::PolicySpec;
 use simmr_stats::parallel_sweep;
 use simmr_stats::{Dist, SeededRng};
 use simmr_trace::{digest_trace, BinTraceSource, TraceDatabase, TraceDigest};
-use simmr_types::{ClusterSpec, JobSpec, SimTime, SimulationReport, WorkloadTrace};
+use simmr_types::{ClusterSpec, HostId, JobSpec, SimTime, SimulationReport, WorkloadTrace};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -76,6 +80,119 @@ impl serde::Deserialize for TraceRef {
     }
 }
 
+/// One serializable fork divergence, applied at the scenario's
+/// `fork_at` instant (see [`simmr_core::Divergence`] for semantics).
+///
+/// Serialized as an object with exactly one key:
+/// `{"policy": SPEC}` — hand the live queue to a different policy;
+/// `{"add_slots": {"maps": N, "reduces": M}}` — grow the slot pools;
+/// `{"fault": {"host": H, "at": MS}}` — permanently fail a host;
+/// `{"surge": [JOB, ...]}` — inject extra job arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DivergenceSpec {
+    /// Swap the scheduling policy from the fork instant on.
+    Policy(PolicySpec),
+    /// Grow the map/reduce slot pools (grow-only, like the engine).
+    AddSlots {
+        /// Extra map slots.
+        map_slots: usize,
+        /// Extra reduce slots.
+        reduce_slots: usize,
+    },
+    /// Permanently fail a host no earlier than the given instant (ms).
+    Fault {
+        /// Host to fail (host 0 never fails).
+        host: u32,
+        /// Failure instant in ms; clamped past the fork boundary.
+        at_ms: u64,
+    },
+    /// Inject extra jobs (arrivals clamped past the fork boundary).
+    Surge(Vec<JobSpec>),
+}
+
+impl DivergenceSpec {
+    /// The engine-side divergence this spec describes.
+    fn build(&self) -> Divergence {
+        match self {
+            DivergenceSpec::Policy(p) => Divergence::PolicySwap(p.build()),
+            DivergenceSpec::AddSlots { map_slots, reduce_slots } => {
+                Divergence::AddSlots { map_slots: *map_slots, reduce_slots: *reduce_slots }
+            }
+            DivergenceSpec::Fault { host, at_ms } => {
+                Divergence::InjectFault { host: HostId(*host), at: SimTime::from_millis(*at_ms) }
+            }
+            DivergenceSpec::Surge(jobs) => Divergence::ArrivalSurge(jobs.clone()),
+        }
+    }
+}
+
+impl serde::Serialize for DivergenceSpec {
+    fn to_value(&self) -> serde::Value {
+        let (key, v) = match self {
+            DivergenceSpec::Policy(p) => ("policy", p.to_value()),
+            DivergenceSpec::AddSlots { map_slots, reduce_slots } => (
+                "add_slots",
+                serde::Value::Object(vec![
+                    ("maps".to_owned(), map_slots.to_value()),
+                    ("reduces".to_owned(), reduce_slots.to_value()),
+                ]),
+            ),
+            DivergenceSpec::Fault { host, at_ms } => (
+                "fault",
+                serde::Value::Object(vec![
+                    ("host".to_owned(), host.to_value()),
+                    ("at".to_owned(), at_ms.to_value()),
+                ]),
+            ),
+            DivergenceSpec::Surge(jobs) => ("surge", jobs.to_value()),
+        };
+        serde::Value::Object(vec![(key.to_owned(), v)])
+    }
+}
+
+impl serde::Deserialize for DivergenceSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Object(pairs) = v else {
+            return Err(serde::DeError::new(format!("expected divergence object, got {v:?}")));
+        };
+        if pairs.len() != 1 {
+            return Err(serde::DeError::new(
+                "divergence must have exactly one of `policy`, `add_slots`, `fault`, `surge`",
+            ));
+        }
+        let (key, val) = &pairs[0];
+        match key.as_str() {
+            "policy" => PolicySpec::from_value(val).map(DivergenceSpec::Policy),
+            "add_slots" => {
+                let sub = |name: &str| match val.get(name) {
+                    None | Some(serde::Value::Null) => Ok(0usize),
+                    Some(fv) => usize::from_value(fv)
+                        .map_err(|e| serde::DeError::new(format!("add_slots.{name}: {e}"))),
+                };
+                Ok(DivergenceSpec::AddSlots {
+                    map_slots: sub("maps")?,
+                    reduce_slots: sub("reduces")?,
+                })
+            }
+            "fault" => {
+                let host = match val.get("host") {
+                    Some(fv) => u32::from_value(fv)
+                        .map_err(|e| serde::DeError::new(format!("fault.host: {e}")))?,
+                    None => return Err(serde::DeError::new("fault divergence needs `host`")),
+                };
+                let at_ms = match val.get("at") {
+                    None | Some(serde::Value::Null) => 0,
+                    Some(fv) => u64::from_value(fv)
+                        .map_err(|e| serde::DeError::new(format!("fault.at: {e}")))?,
+                };
+                Ok(DivergenceSpec::Fault { host, at_ms })
+            }
+            "surge" => Vec::<JobSpec>::from_value(val).map(DivergenceSpec::Surge),
+            other => Err(serde::DeError::new(format!("unknown divergence kind `{other}`"))),
+        }
+    }
+}
+
 /// The complete, serializable description of one simulation run.
 ///
 /// Construct with [`ScenarioSpec::new`] (which fills the CLI's defaults)
@@ -114,6 +231,13 @@ pub struct ScenarioSpec {
     pub timeline: bool,
     /// Run the engine's runtime invariant checker.
     pub check_invariants: bool,
+    /// Fork instant in ms: run the scenario as a *fork* of its own
+    /// prefix — the prefix runs (or warm-starts from a memoized
+    /// checkpoint) up to the last settled batch boundary ≤ this instant,
+    /// then `divergences` apply and the suffix runs to completion.
+    pub fork_at: Option<u64>,
+    /// Divergences applied at `fork_at`, in order. Needs `fork_at`.
+    pub divergences: Vec<DivergenceSpec>,
 }
 
 impl ScenarioSpec {
@@ -135,6 +259,8 @@ impl ScenarioSpec {
             aggregate: false,
             timeline: false,
             check_invariants: false,
+            fork_at: None,
+            divergences: Vec::new(),
         }
     }
 
@@ -163,6 +289,16 @@ impl ScenarioSpec {
         }
         if let Some(s) = &mut self.slowstart {
             *s = s.clamp(0.0, 1.0);
+        }
+        if self.divergences.is_empty() {
+            // a fork with no divergences replays the base scenario
+            // byte-identically, so it shares the base cache entry
+            self.fork_at = None;
+        }
+        for d in &mut self.divergences {
+            if let DivergenceSpec::Policy(PolicySpec::Capacity { queues }) = d {
+                queues.sort_by(|a, b| a.0.cmp(&b.0));
+            }
         }
     }
 
@@ -193,6 +329,36 @@ impl ScenarioSpec {
         if let Some(df) = self.deadline_factor {
             if !df.is_finite() {
                 return bad("deadline_factor must be finite");
+            }
+        }
+        if !self.divergences.is_empty() && self.fork_at.is_none() {
+            return bad("divergences need fork_at (the fork instant in ms)");
+        }
+        for d in &self.divergences {
+            match d {
+                DivergenceSpec::Fault { host, .. } => {
+                    if self.cluster.hosts < 2 {
+                        return bad("a fork fault needs a cluster of at least 2 hosts");
+                    }
+                    if *host == 0 || *host as usize >= self.cluster.hosts {
+                        return Err(FacadeError::BadSpec(format!(
+                            "fork fault names host {host} of a {}-host cluster \
+                             (host 0 never fails)",
+                            self.cluster.hosts
+                        )));
+                    }
+                }
+                DivergenceSpec::Surge(jobs) => {
+                    if jobs.is_empty() {
+                        return bad("a surge divergence needs at least one job");
+                    }
+                    for job in jobs {
+                        job.template.validate().map_err(|e| {
+                            FacadeError::BadSpec(format!("surge job template invalid: {e}"))
+                        })?;
+                    }
+                }
+                DivergenceSpec::Policy(_) | DivergenceSpec::AddSlots { .. } => {}
             }
         }
         Ok(())
@@ -256,6 +422,15 @@ impl ScenarioSpec {
         }
         config
     }
+
+    /// The engine-side fork this spec describes (meaningful only when
+    /// `fork_at` is set).
+    fn fork_spec(&self) -> ForkSpec {
+        ForkSpec::new(
+            SimTime::from_millis(self.fork_at.unwrap_or(0)),
+            self.divergences.iter().map(DivergenceSpec::build).collect(),
+        )
+    }
 }
 
 impl serde::Serialize for ScenarioSpec {
@@ -275,6 +450,8 @@ impl serde::Serialize for ScenarioSpec {
             ("aggregate".to_owned(), self.aggregate.to_value()),
             ("timeline".to_owned(), self.timeline.to_value()),
             ("check_invariants".to_owned(), self.check_invariants.to_value()),
+            ("fork_at".to_owned(), self.fork_at.to_value()),
+            ("divergences".to_owned(), self.divergences.to_value()),
         ])
     }
 }
@@ -318,6 +495,8 @@ impl serde::Deserialize for ScenarioSpec {
             aggregate: field_or(v, "aggregate", false)?,
             timeline: field_or(v, "timeline", false)?,
             check_invariants: field_or(v, "check_invariants", false)?,
+            fork_at: field(v, "fork_at")?,
+            divergences: field_or(v, "divergences", Vec::new())?,
         })
     }
 }
@@ -370,17 +549,99 @@ pub struct ResolvedScenario {
 
 impl ResolvedScenario {
     /// Runs the scenario. Deterministic: equal `key` ⇒ byte-identical
-    /// report.
+    /// report. Fork scenarios run their prefix from scratch here; pass a
+    /// [`CkptCache`] to [`Self::run_warm`] to memoize the prefix instead.
     pub fn run(&self) -> FacadeRun {
+        if self.spec.fork_at.is_some() {
+            let report = SimulatorEngine::new(
+                self.spec.engine_config(),
+                &self.trace,
+                self.spec.policy.build(),
+            )
+            .run_forked(self.spec.fork_spec())
+            .expect("fork divergences are validated at resolve time");
+            return self.wrap(report, None);
+        }
         let report =
             SimulatorEngine::new(self.spec.engine_config(), &self.trace, self.spec.policy.build())
                 .run();
+        self.wrap(report, None)
+    }
+
+    /// Runs the scenario, warm-starting fork scenarios from the memoized
+    /// prefix checkpoint in `ckpts` (computing and caching it on a miss).
+    /// Byte-identical to [`Self::run`] — the warm path and the
+    /// from-scratch path share the engine's fork application verbatim.
+    pub fn run_warm(&self, ckpts: &CkptCache) -> FacadeRun {
+        let Some(key) = self.ckpt_key() else { return self.run() };
+        let (hit, ckpt) = match ckpts.get(&key) {
+            Some(bytes) => (
+                true,
+                EngineCheckpoint::decode(&bytes)
+                    .expect("cached checkpoint bytes decode (they were encoded right here)"),
+            ),
+            None => {
+                let at = SimTime::from_millis(self.spec.fork_at.expect("fork key implies fork_at"));
+                let ckpt = self.checkpoint(at);
+                ckpts.insert(key, ckpt.encode().into());
+                (false, ckpt)
+            }
+        };
+        let mut engine = SimulatorEngine::resume_materialized(
+            self.spec.engine_config(),
+            &ckpt,
+            self.spec.policy.build(),
+        )
+        .expect("checkpoint was captured under this exact prefix spec");
+        engine
+            .apply_fork(self.spec.fork_spec())
+            .expect("fork divergences are validated at resolve time");
+        let report = engine.try_run().expect("materialized engines cannot hit source errors");
+        self.wrap(report, Some(hit))
+    }
+
+    /// Runs the scenario's prefix (fork fields excluded) and captures the
+    /// engine checkpoint at the last settled batch boundary ≤ `at`.
+    pub fn checkpoint(&self, at: SimTime) -> EngineCheckpoint {
+        SimulatorEngine::new(self.spec.engine_config(), &self.trace, self.spec.policy.build())
+            .checkpoint_at(at)
+            .expect("materialized engines cannot hit source errors")
+    }
+
+    /// The memo key of the prefix checkpoint a fork scenario warm-starts
+    /// from: the canonical key of the scenario *without* its fork fields,
+    /// plus the fork instant. `None` for non-fork scenarios — note that
+    /// fork scenarios differing only in divergences share this key, which
+    /// is exactly what makes sweep fan-outs run the prefix once.
+    pub fn ckpt_key(&self) -> Option<String> {
+        let at = self.spec.fork_at?;
+        let mut prefix = self.spec.clone();
+        prefix.fork_at = None;
+        prefix.divergences.clear();
+        Some(format!("{}|ckpt@{at}", prefix.canonical_key(self.digest)))
+    }
+
+    /// Ensures the prefix checkpoint of a fork scenario is resident in
+    /// `ckpts`, returning whether it already was. Non-fork scenarios are
+    /// a no-op `true`.
+    pub fn ensure_ckpt(&self, ckpts: &CkptCache) -> bool {
+        let Some(key) = self.ckpt_key() else { return true };
+        if ckpts.get(&key).is_some() {
+            return true;
+        }
+        let at = SimTime::from_millis(self.spec.fork_at.expect("fork key implies fork_at"));
+        ckpts.insert(key, self.checkpoint(at).encode().into());
+        false
+    }
+
+    fn wrap(&self, report: SimulationReport, ckpt: Option<bool>) -> FacadeRun {
         FacadeRun {
             jobs: report.jobs.len(),
             report,
             digest: Some(self.digest),
             key: Some(self.key.clone()),
             streamed: false,
+            ckpt,
         }
     }
 }
@@ -400,6 +661,10 @@ pub struct FacadeRun {
     pub key: Option<String>,
     /// Whether the trace streamed through the engine unmaterialized.
     pub streamed: bool,
+    /// For fork scenarios run via [`ResolvedScenario::run_warm`]:
+    /// whether the prefix checkpoint came from the memo (`Some(true)`)
+    /// or was computed (`Some(false)`). `None` otherwise.
+    pub ckpt: Option<bool>,
 }
 
 /// Loads and validates a trace file, sniffing JSON vs SIMMRBIN by magic.
@@ -535,7 +800,13 @@ impl SimFacade {
     /// or cache key.
     pub fn run(&self, spec: &ScenarioSpec) -> Result<FacadeRun, FacadeError> {
         if let TraceRef::Path(path) = &spec.trace {
-            if spec.deadline_factor.is_none() && file_is_binary_trace(path) {
+            // forks need the materialized resume path, deadline stamping
+            // rewrites the trace — both opt out of streaming
+            if spec.deadline_factor.is_none()
+                && spec.fork_at.is_none()
+                && spec.divergences.is_empty()
+                && file_is_binary_trace(path)
+            {
                 let mut spec = spec.clone();
                 spec.normalize();
                 spec.validate()?;
@@ -549,7 +820,14 @@ impl SimFacade {
                 )
                 .try_run()
                 .map_err(|e| FacadeError::Trace(e.to_string()))?;
-                return Ok(FacadeRun { report, jobs, digest: None, key: None, streamed: true });
+                return Ok(FacadeRun {
+                    report,
+                    jobs,
+                    digest: None,
+                    key: None,
+                    streamed: true,
+                    ckpt: None,
+                });
             }
         }
         Ok(self.resolve(spec)?.run())
@@ -749,5 +1027,102 @@ mod tests {
         assert_eq!(resolved.trace.jobs[1].deadline, manual.jobs[1].deadline);
         // the digest is of the stored trace, not the stamped one
         assert_eq!(resolved.digest, digest_trace(&tiny_trace()).unwrap());
+    }
+
+    fn forked_spec(at: u64, divergences: Vec<DivergenceSpec>) -> ScenarioSpec {
+        let mut s = spec();
+        s.cluster = ClusterSpec::new(4, 4).with_hosts(4);
+        s.fork_at = Some(at);
+        s.divergences = divergences;
+        s
+    }
+
+    #[test]
+    fn fork_fields_serde_round_trip_and_minimal_json() {
+        let s = forked_spec(
+            700,
+            vec![
+                DivergenceSpec::Policy("fair".parse().unwrap()),
+                DivergenceSpec::AddSlots { map_slots: 2, reduce_slots: 0 },
+                DivergenceSpec::Fault { host: 2, at_ms: 900 },
+                DivergenceSpec::Surge(tiny_trace().jobs),
+            ],
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // minimal spellings: absent sub-fields default to 0
+        let minimal: ScenarioSpec = serde_json::from_str(
+            r#"{"trace": "t", "policy": "fifo", "fork_at": 700, "divergences":
+                [{"add_slots": {"maps": 3}}, {"fault": {"host": 1}}, {"policy": "maxedf"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(minimal.fork_at, Some(700));
+        assert_eq!(
+            minimal.divergences,
+            vec![
+                DivergenceSpec::AddSlots { map_slots: 3, reduce_slots: 0 },
+                DivergenceSpec::Fault { host: 1, at_ms: 0 },
+                DivergenceSpec::Policy("maxedf".parse().unwrap()),
+            ]
+        );
+        // malformed divergences are rejected, not ignored
+        for bad in [
+            r#"{"trace": "t", "policy": "fifo", "divergences": [{"warp": 9}]}"#,
+            r#"{"trace": "t", "policy": "fifo", "divergences": [{"policy": "fifo", "fault": {"host": 1}}]}"#,
+        ] {
+            assert!(serde_json::from_str::<ScenarioSpec>(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn fork_validation_rejections() {
+        let mut s = spec();
+        s.divergences.push(DivergenceSpec::Policy(PolicySpec::Fifo));
+        assert!(matches!(s.validate(), Err(FacadeError::BadSpec(_))), "divergences need fork_at");
+        for host in [0u32, 9] {
+            let s = forked_spec(700, vec![DivergenceSpec::Fault { host, at_ms: 0 }]);
+            assert!(s.validate().is_err(), "host {host} is not a failable host of 4");
+        }
+        let mut s = forked_spec(700, vec![DivergenceSpec::Fault { host: 2, at_ms: 0 }]);
+        assert!(s.validate().is_ok());
+        s.cluster = ClusterSpec::new(4, 4);
+        assert!(s.validate().is_err(), "a single-host cluster has no failable host");
+        let s = forked_spec(700, vec![DivergenceSpec::Surge(Vec::new())]);
+        assert!(s.validate().is_err(), "an empty surge is a spec mistake");
+    }
+
+    #[test]
+    fn normalize_drops_fork_without_divergences() {
+        let mut s = spec();
+        s.fork_at = Some(500);
+        s.normalize();
+        assert_eq!(s.fork_at, None, "a fork with no divergences is the base scenario");
+        // ...so it shares the base scenario's cache identity
+        let digest = digest_trace(&tiny_trace()).unwrap();
+        let mut forked = spec();
+        forked.fork_at = Some(500);
+        assert_eq!(forked.canonical_key(digest), spec().canonical_key(digest));
+    }
+
+    #[test]
+    fn warm_fork_matches_cold_and_shares_checkpoints() {
+        let facade = SimFacade::new();
+        let ckpts = CkptCache::new(4, 64);
+        let a = forked_spec(700, vec![DivergenceSpec::Policy("fair".parse().unwrap())]);
+        let b = forked_spec(700, vec![DivergenceSpec::AddSlots { map_slots: 2, reduce_slots: 2 }]);
+        let ra = facade.resolve(&a).unwrap();
+        let rb = facade.resolve(&b).unwrap();
+        assert_eq!(ra.ckpt_key(), rb.ckpt_key(), "divergences don't change the prefix identity");
+        assert!(ra.ckpt_key().is_some());
+        let cold = ra.run();
+        assert_eq!(cold.ckpt, None);
+        let warm = ra.run_warm(&ckpts);
+        assert_eq!(warm.ckpt, Some(false), "first warm run computes the checkpoint");
+        assert_eq!(warm.report, cold.report, "warm-start is byte-identical to the cold fork");
+        let sibling = rb.run_warm(&ckpts);
+        assert_eq!(sibling.ckpt, Some(true), "sibling scenario reuses the cached prefix");
+        assert_eq!(sibling.report, rb.run().report);
+        assert_eq!(ckpts.len(), 1, "one shared prefix checkpoint");
     }
 }

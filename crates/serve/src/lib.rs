@@ -37,9 +37,9 @@ pub mod facade;
 pub mod http;
 pub mod server;
 
-pub use cache::{CacheStats, ReportCache};
+pub use cache::{CacheStats, CkptCache, MemoCache, ReportCache};
 pub use facade::{
-    attach_deadlines, load_trace_file, FacadeError, FacadeRun, ResolvedScenario, ScenarioSpec,
-    SimFacade, TraceRef,
+    attach_deadlines, load_trace_file, DivergenceSpec, FacadeError, FacadeRun, ResolvedScenario,
+    ScenarioSpec, SimFacade, TraceRef,
 };
 pub use server::{ServeConfig, Server};

@@ -19,7 +19,7 @@
 //! Every piece of state lives in one [`ServerState`] value shared by
 //! `Arc` — no globals, so tests run servers side by side in one process.
 
-use crate::cache::ReportCache;
+use crate::cache::{CkptCache, ReportCache};
 use crate::facade::{FacadeError, ResolvedScenario, ScenarioSpec, SimFacade};
 use crate::http::{ChunkedWriter, HttpError, Request, Response};
 use simmr_sched::PolicySpec;
@@ -65,6 +65,7 @@ impl Default for ServeConfig {
 struct ServerState {
     facade: SimFacade,
     cache: ReportCache,
+    ckpts: CkptCache,
     stop: AtomicBool,
     addr: SocketAddr,
 }
@@ -105,6 +106,7 @@ impl Server {
             state: Arc::new(ServerState {
                 facade,
                 cache: ReportCache::new(config.cache_shards, config.cache_shard_cap),
+                ckpts: CkptCache::new(config.cache_shards, config.cache_shard_cap),
                 stop: AtomicBool::new(false),
                 addr,
             }),
@@ -217,6 +219,7 @@ fn healthz(state: &ServerState) -> Response {
     let v = serde::Value::Object(vec![
         ("status".to_owned(), serde::Value::Str("ok".to_owned())),
         ("cache".to_owned(), serde::Serialize::to_value(&state.cache.stats())),
+        ("checkpoints".to_owned(), serde::Serialize::to_value(&state.ckpts.stats())),
     ]);
     Response::json(200, serde_json::to_string(&v).expect("value serializes"))
 }
@@ -235,9 +238,19 @@ fn traces(state: &ServerState) -> Response {
         .map(|(name, status)| {
             let mut pairs = vec![("name".to_owned(), serde::Value::Str(name.clone()))];
             match status {
-                TraceStatus::Ok { format, jobs, digest } => {
+                TraceStatus::Ok { format, jobs, span, digest } => {
                     pairs.push(("format".to_owned(), serde::Value::Str(format.to_string())));
                     pairs.push(("jobs".to_owned(), serde::Value::U64(*jobs as u64)));
+                    if let Some((first, last)) = span {
+                        pairs.push((
+                            "first_arrival_ms".to_owned(),
+                            serde::Value::U64(first.as_millis()),
+                        ));
+                        pairs.push((
+                            "last_arrival_ms".to_owned(),
+                            serde::Value::U64(last.as_millis()),
+                        ));
+                    }
                     pairs.push(("digest".to_owned(), serde::Value::Str(digest.to_string())));
                 }
                 TraceStatus::Corrupt { format, error } => {
@@ -263,24 +276,29 @@ fn run_one(state: &ServerState, request: &Request) -> Response {
         Ok(r) => r,
         Err(e) => return facade_error_response(&e),
     };
-    let (cached, body) = report_for(state, &resolved);
-    Response::json(200, body.as_bytes().to_vec())
+    let (cached, ckpt, body) = report_for(state, &resolved);
+    let mut response = Response::json(200, body.as_bytes().to_vec())
         .with_header("x-simmr-cache", if cached { "hit" } else { "miss" })
-        .with_header("x-simmr-digest", &resolved.digest.to_string())
+        .with_header("x-simmr-digest", &resolved.digest.to_string());
+    if let Some(hit) = ckpt {
+        response = response.with_header("x-simmr-ckpt", if hit { "hit" } else { "miss" });
+    }
+    response
 }
 
 /// The serialized report for a resolved scenario: from the cache when
 /// present, computed (and cached) otherwise. The returned bytes are
-/// identical either way.
-fn report_for(state: &ServerState, resolved: &ResolvedScenario) -> (bool, Arc<str>) {
+/// identical either way. The middle element is the fork scenario's
+/// checkpoint-memo outcome (`None` for non-forks and report-cache hits).
+fn report_for(state: &ServerState, resolved: &ResolvedScenario) -> (bool, Option<bool>, Arc<str>) {
     if let Some(body) = state.cache.get(&resolved.key) {
-        return (true, body);
+        return (true, None, body);
     }
-    let run = resolved.run();
+    let run = resolved.run_warm(&state.ckpts);
     let body: Arc<str> =
         Arc::from(serde_json::to_string(&run.report).expect("report serializes").as_str());
     state.cache.insert(resolved.key.clone(), Arc::clone(&body));
-    (false, body)
+    (false, run.ckpt, body)
 }
 
 /// A sweep request: a base scenario crossed with policy and seed lists,
@@ -418,12 +436,30 @@ fn prepare_sweep(
             },
         }
     }
+    warm_checkpoints(state, &misses);
     Ok((entries, misses))
 }
 
-/// Runs one resolved miss, caches its report, returns its entry.
+/// Materializes each *distinct* prefix checkpoint the fork scenarios
+/// among `misses` share, fanning the prefix runs out over all cores —
+/// so a sweep of N divergent suffixes over one prefix runs that prefix
+/// exactly once, and every subsequent [`ResolvedScenario::run_warm`]
+/// warm-starts from the memo.
+fn warm_checkpoints(state: &ServerState, misses: &[(usize, ResolvedScenario)]) {
+    let mut seen = std::collections::HashSet::new();
+    let distinct: Vec<&ResolvedScenario> = misses
+        .iter()
+        .filter_map(|(_, r)| r.ckpt_key().filter(|k| seen.insert(k.clone())).map(|_| r))
+        .collect();
+    if !distinct.is_empty() {
+        parallel_sweep(distinct.len(), |i| distinct[i].ensure_ckpt(&state.ckpts));
+    }
+}
+
+/// Runs one resolved miss (warm-starting forks from the checkpoint
+/// memo), caches its report, returns its entry.
 fn run_miss(state: &ServerState, resolved: &ResolvedScenario) -> SweepEntry {
-    let run = resolved.run();
+    let run = resolved.run_warm(&state.ckpts);
     let body: Arc<str> =
         Arc::from(serde_json::to_string(&run.report).expect("report serializes").as_str());
     state.cache.insert(resolved.key.clone(), Arc::clone(&body));

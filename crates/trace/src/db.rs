@@ -16,7 +16,7 @@
 
 use crate::binfmt::{self, BinError};
 use crate::digest::{digest_trace, TraceDigest};
-use simmr_types::WorkloadTrace;
+use simmr_types::{SimTime, WorkloadTrace};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -101,6 +101,9 @@ pub enum TraceStatus {
         format: TraceFormat,
         /// Number of jobs in the trace.
         jobs: usize,
+        /// Earliest and latest job arrival (`None` for an empty trace)
+        /// — the listing's at-a-glance arrival span.
+        span: Option<(SimTime, SimTime)>,
         /// Stable content digest (see [`crate::digest`]) — the
         /// serve-layer cache key component for this trace.
         digest: TraceDigest,
@@ -271,7 +274,12 @@ impl TraceDatabase {
                 let digest = digest_trace(&trace)?;
                 Ok((trace, digest))
             }) {
-                Ok((trace, digest)) => TraceStatus::Ok { format, jobs: trace.len(), digest },
+                Ok((trace, digest)) => TraceStatus::Ok {
+                    format,
+                    jobs: trace.len(),
+                    span: trace.first_arrival().zip(trace.last_arrival()),
+                    digest,
+                },
                 Err(e) => TraceStatus::Corrupt { format, error: e.to_string() },
             };
             out.insert(name.to_string(), status);
@@ -347,13 +355,25 @@ mod tests {
         db.store_bin("b", &sample_trace(2)).unwrap();
         let listing = db.list().unwrap();
         let digest_of = |n| digest_trace(&sample_trace(n)).unwrap();
+        // sample arrivals are 0..n-1 ms, so the span is (0, n-1)
+        let span_of = |n: u64| Some((SimTime::ZERO, SimTime::from_millis(n - 1)));
         assert_eq!(
             listing.get("a"),
-            Some(&TraceStatus::Ok { format: TraceFormat::Json, jobs: 1, digest: digest_of(1) })
+            Some(&TraceStatus::Ok {
+                format: TraceFormat::Json,
+                jobs: 1,
+                span: span_of(1),
+                digest: digest_of(1)
+            })
         );
         assert_eq!(
             listing.get("b"),
-            Some(&TraceStatus::Ok { format: TraceFormat::Bin, jobs: 2, digest: digest_of(2) })
+            Some(&TraceStatus::Ok {
+                format: TraceFormat::Bin,
+                jobs: 2,
+                span: span_of(2),
+                digest: digest_of(2)
+            })
         );
         // digests are queryable directly and addressable in reverse
         assert_eq!(db.digest_of("a").unwrap(), digest_of(1));
@@ -406,6 +426,7 @@ mod tests {
             Some(&TraceStatus::Ok {
                 format: TraceFormat::Json,
                 jobs: 4,
+                span: Some((SimTime::ZERO, SimTime::from_millis(3))),
                 digest: digest_trace(&v1).unwrap()
             })
         );
@@ -427,6 +448,7 @@ mod tests {
             Some(&TraceStatus::Ok {
                 format: TraceFormat::Json,
                 jobs: 2,
+                span: Some((SimTime::ZERO, SimTime::from_millis(1))),
                 digest: digest_trace(&sample_trace(2)).unwrap()
             })
         );

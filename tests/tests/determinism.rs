@@ -4,9 +4,10 @@
 
 use simmr_bench::pipeline::{replay_in_simmr, run_testbed};
 use simmr_cluster::{ClusterConfig, ClusterPolicy};
-use simmr_core::{EngineConfig, SimulatorEngine};
+use simmr_core::{EngineCheckpoint, EngineConfig, FaultSpec, RecoverySpec, SimulatorEngine};
 use simmr_integration::small_job;
 use simmr_sched::parse_policy;
+use simmr_stats::Dist;
 use simmr_trace::FacebookWorkload;
 use simmr_types::SimTime;
 
@@ -55,6 +56,41 @@ fn engine_identical_across_all_policies() {
                 .run()
         };
         assert_eq!(run(0), run(1), "policy {name} not deterministic");
+    }
+}
+
+#[test]
+fn resume_from_checkpoint_is_deterministic() {
+    // Interrupting a seeded run at a checkpoint and resuming — even through
+    // the serialized byte form — must land on the exact report of the
+    // uninterrupted run, for every policy, with the full perturbation stack
+    // (faults, recovery, speculation, slowdowns) armed.
+    let trace = FacebookWorkload { mean_interarrival_ms: 15_000.0 }.generate(30, 7);
+    let config = EngineConfig::new(8, 8)
+        .with_hosts(4)
+        .with_timeline()
+        .with_invariants()
+        .with_faults(FaultSpec { seed: 21, count: 2, mean_interval_ms: 60_000 })
+        .with_recovery(RecoverySpec { seed: 22, mean_ms: 30_000 })
+        .with_speculation(1.5)
+        .with_slowdown(Dist::Exponential { mean: 1.1 }, 23);
+    for name in ["fifo", "maxedf", "minedf-p", "fair", "capacity", "hier"] {
+        let uninterrupted =
+            SimulatorEngine::new(config, &trace, parse_policy(name).unwrap()).try_run().unwrap();
+        let at = SimTime::from_millis(uninterrupted.makespan.as_millis() / 2);
+        let resume = |_: u32| {
+            let ckpt = SimulatorEngine::new(config, &trace, parse_policy(name).unwrap())
+                .checkpoint_at(at)
+                .unwrap();
+            let wire = EngineCheckpoint::decode(&ckpt.encode()).unwrap();
+            SimulatorEngine::resume_materialized(config, &wire, parse_policy(name).unwrap())
+                .unwrap()
+                .try_run()
+                .unwrap()
+        };
+        let a = resume(0);
+        assert_eq!(a, uninterrupted, "policy {name}: resumed run diverged");
+        assert_eq!(a, resume(1), "policy {name}: resume not deterministic");
     }
 }
 

@@ -31,7 +31,10 @@
 
 use proptest::prelude::*;
 use simmr_core::SchedulerPolicy;
-use simmr_core::{EngineConfig, FaultSpec, HostFailure, RecoverySpec, SimulatorEngine};
+use simmr_core::{
+    Divergence, EngineCheckpoint, EngineConfig, FaultSpec, ForkSpec, HostFailure, RecoverySpec,
+    SimulatorEngine,
+};
 use simmr_model::{estimate_completion, JobProfileSummary};
 use simmr_sched::{parse_policy, parse_pool_spec, HierPolicy, MaxEdfPolicy, MinEdfPolicy};
 use simmr_stats::Dist;
@@ -334,6 +337,106 @@ proptest! {
             let reference =
                 SimulatorEngine::new(config, &trace, build(variant, true)).run();
             prop_assert_eq!(incremental, reference, "incremental {} diverged", variant);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// (f) Fork differential oracle for the time-travel checkpoints: for
+    /// every policy, a run under the full perturbation stack (host
+    /// failures, recovery, speculation, per-slot slowdowns) is
+    /// checkpointed at a random instant — through the full binary codec —
+    /// resumed, and a random divergence applied (policy swap, slot grow,
+    /// injected fault, arrival surge). The warm-started report must be
+    /// byte-identical to a from-scratch `run_forked` applying the same
+    /// divergence at the same instant, with the invariant checker armed
+    /// on both sides. This is the `fork-differential` CI step.
+    #[test]
+    fn fork_matches_from_scratch_reference(
+        jobs in proptest::collection::vec(
+            // (maps, reduces, map_ms, sh_ms, red_ms, arrival, deadline_rel, has_deadline)
+            (1usize..6, 0usize..4, 50u64..600, 1u64..60, 1u64..80,
+             0u64..1_200, 50u64..3_000, proptest::bool::ANY),
+            2..12,
+        ),
+        map_slots in 2usize..6,
+        reduce_slots in 1usize..4,
+        hosts in 2usize..5,
+        fault_count in 0u32..3,
+        seed in 0u64..1_000,
+        speculation_on in proptest::bool::ANY,
+        slowdown_on in proptest::bool::ANY,
+        ckpt_percent in 0u64..120, // of the unforked makespan; >100 = past the end
+        divergence_pick in 0usize..4,
+    ) {
+        let mut trace = WorkloadTrace::new("fork-diff", "invariant-harness");
+        for &(maps, reduces, map_ms, sh_ms, red_ms, arrival, deadline_rel, has_deadline) in &jobs {
+            let mut spec = JobSpec::new(
+                uniform_template(maps, reduces, map_ms, sh_ms, red_ms),
+                SimTime::from_millis(arrival),
+            );
+            if has_deadline {
+                spec = spec.with_deadline(SimTime::from_millis(arrival + deadline_rel));
+            }
+            trace.push(spec);
+        }
+        let mut config = EngineConfig::new(map_slots, reduce_slots)
+            .with_hosts(hosts)
+            .with_faults(FaultSpec { seed, count: fault_count, mean_interval_ms: 900 })
+            .with_recovery(RecoverySpec { seed: seed ^ 0xeca, mean_ms: 600 })
+            .with_timeline()
+            .with_invariants();
+        if speculation_on {
+            config = config.with_speculation(1.5);
+        }
+        if slowdown_on {
+            config = config.with_slowdown(
+                Dist::LogNormal { mu: -0.125, sigma: 0.5 },
+                seed ^ 0x5eed,
+            );
+        }
+        for (pi, policy) in POLICIES.iter().enumerate() {
+            let base = SimulatorEngine::new(config, &trace, parse_policy(policy).unwrap()).run();
+            let at = SimTime::from_millis(base.makespan.as_millis() * ckpt_percent / 100);
+            // both sides get an identically-built fork (Divergence holds a
+            // boxed policy, so the spec is rebuilt rather than cloned)
+            let make_fork = || {
+                let divergences = match divergence_pick {
+                    0 => vec![Divergence::PolicySwap(
+                        parse_policy(POLICIES[(pi + 1) % POLICIES.len()]).unwrap(),
+                    )],
+                    1 => vec![Divergence::AddSlots { map_slots: 2, reduce_slots: 1 }],
+                    2 => vec![Divergence::InjectFault {
+                        host: HostId(1 + (seed % (hosts as u64 - 1)) as u32),
+                        at, // at the boundary: clamped to strictly after it
+                    }],
+                    _ => vec![Divergence::ArrivalSurge(vec![JobSpec::new(
+                        uniform_template(3, 1, 120, 10, 20),
+                        SimTime::ZERO, // before the boundary: clamped
+                    )])],
+                };
+                ForkSpec::new(at, divergences)
+            };
+            let reference = SimulatorEngine::new(config, &trace, parse_policy(policy).unwrap())
+                .run_forked(make_fork())
+                .unwrap();
+            let ckpt = SimulatorEngine::new(config, &trace, parse_policy(policy).unwrap())
+                .checkpoint_at(at)
+                .unwrap();
+            let bytes = ckpt.encode();
+            let decoded = EngineCheckpoint::decode(&bytes).unwrap();
+            prop_assert_eq!(&decoded.encode(), &bytes, "codec not canonical for {}", policy);
+            let mut warm =
+                SimulatorEngine::resume_materialized(config, &decoded, parse_policy(policy).unwrap())
+                    .unwrap();
+            warm.apply_fork(make_fork()).unwrap();
+            let warm = warm.try_run().unwrap();
+            prop_assert_eq!(
+                warm, reference,
+                "policy {}: warm-started fork at t={} diverged from from-scratch", policy, at
+            );
         }
     }
 }

@@ -269,6 +269,82 @@ fn serve_sweep_batches_and_streams() {
 }
 
 #[test]
+fn serve_fork_requests_share_prefix_checkpoints() {
+    let dir = tmpdir("fork");
+    TraceDatabase::open(&dir).unwrap().store("workload", &sample_trace()).unwrap();
+    let (addr, handle) = start_server(&dir);
+
+    // a contended cluster so divergences genuinely change the schedule
+    let fork_run = |divergence: &str| {
+        format!(
+            r#"{{"trace": "workload", "policy": "fifo",
+                 "cluster": {{"map_slots": 2, "reduce_slots": 1, "hosts": 2}},
+                 "fork_at": 900, "divergences": [{divergence}]}}"#
+        )
+    };
+
+    // first forked run computes and memoizes the prefix checkpoint
+    let first = http(addr, "POST", "/v1/run", &fork_run(r#"{"policy": "maxedf"}"#));
+    assert_eq!(first.status, 200, "body: {}", first.body);
+    assert_eq!(first.header("x-simmr-cache"), Some("miss"));
+    assert_eq!(first.header("x-simmr-ckpt"), Some("miss"));
+
+    // identical request: the whole report is memoized, no engine run at all
+    let again = http(addr, "POST", "/v1/run", &fork_run(r#"{"policy": "maxedf"}"#));
+    assert_eq!(again.header("x-simmr-cache"), Some("hit"));
+    assert_eq!(again.header("x-simmr-ckpt"), None, "report hits never touch the engine");
+    assert_eq!(first.body, again.body);
+
+    // a different divergence off the same prefix warm-starts from the memo
+    let sibling =
+        http(addr, "POST", "/v1/run", &fork_run(r#"{"add_slots": {"maps": 6, "reduces": 3}}"#));
+    assert_eq!(sibling.status, 200, "body: {}", sibling.body);
+    assert_eq!(sibling.header("x-simmr-cache"), Some("miss"));
+    assert_eq!(sibling.header("x-simmr-ckpt"), Some("hit"));
+    assert_ne!(sibling.body, first.body, "the divergences genuinely differ");
+
+    // a sweep over fork variants runs the shared prefix zero extra times
+    // (it is already resident from the /v1/run above)
+    let sweep = format!(
+        r#"{{"scenarios": [{}, {}, {}]}}"#,
+        fork_run(r#"{"fault": {"host": 1, "at": 1200}}"#),
+        fork_run(r#"{"add_slots": {"maps": 1}}"#),
+        fork_run(r#"{"policy": "fair"}"#)
+    );
+    let swept = http(addr, "POST", "/v1/sweep", &sweep);
+    assert_eq!(swept.status, 200, "body: {}", swept.body);
+    assert_eq!(swept.header("x-simmr-sweep-count"), Some("3"));
+    assert_eq!(swept.body.matches("\"cached\":false").count(), 3);
+
+    // the checkpoint memo holds exactly one prefix, computed exactly once
+    let health = http(addr, "GET", "/healthz", "");
+    let ckpt_stats = health.body.split("\"checkpoints\":").nth(1).expect("checkpoints stats");
+    assert!(ckpt_stats.starts_with("{\"entries\":1,"), "one shared prefix: {ckpt_stats}");
+    assert!(ckpt_stats.contains("\"misses\":1"), "prefix computed once: {ckpt_stats}");
+
+    // fork spec mistakes are 400s, not engine panics
+    let no_instant = http(
+        addr,
+        "POST",
+        "/v1/run",
+        r#"{"trace": "workload", "policy": "fifo", "divergences": [{"policy": "fair"}]}"#,
+    );
+    assert_eq!(no_instant.status, 400, "divergences need fork_at");
+    let lone_host = http(
+        addr,
+        "POST",
+        "/v1/run",
+        r#"{"trace": "workload", "policy": "fifo", "fork_at": 900,
+            "divergences": [{"fault": {"host": 1}}]}"#,
+    );
+    assert_eq!(lone_host.status, 400, "the default cluster has no failable host");
+
+    assert_eq!(http(addr, "POST", "/v1/shutdown", "").status, 200);
+    handle.join().expect("server thread").expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_survives_concurrent_clients() {
     let dir = tmpdir("concurrent");
     TraceDatabase::open(&dir).unwrap().store("workload", &sample_trace()).unwrap();

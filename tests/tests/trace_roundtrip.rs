@@ -11,11 +11,16 @@
 //! unknown versions must surface as typed [`simmr_trace::BinError`]s,
 //! never panics. A replay of the same trace through the materialized JSON
 //! path and the streaming binary path must produce identical reports.
+//!
+//! Engine checkpoints ([`simmr_core::EngineCheckpoint`]) are held to the
+//! same contract: canonical encoding (encode → decode → encode is the
+//! identity) and typed [`simmr_core::CkptError`]s for every truncation or
+//! bit flip.
 
 use proptest::prelude::*;
 use simmr_bench::pipeline::run_testbed;
 use simmr_cluster::{ClusterConfig, ClusterPolicy};
-use simmr_core::{EngineConfig, JobSource, SimulatorEngine};
+use simmr_core::{CkptError, EngineCheckpoint, EngineConfig, JobSource, SimulatorEngine};
 use simmr_integration::small_job;
 use simmr_sched::FifoPolicy;
 use simmr_trace::{
@@ -289,6 +294,89 @@ proptest! {
         bad_version[8] = 0xEE;
         bad_version[9] = 0xEE;
         prop_assert!(matches!(decode_trace(&bad_version), Err(BinError::BadVersion(_))));
+    }
+}
+
+// ---- checkpoint codec fuzzer ----------------------------------------------
+
+/// Builds one fuzzed job with finite durations so the engine prefix the
+/// checkpoint fuzzer runs always settles. Escape-heavy names still apply.
+fn ckpt_fuzz_job(maps: usize, reduces: usize, ms: u64, arrival: u64, name_pick: usize) -> JobSpec {
+    let template = JobTemplate::new(
+        NAMES[name_pick],
+        vec![ms; maps],
+        if reduces > 0 { vec![ms / 4 + 1] } else { vec![] },
+        if reduces > 0 { vec![ms / 4 + 1; reduces] } else { vec![] },
+        vec![ms; reduces],
+    )
+    .expect("fuzzed template is structurally valid");
+    let mut spec = JobSpec::new(template, SimTime::from_millis(arrival));
+    if arrival % 2 == 1 {
+        spec = spec.with_deadline(SimTime::from_millis(arrival + 4 * ms));
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Engine checkpoints taken at fuzzed instants over fuzzed traces obey
+    /// the same codec contract as binary traces: encode → decode → encode
+    /// is the identity; every proper prefix is a typed [`CkptError`], never
+    /// a panic; any single-byte corruption is caught — as [`BadMagic`] in
+    /// the magic bytes, as a checksum mismatch anywhere else (the CRC-64
+    /// trailer covers version, body and itself).
+    ///
+    /// [`BadMagic`]: CkptError::BadMagic
+    #[test]
+    fn fuzz_checkpoint_codec_round_trip_and_corruption(
+        jobs in proptest::collection::vec(
+            // (maps, reduces, map_ms, arrival_ms, name_pick)
+            (1usize..5, 0usize..3, 20u64..500, 0u64..2_000, 0usize..4),
+            1..8,
+        ),
+        at in 0u64..3_000,
+        flip_pick in 0usize..997,
+    ) {
+        let mut trace = WorkloadTrace::new("checkpoint fuzz \"with\" escapes", "fuzzer");
+        for &(maps, reduces, ms, arrival, name_pick) in &jobs {
+            trace.push(ckpt_fuzz_job(maps, reduces, ms, arrival, name_pick));
+        }
+        let ckpt = SimulatorEngine::new(
+            EngineConfig::new(2, 2).with_timeline().with_invariants(),
+            &trace,
+            Box::new(FifoPolicy::new()),
+        )
+        .checkpoint_at(SimTime::from_millis(at))
+        .unwrap();
+        let bytes = ckpt.encode();
+
+        // encode → decode → encode is the identity on accepted inputs
+        let decoded = EngineCheckpoint::decode(&bytes).unwrap();
+        prop_assert_eq!(&decoded.encode(), &bytes);
+
+        // truncation at every prefix is a typed error, never a panic
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                EngineCheckpoint::decode(&bytes[..cut]).is_err(),
+                "prefix of {}/{} bytes decoded successfully", cut, bytes.len()
+            );
+        }
+
+        // a bit flip anywhere in the document is caught: the magic bytes
+        // fail their own check, everything else the CRC-64 trailer
+        let flip_at = flip_pick % bytes.len();
+        let mut flipped = bytes.clone();
+        flipped[flip_at] ^= 0x40;
+        let err = EngineCheckpoint::decode(&flipped).map(|_| ()).unwrap_err();
+        if flip_at < 8 {
+            prop_assert_eq!(err, CkptError::BadMagic, "flip at {}", flip_at);
+        } else {
+            prop_assert!(
+                matches!(err, CkptError::ChecksumMismatch { .. }),
+                "flip at {}: unexpected {:?}", flip_at, err
+            );
+        }
     }
 }
 
